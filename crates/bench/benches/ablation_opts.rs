@@ -1,0 +1,53 @@
+//! Online-appendix ablation — the two algorithmic optimizations of §III:
+//! edge filtering and set-intersection result reuse, each toggled off
+//! against the full T-DFS configuration.
+//!
+//! Expected shape: both optimizations help; reuse helps most on patterns
+//! with nested backward sets (cliques, wheels) and on same-label
+//! queries, mirroring the paper's P1–P11 vs P12–P22 observation.
+
+use tdfs_bench::{bench_warps, load, run_one, unlabeled_patterns, Report};
+use tdfs_core::MatcherConfig;
+use tdfs_graph::DatasetId;
+use tdfs_query::plan::PlanOptions;
+
+fn main() {
+    let warps = bench_warps();
+    let full = MatcherConfig::tdfs().with_warps(warps);
+    let no_reuse = MatcherConfig {
+        plan: PlanOptions {
+            intersection_reuse: false,
+            ..PlanOptions::default()
+        },
+        ..full.clone()
+    };
+    // Edge filtering cannot be disabled for correctness (labels/degrees
+    // must hold), but its *placement* can: in-warp (T-DFS) vs a
+    // single-threaded host pass (STMatch's design).
+    let host_filter = MatcherConfig {
+        host_edge_filter: true,
+        ..full.clone()
+    };
+    // The paper's future-work hybrid engine (§V), included as an extra
+    // ablation row: BFS while memory permits, then DFS.
+    let hybrid = MatcherConfig::hybrid().with_warps(warps);
+    let systems: Vec<(&str, MatcherConfig)> = vec![
+        ("full", full),
+        ("no-reuse", no_reuse),
+        ("host-filter", host_filter),
+        ("hybrid", hybrid),
+    ];
+
+    let mut report = Report::new("Appendix: optimization ablation (ms)");
+    for ds in [DatasetId::DblpS, DatasetId::OrkutS] {
+        let d = load(ds);
+        eprintln!("[ablation] {}", d.stats.table_row(ds.name()));
+        for pid in unlabeled_patterns() {
+            for (name, cfg) in &systems {
+                let r = run_one(&d.graph, pid, cfg);
+                report.record(name, ds.name(), &pid.name(), &r);
+            }
+        }
+    }
+    report.print();
+}

@@ -1,0 +1,40 @@
+//! Fig. 10 — T-DFS vs STMatch vs EGSM on the 4 big labeled graphs
+//! (4 random labels), patterns P1–P22. PBE is excluded exactly as in the
+//! paper: it does not support labeled queries.
+//!
+//! Expected shape (paper §IV-B): T-DFS wins (paper: ~20× vs STMatch,
+//! ~15× vs EGSM); P1–P11 run faster than their labeled twins' P12–P22
+//! *relative* cost profile because same-label patterns reuse set
+//! intersections more; STMatch pays its single-threaded host edge filter
+//! on big graphs.
+
+use tdfs_bench::{all_patterns, bench_warps, big_datasets, geomean_speedup, load, run_one, Report};
+use tdfs_core::MatcherConfig;
+
+fn main() {
+    let warps = bench_warps();
+    let systems: Vec<(&str, MatcherConfig)> = vec![
+        ("T-DFS", MatcherConfig::tdfs().with_warps(warps)),
+        ("STMatch", MatcherConfig::stmatch_like().with_warps(warps)),
+        ("EGSM", MatcherConfig::egsm_like().with_warps(warps)),
+    ];
+
+    let mut report = Report::new("Fig. 10: labeled subgraph matching (big graphs, |L| = 4)");
+    for ds in big_datasets() {
+        let d = load(ds);
+        eprintln!("[fig10] {}", d.stats.table_row(ds.name()));
+        for pid in all_patterns() {
+            for (name, cfg) in &systems {
+                let r = run_one(&d.graph, pid, cfg);
+                report.record(name, ds.name(), &pid.name(), &r);
+            }
+        }
+    }
+    report.print();
+
+    for other in ["STMatch", "EGSM"] {
+        if let Some(s) = geomean_speedup(&report, "T-DFS", other) {
+            println!("geomean speedup of T-DFS over {other}: {s:.2}x");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 11 — load-balancing strategies inside the T-DFS framework:
+//! Timeout Steal vs Half Steal vs New Kernel vs No Steal, on youtube_s,
+//! orkut_s and sinaweibo_s (the three graphs the paper shows).
+//!
+//! Expected shape (paper §IV-C): Timeout Steal wins; Half Steal pays
+//! lock overhead and occasionally loses even to No Steal; New Kernel
+//! pays stack-allocation/launch overhead.
+
+use tdfs_bench::{bench_warps, load, run_one, unlabeled_patterns, Report};
+use tdfs_core::config::DEFAULT_FANOUT_THRESHOLD;
+use tdfs_core::{MatcherConfig, Strategy};
+use tdfs_graph::DatasetId;
+
+fn main() {
+    let warps = bench_warps();
+    let systems: Vec<(&str, MatcherConfig)> = vec![
+        ("TimeoutSteal", MatcherConfig::tdfs().with_warps(warps)),
+        (
+            "HalfSteal",
+            MatcherConfig {
+                strategy: Strategy::HalfSteal,
+                ..MatcherConfig::tdfs().with_warps(warps)
+            },
+        ),
+        (
+            "NewKernel",
+            MatcherConfig {
+                strategy: Strategy::NewKernel {
+                    fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
+                },
+                ..MatcherConfig::tdfs().with_warps(warps)
+            },
+        ),
+        ("NoSteal", MatcherConfig::no_steal().with_warps(warps)),
+    ];
+
+    let datasets = [DatasetId::YoutubeS, DatasetId::OrkutS, DatasetId::SinaweiboS];
+
+    let mut report = Report::new("Fig. 11: work-stealing strategy comparison");
+    for ds in datasets {
+        let d = load(ds);
+        eprintln!("[fig11] {}", d.stats.table_row(ds.name()));
+        // Labeled datasets get the labeled twins (P12–P22), as in the
+        // paper's Orkut P12/P13 discussion.
+        let patterns: Vec<_> = if ds.is_big() {
+            unlabeled_patterns().iter().map(|p| tdfs_query::PatternId(p.0 + 11)).collect()
+        } else {
+            unlabeled_patterns()
+        };
+        for pid in patterns {
+            for (name, cfg) in &systems {
+                let r = run_one(&d.graph, pid, cfg);
+                report.record(name, ds.name(), &pid.name(), &r);
+            }
+        }
+    }
+    report.print();
+}

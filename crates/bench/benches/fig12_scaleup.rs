@@ -1,0 +1,62 @@
+//! Fig. 12 — multi-device scale-up on the two largest graphs
+//! (datagen_s and friendster_s), 1/2/4 simulated devices.
+//!
+//! Expected shape (paper §IV-E): "all the tested queries can achieve a
+//! speedup proportional to number of GPUs" — near-linear scaling from
+//! round-robin initial-edge partitioning with no task migration.
+//! Speedups here are bounded by the host's physical core count; set
+//! `TDFS_BENCH_WARPS` to cores/4 to give 4 devices room.
+
+use tdfs_bench::{bench_warps, load, Report};
+use tdfs_core::{run_multi_device, MatcherConfig};
+use tdfs_graph::DatasetId;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::PatternId;
+
+fn main() {
+    // Per-device warps: quarter of the budget so the 4-device setup is
+    // not oversubscribed.
+    let warps = (bench_warps() / 4).max(1);
+    let cfg = MatcherConfig::tdfs().with_warps(warps);
+    let patterns = [PatternId(12), PatternId(13), PatternId(15), PatternId(19)];
+
+    let mut report = Report::new("Fig. 12: multi-device scale-up");
+    for ds in [DatasetId::DatagenS, DatasetId::FriendsterS] {
+        let d = load(ds);
+        eprintln!("[fig12] {}", d.stats.table_row(ds.name()));
+        for pid in patterns {
+            let plan = QueryPlan::build_with(&pid.pattern(), cfg.plan);
+            let mut base = None;
+            for devices in [1usize, 2, 4] {
+                match run_multi_device(&d.graph, &plan, &cfg, devices) {
+                    Ok(r) => {
+                        let ms = r.elapsed.as_secs_f64() * 1e3;
+                        let speedup = *base.get_or_insert(ms) / ms;
+                        println!(
+                            "{} {} x{}: {:.1} ms  speedup {:.2}x  matches {}",
+                            ds.name(),
+                            pid.name(),
+                            devices,
+                            ms,
+                            speedup,
+                            r.matches
+                        );
+                        report.push(tdfs_bench::Cell {
+                            system: format!("{devices}gpu"),
+                            dataset: ds.name().into(),
+                            pattern: pid.name(),
+                            millis: Some(ms),
+                            matches: r.matches,
+                            makespan_mu: Some(
+                                r.merged_stats().warp_makespan as f64 / 1e6,
+                            ),
+                            fail: "",
+                        });
+                    }
+                    Err(e) => eprintln!("{} {} x{devices}: ERR {e}", ds.name(), pid.name()),
+                }
+            }
+        }
+    }
+    report.print();
+}

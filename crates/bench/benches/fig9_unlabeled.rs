@@ -1,0 +1,41 @@
+//! Fig. 9 — T-DFS vs STMatch vs EGSM vs PBE on the 8 moderate unlabeled
+//! graphs, patterns P1–P11.
+//!
+//! Expected shape (paper §IV-B): T-DFS beats both DFS baselines by large
+//! factors (paper: ~42× vs STMatch, ~360× vs EGSM on average) and beats
+//! PBE by ~2× on most graphs, with PBE closest on the most degree-skewed
+//! inputs (YouTube, Pokec).
+
+use tdfs_bench::{
+    bench_warps, geomean_speedup, load, moderate_datasets, run_one, unlabeled_patterns, Report,
+};
+use tdfs_core::MatcherConfig;
+
+fn main() {
+    let warps = bench_warps();
+    let systems: Vec<(&str, MatcherConfig)> = vec![
+        ("T-DFS", MatcherConfig::tdfs().with_warps(warps)),
+        ("STMatch", MatcherConfig::stmatch_like().with_warps(warps)),
+        ("EGSM", MatcherConfig::egsm_like().with_warps(warps)),
+        ("PBE", MatcherConfig::pbe_like().with_warps(warps)),
+    ];
+
+    let mut report = Report::new("Fig. 9: unlabeled subgraph matching (moderate graphs)");
+    for ds in moderate_datasets() {
+        let d = load(ds);
+        eprintln!("[fig9] {}", d.stats.table_row(ds.name()));
+        for pid in unlabeled_patterns() {
+            for (name, cfg) in &systems {
+                let r = run_one(&d.graph, pid, cfg);
+                report.record(name, ds.name(), &pid.name(), &r);
+            }
+        }
+    }
+    report.print();
+
+    for other in ["STMatch", "EGSM", "PBE"] {
+        if let Some(s) = geomean_speedup(&report, "T-DFS", other) {
+            println!("geomean speedup of T-DFS over {other}: {s:.2}x");
+        }
+    }
+}

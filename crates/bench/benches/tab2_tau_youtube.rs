@@ -1,0 +1,14 @@
+//! Table II — ablation of the timeout threshold `τ` on youtube_s,
+//! patterns P1–P11, `τ ∈ {1, 10, 100, 1000, ∞} ms`.
+//!
+//! Expected shape (paper §IV-D): the default `τ = 10 ms` is best or
+//! near-best everywhere; `τ = 1 ms` pays excessive decomposition
+//! overhead; large `τ` leaves stragglers undecomposed and degrades
+//! sharply on the heavy patterns.
+
+use tdfs_bench::tau_sweep;
+use tdfs_graph::DatasetId;
+
+fn main() {
+    tau_sweep(DatasetId::YoutubeS, "Table II: τ ablation on youtube_s (ms)");
+}

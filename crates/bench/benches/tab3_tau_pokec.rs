@@ -1,0 +1,13 @@
+//! Table III — ablation of the timeout threshold `τ` on pokec_s,
+//! patterns P1–P11, `τ ∈ {1, 10, 100, 1000, ∞} ms`.
+//!
+//! Expected shape: as Table II — the paper reports "similar
+//! observations" on Pokec, with the `τ = ∞` column blowing up on the
+//! heavy patterns (62.6× on P4 in the paper's testbed).
+
+use tdfs_bench::tau_sweep;
+use tdfs_graph::DatasetId;
+
+fn main() {
+    tau_sweep(DatasetId::PokecS, "Table III: τ ablation on pokec_s (ms)");
+}

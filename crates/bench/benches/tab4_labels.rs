@@ -1,0 +1,41 @@
+//! Table IV — effect of increasing label selectivity on friendster_s:
+//! |L| ∈ {4, 8, 12, 16}, patterns P8–P10 (6-node), T-DFS vs EGSM.
+//!
+//! Expected shape (paper §IV-F): both systems get faster as |L| grows;
+//! T-DFS stays ahead, but the gap narrows because the CT-index's
+//! candidate pruning pays back more at higher selectivity.
+
+use tdfs_bench::{bench_warps, load, run_one, Report};
+use tdfs_core::MatcherConfig;
+use tdfs_graph::generators::random_labels;
+use tdfs_graph::DatasetId;
+use tdfs_query::PatternId;
+
+fn main() {
+    let warps = bench_warps();
+    let systems: Vec<(&str, MatcherConfig)> = vec![
+        ("T-DFS", MatcherConfig::tdfs().with_warps(warps)),
+        ("EGSM", MatcherConfig::egsm_like().with_warps(warps)),
+    ];
+    // Labeled twins of the 6-node patterns P8–P10.
+    let patterns = [PatternId(19), PatternId(20), PatternId(21)];
+
+    let d = load(DatasetId::FriendsterS);
+    eprintln!("[tab4] {}", d.stats.table_row("friendster_s"));
+    let n = d.graph.num_vertices();
+
+    let mut report = Report::new("Table IV: label selectivity on friendster_s (ms)");
+    for labels in [4usize, 8, 12, 16] {
+        let g = d
+            .graph
+            .clone()
+            .with_labels(random_labels(n, labels, 0xF21E_2000 + labels as u64));
+        for pid in patterns {
+            for (name, cfg) in &systems {
+                let r = run_one(&g, pid, cfg);
+                report.record(name, &format!("|L|={labels}"), &pid.name(), &r);
+            }
+        }
+    }
+    report.print();
+}

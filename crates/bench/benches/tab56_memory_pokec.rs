@@ -1,0 +1,15 @@
+//! Tables V & VI — stack memory consumption and execution time on
+//! pokec_s, patterns P1–P7: page-based (T-DFS) vs array-based
+//! (`d_max`-capacity levels) vs STMatch.
+//!
+//! Expected shape (paper §IV-G): the page-based design saves the large
+//! majority of stack memory (paper: ~86 % on Pokec) while the
+//! array-based design runs somewhat faster (coalesced access, no
+//! page-existence checks); both beat STMatch.
+
+use tdfs_bench::memory_tables;
+use tdfs_graph::DatasetId;
+
+fn main() {
+    memory_tables(DatasetId::PokecS, "Tables V & VI (pokec_s)");
+}

@@ -1,0 +1,15 @@
+//! Tables VII & VIII — stack memory consumption and execution time on
+//! youtube_s, patterns P1–P7: page-based (T-DFS) vs array-based
+//! (`d_max`-capacity levels) vs STMatch.
+//!
+//! Expected shape (paper §IV-G): the page-based design saves the large
+//! majority of stack memory (paper: ~93 % on YouTube, whose `d_max` is
+//! extreme) while the array-based design runs somewhat faster; both beat
+//! STMatch.
+
+use tdfs_bench::memory_tables;
+use tdfs_graph::DatasetId;
+
+fn main() {
+    memory_tables(DatasetId::YoutubeS, "Tables VII & VIII (youtube_s)");
+}

@@ -1,0 +1,22 @@
+//! Prints the Table-I-style shape summary of every registry dataset at
+//! the current `TDFS_SCALE` — the sanity check for experiment inputs.
+//!
+//! ```sh
+//! cargo run --release -p tdfs-bench --bin datasets
+//! ```
+
+use tdfs_graph::{DatasetId, GraphStats};
+
+fn main() {
+    let scale = tdfs_graph::datasets::env_scale();
+    println!("# dataset registry at TDFS_SCALE={scale}");
+    println!("# (stand-ins for the paper's Table I; see DESIGN.md)");
+    for id in DatasetId::ALL {
+        let g = id.generate(scale);
+        println!(
+            "{}  (paper: {})",
+            GraphStats::of(&g).table_row(id.name()),
+            id.paper_name()
+        );
+    }
+}

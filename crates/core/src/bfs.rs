@@ -1,0 +1,310 @@
+//! The PBE-style BFS engine (paper §II, "GPU Solutions to Subgraph
+//! Matching").
+//!
+//! Level-synchronous expansion under a device-memory budget: before
+//! extending the frontier, PBE "estimates an upper bound of the number of
+//! candidate vertices (e.g., by the smallest set size before set
+//! intersection) and cuts the subgraphs into some small batches", then
+//! for each batch computes "the next-level subgraphs once to get the
+//! exact space needed … followed by another pass of subgraph computation
+//! to populate these subgraphs" — the count-then-fill double computation
+//! and per-batch allocate/release cycle whose overheads the paper
+//! contrasts with T-DFS's bounded stacks.
+//!
+//! The engine applies the same plan semantics as the DFS engines
+//! (symmetry breaking, labels, injectivity), so counts agree.
+
+use std::time::Instant;
+
+use tdfs_graph::CsrGraph;
+use tdfs_query::plan::QueryPlan;
+
+use crate::candidates::{accept, Workspace};
+use crate::config::MatcherConfig;
+use crate::engine::{edge_admitted, EngineError};
+use crate::sink::MatchSink;
+use crate::stats::{RunResult, RunStats};
+
+/// Runs the BFS engine.
+pub fn run(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    budget_bytes: usize,
+) -> Result<RunResult, EngineError> {
+    run_with_sink(g, plan, cfg, budget_bytes, None)
+}
+
+/// [`run`] with an optional match sink.
+pub fn run_with_sink(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    budget_bytes: usize,
+    sink: Option<&dyn MatchSink>,
+) -> Result<RunResult, EngineError> {
+    let start = Instant::now();
+    let deadline = cfg.time_limit.map(|l| start + l);
+    let k = plan.k();
+    let mut stats = RunStats::default();
+
+    // Level 0/1: the filtered edges, stride 2.
+    let mut frontier: Vec<u32> = Vec::new();
+    for (u, v) in g.arcs() {
+        if edge_admitted(g, plan, u, v) {
+            frontier.push(u);
+            frontier.push(v);
+            stats.edges_admitted += 1;
+        } else {
+            stats.edges_filtered += 1;
+        }
+    }
+    let mut peak_bytes = frontier.len() * 4;
+    let mut matches = 0u64;
+
+    if k == 2 {
+        matches = (frontier.len() / 2) as u64;
+        if let Some(sink) = sink {
+            for pair in frontier.chunks_exact(2) {
+                sink.emit(pair);
+            }
+        }
+    }
+
+    let mut stride = 2usize;
+    while stride < k {
+        let level = stride; // next position to extend into
+        let num_partials = frontier.len() / stride;
+        if num_partials == 0 {
+            break;
+        }
+        let last_level = level + 1 == k;
+        let new_stride = stride + 1;
+
+        // ---- Upper-bound estimate and batching. ----
+        let ub = |p: usize| -> usize {
+            let m = &frontier[p * stride..(p + 1) * stride];
+            plan.levels[level]
+                .backward
+                .iter()
+                .map(|&b| g.degree(m[b]))
+                .min()
+                .unwrap_or(0)
+        };
+        let mut batches: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut batch_start = 0usize;
+        let mut batch_bytes = 0usize;
+        for p in 0..num_partials {
+            let cost = ub(p) * new_stride * 4;
+            if p > batch_start && batch_bytes + cost > budget_bytes {
+                batches.push(batch_start..p);
+                batch_start = p;
+                batch_bytes = 0;
+            }
+            batch_bytes += cost;
+        }
+        batches.push(batch_start..num_partials);
+        stats.bfs_batches += batches.len() as u64;
+
+        let mut next_frontier: Vec<u32> = Vec::new();
+        for batch in batches {
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return Err(EngineError::TimeLimit);
+                }
+            }
+            // ---- Pass 1: count (exact sizes); the last level also
+            // emits completed matches to the sink. ----
+            let counts = parallel_pass(
+                g,
+                plan,
+                cfg,
+                &frontier,
+                stride,
+                batch.clone(),
+                level,
+                None,
+                if last_level { sink } else { None },
+            );
+            let total: usize = counts.iter().sum();
+            if last_level {
+                matches += total as u64;
+                continue;
+            }
+            // ---- Exact allocation + Pass 2: fill. ----
+            let mut offsets = Vec::with_capacity(counts.len() + 1);
+            offsets.push(0usize);
+            for c in &counts {
+                offsets.push(offsets.last().unwrap() + c);
+            }
+            let mut out = vec![0u32; total * new_stride];
+            parallel_pass(
+                g,
+                plan,
+                cfg,
+                &frontier,
+                stride,
+                batch.clone(),
+                level,
+                Some((&mut out, &offsets, new_stride)),
+                None,
+            );
+            peak_bytes = peak_bytes
+                .max(frontier.len() * 4 + next_frontier.len() * 4 + out.len() * 4);
+            next_frontier.extend_from_slice(&out);
+            // `out` released here — PBE's per-batch release/alloc cycle.
+        }
+
+        if last_level {
+            break;
+        }
+        peak_bytes = peak_bytes.max(frontier.len() * 4 + next_frontier.len() * 4);
+        frontier = next_frontier;
+        stride = new_stride;
+    }
+
+    stats.stack_bytes_peak = peak_bytes;
+    Ok(RunResult {
+        matches,
+        elapsed: start.elapsed(),
+        stats,
+    })
+}
+
+/// Runs one batch pass across `cfg.num_warps` workers. Without an output
+/// target it returns per-partial candidate counts; with one it writes the
+/// extended partials at the given offsets.
+#[allow(clippy::too_many_arguments)]
+fn parallel_pass(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    frontier: &[u32],
+    stride: usize,
+    batch: std::ops::Range<usize>,
+    level: usize,
+    fill: Option<(&mut Vec<u32>, &[usize], usize)>,
+    sink: Option<&dyn MatchSink>,
+) -> Vec<usize> {
+    let n = batch.len();
+    let workers = cfg.num_warps.min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    let mut counts = vec![0usize; n];
+
+    match fill {
+        None => {
+            std::thread::scope(|scope| {
+                for (widx, counts_chunk) in counts.chunks_mut(chunk).enumerate() {
+                    let batch = batch.clone();
+                    scope.spawn(move || {
+                        let mut ws = Workspace::new();
+                        let mut cands = Vec::new();
+                        let mut full = vec![0u32; stride + 1];
+                        for (i, slot) in counts_chunk.iter_mut().enumerate() {
+                            let p = batch.start + widx * chunk + i;
+                            let m = &frontier[p * stride..(p + 1) * stride];
+                            candidates_of(g, plan, level, m, &mut ws, &mut cands);
+                            *slot = cands.len();
+                            if let Some(sink) = sink {
+                                full[..stride].copy_from_slice(m);
+                                for &v in &cands {
+                                    full[stride] = v;
+                                    sink.emit(&full);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        Some((out, offsets, new_stride)) => {
+            let out_chunks = split_by_offsets(out, offsets, chunk, new_stride);
+            std::thread::scope(|scope| {
+                for (widx, out_chunk) in out_chunks.into_iter().enumerate() {
+                    let batch = batch.clone();
+                    scope.spawn(move || {
+                        let mut ws = Workspace::new();
+                        let mut cands = Vec::new();
+                        let mut cursor = 0usize;
+                        let lo = widx * chunk;
+                        let hi = ((widx + 1) * chunk).min(batch.len());
+                        for i in lo..hi {
+                            let p = batch.start + i;
+                            let m = &frontier[p * stride..(p + 1) * stride];
+                            candidates_of(g, plan, level, m, &mut ws, &mut cands);
+                            for &v in &cands {
+                                out_chunk[cursor..cursor + stride].copy_from_slice(m);
+                                out_chunk[cursor + stride] = v;
+                                cursor += new_stride;
+                            }
+                        }
+                        debug_assert_eq!(cursor, out_chunk.len());
+                    });
+                }
+            });
+        }
+    }
+    counts
+}
+
+/// Splits the output buffer into per-worker disjoint mutable regions
+/// aligned with the per-partial offsets.
+fn split_by_offsets<'a>(
+    out: &'a mut [u32],
+    offsets: &[usize],
+    chunk: usize,
+    new_stride: usize,
+) -> Vec<&'a mut [u32]> {
+    let n = offsets.len() - 1;
+    let mut regions = Vec::new();
+    let mut rest = out;
+    let mut consumed = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        let bytes = (offsets[end] - offsets[start]) * new_stride;
+        let (head, tail) = rest.split_at_mut(bytes);
+        debug_assert_eq!(consumed, offsets[start] * new_stride);
+        consumed += bytes;
+        regions.push(head);
+        rest = tail;
+        start = end;
+    }
+    regions
+}
+
+/// From-scratch Eq. (1) candidates with all predicates applied (BFS keeps
+/// no per-partial stacks, so there is no reuse source).
+pub(crate) fn candidates_of(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    level: usize,
+    m: &[u32],
+    ws: &mut Workspace,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    let lvl = &plan.levels[level];
+    let mut lists: Vec<&[u32]> = lvl.backward.iter().map(|&b| g.neighbors(m[b])).collect();
+    lists.sort_by_key(|l| l.len());
+    if lists.len() == 1 {
+        ws.warp.filter(
+            lists[0],
+            |v| accept(g, plan, level, v, m, true),
+            |v| out.push(v),
+        );
+        return;
+    }
+    let mut acc: Vec<u32> = Vec::new();
+    ws.warp.intersect(lists[0], lists[1], |v| acc.push(v));
+    for b in &lists[2..] {
+        let mut nxt = Vec::new();
+        ws.warp.intersect(&acc, b, |v| nxt.push(v));
+        acc = nxt;
+    }
+    ws.warp.filter(
+        &acc,
+        |v| accept(g, plan, level, v, m, true),
+        |v| out.push(v),
+    );
+}

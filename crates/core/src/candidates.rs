@@ -1,0 +1,364 @@
+//! Candidate computation (Eq. 1) through a warp, with reuse and the
+//! consumption-time predicate.
+//!
+//! `fill_level` computes `C_S(u_level) = ⋂_{u_j ∈ B^π(u_level)} N(S[u_j])`
+//! into `stack[level]` with the warp's 32-lane intersection kernel,
+//! seeding from a stored ancestor level when the reuse plan allows
+//! (paper Fig. 7). Levels store the **raw** intersection; the label,
+//! degree, injectivity and symmetry predicates are evaluated by
+//! [`accept`] when a candidate is consumed, which keeps reuse
+//! unconditionally sound (DESIGN.md §4).
+
+use tdfs_graph::{CsrGraph, VertexId};
+use tdfs_gpu::warp::WarpOps;
+use tdfs_mem::{LevelStore, StackError};
+use tdfs_query::plan::QueryPlan;
+
+/// Per-warp scratch space reused across fills (no hot-loop allocation).
+#[derive(Default)]
+pub struct Workspace {
+    /// The warp's lane-op context and counters.
+    pub warp: WarpOps,
+    scratch_a: Vec<u32>,
+    scratch_b: Vec<u32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Extra memory indirections the EGSM CT-index model charges per
+/// neighbor-list lookup (its 3-level `cuc`/`off`/`nbr` structure needs
+/// two more dereferences than CSR, §IV-B).
+const CT_INDEX_INDIRECTIONS: u64 = 2;
+
+/// Consumption-time predicate: label, degree, symmetry constraints and
+/// (when `fused_injectivity`) the not-already-matched check.
+#[inline]
+pub fn accept(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    level: usize,
+    v: VertexId,
+    m: &[u32],
+    fused_injectivity: bool,
+) -> bool {
+    let lvl = &plan.levels[level];
+    if g.label(v) != lvl.label || g.degree(v) < lvl.degree {
+        return false;
+    }
+    if !lvl.greater_than.iter().all(|&j| m[j] < v) {
+        return false;
+    }
+    if !lvl.less_than.iter().all(|&j| v < m[j]) {
+        return false;
+    }
+    if fused_injectivity {
+        m[..level].iter().all(|&p| p != v)
+    } else {
+        true
+    }
+}
+
+/// Pushes through an error latch so closure-based emitters can surface
+/// `StackError` after the batch completes.
+#[inline]
+fn push_latched<L: LevelStore>(dest: &mut L, v: u32, err: &mut Option<StackError>) {
+    if err.is_none() {
+        if let Err(e) = dest.push(v) {
+            *err = Some(e);
+        }
+    }
+}
+
+/// Injectivity as STMatch does it: a *separate* set-difference pass over
+/// the freshly filled level ("STMatch treats vertex removal as an
+/// independent set-difference operation which leads to more rounds of
+/// set operations", §IV-B).
+pub fn separate_injectivity_pass<L: LevelStore>(
+    level_store: &mut L,
+    m_prefix: &[u32],
+    ws: &mut Workspace,
+) -> Result<(), StackError> {
+    let Workspace {
+        warp,
+        scratch_a,
+        scratch_b,
+    } = ws;
+    scratch_a.clear();
+    level_store.for_each_chunk(&mut |c| scratch_a.extend_from_slice(c));
+    scratch_b.clear();
+    scratch_b.extend_from_slice(m_prefix);
+    scratch_b.sort_unstable();
+    level_store.clear();
+    let mut err = None;
+    let matched: &[u32] = scratch_b;
+    warp.filter(
+        scratch_a,
+        |x| matched.binary_search(&x).is_err(),
+        |x| push_latched(level_store, x, &mut err),
+    );
+    err.map_or(Ok(()), Err)
+}
+
+/// Fills `stack[level]` with the Eq. (1) candidates for the partial
+/// match `m[..level]`.
+///
+/// `stack` must contain all `k` levels; `level ≥ 2` (positions 0 and 1
+/// come from the initial edge task). `valid_from` is the shallowest
+/// stack level filled by the *current* task: a reuse source below it is
+/// stale (the task prefix came from `Q_task`, a steal, or a child-kernel
+/// dispatch, not from this warp's own descent) and the candidates are
+/// computed from scratch instead.
+#[allow(clippy::too_many_arguments)]
+pub fn fill_level<L: LevelStore>(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    level: usize,
+    m: &[u32],
+    stack: &mut [L],
+    ws: &mut Workspace,
+    ct_index: bool,
+    valid_from: usize,
+) -> Result<(), StackError> {
+    debug_assert!(level >= 2 && level < stack.len());
+    let lvl = &plan.levels[level];
+    debug_assert!(!lvl.backward.is_empty());
+
+    let (head, tail) = stack.split_at_mut(level);
+    let dest = &mut tail[0];
+    dest.clear();
+
+    let Workspace {
+        warp,
+        scratch_a,
+        scratch_b,
+    } = ws;
+
+    let reuse = lvl.reuse.as_ref().filter(|s| s.source >= valid_from);
+    if let Some(step) = reuse {
+        let source = &head[step.source];
+        if step.remaining.is_empty() {
+            // Pure copy, still lane-batched.
+            let mut err = None;
+            source.for_each_chunk(&mut |chunk| {
+                warp.filter(chunk, |_| true, |x| push_latched(dest, x, &mut err));
+            });
+            return err.map_or(Ok(()), Err);
+        }
+        if ct_index {
+            warp.charge_indirections(CT_INDEX_INDIRECTIONS * step.remaining.len() as u64);
+        }
+        let first = g.neighbors(m[step.remaining[0]]);
+        if step.remaining.len() == 1 {
+            let mut err = None;
+            source.for_each_chunk(&mut |chunk| {
+                warp.intersect(chunk, first, |x| push_latched(dest, x, &mut err));
+            });
+            return err.map_or(Ok(()), Err);
+        }
+        scratch_a.clear();
+        source.for_each_chunk(&mut |chunk| {
+            warp.intersect(chunk, first, |x| scratch_a.push(x));
+        });
+        let rest: Vec<&[u32]> = step.remaining[1..]
+            .iter()
+            .map(|&b| g.neighbors(m[b]))
+            .collect();
+        return fold_into(dest, &rest, warp, scratch_a, scratch_b);
+    }
+
+    // No reuse: intersect the backward neighbor lists, smallest first.
+    if ct_index {
+        warp.charge_indirections(CT_INDEX_INDIRECTIONS * lvl.backward.len() as u64);
+    }
+    let mut operands: Vec<&[u32]> = lvl.backward.iter().map(|&b| g.neighbors(m[b])).collect();
+    operands.sort_by_key(|l| l.len());
+
+    if operands.len() == 1 {
+        // Single backward neighbor: candidates are its whole list.
+        let mut err = None;
+        warp.filter(operands[0], |_| true, |x| push_latched(dest, x, &mut err));
+        return err.map_or(Ok(()), Err);
+    }
+
+    if operands.len() == 2 {
+        let mut err = None;
+        warp.intersect(operands[0], operands[1], |x| push_latched(dest, x, &mut err));
+        return err.map_or(Ok(()), Err);
+    }
+
+    scratch_a.clear();
+    warp.intersect(operands[0], operands[1], |x| scratch_a.push(x));
+    fold_into(dest, &operands[2..], warp, scratch_a, scratch_b)
+}
+
+/// Folds `scratch_a ∩ operands...` into `dest`; the last intersection
+/// writes straight into the stack level (the batched cross-page write of
+/// Fig. 6).
+fn fold_into<L: LevelStore>(
+    dest: &mut L,
+    operands: &[&[u32]],
+    warp: &mut WarpOps,
+    scratch_a: &mut Vec<u32>,
+    scratch_b: &mut Vec<u32>,
+) -> Result<(), StackError> {
+    let n = operands.len();
+    for (i, &b) in operands.iter().enumerate() {
+        if i + 1 == n {
+            let mut err = None;
+            warp.intersect(scratch_a, b, |x| push_latched(dest, x, &mut err));
+            return err.map_or(Ok(()), Err);
+        }
+        scratch_b.clear();
+        warp.intersect(scratch_a, b, |x| scratch_b.push(x));
+        std::mem::swap(scratch_a, scratch_b);
+    }
+    // No operands left: move scratch into dest.
+    let mut err = None;
+    warp.filter(scratch_a, |_| true, |x| push_latched(dest, x, &mut err));
+    err.map_or(Ok(()), Err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfs_graph::GraphBuilder;
+    use tdfs_mem::{ArrayLevel, OverflowPolicy};
+    use tdfs_query::plan::{PlanOptions, QueryPlan};
+    use tdfs_query::PatternId;
+
+    fn k5_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    fn stack(k: usize, cap: usize) -> Vec<ArrayLevel> {
+        (0..k)
+            .map(|_| ArrayLevel::new(cap, OverflowPolicy::Error))
+            .collect()
+    }
+
+    #[test]
+    fn fill_matches_scalar_intersection() {
+        let g = k5_graph();
+        let plan = QueryPlan::build(&PatternId(2).pattern()); // K4
+        let mut s = stack(4, 16);
+        let mut ws = Workspace::new();
+        let m = [0u32, 1, 0, 0];
+        fill_level(&g, &plan, 2, &m, &mut s, &mut ws, false, 2).unwrap();
+        // N(0) ∩ N(1) in K5 = {2, 3, 4}.
+        assert_eq!(s[2].to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn reuse_path_gives_same_result_as_scratch() {
+        let g = k5_graph();
+        let p = PatternId(7).pattern(); // K5 — reuse kicks in at level 3
+        let with = QueryPlan::build(&p);
+        let without = QueryPlan::build_with(
+            &p,
+            PlanOptions {
+                symmetry_breaking: true,
+                intersection_reuse: false,
+            },
+        );
+        assert!(with.levels[3].reuse.is_some());
+        assert!(without.levels[3].reuse.is_none());
+
+        let mut ws = Workspace::new();
+        let m = [0u32, 1, 2, 0, 0];
+
+        let mut s1 = stack(5, 16);
+        fill_level(&g, &with, 2, &m, &mut s1, &mut ws, false, 2).unwrap();
+        fill_level(&g, &with, 3, &m, &mut s1, &mut ws, false, 2).unwrap();
+
+        let mut s2 = stack(5, 16);
+        fill_level(&g, &without, 2, &m, &mut s2, &mut ws, false, 2).unwrap();
+        fill_level(&g, &without, 3, &m, &mut s2, &mut ws, false, 2).unwrap();
+
+        assert_eq!(s1[3].to_vec(), s2[3].to_vec());
+        assert_eq!(s1[3].to_vec(), vec![3, 4]); // N(0)∩N(1)∩N(2)
+    }
+
+    #[test]
+    fn accept_applies_all_predicates() {
+        let g = k5_graph();
+        let plan = QueryPlan::build(&PatternId(2).pattern()); // K4, total order
+        let m = [1u32, 2, 0, 0];
+        // Injectivity: v already matched (also caught by the ascending
+        // symmetry order here, so check with a graph-level duplicate).
+        assert!(!accept(&g, &plan, 2, 1, &m, true));
+        // Symmetry: K4 order requires ascending ids.
+        assert!(accept(&g, &plan, 2, 3, &m, true));
+        assert!(!accept(&g, &plan, 2, 0, &m, true), "violates ascending order");
+        // Degree filter: K4 needs degree ≥ 3; every K5 vertex qualifies.
+        assert!(accept(&g, &plan, 2, 4, &m, true));
+    }
+
+    #[test]
+    fn accept_checks_labels() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
+            .labels(vec![0, 1, 2, 3])
+            .build();
+        let plan = QueryPlan::build(&PatternId(13).pattern()); // labeled K4
+        let m = [0u32, 0, 0, 0];
+        // Level 1 wants label 1 (pattern vertex order may vary; check via
+        // the plan's own label).
+        let want = plan.levels[1].label;
+        let v_ok = (0..4).find(|&v| g.label(v) == want).unwrap();
+        let v_bad = (0..4).find(|&v| g.label(v) != want).unwrap();
+        assert!(accept(&g, &plan, 1, v_ok, &m[..1], true) || v_ok == 0);
+        assert!(!accept(&g, &plan, 1, v_bad, &m[..1], true) || g.label(v_bad) == want);
+    }
+
+    #[test]
+    fn separate_pass_removes_matched() {
+        let mut lvl = ArrayLevel::new(8, OverflowPolicy::Error);
+        for v in [1u32, 2, 3, 4, 5] {
+            lvl.push(v).unwrap();
+        }
+        let mut ws = Workspace::new();
+        separate_injectivity_pass(&mut lvl, &[4, 2], &mut ws).unwrap();
+        assert_eq!(lvl.to_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ct_index_charges_indirections() {
+        let g = k5_graph();
+        let plan = QueryPlan::build_with(
+            &PatternId(2).pattern(),
+            PlanOptions {
+                symmetry_breaking: false,
+                intersection_reuse: false,
+            },
+        );
+        let mut s = stack(4, 16);
+        let mut ws = Workspace::new();
+        let m = [0u32, 1, 0, 0];
+        fill_level(&g, &plan, 2, &m, &mut s, &mut ws, true, 2).unwrap();
+        assert_eq!(ws.warp.stats.extra_indirections, 4, "2 lists × 2");
+    }
+
+    #[test]
+    fn overflow_propagates() {
+        let g = k5_graph();
+        let plan = QueryPlan::build(&PatternId(2).pattern());
+        let mut s = stack(4, 2); // too small for 3 candidates
+        let mut ws = Workspace::new();
+        let m = [0u32, 1, 0, 0];
+        assert!(matches!(
+            fill_level(&g, &plan, 2, &m, &mut s, &mut ws, false, 2),
+            Err(StackError::LevelOverflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! # tdfs-core
+//!
+//! The T-DFS subgraph-matching engine (reproduction of *Faster
+//! Depth-First Subgraph Matching on GPUs*, ICDE 2024) plus the baseline
+//! systems the paper compares against, all inside one framework:
+//!
+//! - the **timeout** strategy with the lock-free task queue — T-DFS
+//!   itself ([`engine`]);
+//! - **half stealing** with lockable per-warp stacks — the STMatch model
+//!   ([`half_steal`]);
+//! - **new-kernel** splitting of oversized fanouts — the EGSM model
+//!   (hooked into [`engine`]);
+//! - **BFS** with pipelined memory batching — the PBE model ([`bfs`]);
+//! - a serial recursive [`mod@reference`] matcher (ground truth);
+//! - [`multi`]-device round-robin execution.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tdfs_core::{match_pattern, MatcherConfig};
+//! use tdfs_graph::GraphBuilder;
+//! use tdfs_query::PatternId;
+//!
+//! // A K5 data graph contains C(5,4) = 5 distinct K4 subgraphs.
+//! let mut b = GraphBuilder::new();
+//! for u in 0..5 {
+//!     for v in (u + 1)..5 {
+//!         b.push_edge(u, v);
+//!     }
+//! }
+//! let g = b.build();
+//! let result = match_pattern(&g, &PatternId(2).pattern(), &MatcherConfig::tdfs()).unwrap();
+//! assert_eq!(result.matches, 5);
+//! ```
+
+pub mod bfs;
+pub mod candidates;
+pub mod config;
+pub mod engine;
+pub mod half_steal;
+pub mod hybrid;
+pub mod multi;
+pub mod reference;
+pub mod sink;
+pub mod stack;
+pub mod stats;
+
+pub use config::{ArrayCapacity, MatcherConfig, StackConfig, Strategy};
+pub use engine::EngineError;
+pub use multi::{run_multi_device, MultiDeviceResult};
+pub use reference::{reference_count, reference_count_pattern};
+pub use sink::{CollectSink, FnSink, MatchSink};
+pub use stats::{RunResult, RunStats};
+
+use tdfs_graph::CsrGraph;
+use tdfs_gpu::device::Device;
+use tdfs_gpu::Clock;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+
+/// Matches `pattern` against `g` under `cfg`, building the query plan
+/// with the configuration's plan options.
+pub fn match_pattern(
+    g: &CsrGraph,
+    pattern: &Pattern,
+    cfg: &MatcherConfig,
+) -> Result<RunResult, EngineError> {
+    let plan = QueryPlan::build_with(pattern, cfg.plan);
+    match_plan(g, &plan, cfg)
+}
+
+/// Matches a precompiled `plan` against `g` under `cfg`, dispatching to
+/// the strategy's engine.
+pub fn match_plan(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+) -> Result<RunResult, EngineError> {
+    match_plan_with_sink(g, plan, cfg, None)
+}
+
+/// [`match_plan`] that additionally streams every match to `sink`
+/// (position-indexed assignments; see [`sink::MatchSink`]).
+pub fn match_plan_with_sink(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    sink: Option<&dyn sink::MatchSink>,
+) -> Result<RunResult, EngineError> {
+    match cfg.strategy {
+        Strategy::Timeout { .. } | Strategy::NewKernel { .. } => {
+            let device = Device::in_group(0, 1, cfg.num_warps, cfg.chunk_size, cfg.queue_capacity);
+            engine::run_on_device_with_sink(g, plan, cfg, &device, Clock::real(), sink)
+        }
+        Strategy::HalfSteal => half_steal::run_with_sink(g, plan, cfg, &device_for(cfg), sink),
+        Strategy::Bfs { budget_bytes } => bfs::run_with_sink(g, plan, cfg, budget_bytes, sink),
+        Strategy::Hybrid { budget_bytes, .. } => hybrid::run(g, plan, cfg, budget_bytes, sink),
+    }
+}
+
+/// Finds up to `limit` concrete matches (plus the full count).
+///
+/// Returned assignments are **pattern-vertex indexed**: `m[u]` is the
+/// data vertex matched to pattern vertex `u`. Order across matches is
+/// nondeterministic (warps race); the count in the result is exact.
+pub fn find_matches(
+    g: &CsrGraph,
+    pattern: &Pattern,
+    cfg: &MatcherConfig,
+    limit: usize,
+) -> Result<(RunResult, Vec<Vec<u32>>), EngineError> {
+    let plan = QueryPlan::build_with(pattern, cfg.plan);
+    let collector = CollectSink::new(limit);
+    let result = match_plan_with_sink(g, &plan, cfg, Some(&collector))?;
+    let k = plan.k();
+    let matches = collector
+        .into_matches()
+        .into_iter()
+        .map(|by_pos| {
+            let mut by_vertex = vec![0u32; k];
+            for (i, &v) in by_pos.iter().enumerate() {
+                by_vertex[plan.order.order[i]] = v;
+            }
+            by_vertex
+        })
+        .collect();
+    Ok((result, matches))
+}
+
+fn device_for(cfg: &MatcherConfig) -> Device {
+    Device::in_group(0, 1, cfg.num_warps, cfg.chunk_size, cfg.queue_capacity)
+}
+
+/// Convenience: count matches with the default T-DFS configuration.
+///
+/// Panics on engine failure (stack exhaustion), which cannot happen with
+/// the default paged configuration unless the arena is undersized for
+/// the graph.
+pub fn count_matches(g: &CsrGraph, pattern: &Pattern) -> u64 {
+    match_pattern(g, pattern, &MatcherConfig::tdfs())
+        .expect("default configuration failed")
+        .matches
+}

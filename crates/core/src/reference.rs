@@ -1,0 +1,194 @@
+//! Serial recursive reference matcher (paper Algorithm 1).
+//!
+//! A direct transcription of Ullmann's recursive `enumerate(...)` with
+//! the same plan semantics as the parallel engines (matching order,
+//! label/degree filters, injectivity, symmetry constraints, Eq. (1)
+//! candidates). It is the ground truth every engine's counts are tested
+//! against — intentionally simple, obviously correct, and only used on
+//! test-sized graphs.
+
+use tdfs_graph::intersect::intersect_merge;
+use tdfs_graph::CsrGraph;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+
+/// Counts matches of `pattern` in `g` under `plan` semantics.
+pub fn reference_count(g: &CsrGraph, plan: &QueryPlan) -> u64 {
+    let k = plan.k();
+    let mut m = vec![0u32; k];
+    let mut count = 0u64;
+    let first = &plan.levels[0];
+    for v in 0..g.num_vertices() as u32 {
+        if g.label(v) != first.label || g.degree(v) < first.degree {
+            continue;
+        }
+        m[0] = v;
+        enumerate(g, plan, &mut m, 1, &mut count);
+    }
+    count
+}
+
+/// Convenience: build the default plan for `pattern` and count.
+pub fn reference_count_pattern(g: &CsrGraph, pattern: &Pattern) -> u64 {
+    reference_count(g, &QueryPlan::build(pattern))
+}
+
+fn enumerate(g: &CsrGraph, plan: &QueryPlan, m: &mut Vec<u32>, i: usize, count: &mut u64) {
+    let k = plan.k();
+    let level = &plan.levels[i];
+    // Eq. (1): intersect the neighbor lists of all backward matches.
+    let mut cands: Vec<u32> = g.neighbors(m[level.backward[0]]).to_vec();
+    let mut scratch = Vec::new();
+    for &b in &level.backward[1..] {
+        scratch.clear();
+        intersect_merge(&cands, g.neighbors(m[b]), &mut scratch);
+        std::mem::swap(&mut cands, &mut scratch);
+    }
+    'next: for &v in &cands {
+        if g.label(v) != level.label || g.degree(v) < level.degree {
+            continue;
+        }
+        // Injectivity.
+        for &prev in m[..i].iter() {
+            if prev == v {
+                continue 'next;
+            }
+        }
+        // Symmetry constraints.
+        for &j in &level.greater_than {
+            if m[j] >= v {
+                continue 'next;
+            }
+        }
+        for &j in &level.less_than {
+            if v >= m[j] {
+                continue 'next;
+            }
+        }
+        m[i] = v;
+        if i + 1 == k {
+            *count += 1;
+        } else {
+            enumerate(g, plan, m, i + 1, count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfs_graph::GraphBuilder;
+    use tdfs_query::plan::{PlanOptions, QueryPlan};
+    use tdfs_query::PatternId;
+
+    /// K5 data graph.
+    fn k5() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triangle_like_diamond_in_k5() {
+        // Diamond (K4−e) subgraphs in K5: choose 4 vertices (5 ways),
+        // each K4 contains 6 ways to drop an edge → but a diamond *as a
+        // subgraph set with the missing edge identified by the two
+        // degree-2 endpoints*: each 4-subset yields C(4,2)/... Let the
+        // reference speak via the automorphism identity instead:
+        // embeddings = subgraphs × |Aut|.
+        let g = k5();
+        let p = PatternId(1).pattern();
+        let with = reference_count(&g, &QueryPlan::build(&p));
+        let without = reference_count(
+            &g,
+            &QueryPlan::build_with(
+                &p,
+                PlanOptions {
+                    symmetry_breaking: false,
+                    intersection_reuse: true,
+                },
+            ),
+        );
+        assert_eq!(without, with * 4, "diamond |Aut| = 4");
+        // Diamond embeddings in K5: injective maps of 4 labeled vertices
+        // = 5·4·3·2 = 120 (every 4-tuple of distinct vertices induces all
+        // edges in K5).
+        assert_eq!(without, 120);
+        assert_eq!(with, 30);
+    }
+
+    #[test]
+    fn k4_count_in_k5() {
+        // Distinct K4 subgraphs in K5 = C(5,4) = 5.
+        let g = k5();
+        assert_eq!(reference_count_pattern(&g, &PatternId(2).pattern()), 5);
+    }
+
+    #[test]
+    fn k5_count_in_k5() {
+        let g = k5();
+        assert_eq!(reference_count_pattern(&g, &PatternId(7).pattern()), 1);
+    }
+
+    #[test]
+    fn hexagon_in_hexagon() {
+        // C6 data graph contains exactly one C6 subgraph.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .build();
+        assert_eq!(reference_count_pattern(&g, &PatternId(8).pattern()), 1);
+    }
+
+    #[test]
+    fn no_match_in_tree() {
+        // A path has no triangles, diamonds, or cycles.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        for id in [1u8, 2, 7, 8] {
+            assert_eq!(reference_count_pattern(&g, &PatternId(id).pattern()), 0);
+        }
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        // Triangle data graph labeled 0,1,2 — the labeled diamond twin
+        // cannot match (needs 4 vertices), and a labeled K4 pattern
+        // cannot match a K4 graph with wrong labels.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .labels(vec![0, 1, 2, 3])
+            .build();
+        // P13 = labeled K4 with labels (0,1,2,3): exactly one embedding
+        // respecting labels (identity), |Aut| = 1.
+        assert_eq!(reference_count_pattern(&g, &PatternId(13).pattern()), 1);
+        // Re-label so two vertices share a label: no match for P13.
+        let g2 = g.with_labels(vec![0, 1, 2, 2]);
+        assert_eq!(reference_count_pattern(&g2, &PatternId(13).pattern()), 0);
+    }
+
+    #[test]
+    fn petersen_graph_cycles() {
+        // The Petersen graph famously has no 3- or 4-cycles, 12 5-cycles,
+        // and 10 6-cycles.
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let g = GraphBuilder::new()
+            .edges(outer)
+            .edges(spokes)
+            .edges(inner)
+            .build();
+        assert_eq!(
+            reference_count_pattern(&g, &PatternId(8).pattern()),
+            10,
+            "Petersen graph has exactly 10 hexagons"
+        );
+        // No K4s.
+        assert_eq!(reference_count_pattern(&g, &PatternId(2).pattern()), 0);
+    }
+}

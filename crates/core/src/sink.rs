@@ -1,0 +1,100 @@
+//! Match emission.
+//!
+//! Algorithm 1 line 6 *outputs* each valid match; the engines support
+//! the same through a [`MatchSink`] shared by all warps. Counting is
+//! unconditional (and what the benchmarks measure, as in the paper);
+//! sinks additionally receive the concrete assignments.
+
+use parking_lot::Mutex;
+
+/// Thread-safe consumer of emitted matches.
+///
+/// `emit` receives the **position-indexed** assignment: `m[i]` is the
+/// data vertex matched at position `i` of the plan's matching order
+/// (use [`tdfs_query::plan::QueryPlan::order`] to map back to pattern
+/// vertices, or use [`crate::find_matches`] which does it for you).
+/// Called concurrently from many warps; implementations synchronize
+/// internally. Emission order is nondeterministic.
+pub trait MatchSink: Sync {
+    /// Consumes one match.
+    fn emit(&self, m: &[u32]);
+}
+
+/// Collects up to `cap` matches into a vector.
+pub struct CollectSink {
+    cap: usize,
+    out: Mutex<Vec<Vec<u32>>>,
+}
+
+impl CollectSink {
+    /// Creates a collector bounded at `cap` matches (further matches are
+    /// still *counted* by the engine, just not stored).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            out: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes the collected matches.
+    pub fn into_matches(self) -> Vec<Vec<u32>> {
+        self.out.into_inner()
+    }
+
+    /// Number collected so far.
+    pub fn len(&self) -> usize {
+        self.out.lock().len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MatchSink for CollectSink {
+    fn emit(&self, m: &[u32]) {
+        let mut guard = self.out.lock();
+        if guard.len() < self.cap {
+            guard.push(m.to_vec());
+        }
+    }
+}
+
+/// A sink that invokes a closure per match (the closure must be `Sync`,
+/// e.g. write to a channel or an atomic).
+pub struct FnSink<F: Fn(&[u32]) + Sync>(pub F);
+
+impl<F: Fn(&[u32]) + Sync> MatchSink for FnSink<F> {
+    fn emit(&self, m: &[u32]) {
+        (self.0)(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_caps() {
+        let s = CollectSink::new(2);
+        s.emit(&[1, 2]);
+        s.emit(&[3, 4]);
+        s.emit(&[5, 6]);
+        assert_eq!(s.len(), 2);
+        let v = s.into_matches();
+        assert_eq!(v, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn fn_sink_invokes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let s = FnSink(|m: &[u32]| {
+            total.fetch_add(m.iter().map(|&x| x as u64).sum(), Ordering::Relaxed);
+        });
+        s.emit(&[1, 2, 3]);
+        s.emit(&[4]);
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,210 @@
+//! Run statistics and results.
+//!
+//! Every engine returns a [`RunResult`] carrying the match count, wall
+//! time and the counters the paper's experiments report: task-queue
+//! traffic and peak (Fig. 4 / §III), timeout firings (Tables II–III),
+//! steal and kernel-launch counts (Fig. 11), warp-op totals, and peak
+//! stack memory (Tables V & VII).
+
+use std::time::Duration;
+
+use tdfs_gpu::warp::WarpStats;
+
+/// Aggregated counters for one matching run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Merged warp-op counters across all warps.
+    pub warp: WarpStats,
+    /// Tasks pushed to `Q_task` by timeout decomposition.
+    pub tasks_enqueued: u64,
+    /// Tasks popped from `Q_task`.
+    pub tasks_dequeued: u64,
+    /// Enqueue attempts rejected because `Q_task` was full.
+    pub queue_rejections: u64,
+    /// High-water mark of `|Q_task|` (tasks).
+    pub queue_peak: usize,
+    /// Timeout events (a straggler task began decomposing).
+    pub timeouts_fired: u64,
+    /// Successful half-steal operations (STMatch model).
+    pub steals: u64,
+    /// Child kernels launched (EGSM model).
+    pub kernels_launched: u64,
+    /// Initial edge tasks admitted after edge filtering.
+    pub edges_admitted: u64,
+    /// Initial edge tasks rejected by edge filtering.
+    pub edges_filtered: u64,
+    /// Peak bytes reserved by all DFS stacks (paged: arena peak + page
+    /// tables; array: full preallocation).
+    pub stack_bytes_peak: usize,
+    /// Page faults served by the arena (paged stacks only).
+    pub page_faults: u64,
+    /// Candidates silently dropped by truncating array stacks (STMatch's
+    /// fixed-4096 mode); nonzero means the count is **wrong**.
+    pub candidates_truncated: u64,
+    /// Host-side preprocessing time (STMatch's single-threaded edge
+    /// filter), included in `RunResult::elapsed`.
+    pub host_preprocess: Duration,
+    /// Memory-budget batches executed by the PBE-style BFS engine (each
+    /// costs an allocate/release cycle plus a count-then-fill double
+    /// computation).
+    pub bfs_batches: u64,
+    /// Virtual makespan: max over warps of executed work units — the
+    /// simulated device time. On hosts with fewer cores than warps this
+    /// is the metric that exposes load imbalance (wall time cannot: the
+    /// OS timeshares the busy warp onto the idle warps' core time).
+    pub warp_makespan: u64,
+    /// Total work units across warps (virtual device throughput basis).
+    pub warp_work_total: u64,
+}
+
+impl RunStats {
+    /// Merges another run's counters (used when aggregating devices).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.warp.merge(&other.warp);
+        self.tasks_enqueued += other.tasks_enqueued;
+        self.tasks_dequeued += other.tasks_dequeued;
+        self.queue_rejections += other.queue_rejections;
+        self.queue_peak = self.queue_peak.max(other.queue_peak);
+        self.timeouts_fired += other.timeouts_fired;
+        self.steals += other.steals;
+        self.kernels_launched += other.kernels_launched;
+        self.edges_admitted += other.edges_admitted;
+        self.edges_filtered += other.edges_filtered;
+        self.stack_bytes_peak += other.stack_bytes_peak;
+        self.page_faults += other.page_faults;
+        self.candidates_truncated += other.candidates_truncated;
+        self.host_preprocess += other.host_preprocess;
+        self.bfs_batches += other.bfs_batches;
+        self.warp_makespan = self.warp_makespan.max(other.warp_makespan);
+        self.warp_work_total += other.warp_work_total;
+    }
+}
+
+/// Outcome of one matching run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Number of matches found. With symmetry breaking enabled this is
+    /// the number of distinct subgraphs; without it, distinct embeddings
+    /// (larger by the `|Aut|` factor).
+    pub matches: u64,
+    /// Wall-clock time of the run (including host preprocessing when the
+    /// configuration performs any).
+    pub elapsed: Duration,
+    /// Counters.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Milliseconds, for paper-style tables.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+impl RunStats {
+    /// Human-readable multi-line summary (used by the CLI's `--stats`).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!(
+            "warp ops: {} intersections, {} batches, {} probed, {} emitted",
+            self.warp.intersections,
+            self.warp.batches,
+            self.warp.elements_probed,
+            self.warp.elements_emitted
+        ));
+        line(format!(
+            "work: makespan {:.2} M units, total {:.2} M units",
+            self.warp_makespan as f64 / 1e6,
+            self.warp_work_total as f64 / 1e6
+        ));
+        line(format!(
+            "edges: {} admitted, {} filtered",
+            self.edges_admitted, self.edges_filtered
+        ));
+        line(format!(
+            "queue: {} enqueued, {} dequeued, peak {}, {} rejections, {} timeouts",
+            self.tasks_enqueued,
+            self.tasks_dequeued,
+            self.queue_peak,
+            self.queue_rejections,
+            self.timeouts_fired
+        ));
+        if self.steals > 0 || self.kernels_launched > 0 {
+            line(format!(
+                "balancing: {} steals, {} child kernels",
+                self.steals, self.kernels_launched
+            ));
+        }
+        line(format!(
+            "stacks: {:.3} MB peak, {} page faults, {} truncated",
+            self.stack_bytes_peak as f64 / (1 << 20) as f64,
+            self.page_faults,
+            self.candidates_truncated
+        ));
+        if self.host_preprocess > Duration::ZERO {
+            line(format!(
+                "host preprocessing: {:.2} ms",
+                self.host_preprocess.as_secs_f64() * 1e3
+            ));
+        }
+        if self.bfs_batches > 0 {
+            line(format!("bfs batches/levels: {}", self.bfs_batches));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = RunStats {
+            tasks_enqueued: 3,
+            queue_peak: 10,
+            stack_bytes_peak: 100,
+            ..Default::default()
+        };
+        let b = RunStats {
+            tasks_enqueued: 4,
+            queue_peak: 7,
+            stack_bytes_peak: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks_enqueued, 7);
+        assert_eq!(a.queue_peak, 10);
+        assert_eq!(a.stack_bytes_peak, 150);
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let s = RunStats {
+            tasks_enqueued: 42,
+            steals: 3,
+            stack_bytes_peak: 2 << 20,
+            host_preprocess: Duration::from_millis(5),
+            bfs_batches: 2,
+            ..Default::default()
+        }
+        .summary();
+        for needle in ["42 enqueued", "3 steals", "2.000 MB", "5.00 ms", "bfs batches"] {
+            assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn millis_conversion() {
+        let r = RunResult {
+            matches: 0,
+            elapsed: Duration::from_micros(2500),
+            stats: RunStats::default(),
+        };
+        assert!((r.millis() - 2.5).abs() < 1e-9);
+    }
+}

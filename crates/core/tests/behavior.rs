@@ -1,0 +1,166 @@
+//! Behavioural invariants from the paper's §III design claims, checked
+//! on straggler-bearing inputs.
+
+use std::time::Duration;
+
+use tdfs_core::config::{MatcherConfig, Strategy};
+use tdfs_core::{match_pattern, reference_count};
+use tdfs_graph::generators::{add_twin_hubs, barabasi_albert, star_hub_graph};
+use tdfs_graph::CsrGraph;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::PatternId;
+
+/// A small straggler-bearing graph: BA base, one star hub, and one twin
+/// pair whose shared neighborhood makes the `(h1, h2)` edge task's
+/// subtree dominate a warp's fair share of the total work.
+fn straggler_graph() -> CsrGraph {
+    let g = star_hub_graph(800, 3, 1, 60, 7);
+    add_twin_hubs(&g, 1, 250, 8)
+}
+
+#[test]
+fn queue_first_policy_keeps_queue_small() {
+    // §III: "this strategy keeps the number of tasks small in Q_task,
+    // since we always prioritize the processing of existing tasks over
+    // taking new tasks."
+    let g = straggler_graph();
+    let cfg = MatcherConfig::tdfs()
+        .with_warps(4)
+        .with_tau(Some(Duration::from_micros(50)));
+    let r = match_pattern(&g, &PatternId(4).pattern(), &cfg).unwrap();
+    assert!(r.stats.tasks_enqueued > 50, "want heavy decomposition");
+    assert_eq!(r.stats.tasks_enqueued, r.stats.tasks_dequeued);
+    assert!(
+        (r.stats.queue_peak as u64) < r.stats.tasks_enqueued / 2,
+        "peak {} should stay far below total {}",
+        r.stats.queue_peak,
+        r.stats.tasks_enqueued
+    );
+}
+
+#[test]
+fn timeout_decomposition_reduces_makespan_on_stragglers() {
+    // On a host with fewer cores than warps the OS may serialize task
+    // pickup arbitrarily, so a single run's makespan is noisy; compare
+    // the best of three (the NoSteal makespan is lower-bounded by the
+    // straggler task's work in *every* run).
+    let g = straggler_graph();
+    let base = MatcherConfig::tdfs().with_warps(4);
+    let best = |cfg: &MatcherConfig| {
+        (0..3)
+            .map(|_| match_pattern(&g, &PatternId(4).pattern(), cfg).unwrap())
+            .min_by_key(|r| r.stats.warp_makespan)
+            .unwrap()
+    };
+    let balanced = best(&base.clone().with_tau(Some(Duration::from_micros(50))));
+    let unbalanced = best(&MatcherConfig::no_steal().with_warps(4));
+    assert_eq!(balanced.matches, unbalanced.matches);
+    // Decomposition adds a small amount of work: a dequeued task starts
+    // mid-tree and cannot seed from its (never-computed) ancestor
+    // levels, so reuse is lost for those fills — the paper's "task
+    // decomposition incurs overheads". It must stay small.
+    let (w_bal, w_unb) = (
+        balanced.stats.warp_work_total as f64,
+        unbalanced.stats.warp_work_total as f64,
+    );
+    assert!(
+        w_bal <= w_unb * 1.10,
+        "decomposition overhead too large: {w_bal} vs {w_unb}"
+    );
+    assert!(
+        balanced.stats.warp_makespan < unbalanced.stats.warp_makespan,
+        "timeout decomposition must shrink the straggler makespan: {} vs {}",
+        balanced.stats.warp_makespan,
+        unbalanced.stats.warp_makespan
+    );
+}
+
+#[test]
+fn half_steal_on_twin_hubs_is_correct() {
+    // Regression: a thief truncating a reuse-source level used to
+    // corrupt the victim's later intersection-reuse seeds.
+    let g = straggler_graph();
+    let want = reference_count(&g, &QueryPlan::build(&PatternId(4).pattern()));
+    for _ in 0..3 {
+        let cfg = MatcherConfig {
+            strategy: Strategy::HalfSteal,
+            ..MatcherConfig::tdfs().with_warps(4)
+        };
+        let r = match_pattern(&g, &PatternId(4).pattern(), &cfg).unwrap();
+        assert_eq!(r.matches, want);
+    }
+}
+
+#[test]
+fn new_kernel_cap_falls_back_in_place() {
+    // A fanout threshold of 1 would request a child kernel at every
+    // level; the cap forces in-place fallback and the count must hold.
+    let g = barabasi_albert(400, 4, 9);
+    let cfg = MatcherConfig {
+        strategy: Strategy::NewKernel { fanout_threshold: 1 },
+        ..MatcherConfig::egsm_like().with_warps(2)
+    };
+    let want = {
+        let plan = QueryPlan::build_with(&PatternId(1).pattern(), cfg.plan);
+        reference_count(&g, &plan)
+    };
+    let r = match_pattern(&g, &PatternId(1).pattern(), &cfg).unwrap();
+    assert_eq!(r.matches, want);
+    assert!(r.stats.kernels_launched > 0);
+}
+
+#[test]
+fn time_limit_aborts_with_t_marker() {
+    let g = straggler_graph();
+    let cfg = MatcherConfig::tdfs()
+        .with_warps(2)
+        .with_time_limit(Some(Duration::from_micros(1)));
+    let err = match_pattern(&g, &PatternId(8).pattern(), &cfg).unwrap_err();
+    assert_eq!(err, tdfs_core::EngineError::TimeLimit);
+}
+
+#[test]
+fn time_limit_respected_by_all_engines() {
+    let g = straggler_graph();
+    for cfg in [
+        MatcherConfig::stmatch_like().with_warps(2),
+        MatcherConfig::egsm_like().with_warps(2),
+        MatcherConfig::pbe_like().with_warps(2),
+    ] {
+        let cfg = cfg.with_time_limit(Some(Duration::from_micros(1)));
+        match match_pattern(&g, &PatternId(8).pattern(), &cfg) {
+            Err(tdfs_core::EngineError::TimeLimit) => {}
+            other => panic!("expected TimeLimit, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn edge_filter_counts_partition_arcs() {
+    let g = straggler_graph();
+    let cfg = MatcherConfig::tdfs().with_warps(4);
+    let r = match_pattern(&g, &PatternId(2).pattern(), &cfg).unwrap();
+    assert_eq!(
+        r.stats.edges_admitted + r.stats.edges_filtered,
+        g.num_arcs() as u64,
+        "every arc either admitted or filtered"
+    );
+    // The degree filter must reject arcs touching degree-1 leaves.
+    assert!(r.stats.edges_filtered > 0);
+}
+
+#[test]
+fn host_filter_matches_warp_filter_admission() {
+    let g = straggler_graph();
+    let host = MatcherConfig {
+        host_edge_filter: true,
+        ..MatcherConfig::tdfs().with_warps(4)
+    };
+    let warp = MatcherConfig::tdfs().with_warps(4);
+    let rh = match_pattern(&g, &PatternId(2).pattern(), &host).unwrap();
+    let rw = match_pattern(&g, &PatternId(2).pattern(), &warp).unwrap();
+    assert_eq!(rh.matches, rw.matches);
+    assert_eq!(rh.stats.edges_admitted, rw.stats.edges_admitted);
+    assert!(rh.stats.host_preprocess > Duration::ZERO);
+    assert_eq!(rw.stats.host_preprocess, Duration::ZERO);
+}

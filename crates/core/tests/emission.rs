@@ -1,0 +1,137 @@
+//! Match-emission tests: every engine must emit exactly the matches it
+//! counts, and the emitted assignments must be genuine embeddings that
+//! satisfy the plan's constraints.
+
+use std::collections::BTreeSet;
+
+use tdfs_core::{find_matches, MatcherConfig};
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_graph::{CsrGraph, GraphBuilder};
+use tdfs_query::{Pattern, PatternId};
+
+fn k5() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for u in 0..5 {
+        for v in (u + 1)..5 {
+            b.push_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Validates an emitted assignment: injective, edge-preserving,
+/// label-preserving.
+fn is_embedding(g: &CsrGraph, p: &Pattern, m: &[u32]) -> bool {
+    let k = p.num_vertices();
+    if m.len() != k {
+        return false;
+    }
+    let distinct: BTreeSet<u32> = m.iter().copied().collect();
+    if distinct.len() != k {
+        return false;
+    }
+    for (u, v) in p.edges() {
+        if !g.has_edge(m[u], m[v]) {
+            return false;
+        }
+    }
+    (0..k).all(|u| g.label(m[u]) == p.label(u))
+}
+
+#[test]
+fn k4_matches_in_k5_are_the_five_quadruples() {
+    let g = k5();
+    let p = PatternId(2).pattern();
+    let (result, mut matches) =
+        find_matches(&g, &p, &MatcherConfig::tdfs().with_warps(2), 100).unwrap();
+    assert_eq!(result.matches, 5);
+    assert_eq!(matches.len(), 5);
+    // With symmetry breaking, each match is one canonical representative;
+    // as vertex sets they are the 5 possible 4-subsets of {0..4}.
+    let mut sets: Vec<Vec<u32>> = matches
+        .iter_mut()
+        .map(|m| {
+            m.sort_unstable();
+            m.clone()
+        })
+        .collect();
+    sets.sort();
+    assert_eq!(
+        sets,
+        vec![
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 4],
+            vec![0, 1, 3, 4],
+            vec![0, 2, 3, 4],
+            vec![1, 2, 3, 4],
+        ]
+    );
+}
+
+#[test]
+fn emitted_matches_are_valid_embeddings_for_every_engine() {
+    let g = barabasi_albert(200, 4, 5);
+    let p = PatternId(1).pattern(); // diamond
+    for cfg in [
+        MatcherConfig::tdfs().with_warps(3),
+        MatcherConfig::no_steal().with_warps(3),
+        MatcherConfig::stmatch_like().with_warps(3),
+        MatcherConfig::pbe_like().with_warps(3),
+        MatcherConfig::egsm_like().with_warps(3),
+    ] {
+        let (result, matches) = find_matches(&g, &p, &cfg, 10_000).unwrap();
+        assert_eq!(
+            matches.len() as u64,
+            result.matches.min(10_000),
+            "emitted exactly the counted matches"
+        );
+        for m in &matches {
+            assert!(is_embedding(&g, &p, m), "invalid embedding {m:?}");
+        }
+        // No duplicate assignments.
+        let distinct: BTreeSet<&Vec<u32>> = matches.iter().collect();
+        assert_eq!(distinct.len(), matches.len(), "duplicate emission");
+    }
+}
+
+#[test]
+fn limit_caps_collection_but_not_count() {
+    let g = barabasi_albert(300, 5, 6);
+    let p = PatternId(1).pattern();
+    let cfg = MatcherConfig::tdfs().with_warps(2);
+    let (full, all) = find_matches(&g, &p, &cfg, usize::MAX).unwrap();
+    assert!(full.matches > 10);
+    let (capped, few) = find_matches(&g, &p, &cfg, 3).unwrap();
+    assert_eq!(capped.matches, full.matches, "count unaffected by limit");
+    assert_eq!(few.len(), 3);
+    assert_eq!(all.len() as u64, full.matches);
+}
+
+#[test]
+fn labeled_emission_respects_labels() {
+    let g = barabasi_albert(200, 5, 7);
+    let n = g.num_vertices();
+    let g = g.with_labels(tdfs_graph::generators::random_labels(n, 4, 8));
+    let p = PatternId(12).pattern(); // labeled diamond
+    let (result, matches) =
+        find_matches(&g, &p, &MatcherConfig::tdfs().with_warps(2), usize::MAX).unwrap();
+    assert_eq!(matches.len() as u64, result.matches);
+    for m in &matches {
+        assert!(is_embedding(&g, &p, m));
+    }
+}
+
+#[test]
+fn engines_emit_identical_match_sets() {
+    let g = barabasi_albert(150, 4, 9);
+    let p = PatternId(3).pattern(); // house
+    let collect = |cfg: &MatcherConfig| -> BTreeSet<Vec<u32>> {
+        let (_, m) = find_matches(&g, &p, cfg, usize::MAX).unwrap();
+        m.into_iter().collect()
+    };
+    let a = collect(&MatcherConfig::tdfs().with_warps(3));
+    let b = collect(&MatcherConfig::stmatch_like().with_warps(3));
+    let c = collect(&MatcherConfig::pbe_like().with_warps(3));
+    assert_eq!(a, b, "tdfs vs stmatch sets differ");
+    assert_eq!(a, c, "tdfs vs pbe sets differ");
+}

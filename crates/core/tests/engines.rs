@@ -1,0 +1,304 @@
+//! Cross-engine correctness: every engine and every strategy must agree
+//! with the serial reference matcher on every catalogue pattern, across
+//! graph shapes, warp counts, timeout settings and failure injections.
+
+use std::time::Duration;
+
+use tdfs_core::config::{ArrayCapacity, MatcherConfig, StackConfig, Strategy};
+use tdfs_core::{match_pattern, reference_count, run_multi_device};
+use tdfs_graph::generators::{barabasi_albert, erdos_renyi, random_labels};
+use tdfs_graph::CsrGraph;
+use tdfs_mem::OverflowPolicy;
+use tdfs_query::plan::{PlanOptions, QueryPlan};
+use tdfs_query::PatternId;
+
+fn small_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("ba", barabasi_albert(300, 4, 11)),
+        ("er", erdos_renyi(300, 1200, 12)),
+        ("ba_labeled", {
+            let g = barabasi_albert(250, 5, 13);
+            let n = g.num_vertices();
+            g.with_labels(random_labels(n, 4, 14))
+        }),
+    ]
+}
+
+fn expected(g: &CsrGraph, id: PatternId, options: PlanOptions) -> u64 {
+    let plan = QueryPlan::build_with(&id.pattern(), options);
+    reference_count(g, &plan)
+}
+
+#[test]
+fn tdfs_matches_reference_on_all_patterns() {
+    for (name, g) in small_graphs() {
+        for id in PatternId::all() {
+            let cfg = MatcherConfig::tdfs().with_warps(4);
+            let got = match_pattern(&g, &id.pattern(), &cfg).unwrap().matches;
+            let want = expected(&g, id, cfg.plan);
+            assert_eq!(got, want, "tdfs {} on {}", id.name(), name);
+        }
+    }
+}
+
+#[test]
+fn no_steal_matches_reference() {
+    let (_, g) = &small_graphs()[0];
+    for id in [1u8, 2, 5, 8, 11] {
+        let cfg = MatcherConfig::no_steal().with_warps(3);
+        let got = match_pattern(g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+        assert_eq!(got, expected(g, PatternId(id), cfg.plan), "P{id}");
+    }
+}
+
+#[test]
+fn stmatch_model_matches_reference() {
+    for (name, g) in small_graphs() {
+        for id in [1u8, 2, 4, 8, 13, 19] {
+            let cfg = MatcherConfig::stmatch_like().with_warps(4);
+            let got = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+            assert_eq!(
+                got,
+                expected(&g, PatternId(id), cfg.plan),
+                "stmatch P{id} on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn egsm_model_counts_embeddings() {
+    // EGSM lacks symmetry breaking, so it counts |Aut| × subgraphs. The
+    // reference with the same plan options must agree exactly; the
+    // symmetry-broken count must divide it by |Aut|.
+    let (_, g) = &small_graphs()[0];
+    for id in [1u8, 2, 8] {
+        let p = PatternId(id).pattern();
+        let cfg = MatcherConfig::egsm_like().with_warps(4);
+        let got = match_pattern(g, &p, &cfg).unwrap().matches;
+        let want = expected(g, PatternId(id), cfg.plan);
+        assert_eq!(got, want, "egsm P{id}");
+        let broken = expected(g, PatternId(id), PlanOptions::default());
+        let aut = QueryPlan::build(&p).aut_size as u64;
+        assert_eq!(got, broken * aut, "embedding identity P{id}");
+    }
+}
+
+#[test]
+fn pbe_model_matches_reference() {
+    for (name, g) in small_graphs() {
+        for id in [1u8, 2, 5, 8, 11] {
+            let cfg = MatcherConfig::pbe_like().with_warps(4);
+            let got = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+            assert_eq!(
+                got,
+                expected(&g, PatternId(id), cfg.plan),
+                "pbe P{id} on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pbe_tiny_budget_forces_batches_and_stays_correct() {
+    let g = barabasi_albert(200, 4, 21);
+    let cfg = MatcherConfig {
+        strategy: Strategy::Bfs { budget_bytes: 512 },
+        ..MatcherConfig::pbe_like().with_warps(2)
+    };
+    let r = match_pattern(&g, &PatternId(5).pattern(), &cfg).unwrap();
+    assert!(r.stats.bfs_batches > 2, "tiny budget must split batches");
+    assert_eq!(r.matches, expected(&g, PatternId(5), cfg.plan));
+}
+
+#[test]
+fn aggressive_timeout_decomposes_and_stays_correct() {
+    let g = barabasi_albert(400, 5, 31);
+    for id in [2u8, 5, 8] {
+        let cfg = MatcherConfig::tdfs()
+            .with_warps(4)
+            .with_tau(Some(Duration::from_nanos(1)));
+        let r = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap();
+        assert_eq!(r.matches, expected(&g, PatternId(id), cfg.plan), "P{id}");
+        assert!(r.stats.timeouts_fired > 0, "P{id}: timeout must fire");
+        assert!(r.stats.tasks_enqueued > 0, "P{id}: tasks must be enqueued");
+        assert_eq!(
+            r.stats.tasks_enqueued, r.stats.tasks_dequeued,
+            "P{id}: every task processed"
+        );
+    }
+}
+
+#[test]
+fn queue_full_fallback_is_correct() {
+    // Capacity-1 queue with an instant timeout: enqueues constantly fail
+    // and the engine must fall back to in-place processing.
+    let g = barabasi_albert(300, 4, 41);
+    let cfg = MatcherConfig {
+        queue_capacity: 1,
+        ..MatcherConfig::tdfs().with_warps(4)
+    }
+    .with_tau(Some(Duration::from_nanos(1)));
+    let r = match_pattern(&g, &PatternId(5).pattern(), &cfg).unwrap();
+    assert_eq!(r.matches, expected(&g, PatternId(5), cfg.plan));
+    assert!(
+        r.stats.queue_rejections > 0,
+        "capacity-1 queue must reject enqueues"
+    );
+}
+
+#[test]
+fn new_kernel_tiny_threshold_is_correct() {
+    let g = barabasi_albert(300, 5, 51);
+    let cfg = MatcherConfig {
+        strategy: Strategy::NewKernel {
+            fanout_threshold: 4,
+        },
+        ..MatcherConfig::egsm_like().with_warps(2)
+    };
+    let r = match_pattern(&g, &PatternId(2).pattern(), &cfg).unwrap();
+    assert_eq!(r.matches, expected(&g, PatternId(2), cfg.plan));
+    assert!(r.stats.kernels_launched > 0, "child kernels must launch");
+}
+
+#[test]
+fn half_steal_records_steals_on_skewed_input() {
+    let g = barabasi_albert(500, 6, 61);
+    let cfg = MatcherConfig::stmatch_like().with_warps(4);
+    let r = match_pattern(&g, &PatternId(5).pattern(), &cfg).unwrap();
+    assert_eq!(r.matches, expected(&g, PatternId(5), cfg.plan));
+    // Steals are scheduling-dependent; just ensure the counter is wired.
+    let _ = r.stats.steals;
+}
+
+#[test]
+fn truncating_fixed_stack_undercounts() {
+    // STMatch's fixed-capacity mode: with a capacity far below d_max the
+    // count is wrong (the paper observed wrong results on skewed graphs).
+    let g = barabasi_albert(400, 6, 71);
+    assert!(g.max_degree() > 16);
+    let correct = expected(&g, PatternId(2), PlanOptions::default());
+    let cfg = MatcherConfig {
+        stack: StackConfig::Array {
+            capacity: ArrayCapacity::Fixed(8),
+            policy: OverflowPolicy::Truncate,
+        },
+        ..MatcherConfig::tdfs().with_warps(2)
+    };
+    let r = match_pattern(&g, &PatternId(2).pattern(), &cfg).unwrap();
+    assert!(r.stats.candidates_truncated > 0, "truncation must occur");
+    assert_ne!(r.matches, correct, "truncated run must be wrong");
+    assert!(r.matches < correct);
+}
+
+#[test]
+fn erroring_fixed_stack_surfaces_failure() {
+    let g = barabasi_albert(400, 6, 71);
+    let cfg = MatcherConfig {
+        stack: StackConfig::Array {
+            capacity: ArrayCapacity::Fixed(8),
+            policy: OverflowPolicy::Error,
+        },
+        ..MatcherConfig::tdfs().with_warps(2)
+    };
+    assert!(match_pattern(&g, &PatternId(2).pattern(), &cfg).is_err());
+}
+
+#[test]
+fn multi_device_counts_match_single() {
+    let g = barabasi_albert(400, 5, 81);
+    let plan = QueryPlan::build(&PatternId(4).pattern());
+    let cfg = MatcherConfig::tdfs().with_warps(2);
+    let single = tdfs_core::match_plan(&g, &plan, &cfg).unwrap().matches;
+    for devices in [2usize, 3, 4] {
+        let multi = run_multi_device(&g, &plan, &cfg, devices).unwrap();
+        assert_eq!(multi.matches, single, "{devices} devices");
+        assert_eq!(multi.per_device.len(), devices);
+    }
+}
+
+#[test]
+fn counts_are_deterministic_across_runs_and_warp_counts() {
+    let g = erdos_renyi(400, 2000, 91);
+    let p = PatternId(3).pattern();
+    let base = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(1))
+        .unwrap()
+        .matches;
+    for warps in [2usize, 4, 8] {
+        for _ in 0..2 {
+            let got = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(warps))
+                .unwrap()
+                .matches;
+            assert_eq!(got, base, "warps={warps}");
+        }
+    }
+}
+
+#[test]
+fn hybrid_engine_through_public_api() {
+    let g = barabasi_albert(300, 4, 111);
+    for id in [1u8, 4, 8, 13] {
+        let cfg = MatcherConfig::hybrid().with_warps(3);
+        let got = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+        assert_eq!(got, expected(&g, PatternId(id), cfg.plan), "hybrid P{id}");
+    }
+    // Tiny budget hybrid = DFS; huge budget = BFS almost to the end.
+    for budget in [0usize, usize::MAX] {
+        let cfg = MatcherConfig {
+            strategy: Strategy::Hybrid {
+                budget_bytes: budget,
+                tau: None,
+            },
+            ..MatcherConfig::tdfs().with_warps(2)
+        };
+        let got = match_pattern(&g, &PatternId(4).pattern(), &cfg).unwrap().matches;
+        assert_eq!(got, expected(&g, PatternId(4), cfg.plan), "budget {budget}");
+    }
+}
+
+#[test]
+fn multi_device_labeled_counts_match() {
+    let g = barabasi_albert(300, 4, 112);
+    let n = g.num_vertices();
+    let g = g.with_labels(random_labels(n, 4, 113));
+    let plan = QueryPlan::build(&PatternId(14).pattern());
+    let cfg = MatcherConfig::tdfs().with_warps(2);
+    let single = tdfs_core::match_plan(&g, &plan, &cfg).unwrap().matches;
+    let multi = run_multi_device(&g, &plan, &cfg, 3).unwrap();
+    assert_eq!(multi.matches, single);
+}
+
+#[test]
+fn empty_and_tiny_graphs() {
+    let empty = tdfs_graph::GraphBuilder::new().num_vertices(10).build();
+    assert_eq!(
+        match_pattern(&empty, &PatternId(1).pattern(), &MatcherConfig::tdfs())
+            .unwrap()
+            .matches,
+        0
+    );
+    // A single triangle has no diamond.
+    let tri = tdfs_graph::GraphBuilder::new()
+        .edges([(0, 1), (1, 2), (0, 2)])
+        .build();
+    assert_eq!(
+        match_pattern(&tri, &PatternId(1).pattern(), &MatcherConfig::tdfs())
+            .unwrap()
+            .matches,
+        0
+    );
+}
+
+#[test]
+fn labeled_patterns_respect_labels() {
+    let g = barabasi_albert(200, 5, 99);
+    let n = g.num_vertices();
+    let labeled = g.with_labels(random_labels(n, 4, 100));
+    for id in [12u8, 13, 16, 19] {
+        let cfg = MatcherConfig::tdfs().with_warps(4);
+        let got = match_pattern(&labeled, &PatternId(id).pattern(), &cfg)
+            .unwrap()
+            .matches;
+        assert_eq!(got, expected(&labeled, PatternId(id), cfg.plan), "P{id}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Timeout clock.
+//!
+//! The timeout mechanism needs a monotone `now()` (paper Fig. 5: "time
+//! flows one way"). The real clock wraps `std::time::Instant`; the mock
+//! clock is an atomic counter tests can advance deterministically to
+//! force timeouts at exact tree positions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonic nanosecond clock, cheap to clone and share across warps.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Wall clock relative to a shared epoch.
+    Real(Instant),
+    /// Deterministic test clock; `now_ns` returns the stored value.
+    Mock(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A real wall clock starting now.
+    pub fn real() -> Self {
+        Clock::Real(Instant::now())
+    }
+
+    /// A mock clock starting at 0.
+    pub fn mock() -> Self {
+        Clock::Mock(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Current time in nanoseconds since the clock epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Real(epoch) => epoch.elapsed().as_nanos() as u64,
+            Clock::Mock(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a mock clock by `ns`. Panics on a real clock.
+    pub fn advance(&self, ns: u64) {
+        match self {
+            Clock::Mock(t) => {
+                t.fetch_add(ns, Ordering::Relaxed);
+            }
+            Clock::Real(_) => panic!("cannot advance a real clock"),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_monotone() {
+        let c = Clock::real();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances() {
+        let c = Clock::mock();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 50);
+        let c2 = c.clone();
+        c2.advance(10);
+        assert_eq!(c.now_ns(), 60, "clones share the same time source");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn real_clock_cannot_advance() {
+        Clock::real().advance(1);
+    }
+}

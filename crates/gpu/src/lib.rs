@@ -1,0 +1,30 @@
+//! # tdfs-gpu
+//!
+//! Warp-level GPU execution model in Rust — the substrate the T-DFS
+//! engine runs on instead of CUDA (see DESIGN.md for the substitution
+//! rationale).
+//!
+//! The model preserves the granularity the paper's techniques operate at:
+//! a **warp** is the basic processing unit (one OS worker thread
+//! executing SIMT-style operations in 32-lane batches, with its own DFS
+//! stack), a **device** groups warps and owns the shared lock-free task
+//! queue and the chunked initial-task cursor, and CUDA atomics map to
+//! `std::sync::atomic` with identical RMW semantics.
+//!
+//! - [`queue`] — the lock-free circular task queue `Q_task` (paper
+//!   Algorithm 3, line-by-line);
+//! - [`warp`] — 32-lane warp primitives: batched binary-search
+//!   intersection with ballot compaction, per-warp statistics;
+//! - [`device`] — device configuration, chunked edge cursor, multi-device
+//!   round-robin partitioning;
+//! - [`clock`] — the timeout clock (real or mocked for tests).
+
+pub mod clock;
+pub mod device;
+pub mod queue;
+pub mod warp;
+
+pub use clock::Clock;
+pub use device::{Device, DeviceGroup};
+pub use queue::{Task, TaskQueue};
+pub use warp::{WarpOps, WarpStats, WARP_SIZE};

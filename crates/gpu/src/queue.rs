@@ -1,0 +1,340 @@
+//! The lock-free circular task queue `Q_task` (paper Algorithm 3).
+//!
+//! The queue is an array of `N` atomic `i32` slots (N a multiple of 3)
+//! used as a ring buffer. Each task occupies three consecutive slots;
+//! `-1` marks an empty slot, `-2` pads tasks that carry only a 2-vertex
+//! prefix. Enqueue/dequeue are the paper's algorithm line-by-line:
+//!
+//! - a fast atomic add on `size` admits or rejects the operation
+//!   (cancelled with the inverse add on failure);
+//! - an atomic add on `back`/`front` claims the slot triple;
+//! - per-slot CAS (`-1 → value`) on enqueue and exchange (`value → -1`)
+//!   on dequeue hand the payload across, spinning briefly when a slot
+//!   claimed by index is still being drained/filled by a racing
+//!   operation (the paper's `__nanosleep(10)`).
+//!
+//! There are no locks; contention is limited to the queue's own counters
+//! exactly as argued in §III ("we only utilize atomic operations … for
+//! lightweight contentions on the head and tail").
+
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU64, Ordering};
+
+/// Empty-slot sentinel (paper: all elements initialized as −1).
+pub const EMPTY: i32 = -1;
+/// Placeholder for the third vertex of a 2-prefix task (paper: −2).
+pub const PAD: i32 = -2;
+
+/// A work-stealing task: a 2- or 3-vertex prefix of a partial match.
+///
+/// `⟨v1, v2, v3⟩` matches `(u_1, u_2, u_3)`; `⟨v1, v2, PAD⟩` matches only
+/// `(u_1, u_2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// Data vertex matched to `u_1`.
+    pub v1: i32,
+    /// Data vertex matched to `u_2`.
+    pub v2: i32,
+    /// Data vertex matched to `u_3`, or [`PAD`].
+    pub v3: i32,
+}
+
+impl Task {
+    /// A 2-prefix task (edge).
+    pub fn pair(v1: u32, v2: u32) -> Self {
+        Self {
+            v1: v1 as i32,
+            v2: v2 as i32,
+            v3: PAD,
+        }
+    }
+
+    /// A 3-prefix task.
+    pub fn triple(v1: u32, v2: u32, v3: u32) -> Self {
+        Self {
+            v1: v1 as i32,
+            v2: v2 as i32,
+            v3: v3 as i32,
+        }
+    }
+
+    /// Number of matched vertices in the prefix (2 or 3).
+    pub fn prefix_len(&self) -> usize {
+        if self.v3 == PAD {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+/// The lock-free circular task queue.
+///
+/// The default capacity in the paper is N = 3 million integers (12 MB,
+/// 1 M tasks); our scaled default is 64 Ki tasks, adjustable per device.
+pub struct TaskQueue {
+    slots: Box<[AtomicI32]>,
+    size: AtomicI64,
+    front: AtomicU64,
+    back: AtomicU64,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    rejected_full: AtomicU64,
+    peak_size: AtomicI64,
+}
+
+impl TaskQueue {
+    /// Creates a queue holding up to `capacity_tasks` tasks.
+    pub fn new(capacity_tasks: usize) -> Self {
+        assert!(capacity_tasks >= 1, "queue needs at least one task slot");
+        let n = capacity_tasks * 3;
+        let slots = (0..n).map(|_| AtomicI32::new(EMPTY)).collect();
+        Self {
+            slots,
+            size: AtomicI64::new(0),
+            front: AtomicU64::new(0),
+            back: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            peak_size: AtomicI64::new(0),
+        }
+    }
+
+    /// Capacity in tasks.
+    pub fn capacity(&self) -> usize {
+        self.slots.len() / 3
+    }
+
+    /// Current task count (approximate under concurrency, exact when
+    /// quiescent).
+    pub fn len(&self) -> usize {
+        (self.size.load(Ordering::Acquire).max(0) as usize) / 3
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.size.load(Ordering::Acquire) <= 0
+    }
+
+    /// Paper Alg. 3 lines 3–14. Returns `false` when the queue is full.
+    pub fn enqueue(&self, task: Task) -> bool {
+        let n = self.slots.len() as i64;
+        // Line 4: register space usage.
+        let old = self.size.fetch_add(3, Ordering::AcqRel);
+        if old >= n {
+            // Lines 5–6: cancel, signal full.
+            self.size.fetch_sub(3, Ordering::AcqRel);
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.peak_size.fetch_max(old + 3, Ordering::Relaxed);
+        // Line 7: claim the slot triple (monotonic counter, mod N on use;
+        // N is a multiple of 3 so triples never straddle the wrap).
+        let pos = (self.back.fetch_add(3, Ordering::AcqRel) % n as u64) as usize;
+        // Lines 8–13: hand off each element, waiting for the slot to be
+        // drained if a racing dequeue at full capacity still owns it.
+        for (k, v) in [task.v1, task.v2, task.v3].into_iter().enumerate() {
+            debug_assert!(v >= 0 || v == PAD, "task payload must not be −1");
+            while self.slots[pos + k]
+                .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                std::hint::spin_loop();
+            }
+        }
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Paper Alg. 3 lines 15–26. Returns `None` when the queue is empty.
+    pub fn dequeue(&self) -> Option<Task> {
+        let n = self.slots.len() as i64;
+        // Line 16: register space release.
+        let old = self.size.fetch_sub(3, Ordering::AcqRel);
+        if old <= 0 {
+            // Lines 17–18: cancel, signal empty.
+            self.size.fetch_add(3, Ordering::AcqRel);
+            return None;
+        }
+        // Line 19: claim the slot triple.
+        let pos = (self.front.fetch_add(3, Ordering::AcqRel) % n as u64) as usize;
+        // Lines 20–25: take each element, waiting for a racing enqueue to
+        // finish filling the slot.
+        let mut vals = [EMPTY; 3];
+        for (k, slot) in vals.iter_mut().enumerate() {
+            loop {
+                let v = self.slots[pos + k].swap(EMPTY, Ordering::AcqRel);
+                if v != EMPTY {
+                    *slot = v;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        self.dequeued.fetch_add(1, Ordering::Relaxed);
+        Some(Task {
+            v1: vals[0],
+            v2: vals[1],
+            v3: vals[2],
+        })
+    }
+
+    /// Total successful enqueues.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total successful dequeues.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue attempts rejected because the queue was full.
+    pub fn total_rejected_full(&self) -> u64 {
+        self.rejected_full.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently queued tasks — the paper's claim
+    /// that the queue-first idle policy keeps `|Q_task|` small is checked
+    /// against this.
+    pub fn peak_tasks(&self) -> usize {
+        (self.peak_size.load(Ordering::Relaxed).max(0) as usize) / 3
+    }
+}
+
+impl std::fmt::Debug for TaskQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("enqueued", &self.total_enqueued())
+            .field("dequeued", &self.total_dequeued())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = TaskQueue::new(8);
+        assert!(q.is_empty());
+        assert!(q.enqueue(Task::triple(1, 2, 3)));
+        assert!(q.enqueue(Task::pair(4, 5)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(), Some(Task::triple(1, 2, 3)));
+        let t = q.dequeue().unwrap();
+        assert_eq!(t.prefix_len(), 2);
+        assert_eq!((t.v1, t.v2, t.v3), (4, 5, PAD));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn full_rejection_and_recovery() {
+        let q = TaskQueue::new(2);
+        assert!(q.enqueue(Task::triple(1, 1, 1)));
+        assert!(q.enqueue(Task::triple(2, 2, 2)));
+        assert!(!q.enqueue(Task::triple(3, 3, 3)));
+        assert_eq!(q.total_rejected_full(), 1);
+        assert_eq!(q.dequeue().unwrap().v1, 1);
+        assert!(q.enqueue(Task::triple(3, 3, 3)));
+        assert_eq!(q.dequeue().unwrap().v1, 2);
+        assert_eq!(q.dequeue().unwrap().v1, 3);
+    }
+
+    #[test]
+    fn wraparound_many_cycles() {
+        let q = TaskQueue::new(3);
+        for round in 0..100u32 {
+            assert!(q.enqueue(Task::triple(round, round + 1, round + 2)));
+            let t = q.dequeue().unwrap();
+            assert_eq!(t.v1 as u32, round);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.total_enqueued(), 100);
+        assert_eq!(q.total_dequeued(), 100);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let q = TaskQueue::new(10);
+        for i in 0..5 {
+            q.enqueue(Task::triple(i, i, i));
+        }
+        for _ in 0..5 {
+            q.dequeue().unwrap();
+        }
+        assert_eq!(q.peak_tasks(), 5);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_no_loss() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = std::sync::Arc::new(TaskQueue::new(64));
+        let produced_sum = std::sync::Arc::new(AtomicU64::new(0));
+        let consumed_sum = std::sync::Arc::new(AtomicU64::new(0));
+        const PER_THREAD: u32 = 5_000;
+        const THREADS: u32 = 4;
+
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let q = q.clone();
+            let ps = produced_sum.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = t * PER_THREAD + i + 1;
+                    while !q.enqueue(Task::triple(v, v, v)) {
+                        std::thread::yield_now();
+                    }
+                    ps.fetch_add(v as u64, Ordering::Relaxed);
+                }
+            }));
+        }
+        let done = std::sync::Arc::new(AtomicU64::new(0));
+        for _ in 0..THREADS {
+            let q = q.clone();
+            let cs = consumed_sum.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || loop {
+                match q.dequeue() {
+                    Some(t) => {
+                        assert_eq!(t.v1, t.v2);
+                        assert_eq!(t.v2, t.v3);
+                        cs.fetch_add(t.v1 as u64, Ordering::Relaxed);
+                    }
+                    None => {
+                        if done.load(Ordering::Relaxed) == 1
+                            && q.is_empty()
+                        {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        // Join producers first (the first THREADS handles).
+        for h in handles.drain(..THREADS as usize) {
+            h.join().unwrap();
+        }
+        done.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            produced_sum.load(Ordering::Relaxed),
+            consumed_sum.load(Ordering::Relaxed),
+            "every enqueued task must be dequeued exactly once"
+        );
+        assert_eq!(q.total_enqueued(), (THREADS * PER_THREAD) as u64);
+        assert_eq!(q.total_dequeued(), (THREADS * PER_THREAD) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_capacity_rejected() {
+        let _ = TaskQueue::new(0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Warp-level primitives.
+//!
+//! A warp in the model is a single worker that executes data-parallel
+//! operations in 32-lane batches, mirroring how the paper's warps compute
+//! set intersections: "the threads of a warp compute an intersection
+//! `A ∩ B` by having each thread check an element `a ∈ A` with binary
+//! search against `B`", after which surviving lanes are compacted with a
+//! ballot scan into consecutive output positions (§II, and Fig. 6's
+//! batched cross-page writes).
+//!
+//! The batch structure is observable: outputs are produced in compacted
+//! groups of ≤ 32, and [`WarpStats`] counts batches, binary searches and
+//! scanned elements so experiments can report warp-op totals.
+
+/// Number of lanes per warp (CUDA warp size).
+pub const WARP_SIZE: usize = 32;
+
+/// Per-warp operation counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Number of `A ∩ B` operations executed.
+    pub intersections: u64,
+    /// Number of 32-lane batches issued.
+    pub batches: u64,
+    /// Total elements of `A` lanes have binary-searched.
+    pub elements_probed: u64,
+    /// Total elements emitted after ballot compaction.
+    pub elements_emitted: u64,
+    /// Extra memory dereferences charged by indexed candidate access
+    /// (the EGSM CT-index model adds 2 per lookup).
+    pub extra_indirections: u64,
+}
+
+impl WarpStats {
+    /// Virtual work units executed by this warp — the simulated device
+    /// cycles used for makespan reporting on hosts with fewer cores than
+    /// warps (load imbalance is invisible in wall time when warps
+    /// timeshare one core, but not in `max` over per-warp work).
+    pub fn work_units(&self) -> u64 {
+        // A lane probe is a binary search (~8 cycles on average for our
+        // list sizes); an emit is a compacted write; a batch carries
+        // fixed ballot/sync overhead; an indirection is one dereference.
+        self.elements_probed * 8 + self.elements_emitted + self.batches * 4 + self.extra_indirections
+    }
+}
+
+impl WarpStats {
+    /// Merges another warp's counters into this one.
+    pub fn merge(&mut self, other: &WarpStats) {
+        self.intersections += other.intersections;
+        self.batches += other.batches;
+        self.elements_probed += other.elements_probed;
+        self.elements_emitted += other.elements_emitted;
+        self.extra_indirections += other.extra_indirections;
+    }
+}
+
+/// Warp execution context: lane-batched kernels plus statistics.
+#[derive(Debug, Default)]
+pub struct WarpOps {
+    /// Operation counters for this warp.
+    pub stats: WarpStats,
+}
+
+impl WarpOps {
+    /// Creates a fresh warp context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warp intersection `A ∩ B`: lanes take 32-element batches of `A`,
+    /// each lane binary-searches its element in `B`, and surviving lanes
+    /// are ballot-compacted into `emit` in batch order.
+    ///
+    /// `emit` receives each surviving element exactly once, in ascending
+    /// order (batches preserve `A`'s order).
+    pub fn intersect<F: FnMut(u32)>(&mut self, a: &[u32], b: &[u32], mut emit: F) {
+        self.stats.intersections += 1;
+        for batch in a.chunks(WARP_SIZE) {
+            self.stats.batches += 1;
+            self.stats.elements_probed += batch.len() as u64;
+            // Ballot: bit i set iff lane i's element survives.
+            let mut ballot = 0u32;
+            for (lane, &x) in batch.iter().enumerate() {
+                if b.binary_search(&x).is_ok() {
+                    ballot |= 1 << lane;
+                }
+            }
+            // Compacted write: exclusive prefix of the ballot assigns
+            // consecutive output positions (the Fig.-6 style batched
+            // write of ≤ 32 elements).
+            let mut bits = ballot;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                emit(batch[lane]);
+                self.stats.elements_emitted += 1;
+            }
+        }
+    }
+
+    /// Intersection of a list with `B` under a per-element predicate that
+    /// lanes evaluate before the ballot (used for label checks fused with
+    /// the intersection — the "set intersections and vertex removal
+    /// together" lightweight path of T-DFS).
+    pub fn intersect_filtered<P, F>(&mut self, a: &[u32], b: &[u32], mut keep: P, mut emit: F)
+    where
+        P: FnMut(u32) -> bool,
+        F: FnMut(u32),
+    {
+        self.stats.intersections += 1;
+        for batch in a.chunks(WARP_SIZE) {
+            self.stats.batches += 1;
+            self.stats.elements_probed += batch.len() as u64;
+            let mut ballot = 0u32;
+            for (lane, &x) in batch.iter().enumerate() {
+                if b.binary_search(&x).is_ok() && keep(x) {
+                    ballot |= 1 << lane;
+                }
+            }
+            let mut bits = ballot;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                emit(batch[lane]);
+                self.stats.elements_emitted += 1;
+            }
+        }
+    }
+
+    /// Lane-batched filter without intersection (e.g. copying a reused
+    /// level through predicates).
+    pub fn filter<P, F>(&mut self, a: &[u32], mut keep: P, mut emit: F)
+    where
+        P: FnMut(u32) -> bool,
+        F: FnMut(u32),
+    {
+        for batch in a.chunks(WARP_SIZE) {
+            self.stats.batches += 1;
+            self.stats.elements_probed += batch.len() as u64;
+            let mut ballot = 0u32;
+            for (lane, &x) in batch.iter().enumerate() {
+                if keep(x) {
+                    ballot |= 1 << lane;
+                }
+            }
+            let mut bits = ballot;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                emit(batch[lane]);
+                self.stats.elements_emitted += 1;
+            }
+        }
+    }
+
+    /// Charges `n` extra memory indirections (CT-index modeling).
+    #[inline]
+    pub fn charge_indirections(&mut self, n: u64) {
+        self.stats.extra_indirections += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut w = WarpOps::new();
+        let mut out = Vec::new();
+        w.intersect(a, b, |x| out.push(x));
+        out
+    }
+
+    #[test]
+    fn matches_scalar_reference() {
+        let a: Vec<u32> = (0..200).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..200).map(|x| x * 3).collect();
+        let mut expect = Vec::new();
+        tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
+        assert_eq!(run_intersect(&a, &b), expect);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let out = run_intersect(&[1, 5, 9, 70, 71, 100], &[5, 9, 71, 100]);
+        assert_eq!(out, vec![5, 9, 71, 100]);
+    }
+
+    #[test]
+    fn batch_counting() {
+        let a: Vec<u32> = (0..65).collect();
+        let b: Vec<u32> = (0..65).collect();
+        let mut w = WarpOps::new();
+        let mut n = 0usize;
+        w.intersect(&a, &b, |_| n += 1);
+        assert_eq!(n, 65);
+        assert_eq!(w.stats.batches, 3); // 32 + 32 + 1
+        assert_eq!(w.stats.elements_probed, 65);
+        assert_eq!(w.stats.elements_emitted, 65);
+        assert_eq!(w.stats.intersections, 1);
+    }
+
+    #[test]
+    fn filtered_intersection() {
+        let mut w = WarpOps::new();
+        let mut out = Vec::new();
+        w.intersect_filtered(&[1, 2, 3, 4, 5], &[2, 3, 4], |x| x % 2 == 0, |x| out.push(x));
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn filter_only() {
+        let mut w = WarpOps::new();
+        let mut out = Vec::new();
+        w.filter(&[10, 11, 12, 13], |x| x > 11, |x| out.push(x));
+        assert_eq!(out, vec![12, 13]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(run_intersect(&[], &[1, 2]).is_empty());
+        assert!(run_intersect(&[1, 2], &[]).is_empty());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = WarpStats {
+            intersections: 1,
+            batches: 2,
+            elements_probed: 3,
+            elements_emitted: 4,
+            extra_indirections: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.intersections, 2);
+        assert_eq!(a.extra_indirections, 10);
+    }
+}

@@ -1,0 +1,296 @@
+//! Registry of synthetic stand-in datasets.
+//!
+//! The paper evaluates on 12 real graphs (Table I). Those downloads are
+//! unavailable offline, so each dataset here is a *seeded synthetic
+//! stand-in* whose degree-distribution shape matches the original's role
+//! in the evaluation:
+//!
+//! | id            | paper graph    | shape target                         |
+//! |---------------|----------------|--------------------------------------|
+//! | `AmazonS`     | Amazon         | mild power law, low `d_max`          |
+//! | `DblpS`       | DBLP           | mild power law, low `d_max`          |
+//! | `YoutubeS`    | YouTube        | heavy skew (paper: `d_max` 28 754)   |
+//! | `WebGoogleS`  | web-Google     | web-graph skew (RMAT)                |
+//! | `PatentsS`    | cit-Patents    | flat ER-like degrees                 |
+//! | `PokecS`      | Pokec          | strong skew (paper: `d_max` 14 854)  |
+//! | `FacebookS`   | soc-facebook   | dense, moderate skew                 |
+//! | `OrkutS`      | Orkut          | dense power law                      |
+//! | `ImdbS`       | imdb-2021      | big, very dense, labeled (4 labels)  |
+//! | `SinaweiboS`  | soc-sinaweibo  | big, extreme hub skew, labeled       |
+//! | `DatagenS`    | Datagen-90-fb  | big, LDBC community structure, labeled |
+//! | `FriendsterS` | Friendster     | big, dense power law, labeled        |
+//!
+//! Absolute sizes are scaled to laptop scale; the experiments reproduce
+//! the paper's *relative* behaviour (who wins, crossover positions), not
+//! absolute milliseconds. Set the `TDFS_SCALE` environment variable to
+//! grow or shrink every dataset by a common factor.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::csr::CsrGraph;
+use crate::generators::{
+    add_isolated_star, add_twin_hubs, barabasi_albert, community_graph, erdos_renyi,
+    random_labels, star_hub_graph,
+};
+use crate::stats::GraphStats;
+
+/// Identifier of a registry dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// Amazon stand-in (moderate, unlabeled).
+    AmazonS,
+    /// DBLP stand-in (moderate, unlabeled).
+    DblpS,
+    /// YouTube stand-in (moderate, unlabeled, high skew).
+    YoutubeS,
+    /// web-Google stand-in (moderate, unlabeled, web skew).
+    WebGoogleS,
+    /// cit-Patents stand-in (moderate, unlabeled, flat degrees).
+    PatentsS,
+    /// Pokec stand-in (moderate, unlabeled, high skew).
+    PokecS,
+    /// soc-facebook stand-in (moderate, unlabeled, dense).
+    FacebookS,
+    /// Orkut stand-in (moderate, unlabeled, dense).
+    OrkutS,
+    /// imdb-2021 stand-in (big, labeled).
+    ImdbS,
+    /// soc-sinaweibo stand-in (big, labeled, extreme skew).
+    SinaweiboS,
+    /// Datagen-90-fb stand-in (big, labeled, community structure).
+    DatagenS,
+    /// Friendster stand-in (big, labeled, dense).
+    FriendsterS,
+}
+
+impl DatasetId {
+    /// The 8 moderate unlabeled datasets of Fig. 9, in paper order.
+    pub const MODERATE: [DatasetId; 8] = [
+        DatasetId::AmazonS,
+        DatasetId::DblpS,
+        DatasetId::YoutubeS,
+        DatasetId::WebGoogleS,
+        DatasetId::PatentsS,
+        DatasetId::PokecS,
+        DatasetId::FacebookS,
+        DatasetId::OrkutS,
+    ];
+
+    /// The 4 big labeled datasets of Fig. 10, in paper order.
+    pub const BIG: [DatasetId; 4] = [
+        DatasetId::ImdbS,
+        DatasetId::SinaweiboS,
+        DatasetId::DatagenS,
+        DatasetId::FriendsterS,
+    ];
+
+    /// All 12 datasets.
+    pub const ALL: [DatasetId; 12] = [
+        DatasetId::AmazonS,
+        DatasetId::DblpS,
+        DatasetId::YoutubeS,
+        DatasetId::WebGoogleS,
+        DatasetId::PatentsS,
+        DatasetId::PokecS,
+        DatasetId::FacebookS,
+        DatasetId::OrkutS,
+        DatasetId::ImdbS,
+        DatasetId::SinaweiboS,
+        DatasetId::DatagenS,
+        DatasetId::FriendsterS,
+    ];
+
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::AmazonS => "amazon_s",
+            DatasetId::DblpS => "dblp_s",
+            DatasetId::YoutubeS => "youtube_s",
+            DatasetId::WebGoogleS => "web_google_s",
+            DatasetId::PatentsS => "patents_s",
+            DatasetId::PokecS => "pokec_s",
+            DatasetId::FacebookS => "facebook_s",
+            DatasetId::OrkutS => "orkut_s",
+            DatasetId::ImdbS => "imdb_s",
+            DatasetId::SinaweiboS => "sinaweibo_s",
+            DatasetId::DatagenS => "datagen_s",
+            DatasetId::FriendsterS => "friendster_s",
+        }
+    }
+
+    /// Name of the real graph this dataset stands in for.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            DatasetId::AmazonS => "Amazon",
+            DatasetId::DblpS => "DBLP",
+            DatasetId::YoutubeS => "YouTube",
+            DatasetId::WebGoogleS => "web-Google",
+            DatasetId::PatentsS => "cit-Patents",
+            DatasetId::PokecS => "Pokec",
+            DatasetId::FacebookS => "soc-facebook",
+            DatasetId::OrkutS => "Orkut",
+            DatasetId::ImdbS => "imdb-2021",
+            DatasetId::SinaweiboS => "soc-sinaweibo",
+            DatasetId::DatagenS => "Datagen-90-fb",
+            DatasetId::FriendsterS => "Friendster",
+        }
+    }
+
+    /// Whether this is one of the 4 big labeled datasets.
+    pub fn is_big(self) -> bool {
+        matches!(
+            self,
+            DatasetId::ImdbS | DatasetId::SinaweiboS | DatasetId::DatagenS | DatasetId::FriendsterS
+        )
+    }
+
+    /// Generates the dataset at the given scale factor (1.0 = default).
+    pub fn generate(self, scale: f64) -> CsrGraph {
+        let s = |base: usize| ((base as f64 * scale).round() as usize).max(8);
+        // Scale RMAT by adjusting the edge factor only (vertex count is a
+        // power of two); callers wanting bigger web graphs raise `scale`.
+        match self {
+            DatasetId::AmazonS => barabasi_albert(s(10_000), 3, 0xA11A_0001),
+            DatasetId::DblpS => barabasi_albert(s(9_000), 3, 0xD81F_0002),
+            // High-skew stand-ins: BA base + star hubs ⇒ big d_max,
+            // straggler-prone initial tasks, bounded cycle counts.
+            DatasetId::YoutubeS => {
+                // Star hubs raise d_max; the twin pair plants the single
+                // straggler edge the timeout mechanism exists for.
+                let g = star_hub_graph(s(5_200), 3, 4, s(200), 0x9070_0003);
+                let g = add_twin_hubs(&g, 1, s(260), 0x9070_2003);
+                // d_max driver (paper: YouTube d_max = 28 754).
+                add_isolated_star(&g, s(20_000))
+            }
+            DatasetId::WebGoogleS => star_hub_graph(s(9_000), 3, 6, s(250), 0x6006_0004),
+            DatasetId::PatentsS => erdos_renyi(s(14_000), s(56_000), 0x9A7E_0005),
+            DatasetId::PokecS => {
+                let g = star_hub_graph(s(5_600), 3, 5, s(190), 0x90CE_0006);
+                let g = add_twin_hubs(&g, 1, s(240), 0x90CE_2006);
+                // d_max driver (paper: Pokec d_max = 14 854).
+                add_isolated_star(&g, s(14_000))
+            }
+            DatasetId::FacebookS => barabasi_albert(s(5_500), 4, 0xFACE_0007),
+            DatasetId::OrkutS => barabasi_albert(s(6_000), 4, 0x0B20_0008),
+            DatasetId::ImdbS => {
+                let g = barabasi_albert(s(10_000), 7, 0x1BDB_0009);
+                let n = g.num_vertices();
+                g.with_labels(random_labels(n, 4, 0x1BDB_1009))
+            }
+            DatasetId::SinaweiboS => {
+                let g = star_hub_graph(s(16_000), 3, 5, s(500), 0x51AB_000A);
+                let g = add_twin_hubs(&g, 1, s(450), 0x51AB_200A);
+                // d_max driver (paper: soc-sinaweibo d_max = 278 489).
+                let g = add_isolated_star(&g, s(30_000));
+                let n = g.num_vertices();
+                g.with_labels(random_labels(n, 4, 0x51AB_100A))
+            }
+            DatasetId::DatagenS => community_graph(s(20_000), 40, 10, s(10_000), 4, 0xDA7A_000B),
+            DatasetId::FriendsterS => {
+                let g = barabasi_albert(s(12_000), 6, 0xF21E_000C);
+                let n = g.num_vertices();
+                g.with_labels(random_labels(n, 4, 0xF21E_100C))
+            }
+        }
+    }
+}
+
+/// A cached, generated dataset.
+pub struct Dataset {
+    /// Which registry entry this is.
+    pub id: DatasetId,
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// Shape statistics.
+    pub stats: GraphStats,
+}
+
+impl Dataset {
+    /// Generates (or retrieves from the process-wide cache) the dataset at
+    /// the scale from `TDFS_SCALE` (default 1.0).
+    pub fn load(id: DatasetId) -> &'static Dataset {
+        static CACHE: OnceLock<Mutex<Vec<&'static Dataset>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut guard = cache.lock().expect("dataset cache poisoned");
+        if let Some(d) = guard.iter().find(|d| d.id == id) {
+            return d;
+        }
+        let graph = id.generate(env_scale());
+        let stats = GraphStats::of(&graph);
+        let leaked: &'static Dataset = Box::leak(Box::new(Dataset { id, graph, stats }));
+        guard.push(leaked);
+        leaked
+    }
+}
+
+/// Scale factor from `TDFS_SCALE` (default `1.0`, clamped to `[0.01, 100]`).
+pub fn env_scale() -> f64 {
+    std::env::var("TDFS_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v.clamp(0.01, 100.0))
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = DatasetId::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn moderate_and_big_partition_all() {
+        assert!(DatasetId::MODERATE.iter().all(|d| !d.is_big()));
+        assert!(DatasetId::BIG.iter().all(|d| d.is_big()));
+        assert_eq!(DatasetId::MODERATE.len() + DatasetId::BIG.len(), 12);
+    }
+
+    #[test]
+    fn big_datasets_are_labeled() {
+        for id in DatasetId::BIG {
+            let g = id.generate(0.05);
+            assert!(g.is_labeled(), "{} must be labeled", id.name());
+            assert_eq!(g.num_labels(), 4);
+        }
+    }
+
+    #[test]
+    fn moderate_datasets_are_unlabeled() {
+        for id in [DatasetId::AmazonS, DatasetId::PatentsS] {
+            let g = id.generate(0.05);
+            assert!(!g.is_labeled());
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = DatasetId::AmazonS.generate(0.05);
+        let b = DatasetId::AmazonS.generate(0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_datasets_have_high_skew() {
+        let yt = GraphStats::of(&DatasetId::YoutubeS.generate(0.25));
+        let pat = GraphStats::of(&DatasetId::PatentsS.generate(0.25));
+        assert!(
+            yt.skew > 4.0 * pat.skew,
+            "youtube_s skew {} should dwarf patents_s skew {}",
+            yt.skew,
+            pat.skew
+        );
+    }
+
+    #[test]
+    fn load_caches() {
+        let a = Dataset::load(DatasetId::DblpS);
+        let b = Dataset::load(DatasetId::DblpS);
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,331 @@
+//! SNAP-style edge-list text I/O.
+//!
+//! Format: one `u v` pair per line, `#`-prefixed comment lines ignored —
+//! the format of the SNAP datasets the paper uses. An optional labels file
+//! carries one `v label` pair per line.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Label, VertexId};
+
+/// Errors produced by graph I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Malformed line with its 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an edge-list graph from `reader`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => builder.push_edge(u, v),
+            _ => {
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_owned(),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge-list graph from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes the graph as an edge list (each undirected edge once, `u < v`).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.arcs() {
+        if u < v {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the graph to a file path.
+pub fn write_edge_list_file(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_edge_list(g, BufWriter::new(File::create(path)?))
+}
+
+/// Reads a labels file (`vertex label` per line) onto an existing graph.
+pub fn read_labels<R: BufRead>(g: CsrGraph, reader: R) -> Result<CsrGraph, IoError> {
+    let mut labels = vec![0 as Label; g.num_vertices()];
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let v: Option<usize> = it.next().and_then(|t| t.parse().ok());
+        let l: Option<Label> = it.next().and_then(|t| t.parse().ok());
+        match (v, l) {
+            (Some(v), Some(l)) if v < labels.len() => labels[v] = l,
+            _ => {
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_owned(),
+                })
+            }
+        }
+    }
+    Ok(g.with_labels(labels))
+}
+
+/// Magic prefix of the binary CSR snapshot format.
+const BINARY_MAGIC: &[u8; 8] = b"TDFSCSR1";
+
+/// Writes the graph as a binary CSR snapshot — much faster to reload
+/// than re-parsing an edge list for repeated experiments.
+///
+/// Layout (little-endian): magic, |V| (u64), arcs (u64), labeled flag
+/// (u64), `row_ptr` as u64s, `col_idx` as u32s, labels as u32s (when
+/// labeled).
+pub fn write_binary<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    let (row_ptr, col_idx, labels) = g.parts();
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(col_idx.len() as u64).to_le_bytes())?;
+    w.write_all(&(u64::from(!labels.is_empty())).to_le_bytes())?;
+    for &p in row_ptr {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &v in col_idx {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &l in labels {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes a binary CSR snapshot to a file path.
+pub fn write_binary_file(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_binary(g, BufWriter::new(File::create(path)?))
+}
+
+/// Reads a binary CSR snapshot produced by [`write_binary`].
+pub fn read_binary<R: io::Read>(mut r: R) -> Result<CsrGraph, IoError> {
+    fn bad(content: &str) -> IoError {
+        IoError::Parse {
+            line: 0,
+            content: content.to_owned(),
+        }
+    }
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(bad("bad magic: not a tdfs binary CSR snapshot"));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut R| -> Result<u64, IoError> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let n = read_u64(&mut r)? as usize;
+    let arcs = read_u64(&mut r)? as usize;
+    let labeled = read_u64(&mut r)? != 0;
+    // Sanity bounds before allocating.
+    if n > u32::MAX as usize || arcs > (u32::MAX as usize) * 2 {
+        return Err(bad("snapshot header sizes out of range"));
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        row_ptr.push(u64::from_le_bytes(b) as usize);
+    }
+    if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&arcs) {
+        return Err(bad("snapshot row_ptr endpoints inconsistent"));
+    }
+    if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad("snapshot row_ptr not monotone"));
+    }
+    let mut col_idx = Vec::with_capacity(arcs);
+    let mut b4 = [0u8; 4];
+    for _ in 0..arcs {
+        r.read_exact(&mut b4)?;
+        col_idx.push(u32::from_le_bytes(b4));
+    }
+    let mut labels = Vec::new();
+    if labeled {
+        labels.reserve(n);
+        for _ in 0..n {
+            r.read_exact(&mut b4)?;
+            labels.push(u32::from_le_bytes(b4));
+        }
+    }
+    // Re-validate adjacency invariants through the builder-equivalent
+    // checks: sorted-per-vertex, in-range, symmetric.
+    for v in 0..n {
+        let list = &col_idx[row_ptr[v]..row_ptr[v + 1]];
+        if !list.windows(2).all(|w| w[0] < w[1]) {
+            return Err(bad("snapshot adjacency not strictly sorted"));
+        }
+        if list.iter().any(|&u| u as usize >= n || u as usize == v) {
+            return Err(bad("snapshot adjacency out of range or self-loop"));
+        }
+    }
+    let g = CsrGraph::from_parts(row_ptr, col_idx, labels);
+    for (u, v) in g.arcs() {
+        if !g.has_edge(v, u) {
+            return Err(bad("snapshot adjacency not symmetric"));
+        }
+    }
+    Ok(g)
+}
+
+/// Reads a binary CSR snapshot from a file path.
+pub fn read_binary_file(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    read_binary(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0 1\n# mid\n1 2\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(Cursor::new(text)) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        let g = read_labels(g, Cursor::new("0 3\n2 1\n")).unwrap();
+        assert_eq!(g.label(0), 3);
+        assert_eq!(g.label(1), 0);
+        assert_eq!(g.label(2), 1);
+    }
+
+    #[test]
+    fn labels_reject_out_of_range_vertex() {
+        let g = GraphBuilder::new().edges([(0, 1)]).build();
+        assert!(read_labels(g, Cursor::new("9 1\n")).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_unlabeled() {
+        let g = GraphBuilder::new()
+            .num_vertices(10)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (7, 9)])
+            .build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_labeled() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2)])
+            .labels(vec![2, 0, 1])
+            .build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.label(0), 2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(Cursor::new(b"NOTMAGIC".to_vec())).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in [4usize, 12, buf.len() - 3] {
+            assert!(
+                read_binary(Cursor::new(buf[..cut].to_vec())).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corrupted_adjacency() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Flip a col_idx entry to an out-of-range vertex.
+        let col_start = 8 + 3 * 8 + 4 * 8; // magic + header + row_ptr(4 entries)
+        buf[col_start..col_start + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(read_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn binary_file_roundtrip() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2)]).build();
+        let path = std::env::temp_dir().join("tdfs_test_snapshot.bin");
+        write_binary_file(&g, &path).unwrap();
+        let g2 = read_binary_file(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(g, g2);
+    }
+}

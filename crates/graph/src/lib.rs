@@ -1,0 +1,36 @@
+//! # tdfs-graph
+//!
+//! Graph substrate for the T-DFS subgraph-matching engine.
+//!
+//! The data graph is stored in [compressed sparse row](csr::CsrGraph) (CSR)
+//! form, exactly as the paper keeps it in GPU device memory: a `row_ptr`
+//! offset array plus a flat, per-vertex-sorted `col_idx` adjacency array,
+//! with an optional vertex-label array for labeled matching.
+//!
+//! The crate also provides:
+//! - [`builder`] — edge-list ingestion (dedup, self-loop removal,
+//!   undirected symmetrization) into CSR;
+//! - [`generators`] — seeded synthetic graph generators (Barabási–Albert,
+//!   Erdős–Rényi, RMAT, LDBC-datagen-like) used as offline stand-ins for
+//!   the paper's 12 real datasets;
+//! - [`io`] — SNAP-style edge-list text I/O;
+//! - [`datasets`] — the registry of synthetic stand-in datasets with the
+//!   paper's Table I shape targets;
+//! - [`intersect`] — scalar sorted-set intersection kernels that serve as
+//!   the ground truth for the warp-level kernels in `tdfs-gpu`;
+//! - [`transform`] — induced subgraphs, connected components and
+//!   degeneracy ordering (standard preprocessing around a matcher).
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod intersect;
+pub mod io;
+pub mod stats;
+pub mod transform;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, Label, VertexId};
+pub use datasets::{Dataset, DatasetId};
+pub use stats::GraphStats;

@@ -1,0 +1,100 @@
+//! Graph shape statistics — the columns of the paper's Table I.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics for a data graph, mirroring Table I of the paper
+/// (|V|, |E|, average degree, max degree) plus skew indicators used to
+/// pick straggler-prone datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Mean degree 2|E|/|V|.
+    pub avg_degree: f64,
+    /// Maximum degree `d_max`.
+    pub max_degree: usize,
+    /// `d_max / avg` — the skew ratio that predicts straggler severity.
+    pub skew: f64,
+    /// Number of distinct labels.
+    pub labels: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &CsrGraph) -> Self {
+        let vertices = g.num_vertices();
+        let edges = g.num_edges();
+        let avg_degree = if vertices == 0 {
+            0.0
+        } else {
+            2.0 * edges as f64 / vertices as f64
+        };
+        let max_degree = g.max_degree();
+        let skew = if avg_degree > 0.0 {
+            max_degree as f64 / avg_degree
+        } else {
+            0.0
+        };
+        Self {
+            vertices,
+            edges,
+            avg_degree,
+            max_degree,
+            skew,
+            labels: g.num_labels(),
+        }
+    }
+
+    /// One-line Table-I-style row.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name:<16} |V|={:>9} |E|={:>10} avg={:>6.1} max={:>7} skew={:>7.1} |L|={}",
+            self.vertices, self.edges, self.avg_degree, self.max_degree, self.skew, self.labels
+        )
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table_row("graph"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn star_stats() {
+        // Star with center 0 and 4 leaves.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 1.6).abs() < 1e-9);
+        assert!((s.skew - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().num_vertices(0).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let g = GraphBuilder::new().edges([(0, 1)]).build();
+        let row = GraphStats::of(&g).table_row("tiny");
+        assert!(row.contains("tiny"));
+        assert!(row.contains("|V|="));
+    }
+}

@@ -1,0 +1,215 @@
+//! Graph transformations: induced subgraphs, connected components, and
+//! degeneracy ordering — the standard preprocessing toolkit around a
+//! subgraph-matching engine (component extraction bounds search to the
+//! relevant region; degeneracy/core numbers drive ordering heuristics in
+//! systems like GraphPi and the in-memory study the paper cites as \[42\]).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// The subgraph induced by `vertices`, with vertices renumbered to
+/// `0..vertices.len()` in the given order. Labels are carried over.
+///
+/// Duplicate vertices are rejected.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> CsrGraph {
+    let mut remap = vec![u32::MAX; g.num_vertices()];
+    for (new, &old) in vertices.iter().enumerate() {
+        assert!(
+            remap[old as usize] == u32::MAX,
+            "duplicate vertex {old} in induced set"
+        );
+        remap[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new().num_vertices(vertices.len());
+    for (new, &old) in vertices.iter().enumerate() {
+        for &nb in g.neighbors(old) {
+            let mapped = remap[nb as usize];
+            if mapped != u32::MAX && mapped > new as u32 {
+                b.push_edge(new as u32, mapped);
+            }
+        }
+    }
+    if g.is_labeled() {
+        let labels = vertices.iter().map(|&v| g.label(v)).collect();
+        b.labels(labels).build()
+    } else {
+        b.build()
+    }
+}
+
+/// Connected components: returns `(component_id per vertex, count)`.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = Vec::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = next;
+                    queue.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// The vertices of the largest connected component, ascending.
+pub fn largest_component(g: &CsrGraph) -> Vec<VertexId> {
+    let (comp, count) = connected_components(g);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let biggest = (0..count).max_by_key(|&c| sizes[c]).unwrap() as u32;
+    (0..g.num_vertices() as u32)
+        .filter(|&v| comp[v as usize] == biggest)
+        .collect()
+}
+
+/// Degeneracy ordering and core numbers via iterative minimum-degree
+/// peeling (Matula–Beck). Returns `(order, core_number per vertex)`;
+/// the graph's degeneracy is `core.iter().max()`.
+pub fn degeneracy_order(g: &CsrGraph) -> (Vec<VertexId>, Vec<u32>) {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket queue over degrees.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut core = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current_core = 0usize;
+    let mut cursor = 0usize; // lowest possibly-non-empty bucket
+    while order.len() < n {
+        // Find the lowest non-empty bucket with a live vertex.
+        while cursor <= max_deg {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && degree[v as usize] == cursor => {
+                    let v = v as usize;
+                    removed[v] = true;
+                    current_core = current_core.max(cursor);
+                    core[v] = current_core as u32;
+                    order.push(v as u32);
+                    for &u in g.neighbors(v as u32) {
+                        let u = u as usize;
+                        if !removed[u] && degree[u] > 0 {
+                            degree[u] -= 1;
+                            buckets[degree[u]].push(u as u32);
+                        }
+                    }
+                    // A neighbor may now live in a lower bucket.
+                    cursor = cursor.saturating_sub(1);
+                    break;
+                }
+                Some(_) => continue, // stale entry
+                None => cursor += 1,
+            }
+        }
+    }
+    (order, core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_isolated() -> CsrGraph {
+        // Triangle {0,1,2}, triangle {3,4,5}, isolated 6.
+        GraphBuilder::new()
+            .num_vertices(7)
+            .edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .build()
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = two_triangles_and_isolated();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[6], comp[0]);
+    }
+
+    #[test]
+    fn largest_component_picks_a_triangle() {
+        let g = GraphBuilder::new()
+            .num_vertices(6)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)])
+            .build();
+        assert_eq!(largest_component(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = two_triangles_and_isolated();
+        let sub = induced_subgraph(&g, &[3, 4, 5]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        // Mixed set: only internal edges survive.
+        let cross = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(cross.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_carries_labels() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2)])
+            .labels(vec![7, 8, 9])
+            .build();
+        let sub = induced_subgraph(&g, &[2, 1]);
+        assert_eq!(sub.label(0), 9);
+        assert_eq!(sub.label(1), 8);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_rejects_duplicates() {
+        let g = two_triangles_and_isolated();
+        let _ = induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn degeneracy_of_clique_and_tree() {
+        // K4: every vertex has core number 3.
+        let k4 = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let (order, core) = degeneracy_order(&k4);
+        assert_eq!(order.len(), 4);
+        assert!(core.iter().all(|&c| c == 3));
+        // A path has degeneracy 1.
+        let path = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build();
+        let (_, core) = degeneracy_order(&path);
+        assert_eq!(core.iter().copied().max(), Some(1));
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation() {
+        let g = crate::generators::barabasi_albert(300, 4, 3);
+        let (order, core) = degeneracy_order(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300u32).collect::<Vec<_>>());
+        // BA(m=4) has degeneracy exactly m (each new vertex adds m edges).
+        assert_eq!(core.iter().copied().max(), Some(4));
+    }
+}

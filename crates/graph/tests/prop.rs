@@ -1,0 +1,89 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use tdfs_graph::intersect::{difference, intersect_count, intersect_gallop, intersect_merge};
+use tdfs_graph::{CsrGraph, GraphBuilder};
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..64, 0u32..64), 0..200)
+}
+
+fn arb_sorted_set() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..5000, 0..300).prop_map(|s| s.into_iter().collect())
+}
+
+fn build(edges: &[(u32, u32)]) -> CsrGraph {
+    GraphBuilder::new().edges(edges.iter().copied()).build()
+}
+
+proptest! {
+    #[test]
+    fn builder_produces_valid_csr(edges in arb_edges()) {
+        let g = build(&edges);
+        // Sorted, deduplicated, self-loop-free, symmetric adjacency.
+        for v in 0..g.num_vertices() as u32 {
+            let n = g.neighbors(v);
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!n.contains(&v));
+            for &u in n {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        // Edge count equals the number of distinct normalized pairs.
+        let mut norm: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        prop_assert_eq!(g.num_edges(), norm.len());
+    }
+
+    #[test]
+    fn arc_index_is_inverse_of_iteration(edges in arb_edges()) {
+        let g = build(&edges);
+        for (i, (u, v)) in g.arcs().enumerate() {
+            prop_assert_eq!(g.arc(i), (u, v));
+        }
+    }
+
+    #[test]
+    fn intersection_kernels_agree(a in arb_sorted_set(), b in arb_sorted_set()) {
+        let mut m = Vec::new();
+        intersect_merge(&a, &b, &mut m);
+        let mut gal = Vec::new();
+        intersect_gallop(&a, &b, &mut gal);
+        prop_assert_eq!(&m, &gal);
+        prop_assert_eq!(m.len(), intersect_count(&a, &b));
+        // Against the naive definition.
+        let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+        prop_assert_eq!(m, naive);
+    }
+
+    #[test]
+    fn difference_is_complement_of_intersection(a in arb_sorted_set(), b in arb_sorted_set()) {
+        let mut inter = Vec::new();
+        intersect_merge(&a, &b, &mut inter);
+        let mut diff = Vec::new();
+        difference(&a, &b, &mut diff);
+        // inter ∪ diff = a, disjointly.
+        let mut merged: Vec<u32> = inter.iter().chain(diff.iter()).copied().collect();
+        merged.sort_unstable();
+        prop_assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn io_roundtrip(edges in arb_edges()) {
+        let g = build(&edges);
+        let mut buf = Vec::new();
+        tdfs_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = tdfs_graph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        // Vertex count may differ (trailing isolated vertices are not
+        // representable in an edge list); compare adjacency up to the
+        // last edge-bearing vertex.
+        for v in 0..g2.num_vertices() as u32 {
+            prop_assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tdfs-query
+//!
+//! Query-plan substrate for the T-DFS engine. Everything here runs on the
+//! host ("CPU") before the matching kernel starts, exactly as in the
+//! paper: the query graph is tiny, so plan construction cost is
+//! negligible (§III "Algorithm Optimizations").
+//!
+//! - [`pattern`] — small dense query graphs with optional labels;
+//! - [`patterns`] — the P1–P22 evaluation catalogue (paper Fig. 8);
+//! - [`order`] — matching-order selection and backward-neighbor sets;
+//! - [`automorphism`] — exact automorphism-group enumeration (stand-in
+//!   for the BLISS library the paper links);
+//! - [`symmetry`] — orbit-fixing symmetry-breaking constraints
+//!   (`id(u_i) < id(u_j)`), which EGSM lacks and T-DFS/STMatch have;
+//! - [`reuse`] — set-intersection result-reuse plan
+//!   (`B^π(u_i) ⊆ B^π(u_j)` ⇒ candidates of `u_j` start from `stack[i]`);
+//! - [`plan`] — the combined [`plan::QueryPlan`] consumed by the engine.
+
+pub mod automorphism;
+pub mod order;
+pub mod pattern;
+pub mod patterns;
+pub mod plan;
+pub mod reuse;
+pub mod symmetry;
+
+pub use pattern::Pattern;
+pub use patterns::PatternId;
+pub use plan::QueryPlan;

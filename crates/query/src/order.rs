@@ -1,0 +1,160 @@
+//! Matching-order selection and backward-neighbor sets.
+//!
+//! The paper (Alg. 1, Line 1) selects the first query vertex as the one
+//! with the highest degree ("most edge constraints, tends to match fewer
+//! data vertices") and matches the rest one at a time. We use the common
+//! greedy refinement: at each step pick the unordered vertex with the
+//! most backward neighbors (maximizing edge constraints, Eq. 1), breaking
+//! ties by degree and then by vertex id. Because patterns are connected,
+//! every non-first vertex has at least one backward neighbor — in
+//! particular the second vertex is adjacent to the first, which the
+//! engine requires since initial tasks are data-graph *edges* matched to
+//! `(u_1, u_2)`.
+
+use crate::pattern::Pattern;
+
+/// A matching order `π` plus the derived backward-neighbor sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingOrder {
+    /// `order[i]` is the pattern vertex matched at position `i`.
+    pub order: Vec<usize>,
+    /// `position[u]` is the position of pattern vertex `u` in `order`.
+    pub position: Vec<usize>,
+    /// `backward[i]` lists the *positions* `j < i` whose pattern vertices
+    /// are adjacent to `order[i]` — the sets `B^π(u_i)` of Eq. (1).
+    pub backward: Vec<Vec<usize>>,
+}
+
+impl MatchingOrder {
+    /// Computes the greedy matching order for `p`.
+    ///
+    /// Panics if the pattern is not connected.
+    pub fn compute(p: &Pattern) -> Self {
+        assert!(p.is_connected(), "matching order requires a connected pattern");
+        let n = p.num_vertices();
+        let mut order = Vec::with_capacity(n);
+        let mut placed = 0u32;
+
+        // u1: highest degree, ties to smallest id.
+        let first = (0..n)
+            .max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u)))
+            .expect("non-empty pattern");
+        order.push(first);
+        placed |= 1 << first;
+
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&u| placed >> u & 1 == 0)
+                .max_by_key(|&u| {
+                    let bwd = (p.adj_mask(u) & placed).count_ones();
+                    (bwd, p.degree(u), std::cmp::Reverse(u))
+                })
+                .expect("pattern exhausted early");
+            // Connectivity guarantees a backward neighbor exists.
+            debug_assert!(p.adj_mask(next) & placed != 0);
+            order.push(next);
+            placed |= 1 << next;
+        }
+
+        let mut position = vec![0usize; n];
+        for (i, &u) in order.iter().enumerate() {
+            position[u] = i;
+        }
+        let backward = (0..n)
+            .map(|i| {
+                let u = order[i];
+                (0..i).filter(|&j| p.has_edge(u, order[j])).collect()
+            })
+            .collect();
+        Self {
+            order,
+            position,
+            backward,
+        }
+    }
+
+    /// Number of query vertices.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the order is empty (never true for valid patterns).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PatternId;
+
+    #[test]
+    fn order_is_permutation_for_all_catalogue_patterns() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let mo = MatchingOrder::compute(&p);
+            let mut sorted = mo.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..p.num_vertices()).collect::<Vec<_>>());
+            // position is the inverse permutation.
+            for (i, &u) in mo.order.iter().enumerate() {
+                assert_eq!(mo.position[u], i);
+            }
+        }
+    }
+
+    #[test]
+    fn first_vertex_has_max_degree() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let mo = MatchingOrder::compute(&p);
+            let dmax = (0..p.num_vertices()).map(|u| p.degree(u)).max().unwrap();
+            assert_eq!(p.degree(mo.order[0]), dmax, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn every_later_vertex_has_backward_neighbor() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let mo = MatchingOrder::compute(&p);
+            for i in 1..mo.len() {
+                assert!(
+                    !mo.backward[i].is_empty(),
+                    "{} position {i} lacks backward neighbors",
+                    id.name()
+                );
+            }
+            // Second vertex adjacent to the first (edge-based initial tasks).
+            assert!(p.has_edge(mo.order[0], mo.order[1]));
+        }
+    }
+
+    #[test]
+    fn backward_sets_consistent_with_adjacency() {
+        let p = PatternId(5).pattern(); // wheel
+        let mo = MatchingOrder::compute(&p);
+        for i in 0..mo.len() {
+            for &j in &mo.backward[i] {
+                assert!(j < i);
+                assert!(p.has_edge(mo.order[i], mo.order[j]));
+            }
+            let expect = (0..i).filter(|&j| p.has_edge(mo.order[i], mo.order[j])).count();
+            assert_eq!(mo.backward[i].len(), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let p = crate::pattern::Pattern::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = MatchingOrder::compute(&p);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = PatternId(9).pattern();
+        assert_eq!(MatchingOrder::compute(&p), MatchingOrder::compute(&p));
+    }
+}

@@ -1,0 +1,286 @@
+//! Small dense query graphs.
+//!
+//! Query graphs in the paper have at most a handful of vertices (Fig. 8
+//! tops out at 6), so we store the adjacency as one `u32` bitmask per
+//! vertex — constant-time adjacency tests and subset checks, which the
+//! order/automorphism/reuse machinery leans on heavily.
+
+use tdfs_graph::Label;
+
+/// Maximum number of query vertices (bitmask width).
+pub const MAX_QUERY_VERTICES: usize = 32;
+
+/// An undirected, connected query graph with optional vertex labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// `adj[u]` has bit `v` set iff `(u, v)` is an edge.
+    adj: Vec<u32>,
+    /// One label per vertex; all zeros for unlabeled queries.
+    labels: Vec<Label>,
+}
+
+impl Pattern {
+    /// Builds an unlabeled pattern from an edge list.
+    ///
+    /// Panics on self-loops, out-of-range vertices, or an empty vertex
+    /// set.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!((1..=MAX_QUERY_VERTICES).contains(&n), "1..=32 vertices required");
+        let mut adj = vec![0u32; n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loop ({u},{u})");
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+        Self {
+            adj,
+            labels: vec![0; n],
+        }
+    }
+
+    /// The complete graph `K_k` — the k-clique query of clique-counting
+    /// workloads (the paper cites k-clique counting as a sibling
+    /// subgraph-search problem).
+    pub fn clique(k: usize) -> Self {
+        assert!(k >= 2, "cliques need at least an edge");
+        let mut edges = Vec::with_capacity(k * (k - 1) / 2);
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push((u, v));
+            }
+        }
+        Self::from_edges(k, &edges)
+    }
+
+    /// The cycle `C_k` (`k ≥ 3`) — the weak-constraint pattern family
+    /// that produces the deepest backtracking (P8 is `C_6`).
+    pub fn cycle(k: usize) -> Self {
+        assert!(k >= 3, "cycles need at least 3 vertices");
+        let edges: Vec<(usize, usize)> = (0..k).map(|i| (i, (i + 1) % k)).collect();
+        Self::from_edges(k, &edges)
+    }
+
+    /// The path on `k` vertices (`k ≥ 2`).
+    pub fn path(k: usize) -> Self {
+        assert!(k >= 2, "paths need at least an edge");
+        let edges: Vec<(usize, usize)> = (0..k - 1).map(|i| (i, i + 1)).collect();
+        Self::from_edges(k, &edges)
+    }
+
+    /// The star with `leaves` leaves (vertex 0 is the hub).
+    pub fn star(leaves: usize) -> Self {
+        assert!(leaves >= 1, "stars need at least one leaf");
+        let edges: Vec<(usize, usize)> = (1..=leaves).map(|l| (0, l)).collect();
+        Self::from_edges(leaves + 1, &edges)
+    }
+
+    /// Builds a labeled pattern from an edge list and per-vertex labels.
+    pub fn from_edges_labeled(n: usize, edges: &[(usize, usize)], labels: Vec<Label>) -> Self {
+        assert_eq!(labels.len(), n, "one label per vertex");
+        let mut p = Self::from_edges(n, edges);
+        p.labels = labels;
+        p
+    }
+
+    /// Applies `label(u_i) = i mod m` — the labeling scheme the paper uses
+    /// to derive P12–P22 from P1–P11.
+    pub fn with_mod_labels(mut self, m: u32) -> Self {
+        assert!(m >= 1);
+        for (i, l) in self.labels.iter_mut().enumerate() {
+            *l = i as u32 % m;
+        }
+        self
+    }
+
+    /// Number of query vertices `k = |V_Q|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of query edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Adjacency bitmask of `u`.
+    #[inline]
+    pub fn adj_mask(&self, u: usize) -> u32 {
+        self.adj[u]
+    }
+
+    /// Whether `(u, v)` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u] >> v & 1 == 1
+    }
+
+    /// Degree of `u` in the query graph.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].count_ones() as usize
+    }
+
+    /// Label of `u`.
+    #[inline]
+    pub fn label(&self, u: usize) -> Label {
+        self.labels[u]
+    }
+
+    /// Whether any vertex carries a nonzero label.
+    pub fn is_labeled(&self) -> bool {
+        self.labels.iter().any(|&l| l != 0)
+    }
+
+    /// Neighbor list of `u` in ascending order.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.adj[u];
+        (0..self.num_vertices()).filter(move |&v| mask >> v & 1 == 1)
+    }
+
+    /// All edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_vertices() {
+            for v in (u + 1)..self.num_vertices() {
+                if self.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the pattern is connected (required by the matching order:
+    /// every non-first query vertex needs a backward neighbor).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = 1u32;
+        let mut frontier = 1u32;
+        while frontier != 0 {
+            let mut next = 0u32;
+            let mut f = frontier;
+            while f != 0 {
+                let u = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[u];
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as usize == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Pattern {
+        Pattern::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn counts() {
+        let p = diamond();
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.num_edges(), 5);
+        assert_eq!(p.degree(1), 3);
+        assert_eq!(p.degree(0), 2);
+    }
+
+    #[test]
+    fn adjacency_symmetric() {
+        let p = diamond();
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(p.has_edge(u, v), p.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_and_edges() {
+        let p = diamond();
+        assert_eq!(p.neighbors(3).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(p.edges().len(), 5);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(diamond().is_connected());
+        let disconnected = Pattern::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!disconnected.is_connected());
+        let singleton = Pattern::from_edges(1, &[]);
+        assert!(singleton.is_connected());
+    }
+
+    #[test]
+    fn mod_labels() {
+        let p = diamond().with_mod_labels(4);
+        assert!(p.is_labeled());
+        assert_eq!(p.label(0), 0);
+        assert_eq!(p.label(3), 3);
+        let p1 = diamond().with_mod_labels(1);
+        assert!(!p1.is_labeled());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = Pattern::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = Pattern::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn clique_constructor() {
+        for k in 2..=8 {
+            let p = Pattern::clique(k);
+            assert_eq!(p.num_vertices(), k);
+            assert_eq!(p.num_edges(), k * (k - 1) / 2);
+            assert!(p.is_connected());
+            for u in 0..k {
+                assert_eq!(p.degree(u), k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_constructor() {
+        for k in 3..=9 {
+            let p = Pattern::cycle(k);
+            assert_eq!(p.num_edges(), k);
+            assert!(p.is_connected());
+            assert!((0..k).all(|u| p.degree(u) == 2));
+        }
+    }
+
+    #[test]
+    fn path_and_star_constructors() {
+        let p = Pattern::path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let s = Pattern::star(6);
+        assert_eq!(s.num_vertices(), 7);
+        assert_eq!(s.degree(0), 6);
+        assert!((1..=6).all(|l| s.degree(l) == 1));
+    }
+
+    #[test]
+    fn constructors_match_catalogue() {
+        use crate::patterns::PatternId;
+        assert_eq!(Pattern::clique(4), PatternId(2).pattern());
+        assert_eq!(Pattern::clique(5), PatternId(7).pattern());
+        assert_eq!(Pattern::cycle(6), PatternId(8).pattern());
+    }
+}

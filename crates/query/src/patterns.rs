@@ -1,0 +1,225 @@
+//! The P1–P22 evaluation pattern catalogue.
+//!
+//! The paper's Fig. 8 is an image, so the exact pattern drawings are not
+//! recoverable from the text. This catalogue is reconstructed to satisfy
+//! every textual constraint the paper states:
+//!
+//! - P1 (and its labeled twin P12) has exactly **5 edges** (§IV-B:
+//!   "EGSM finishes for P1 and P12 on Friendster since they only have 5
+//!   edges");
+//! - P8–P10 are **6-node patterns** (§IV-F);
+//! - P8 and P11 are by far the heaviest patterns (Table II/III timings) —
+//!   realised here as sparse 6-cycles whose weak edge constraints defeat
+//!   pruning;
+//! - P7 and cliques are comparatively cheap (strong constraints +
+//!   symmetry breaking);
+//! - P12–P22 share the structures of P1–P11 with `label(u_i) = i mod 4`
+//!   (§IV-A).
+
+use crate::pattern::Pattern;
+
+/// Identifier for the 22 evaluation patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(pub u8);
+
+impl PatternId {
+    /// The unlabeled patterns P1–P11.
+    pub fn unlabeled() -> impl Iterator<Item = PatternId> {
+        (1..=11).map(PatternId)
+    }
+
+    /// The labeled patterns P12–P22.
+    pub fn labeled() -> impl Iterator<Item = PatternId> {
+        (12..=22).map(PatternId)
+    }
+
+    /// All 22 patterns.
+    pub fn all() -> impl Iterator<Item = PatternId> {
+        (1..=22).map(PatternId)
+    }
+
+    /// Display name, e.g. `"P8"`.
+    pub fn name(self) -> String {
+        format!("P{}", self.0)
+    }
+
+    /// Builds the pattern.
+    ///
+    /// Panics for ids outside `1..=22`.
+    pub fn pattern(self) -> Pattern {
+        let id = self.0;
+        assert!((1..=22).contains(&id), "pattern ids are P1..P22");
+        let structural = if id <= 11 { id } else { id - 11 };
+        let p = base_structure(structural);
+        if id <= 11 {
+            p
+        } else {
+            p.with_mod_labels(4)
+        }
+    }
+}
+
+/// The eleven base structures.
+fn base_structure(i: u8) -> Pattern {
+    match i {
+        // P1: diamond (K4 minus an edge) — 4 vertices, 5 edges.
+        1 => Pattern::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+        // P2: K4 — 4 vertices, 6 edges.
+        2 => Pattern::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+        // P3: house — square 0-1-2-3 with apex 4 over edge (0,1).
+        3 => Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
+        // P4: gem — path 0-1-2-3 plus an apex adjacent to all of it.
+        4 => Pattern::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (1, 4), (2, 4), (3, 4)],
+        ),
+        // P5: wheel W4 — 4-cycle plus hub.
+        5 => Pattern::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4), (2, 4), (3, 4)],
+        ),
+        // P6: K5 minus an edge.
+        6 => Pattern::from_edges(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+            ],
+        ),
+        // P7: K5.
+        7 => Pattern::from_edges(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
+        ),
+        // P8: hexagon C6 — the straggler-heavy pattern.
+        8 => Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+        // P9: triangular prism — two triangles joined by a matching.
+        9 => Pattern::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
+        ),
+        // P10: K6 minus a perfect matching (the octahedron / cocktail-party
+        // graph K_{2,2,2}) — dense 6-vertex, strongly pruned.
+        10 => Pattern::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+            ],
+        ),
+        // P11: hexagon with one long chord — sparse and heavy like P8.
+        11 => Pattern::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        ),
+        _ => unreachable!("base structures are 1..=11"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_patterns_build_and_connect() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            assert!(p.is_connected(), "{} must be connected", id.name());
+            assert!(p.num_vertices() >= 4 && p.num_vertices() <= 6);
+        }
+    }
+
+    #[test]
+    fn p1_and_p12_have_five_edges() {
+        assert_eq!(PatternId(1).pattern().num_edges(), 5);
+        assert_eq!(PatternId(12).pattern().num_edges(), 5);
+    }
+
+    #[test]
+    fn p8_to_p10_are_six_vertex() {
+        for i in [8, 9, 10] {
+            assert_eq!(PatternId(i).pattern().num_vertices(), 6);
+        }
+    }
+
+    #[test]
+    fn labeled_twins_share_structure() {
+        for i in 1..=11u8 {
+            let a = PatternId(i).pattern();
+            let b = PatternId(i + 11).pattern();
+            assert_eq!(a.num_vertices(), b.num_vertices());
+            assert_eq!(a.edges(), b.edges());
+            assert!(!a.is_labeled());
+            assert!(b.is_labeled());
+        }
+    }
+
+    #[test]
+    fn k5_is_complete() {
+        let p = PatternId(7).pattern();
+        assert_eq!(p.num_edges(), 10);
+        for u in 0..5 {
+            assert_eq!(p.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn hexagon_is_two_regular() {
+        let p = PatternId(8).pattern();
+        for u in 0..6 {
+            assert_eq!(p.degree(u), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern ids")]
+    fn rejects_p0() {
+        let _ = PatternId(0).pattern();
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PatternId(7).name(), "P7");
+        assert_eq!(PatternId::all().count(), 22);
+        assert_eq!(PatternId::unlabeled().count(), 11);
+        assert_eq!(PatternId::labeled().count(), 11);
+    }
+}

@@ -1,0 +1,242 @@
+//! The compiled query plan consumed by the matching engine.
+//!
+//! Everything the inner matching loop needs per level — backward
+//! positions, reuse source, label/degree filters, compiled symmetry
+//! constraints — is precomputed here on the host, once per query, so the
+//! hot loop only indexes flat arrays.
+
+use tdfs_graph::Label;
+
+use crate::order::MatchingOrder;
+use crate::pattern::Pattern;
+use crate::reuse::{ReusePlan, ReuseStep};
+use crate::symmetry::SymmetryBreaking;
+
+/// Plan-construction options; defaults mirror T-DFS (all optimizations on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Break pattern symmetry via automorphism constraints. EGSM lacks
+    /// this (paper §IV-B), which is modeled by switching it off.
+    pub symmetry_breaking: bool,
+    /// Enable set-intersection result reuse (paper Fig. 7).
+    pub intersection_reuse: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            symmetry_breaking: true,
+            intersection_reuse: true,
+        }
+    }
+}
+
+/// Per-position data of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// Pattern vertex matched at this position.
+    pub vertex: usize,
+    /// Required data-vertex label.
+    pub label: Label,
+    /// Query degree of the pattern vertex — the degree lower bound filter.
+    pub degree: usize,
+    /// Positions `j < i` whose matches must be neighbors (Eq. 1 operands).
+    pub backward: Vec<usize>,
+    /// Reuse source, if this level seeds from a stored intersection.
+    pub reuse: Option<ReuseStep>,
+    /// Positions whose matched id must be `<` this level's candidate.
+    pub greater_than: Vec<usize>,
+    /// Positions whose matched id must be `>` this level's candidate.
+    pub less_than: Vec<usize>,
+}
+
+/// A compiled query plan: matching order + filters + reuse + symmetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The source pattern.
+    pub pattern: Pattern,
+    /// The matching order and backward sets.
+    pub order: MatchingOrder,
+    /// One [`LevelPlan`] per matching position.
+    pub levels: Vec<LevelPlan>,
+    /// `|Aut(G_Q)|` (1 when symmetry breaking is disabled — the engine
+    /// then over-counts by the true factor, as EGSM does).
+    pub aut_size: usize,
+    /// Options the plan was built with.
+    pub options: PlanOptions,
+}
+
+impl QueryPlan {
+    /// Compiles `pattern` with default options (all optimizations on).
+    pub fn build(pattern: &Pattern) -> Self {
+        Self::build_with(pattern, PlanOptions::default())
+    }
+
+    /// Compiles `pattern` with explicit options.
+    pub fn build_with(pattern: &Pattern, options: PlanOptions) -> Self {
+        let order = MatchingOrder::compute(pattern);
+        let k = order.len();
+        let reuse = if options.intersection_reuse {
+            ReusePlan::compute(&order)
+        } else {
+            ReusePlan {
+                steps: vec![None; k],
+            }
+        };
+        let sb = if options.symmetry_breaking {
+            SymmetryBreaking::compute(pattern)
+        } else {
+            SymmetryBreaking {
+                constraints: Vec::new(),
+                aut_size: 1,
+            }
+        };
+
+        let mut greater_than: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut less_than: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for c in &sb.constraints {
+            let ps = order.position[c.small];
+            let pl = order.position[c.large];
+            if ps < pl {
+                // When matching the later position pl, its candidate must
+                // exceed the already-matched ps.
+                greater_than[pl].push(ps);
+            } else {
+                // ps matched later: its candidate must be below pl's match.
+                less_than[ps].push(pl);
+            }
+        }
+
+        let levels = (0..k)
+            .map(|i| {
+                let u = order.order[i];
+                LevelPlan {
+                    vertex: u,
+                    label: pattern.label(u),
+                    degree: pattern.degree(u),
+                    backward: order.backward[i].clone(),
+                    reuse: reuse.steps[i].clone(),
+                    greater_than: std::mem::take(&mut greater_than[i]),
+                    less_than: std::mem::take(&mut less_than[i]),
+                }
+            })
+            .collect();
+
+        Self {
+            pattern: pattern.clone(),
+            order,
+            levels,
+            aut_size: sb.aut_size,
+            options,
+        }
+    }
+
+    /// Number of query vertices `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Checks the compiled per-level symmetry constraints against a full
+    /// position-indexed assignment (`m[i]` = data vertex at position `i`).
+    pub fn constraints_satisfied(&self, m: &[u32]) -> bool {
+        self.levels.iter().enumerate().all(|(i, l)| {
+            l.greater_than.iter().all(|&j| m[j] < m[i])
+                && l.less_than.iter().all(|&j| m[i] < m[j])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PatternId;
+    use crate::symmetry::SymmetryBreaking;
+
+    #[test]
+    fn plan_levels_cover_all_positions() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let plan = QueryPlan::build(&p);
+            assert_eq!(plan.k(), p.num_vertices());
+            for (i, l) in plan.levels.iter().enumerate() {
+                assert_eq!(l.vertex, plan.order.order[i]);
+                assert_eq!(l.degree, p.degree(l.vertex));
+                assert_eq!(l.label, p.label(l.vertex));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_constraints_equal_raw_constraints() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let plan = QueryPlan::build(&p);
+            let sb = SymmetryBreaking::compute(&p);
+            let k = p.num_vertices();
+            // Try a bunch of injective assignments; both representations
+            // must agree.
+            let perms = crate::automorphism::automorphisms(&crate::pattern::Pattern::from_edges(
+                k,
+                &all_pairs(k),
+            ));
+            for perm in perms {
+                // Position-indexed assignment from a vertex permutation.
+                let by_vertex: Vec<u32> = perm.iter().map(|&x| x as u32 * 3 + 1).collect();
+                let by_pos: Vec<u32> = (0..k)
+                    .map(|i| by_vertex[plan.order.order[i]])
+                    .collect();
+                assert_eq!(
+                    plan.constraints_satisfied(&by_pos),
+                    sb.satisfied(&by_vertex),
+                    "{}",
+                    id.name()
+                );
+            }
+        }
+    }
+
+    fn all_pairs(k: usize) -> Vec<(usize, usize)> {
+        let mut e = Vec::new();
+        for u in 0..k {
+            for v in (u + 1)..k {
+                e.push((u, v));
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn options_disable_features() {
+        let p = PatternId(2).pattern(); // K4
+        let plan = QueryPlan::build_with(
+            &p,
+            PlanOptions {
+                symmetry_breaking: false,
+                intersection_reuse: false,
+            },
+        );
+        assert_eq!(plan.aut_size, 1);
+        assert!(plan.levels.iter().all(|l| l.greater_than.is_empty()
+            && l.less_than.is_empty()
+            && l.reuse.is_none()));
+    }
+
+    #[test]
+    fn k4_plan_has_full_order_constraints() {
+        let plan = QueryPlan::build(&PatternId(2).pattern());
+        assert_eq!(plan.aut_size, 24);
+        let total: usize = plan
+            .levels
+            .iter()
+            .map(|l| l.greater_than.len() + l.less_than.len())
+            .sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn reuse_present_for_cliques() {
+        let plan = QueryPlan::build(&PatternId(7).pattern());
+        assert!(plan.levels.iter().any(|l| l.reuse.is_some()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Symmetry-breaking constraint generation.
+//!
+//! The paper breaks pattern symmetry by generating "constraints between
+//! vertices" of the form `id(u_i) < id(u_j)` (§I, Fig. 1 discussion) from
+//! the automorphism group — the standard orbit-fixing scheme also used by
+//! GraphZero and Pangolin:
+//!
+//! 1. compute `A = Aut(G_Q)`;
+//! 2. while `|A| > 1`: pick the smallest vertex `v` with a non-trivial
+//!    orbit; for every other `w` in `orbit_A(v)` emit the constraint
+//!    `id(v) < id(w)`; replace `A` by the stabilizer of `v`.
+//!
+//! Each embedding class of size `|Aut(G_Q)|` then has exactly one
+//! representative satisfying all constraints, so
+//! `matches_without_constraints = matches_with_constraints × |Aut|` —
+//! an identity the integration tests assert.
+
+use crate::automorphism::{automorphisms, orbit_of, stabilizer, Permutation};
+use crate::pattern::Pattern;
+
+/// An ordering constraint `id(small) < id(large)` between the data
+/// vertices matched to two pattern vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Pattern vertex whose match must take the smaller data-vertex id.
+    pub small: usize,
+    /// Pattern vertex whose match must take the larger data-vertex id.
+    pub large: usize,
+}
+
+/// Symmetry-breaking result: the constraints plus the automorphism-group
+/// size they neutralize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetryBreaking {
+    /// Pairwise `<` constraints over pattern vertices.
+    pub constraints: Vec<Constraint>,
+    /// `|Aut(G_Q)|`.
+    pub aut_size: usize,
+}
+
+impl SymmetryBreaking {
+    /// Computes constraints for `p` via orbit fixing.
+    pub fn compute(p: &Pattern) -> Self {
+        let full = automorphisms(p);
+        let aut_size = full.len();
+        let mut group: Vec<Permutation> = full;
+        let mut constraints = Vec::new();
+        while group.len() > 1 {
+            let n = p.num_vertices();
+            let v = (0..n)
+                .find(|&v| orbit_of(&group, v).len() > 1)
+                .expect("non-trivial group must move some vertex");
+            for w in orbit_of(&group, v) {
+                if w != v {
+                    constraints.push(Constraint { small: v, large: w });
+                }
+            }
+            group = stabilizer(&group, v);
+        }
+        Self {
+            constraints,
+            aut_size,
+        }
+    }
+
+    /// Checks a full assignment `m` (`m[u]` = data vertex for pattern
+    /// vertex `u`) against every constraint. Used by the reference
+    /// matcher and tests; the engine compiles constraints into its plan
+    /// instead.
+    pub fn satisfied(&self, m: &[u32]) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| m[c.small] < m[c.large])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PatternId;
+
+    #[test]
+    fn asymmetric_pattern_needs_no_constraints() {
+        // Labeled K4 (distinct labels) has trivial Aut.
+        let sb = SymmetryBreaking::compute(&PatternId(13).pattern());
+        assert_eq!(sb.aut_size, 1);
+        assert!(sb.constraints.is_empty());
+    }
+
+    #[test]
+    fn k4_fully_ordered() {
+        let sb = SymmetryBreaking::compute(&PatternId(2).pattern());
+        assert_eq!(sb.aut_size, 24);
+        // Fixing K4 requires a total order: 3 + 2 + 1 = 6 constraints.
+        assert_eq!(sb.constraints.len(), 6);
+        assert!(sb.satisfied(&[1, 2, 3, 4]));
+        assert!(!sb.satisfied(&[2, 1, 3, 4]));
+    }
+
+    #[test]
+    fn constraints_reference_valid_vertices() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let sb = SymmetryBreaking::compute(&p);
+            for c in &sb.constraints {
+                assert!(c.small < p.num_vertices());
+                assert!(c.large < p.num_vertices());
+                assert_ne!(c.small, c.large);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_representative_per_orbit() {
+        // Enumerate all injective assignments of a small universe to the
+        // pattern that are embeddings of the pattern into a clique (i.e.
+        // any injective map works structurally for these checks), then
+        // verify that among the |Aut| permuted variants of any assignment
+        // exactly one satisfies the constraints.
+        for id in [1u8, 2, 8, 9, 10] {
+            let p = PatternId(id).pattern();
+            let sb = SymmetryBreaking::compute(&p);
+            let auts = crate::automorphism::automorphisms(&p);
+            let n = p.num_vertices();
+            // A fixed injective base assignment u -> u+10.
+            let base: Vec<u32> = (0..n as u32).map(|u| u + 10).collect();
+            let mut satisfying = 0;
+            for a in &auts {
+                // Assignment where pattern vertex u maps to base[a[u]].
+                let m: Vec<u32> = (0..n).map(|u| base[a[u]]).collect();
+                if sb.satisfied(&m) {
+                    satisfying += 1;
+                }
+            }
+            assert_eq!(satisfying, 1, "P{id}: one representative per class");
+        }
+    }
+
+    #[test]
+    fn hexagon_aut_size() {
+        let sb = SymmetryBreaking::compute(&PatternId(8).pattern());
+        assert_eq!(sb.aut_size, 12);
+        assert!(!sb.constraints.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for query planning: random connected patterns
+//! must yield valid orders, true automorphism groups, sound symmetry
+//! constraints and sound reuse plans.
+
+use proptest::prelude::*;
+use tdfs_query::automorphism::automorphisms;
+use tdfs_query::order::MatchingOrder;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::reuse::ReusePlan;
+use tdfs_query::symmetry::SymmetryBreaking;
+use tdfs_query::Pattern;
+
+/// Random connected pattern on 3–7 vertices: a random spanning tree plus
+/// random extra edges.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (3usize..=7)
+        .prop_flat_map(|n| {
+            let tree = prop::collection::vec(0usize..n, n - 1);
+            let extra = prop::collection::vec((0usize..n, 0usize..n), 0..n * 2);
+            (Just(n), tree, extra)
+        })
+        .prop_map(|(n, tree, extra)| {
+            let mut edges = Vec::new();
+            // Spanning tree: vertex v > 0 attaches to a parent below it.
+            for v in 1..n {
+                edges.push((v, tree[v - 1] % v));
+            }
+            for (a, b) in extra {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+            Pattern::from_edges(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn order_is_valid(p in arb_pattern()) {
+        let mo = MatchingOrder::compute(&p);
+        let n = p.num_vertices();
+        let mut seen = vec![false; n];
+        for &u in &mo.order {
+            prop_assert!(!seen[u]);
+            seen[u] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        for i in 1..n {
+            prop_assert!(!mo.backward[i].is_empty(), "connectivity broken at {i}");
+            for &j in &mo.backward[i] {
+                prop_assert!(p.has_edge(mo.order[i], mo.order[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn automorphisms_form_a_group(p in arb_pattern()) {
+        let auts = automorphisms(&p);
+        let n = p.num_vertices();
+        // Every element preserves adjacency.
+        for a in &auts {
+            for u in 0..n {
+                for v in 0..n {
+                    prop_assert_eq!(p.has_edge(u, v), p.has_edge(a[u], a[v]));
+                }
+            }
+        }
+        // Closure under composition and inverse (finite group axioms).
+        for a in &auts {
+            let mut inv = vec![0usize; n];
+            for (x, &ax) in a.iter().enumerate() {
+                inv[ax] = x;
+            }
+            prop_assert!(auts.contains(&inv));
+        }
+        // Group order divides n! (Lagrange on S_n).
+        let fact: usize = (1..=n).product();
+        prop_assert_eq!(fact % auts.len(), 0);
+    }
+
+    #[test]
+    fn symmetry_selects_exactly_one_representative(p in arb_pattern()) {
+        let sb = SymmetryBreaking::compute(&p);
+        let auts = automorphisms(&p);
+        let n = p.num_vertices();
+        // For an arbitrary injective assignment, exactly one permuted
+        // variant satisfies the constraints.
+        let base: Vec<u32> = (0..n as u32).map(|u| u * 7 + 3).collect();
+        let satisfying = auts
+            .iter()
+            .filter(|a| {
+                let m: Vec<u32> = (0..n).map(|u| base[a[u]]).collect();
+                sb.satisfied(&m)
+            })
+            .count();
+        prop_assert_eq!(satisfying, 1);
+    }
+
+    #[test]
+    fn reuse_sources_are_proper_subsets(p in arb_pattern()) {
+        let mo = MatchingOrder::compute(&p);
+        let plan = ReusePlan::compute(&mo);
+        for (j, step) in plan.steps.iter().enumerate() {
+            if let Some(s) = step {
+                prop_assert!(s.source >= 2 && s.source < j);
+                // B(source) ⊆ B(j) and remaining = B(j) \ B(source).
+                for b in &mo.backward[s.source] {
+                    prop_assert!(mo.backward[j].contains(b));
+                    prop_assert!(!s.remaining.contains(b));
+                }
+                let expect_len = mo.backward[j].len() - mo.backward[s.source].len();
+                prop_assert_eq!(s.remaining.len(), expect_len);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_raw_constraints(p in arb_pattern()) {
+        let plan = QueryPlan::build(&p);
+        let sb = SymmetryBreaking::compute(&p);
+        let n = p.num_vertices();
+        prop_assert_eq!(plan.aut_size, automorphisms(&p).len());
+        // Probe with permuted assignments.
+        let auts = automorphisms(&p);
+        for a in auts.iter().take(8) {
+            let by_vertex: Vec<u32> = (0..n).map(|u| a[u] as u32 + 1).collect();
+            let by_pos: Vec<u32> = (0..n).map(|i| by_vertex[plan.order.order[i]]).collect();
+            prop_assert_eq!(plan.constraints_satisfied(&by_pos), sb.satisfied(&by_vertex));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! `tdfs` — command-line subgraph matcher.
+//!
+//! ```text
+//! tdfs --graph edges.txt --pattern P3 [options]
+//! tdfs --dataset youtube_s --pattern P8 --engine tdfs --warps 8
+//! tdfs --graph edges.txt --pattern-edges "0-1,1-2,2-0" --show 5
+//! ```
+//!
+//! Options:
+//!   --graph <path>          SNAP-style edge list (u v per line, # comments)
+//!   --labels <path>         optional labels file (v label per line)
+//!   --dataset <name>        built-in synthetic dataset instead of --graph
+//!   --pattern <P1..P22>     catalogue pattern
+//!   --pattern-edges <spec>  custom pattern: "0-1,1-2,2-0[;l0,l1,l2]"
+//!   --engine <name>         tdfs | nosteal | stmatch | egsm | pbe | hybrid
+//!                           (default tdfs)
+//!   --warps <n>             warps (default: available cores)
+//!   --tau-ms <n>            timeout threshold in ms (tdfs engine)
+//!   --time-limit-s <n>      abort after n seconds
+//!   --devices <n>           simulated devices (round-robin edges)
+//!   --show <n>              print up to n concrete matches
+//!   --stats                 print full run statistics
+
+use std::process::ExitCode;
+
+use tdfs::core::{
+    find_matches, match_plan, run_multi_device, MatcherConfig, Strategy,
+};
+use tdfs::graph::{datasets::DatasetId, io, CsrGraph, GraphStats};
+use tdfs::query::plan::QueryPlan;
+use tdfs::query::{Pattern, PatternId};
+
+struct Args {
+    graph: Option<String>,
+    labels: Option<String>,
+    dataset: Option<String>,
+    pattern: Option<String>,
+    pattern_edges: Option<String>,
+    engine: String,
+    warps: Option<usize>,
+    tau_ms: Option<u64>,
+    time_limit_s: Option<f64>,
+    devices: usize,
+    show: usize,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        graph: None,
+        labels: None,
+        dataset: None,
+        pattern: None,
+        pattern_edges: None,
+        engine: "tdfs".into(),
+        warps: None,
+        tau_ms: None,
+        time_limit_s: None,
+        devices: 1,
+        show: 0,
+        stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--graph" => a.graph = Some(val("--graph")?),
+            "--labels" => a.labels = Some(val("--labels")?),
+            "--dataset" => a.dataset = Some(val("--dataset")?),
+            "--pattern" => a.pattern = Some(val("--pattern")?),
+            "--pattern-edges" => a.pattern_edges = Some(val("--pattern-edges")?),
+            "--engine" => a.engine = val("--engine")?,
+            "--warps" => {
+                a.warps = Some(val("--warps")?.parse().map_err(|e| format!("--warps: {e}"))?)
+            }
+            "--tau-ms" => {
+                a.tau_ms = Some(val("--tau-ms")?.parse().map_err(|e| format!("--tau-ms: {e}"))?)
+            }
+            "--time-limit-s" => {
+                a.time_limit_s = Some(
+                    val("--time-limit-s")?
+                        .parse()
+                        .map_err(|e| format!("--time-limit-s: {e}"))?,
+                )
+            }
+            "--devices" => {
+                a.devices = val("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?
+            }
+            "--show" => a.show = val("--show")?.parse().map_err(|e| format!("--show: {e}"))?,
+            "--stats" => a.stats = true,
+            "--help" | "-h" => {
+                return Err("usage".into());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn load_graph(a: &Args) -> Result<CsrGraph, String> {
+    if let Some(name) = &a.dataset {
+        let id = DatasetId::ALL
+            .into_iter()
+            .find(|d| d.name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown dataset {name}; available: {}",
+                    DatasetId::ALL.map(|d| d.name()).join(", ")
+                )
+            })?;
+        return Ok(id.generate(tdfs::graph::datasets::env_scale()));
+    }
+    let path = a
+        .graph
+        .as_ref()
+        .ok_or("one of --graph or --dataset is required")?;
+    let g = io::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match &a.labels {
+        Some(lp) => {
+            let f = std::fs::File::open(lp).map_err(|e| format!("opening {lp}: {e}"))?;
+            io::read_labels(g, std::io::BufReader::new(f)).map_err(|e| format!("labels: {e}"))
+        }
+        None => Ok(g),
+    }
+}
+
+fn load_pattern(a: &Args) -> Result<Pattern, String> {
+    if let Some(spec) = &a.pattern_edges {
+        return parse_pattern_spec(spec);
+    }
+    let name = a
+        .pattern
+        .as_ref()
+        .ok_or("one of --pattern or --pattern-edges is required")?;
+    let id: u8 = name
+        .strip_prefix('P')
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| (1..=22).contains(&n))
+        .ok_or_else(|| format!("unknown pattern {name}; use P1..P22 or --pattern-edges"))?;
+    Ok(PatternId(id).pattern())
+}
+
+/// Parses `"0-1,1-2,2-0"` or `"0-1,1-2,2-0;0,1,0"` (edges; labels).
+fn parse_pattern_spec(spec: &str) -> Result<Pattern, String> {
+    let (edge_part, label_part) = match spec.split_once(';') {
+        Some((e, l)) => (e, Some(l)),
+        None => (spec, None),
+    };
+    let mut edges = Vec::new();
+    let mut n = 0usize;
+    for e in edge_part.split(',') {
+        let (u, v) = e
+            .split_once('-')
+            .ok_or_else(|| format!("bad edge {e:?}; want u-v"))?;
+        let u: usize = u.trim().parse().map_err(|_| format!("bad vertex {u:?}"))?;
+        let v: usize = v.trim().parse().map_err(|_| format!("bad vertex {v:?}"))?;
+        n = n.max(u + 1).max(v + 1);
+        edges.push((u, v));
+    }
+    let p = match label_part {
+        Some(l) => {
+            let labels: Result<Vec<u32>, _> = l.split(',').map(|t| t.trim().parse()).collect();
+            Pattern::from_edges_labeled(n, &edges, labels.map_err(|_| "bad label list")?)
+        }
+        None => Pattern::from_edges(n, &edges),
+    };
+    if !p.is_connected() {
+        return Err("pattern must be connected".into());
+    }
+    Ok(p)
+}
+
+fn build_config(a: &Args) -> Result<MatcherConfig, String> {
+    let mut cfg = match a.engine.as_str() {
+        "tdfs" => MatcherConfig::tdfs(),
+        "nosteal" => MatcherConfig::no_steal(),
+        "stmatch" => MatcherConfig::stmatch_like(),
+        "egsm" => MatcherConfig::egsm_like(),
+        "pbe" => MatcherConfig::pbe_like(),
+        "hybrid" => MatcherConfig::hybrid(),
+        other => return Err(format!("unknown engine {other}")),
+    };
+    if let Some(w) = a.warps {
+        cfg = cfg.with_warps(w);
+    }
+    if let Some(ms) = a.tau_ms {
+        if matches!(cfg.strategy, Strategy::Timeout { .. }) {
+            cfg = cfg.with_tau(Some(std::time::Duration::from_millis(ms)));
+        }
+    }
+    if let Some(s) = a.time_limit_s {
+        cfg = cfg.with_time_limit(Some(std::time::Duration::from_secs_f64(s)));
+    }
+    Ok(cfg)
+}
+
+fn run(a: Args) -> Result<(), String> {
+    let g = load_graph(&a)?;
+    let p = load_pattern(&a)?;
+    eprintln!("{}", GraphStats::of(&g).table_row("graph"));
+    eprintln!(
+        "pattern: {} vertices, {} edges{}",
+        p.num_vertices(),
+        p.num_edges(),
+        if p.is_labeled() { ", labeled" } else { "" }
+    );
+    let cfg = build_config(&a)?;
+
+    if a.devices > 1 {
+        let plan = QueryPlan::build_with(&p, cfg.plan);
+        let r = run_multi_device(&g, &plan, &cfg, a.devices).map_err(|e| e.to_string())?;
+        println!(
+            "{} matches in {:.2} ms across {} devices",
+            r.matches,
+            r.elapsed.as_secs_f64() * 1e3,
+            a.devices
+        );
+        for (d, rr) in r.per_device.iter().enumerate() {
+            println!("  device {d}: {} matches, {:.2} ms", rr.matches, rr.millis());
+        }
+        return Ok(());
+    }
+
+    if a.show > 0 {
+        let (r, matches) = find_matches(&g, &p, &cfg, a.show).map_err(|e| e.to_string())?;
+        println!("{} matches in {:.2} ms", r.matches, r.millis());
+        for m in &matches {
+            println!("  {m:?}");
+        }
+        if a.stats {
+            println!("{}", r.stats.summary());
+        }
+        return Ok(());
+    }
+
+    let plan = QueryPlan::build_with(&p, cfg.plan);
+    let r = match_plan(&g, &plan, &cfg).map_err(|e| e.to_string())?;
+    println!("{} matches in {:.2} ms", r.matches, r.millis());
+    if a.stats {
+        println!("{}", r.stats.summary());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(a) => match run(a) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if e != "usage" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: tdfs (--graph <edges.txt> [--labels <file>] | --dataset <name>)\n\
+                 \x20      (--pattern P1..P22 | --pattern-edges \"0-1,1-2,...[;labels]\")\n\
+                 \x20      [--engine tdfs|nosteal|stmatch|egsm|pbe|hybrid] [--warps N]\n\
+                 \x20      [--tau-ms N] [--time-limit-s N] [--devices N] [--show N] [--stats]"
+            );
+            if e == "usage" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the full T-DFS workspace.
+pub use tdfs_core as core;
+pub use tdfs_gpu as gpu;
+pub use tdfs_graph as graph;
+pub use tdfs_mem as mem;
+pub use tdfs_query as query;

@@ -1,0 +1,110 @@
+//! End-to-end property tests: for random data graphs and random
+//! connected patterns, every engine must agree with the serial
+//! reference matcher, under default and adversarial settings.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use tdfs::core::{match_pattern, reference_count, MatcherConfig};
+use tdfs::graph::{CsrGraph, GraphBuilder};
+use tdfs::query::plan::QueryPlan;
+use tdfs::query::Pattern;
+
+/// Random data graph on up to 40 vertices.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0u32..40, 0u32..40), 1..250)
+        .prop_map(|edges| GraphBuilder::new().num_vertices(40).edges(edges).build())
+}
+
+/// Random labeled data graph.
+fn arb_labeled_graph() -> impl Strategy<Value = CsrGraph> {
+    (arb_graph(), prop::collection::vec(0u32..3, 40))
+        .prop_map(|(g, labels)| g.with_labels(labels))
+}
+
+/// Random connected pattern on 3–5 vertices (kept small so the serial
+/// reference stays fast under proptest's case count).
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let tree = prop::collection::vec(0usize..n, n - 1);
+            let extra = prop::collection::vec((0usize..n, 0usize..n), 0..n);
+            (Just(n), tree, extra)
+        })
+        .prop_map(|(n, tree, extra)| {
+            let mut edges = Vec::new();
+            // Spanning tree: vertex v > 0 attaches to a parent below it.
+            for v in 1..n {
+                edges.push((v, tree[v - 1] % v));
+            }
+            for (a, b) in extra {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+            Pattern::from_edges(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tdfs_agrees_with_reference(g in arb_graph(), p in arb_pattern()) {
+        let cfg = MatcherConfig::tdfs().with_warps(2);
+        let got = match_pattern(&g, &p, &cfg).unwrap().matches;
+        let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn labeled_tdfs_agrees_with_reference(g in arb_labeled_graph(), p in arb_pattern()) {
+        let p = p.with_mod_labels(3);
+        let cfg = MatcherConfig::tdfs().with_warps(2);
+        let got = match_pattern(&g, &p, &cfg).unwrap().matches;
+        let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_engines_agree(g in arb_graph(), p in arb_pattern()) {
+        let configs = [
+            MatcherConfig::tdfs().with_warps(2),
+            MatcherConfig::no_steal().with_warps(2),
+            MatcherConfig::stmatch_like().with_warps(2),
+            MatcherConfig::pbe_like().with_warps(2),
+        ];
+        let counts: Vec<u64> = configs
+            .iter()
+            .map(|c| match_pattern(&g, &p, c).unwrap().matches)
+            .collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{:?}", counts);
+    }
+
+    #[test]
+    fn adversarial_timeout_agrees(g in arb_graph(), p in arb_pattern()) {
+        let cfg = MatcherConfig {
+            queue_capacity: 2,
+            ..MatcherConfig::tdfs().with_warps(3)
+        }
+        .with_tau(Some(Duration::from_nanos(1)));
+        let got = match_pattern(&g, &p, &cfg).unwrap().matches;
+        let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn automorphism_count_identity(g in arb_graph(), p in arb_pattern()) {
+        use tdfs::query::plan::PlanOptions;
+        let broken = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(2))
+            .unwrap()
+            .matches;
+        let cfg = MatcherConfig {
+            plan: PlanOptions { symmetry_breaking: false, intersection_reuse: true },
+            ..MatcherConfig::tdfs().with_warps(2)
+        };
+        let embeddings = match_pattern(&g, &p, &cfg).unwrap().matches;
+        let aut = QueryPlan::build(&p).aut_size as u64;
+        prop_assert_eq!(embeddings, broken * aut);
+    }
+}

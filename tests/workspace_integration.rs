@@ -1,0 +1,139 @@
+//! End-to-end integration across the whole workspace: datasets → plans →
+//! engines → results, exercised the way the bench harness and examples
+//! drive the library.
+
+use tdfs::core::{count_matches, match_pattern, reference_count, MatcherConfig};
+use tdfs::graph::generators::barabasi_albert;
+use tdfs::graph::{DatasetId, GraphBuilder, GraphStats};
+use tdfs::query::plan::QueryPlan;
+use tdfs::query::{Pattern, PatternId};
+
+#[test]
+fn dataset_registry_generates_all_shapes() {
+    // Tiny scale: just verify every dataset generates and matches its
+    // labeled/unlabeled contract.
+    for id in DatasetId::ALL {
+        let g = id.generate(0.03);
+        let s = GraphStats::of(&g);
+        assert!(s.vertices > 0 && s.edges > 0, "{}", id.name());
+        assert_eq!(g.is_labeled(), id.is_big(), "{}", id.name());
+    }
+}
+
+#[test]
+fn dataset_to_engine_pipeline() {
+    let g = DatasetId::AmazonS.generate(0.05);
+    let cfg = MatcherConfig::tdfs().with_warps(4);
+    let r = match_pattern(&g, &PatternId(1).pattern(), &cfg).unwrap();
+    let want = reference_count(&g, &QueryPlan::build(&PatternId(1).pattern()));
+    assert_eq!(r.matches, want);
+    assert!(r.stats.edges_admitted > 0);
+}
+
+#[test]
+fn symmetry_identity_on_dataset() {
+    // embeddings = |Aut| × subgraphs, end to end through the engine.
+    use tdfs::query::plan::PlanOptions;
+    let g = DatasetId::DblpS.generate(0.05);
+    for id in [1u8, 2, 8] {
+        let p = PatternId(id).pattern();
+        let aut = QueryPlan::build(&p).aut_size as u64;
+        let broken = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(4))
+            .unwrap()
+            .matches;
+        let cfg_nosym = MatcherConfig {
+            plan: PlanOptions {
+                symmetry_breaking: false,
+                intersection_reuse: true,
+            },
+            ..MatcherConfig::tdfs().with_warps(4)
+        };
+        let embeddings = match_pattern(&g, &p, &cfg_nosym).unwrap().matches;
+        assert_eq!(embeddings, broken * aut, "P{id}");
+    }
+}
+
+#[test]
+fn custom_pattern_through_facade() {
+    // Count 4-cycles in a 3x3 grid graph: the grid has 4 unit squares.
+    let mut b = GraphBuilder::new();
+    let idx = |r: u32, c: u32| r * 3 + c;
+    for r in 0..3 {
+        for c in 0..3 {
+            if c + 1 < 3 {
+                b.push_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < 3 {
+                b.push_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    let g = b.build();
+    let square = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    assert_eq!(count_matches(&g, &square), 4);
+}
+
+#[test]
+fn all_strategies_agree_end_to_end() {
+    let g = barabasi_albert(250, 4, 123);
+    let p = PatternId(4).pattern();
+    let configs = [
+        MatcherConfig::tdfs().with_warps(3),
+        MatcherConfig::no_steal().with_warps(3),
+        MatcherConfig::stmatch_like().with_warps(3),
+        MatcherConfig::pbe_like().with_warps(3),
+        MatcherConfig::tdfs_array().with_warps(3),
+    ];
+    let counts: Vec<u64> = configs
+        .iter()
+        .map(|c| match_pattern(&g, &p, c).unwrap().matches)
+        .collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "strategies disagree: {counts:?}"
+    );
+}
+
+#[test]
+fn stats_are_plausible() {
+    let g = barabasi_albert(300, 5, 77);
+    let r = match_pattern(&g, &PatternId(2).pattern(), &MatcherConfig::tdfs().with_warps(4))
+        .unwrap();
+    let s = &r.stats;
+    assert!(s.warp.intersections > 0);
+    assert!(s.warp.elements_probed >= s.warp.elements_emitted);
+    assert!(s.stack_bytes_peak > 0);
+    assert_eq!(s.queue_rejections, 0, "default queue never fills here");
+    assert_eq!(s.candidates_truncated, 0);
+    // Paged stacks: page faults happened and the arena tracked them.
+    assert!(s.page_faults > 0);
+}
+
+#[test]
+fn paged_and_array_stacks_agree_with_much_different_memory() {
+    // The paper's memory claim needs real degree skew: array stacks must
+    // provision d_max per level while intersections stay small. Build a
+    // BA graph plus a 15k-degree hub.
+    let mut b = GraphBuilder::new();
+    let base = barabasi_albert(5_000, 3, 5);
+    for (u, v) in base.arcs() {
+        if u < v {
+            b.push_edge(u, v);
+        }
+    }
+    for v in 0..4_000 {
+        b.push_edge(5_000, v);
+    }
+    let g = b.build();
+    assert!(g.max_degree() >= 4_000);
+    let p = PatternId(1).pattern();
+    let paged = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(4)).unwrap();
+    let array = match_pattern(&g, &p, &MatcherConfig::tdfs_array().with_warps(4)).unwrap();
+    assert_eq!(paged.matches, array.matches);
+    assert!(
+        paged.stats.stack_bytes_peak * 2 < array.stats.stack_bytes_peak,
+        "paged ({}) should use far less stack memory than array ({})",
+        paged.stats.stack_bytes_peak,
+        array.stats.stack_bytes_peak
+    );
+}
