@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, tests, and offline-resolution check.
+# The workspace is fully self-contained (no external crates), so every
+# step must work without network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> offline resolution check"
+cargo metadata --offline --format-version 1 >/dev/null
+
+echo "ci: all checks passed"

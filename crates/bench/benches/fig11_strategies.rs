@@ -34,7 +34,11 @@ fn main() {
         ("NoSteal", MatcherConfig::no_steal().with_warps(warps)),
     ];
 
-    let datasets = [DatasetId::YoutubeS, DatasetId::OrkutS, DatasetId::SinaweiboS];
+    let datasets = [
+        DatasetId::YoutubeS,
+        DatasetId::OrkutS,
+        DatasetId::SinaweiboS,
+    ];
 
     let mut report = Report::new("Fig. 11: work-stealing strategy comparison");
     for ds in datasets {
@@ -43,7 +47,10 @@ fn main() {
         // Labeled datasets get the labeled twins (P12–P22), as in the
         // paper's Orkut P12/P13 discussion.
         let patterns: Vec<_> = if ds.is_big() {
-            unlabeled_patterns().iter().map(|p| tdfs_query::PatternId(p.0 + 11)).collect()
+            unlabeled_patterns()
+                .iter()
+                .map(|p| tdfs_query::PatternId(p.0 + 11))
+                .collect()
         } else {
             unlabeled_patterns()
         };

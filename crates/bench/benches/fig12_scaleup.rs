@@ -47,9 +47,7 @@ fn main() {
                             pattern: pid.name(),
                             millis: Some(ms),
                             matches: r.matches,
-                            makespan_mu: Some(
-                                r.merged_stats().warp_makespan as f64 / 1e6,
-                            ),
+                            makespan_mu: Some(r.merged_stats().warp_makespan as f64 / 1e6),
                             fail: "",
                         });
                     }

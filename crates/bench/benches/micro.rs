@@ -1,125 +1,98 @@
-//! Criterion micro-benchmarks for the substrates: lock-free queue
-//! throughput, warp intersection kernels, and paged vs array stack
-//! access.
+//! Micro-benchmarks for the substrates: lock-free queue throughput,
+//! warp intersection kernels, and paged vs array stack access. Uses the
+//! workspace's internal harness (no external crates).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 
+use tdfs_bench::harness::bench;
 use tdfs_gpu::queue::{Task, TaskQueue};
 use tdfs_gpu::warp::WarpOps;
 use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, PageArena, PagedLevel};
 
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("task_queue");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("enqueue_dequeue_single", |b| {
-        let q = TaskQueue::new(1024);
-        b.iter(|| {
-            q.enqueue(Task::triple(1, 2, 3));
-            q.dequeue().unwrap()
-        });
+fn bench_queue() {
+    println!("-- task_queue --");
+    let q = TaskQueue::new(1024);
+    bench("enqueue_dequeue_single", || {
+        q.enqueue(Task::triple(1, 2, 3));
+        q.dequeue().unwrap()
     });
     for threads in [2usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("contended_pingpong", threads),
-            &threads,
-            |b, &threads| {
-                b.iter_custom(|iters| {
-                    let q = Arc::new(TaskQueue::new(4096));
-                    let per = iters / threads as u64 + 1;
-                    let start = std::time::Instant::now();
-                    std::thread::scope(|s| {
-                        for _ in 0..threads {
-                            let q = q.clone();
-                            s.spawn(move || {
-                                for i in 0..per {
-                                    while !q.enqueue(Task::triple(i as u32, 0, 0)) {
-                                        std::hint::spin_loop();
-                                    }
-                                    while q.dequeue().is_none() {
-                                        std::hint::spin_loop();
-                                    }
-                                }
-                            });
+        // Fixed-iteration contended ping-pong, timed as one unit.
+        bench(&format!("contended_pingpong/{threads}"), || {
+            let q = Arc::new(TaskQueue::new(4096));
+            let per = 2_000u64;
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..per {
+                            while !q.enqueue(Task::triple(i as u32, 0, 0)) {
+                                std::hint::spin_loop();
+                            }
+                            while q.dequeue().is_none() {
+                                std::hint::spin_loop();
+                            }
                         }
                     });
-                    start.elapsed()
-                });
-            },
-        );
+                }
+            });
+        });
     }
-    g.finish();
 }
 
-fn bench_intersection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp_intersect");
+fn bench_intersection() {
+    println!("-- warp_intersect --");
     for size in [64usize, 1024, 16384] {
         let a: Vec<u32> = (0..size as u32).map(|x| x * 2).collect();
         let b_list: Vec<u32> = (0..size as u32).map(|x| x * 3).collect();
-        g.throughput(Throughput::Elements(size as u64));
-        g.bench_with_input(BenchmarkId::new("warp_32lane", size), &size, |bench, _| {
-            let mut w = WarpOps::new();
-            let mut out = Vec::with_capacity(size);
-            bench.iter(|| {
-                out.clear();
-                w.intersect(&a, &b_list, |x| out.push(x));
-                out.len()
-            });
+        let mut w = WarpOps::new();
+        let mut out = Vec::with_capacity(size);
+        bench(&format!("warp_32lane/{size}"), || {
+            out.clear();
+            w.intersect(&a, &b_list, |x| out.push(x));
+            out.len()
         });
-        g.bench_with_input(BenchmarkId::new("scalar_merge", size), &size, |bench, _| {
-            let mut out = Vec::with_capacity(size);
-            bench.iter(|| {
-                out.clear();
-                tdfs_graph::intersect::intersect_merge(&a, &b_list, &mut out);
-                out.len()
-            });
+        let mut out2 = Vec::with_capacity(size);
+        bench(&format!("scalar_merge/{size}"), || {
+            out2.clear();
+            tdfs_graph::intersect::intersect_merge(&a, &b_list, &mut out2);
+            out2.len()
         });
     }
-    g.finish();
 }
 
-fn bench_stacks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stack_level");
+fn bench_stacks() {
+    println!("-- stack_level --");
     const N: usize = 8192;
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("array_push_read", |b| {
-        let mut lvl = ArrayLevel::new(N, OverflowPolicy::Error);
-        b.iter(|| {
-            lvl.clear();
-            for v in 0..N as u32 {
-                lvl.push(v).unwrap();
-            }
-            let mut sum = 0u64;
-            for i in 0..N {
-                sum += lvl.get(i) as u64;
-            }
-            sum
-        });
+    let mut lvl = ArrayLevel::new(N, OverflowPolicy::Error);
+    bench("array_push_read", || {
+        lvl.clear();
+        for v in 0..N as u32 {
+            lvl.push(v).unwrap();
+        }
+        let mut sum = 0u64;
+        for i in 0..N {
+            sum += lvl.get(i) as u64;
+        }
+        sum
     });
-    g.bench_function("paged_push_read", |b| {
-        let arena = Arc::new(PageArena::new(64));
-        let mut lvl = PagedLevel::with_table_len(arena, 8);
-        b.iter(|| {
-            lvl.clear();
-            for v in 0..N as u32 {
-                lvl.push(v).unwrap();
-            }
-            let mut sum = 0u64;
-            for i in 0..N {
-                sum += lvl.get(i) as u64;
-            }
-            sum
-        });
+    let arena = Arc::new(PageArena::new(64));
+    let mut plvl = PagedLevel::with_table_len(arena, 8);
+    bench("paged_push_read", || {
+        plvl.clear();
+        for v in 0..N as u32 {
+            plvl.push(v).unwrap();
+        }
+        let mut sum = 0u64;
+        for i in 0..N {
+            sum += plvl.get(i) as u64;
+        }
+        sum
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_queue, bench_intersection, bench_stacks
+fn main() {
+    bench_queue();
+    bench_intersection();
+    bench_stacks();
 }
-criterion_main!(benches);

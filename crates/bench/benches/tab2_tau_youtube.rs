@@ -10,5 +10,8 @@ use tdfs_bench::tau_sweep;
 use tdfs_graph::DatasetId;
 
 fn main() {
-    tau_sweep(DatasetId::YoutubeS, "Table II: τ ablation on youtube_s (ms)");
+    tau_sweep(
+        DatasetId::YoutubeS,
+        "Table II: τ ablation on youtube_s (ms)",
+    );
 }

@@ -1,0 +1,85 @@
+//! Minimal micro-benchmark harness (criterion stand-in).
+//!
+//! The workspace carries no external crates, so the micro benches time
+//! themselves: per benchmark we run a short warm-up, then measure a
+//! fixed number of samples of auto-calibrated batch size and report the
+//! median, min and max ns/iter. This is deliberately simple — the paper
+//! reproductions in the sibling bench targets do their own reporting —
+//! but stable enough to compare kernels within one machine.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of measured samples per benchmark.
+const SAMPLES: usize = 20;
+/// Warm-up budget per benchmark.
+const WARM_UP: Duration = Duration::from_millis(200);
+/// Measurement budget across all samples.
+const MEASURE: Duration = Duration::from_secs(1);
+
+/// One benchmark run: drives the closure through warm-up, calibration
+/// and sampling, then prints a criterion-like summary line.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
+    // Warm-up and calibration: find the iteration count per sample.
+    let warm_start = Instant::now();
+    let mut iters_per_probe = 1u64;
+    let mut probe_ns;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters_per_probe {
+            black_box(f());
+        }
+        probe_ns = t.elapsed().as_nanos().max(1) as u64;
+        if warm_start.elapsed() > WARM_UP || probe_ns > 1_000_000 {
+            break;
+        }
+        iters_per_probe = iters_per_probe.saturating_mul(2);
+    }
+    let ns_per_iter = (probe_ns / iters_per_probe).max(1);
+    let budget_ns = (MEASURE.as_nanos() as u64 / SAMPLES as u64).max(1);
+    let iters_per_sample = (budget_ns / ns_per_iter).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[SAMPLES / 2];
+    let (min, max) = (samples[0], samples[SAMPLES - 1]);
+    println!("{name:<44} {median:>12.1} ns/iter  [min {min:.1}, max {max:.1}]");
+}
+
+/// [`bench`] with an elements-per-iteration throughput annotation.
+pub fn bench_throughput<R, F: FnMut() -> R>(name: &str, elements: u64, mut f: F) {
+    // Reuse `bench` for the measurement; recompute throughput from a
+    // dedicated timed batch so the printed number is self-consistent.
+    let t = Instant::now();
+    let mut iters = 0u64;
+    while t.elapsed() < Duration::from_millis(300) {
+        black_box(f());
+        iters += 1;
+    }
+    let ns = t.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    let eps = elements as f64 / (ns / 1e9);
+    bench(name, f);
+    println!(
+        "{:<44} {:>12.1} M elements/s",
+        format!("{name} (throughput)"),
+        eps / 1e6
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        // Smoke: a trivial closure completes without panicking.
+        bench("noop", || 1 + 1);
+    }
+}

@@ -4,13 +4,16 @@
 //! paper's evaluation (§IV). Each bench target (`cargo bench -p
 //! tdfs-bench --bench <name>`) regenerates one table/figure, printing
 //! the same rows/series the paper reports plus a machine-readable CSV
-//! block. Criterion micro-benchmarks for the substrates live in
-//! `benches/micro.rs`.
+//! block. Micro-benchmarks for the substrates live in `benches/micro.rs`
+//! and use the internal [`harness`] (the workspace carries no external
+//! crates).
 //!
 //! Environment knobs:
 //! - `TDFS_SCALE` — dataset scale factor (see `tdfs_graph::datasets`);
 //! - `TDFS_BENCH_WARPS` — warps per device (default: available cores);
 //! - `TDFS_BENCH_SMOKE` — set to run a reduced pattern/dataset subset.
+
+pub mod harness;
 
 use std::time::Duration;
 
@@ -255,7 +258,8 @@ impl Report {
                 c.system,
                 c.dataset,
                 c.pattern,
-                c.millis.map_or_else(|| c.fail.to_owned(), |m| format!("{m:.3}")),
+                c.millis
+                    .map_or_else(|| c.fail.to_owned(), |m| format!("{m:.3}")),
                 c.matches,
                 c.makespan_mu
                     .map_or_else(|| c.fail.to_owned(), |m| format!("{m:.3}")),
@@ -366,7 +370,11 @@ pub fn memory_tables(ds: DatasetId, caption: &str) {
                     rows.push((name.to_string(), pid.name(), mb, r.millis()));
                 }
                 Err(e) => {
-                    let label = if matches!(e, EngineError::TimeLimit) { "T" } else { "ERR" };
+                    let label = if matches!(e, EngineError::TimeLimit) {
+                        "T"
+                    } else {
+                        "ERR"
+                    };
                     println!("{:<12} {:>8} {:>14} {:>12}", name, pid.name(), label, label);
                 }
             }
@@ -374,11 +382,7 @@ pub fn memory_tables(ds: DatasetId, caption: &str) {
     }
     // Summary: average memory saving of paged vs array (paper: 86–93 %).
     let avg = |sys: &str| -> Option<f64> {
-        let v: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.0 == sys)
-            .map(|r| r.2)
-            .collect();
+        let v: Vec<f64> = rows.iter().filter(|r| r.0 == sys).map(|r| r.2).collect();
         (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
     };
     if let (Some(p), Some(a)) = (avg("Page-based"), avg("Array-based")) {

@@ -73,6 +73,9 @@ pub fn run_with_sink(
 
     let mut stride = 2usize;
     while stride < k {
+        if cfg.cancel_requested() {
+            break;
+        }
         let level = stride; // next position to extend into
         let num_partials = frontier.len() / stride;
         if num_partials == 0 {
@@ -108,6 +111,9 @@ pub fn run_with_sink(
 
         let mut next_frontier: Vec<u32> = Vec::new();
         for batch in batches {
+            if cfg.cancel_requested() {
+                break;
+            }
             if let Some(d) = deadline {
                 if Instant::now() > d {
                     return Err(EngineError::TimeLimit);
@@ -149,8 +155,8 @@ pub fn run_with_sink(
                 Some((&mut out, &offsets, new_stride)),
                 None,
             );
-            peak_bytes = peak_bytes
-                .max(frontier.len() * 4 + next_frontier.len() * 4 + out.len() * 4);
+            peak_bytes =
+                peak_bytes.max(frontier.len() * 4 + next_frontier.len() * 4 + out.len() * 4);
             next_frontier.extend_from_slice(&out);
             // `out` released here — PBE's per-batch release/alloc cycle.
         }
@@ -164,6 +170,7 @@ pub fn run_with_sink(
     }
 
     stats.stack_bytes_peak = peak_bytes;
+    stats.cancelled = cfg.cancel_requested();
     Ok(RunResult {
         matches,
         elapsed: start.elapsed(),

@@ -1,0 +1,96 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelFlag`] is a shared token that an external party (e.g. the
+//! `tdfs-service` query layer) raises to ask a running match to stop.
+//! The engines observe the flag at their existing periodic deadline-poll
+//! sites; a cancelled run winds down cooperatively and returns `Ok` with
+//! the partial match count and [`crate::RunStats::cancelled`] set — in
+//! contrast to an expired [`crate::MatcherConfig::time_limit`], which
+//! surfaces as [`crate::EngineError::TimeLimit`]. The distinction is
+//! deliberate: a deadline is a property of the run (the paper's
+//! ">1000 s ⇒ T" convention), while cancellation is an external event
+//! whose partial results are still meaningful (e.g. `find_matches`
+//! stopping once its collection limit is reached).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cooperative-cancellation token.
+///
+/// Cloning yields a handle to the *same* token; raising any clone
+/// cancels them all. The flag is one-way: once raised it stays raised
+/// (create a fresh flag per run).
+#[derive(Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// Creates an unraised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent and safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Identity comparison: two flags are equal iff they are handles to the
+/// same token. This keeps [`crate::MatcherConfig`]'s structural equality
+/// meaningful — configs sharing a token compare equal, fresh tokens
+/// don't.
+impl PartialEq for CancelFlag {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelFlag {}
+
+impl fmt::Debug for CancelFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CancelFlag")
+            .field(&self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_is_shared_and_idempotent() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        let c = CancelFlag::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn raise_from_another_thread() {
+        let flag = CancelFlag::new();
+        let remote = flag.clone();
+        std::thread::spawn(move || remote.cancel()).join().unwrap();
+        assert!(flag.is_cancelled());
+    }
+}

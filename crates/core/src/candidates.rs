@@ -9,8 +9,8 @@
 //! [`accept`] when a candidate is consumed, which keeps reuse
 //! unconditionally sound (DESIGN.md §4).
 
-use tdfs_graph::{CsrGraph, VertexId};
 use tdfs_gpu::warp::WarpOps;
+use tdfs_graph::{CsrGraph, VertexId};
 use tdfs_mem::{LevelStore, StackError};
 use tdfs_query::plan::QueryPlan;
 
@@ -187,7 +187,9 @@ pub fn fill_level<L: LevelStore>(
 
     if operands.len() == 2 {
         let mut err = None;
-        warp.intersect(operands[0], operands[1], |x| push_latched(dest, x, &mut err));
+        warp.intersect(operands[0], operands[1], |x| {
+            push_latched(dest, x, &mut err)
+        });
         return err.map_or(Ok(()), Err);
     }
 
@@ -299,7 +301,10 @@ mod tests {
         assert!(!accept(&g, &plan, 2, 1, &m, true));
         // Symmetry: K4 order requires ascending ids.
         assert!(accept(&g, &plan, 2, 3, &m, true));
-        assert!(!accept(&g, &plan, 2, 0, &m, true), "violates ascending order");
+        assert!(
+            !accept(&g, &plan, 2, 0, &m, true),
+            "violates ascending order"
+        );
         // Degree filter: K4 needs degree ≥ 3; every K5 vertex qualifies.
         assert!(accept(&g, &plan, 2, 4, &m, true));
     }

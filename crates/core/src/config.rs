@@ -11,6 +11,8 @@ use std::time::Duration;
 use tdfs_mem::OverflowPolicy;
 use tdfs_query::plan::PlanOptions;
 
+use crate::cancel::CancelFlag;
+
 /// Default timeout threshold `τ` (paper §IV: 10 ms).
 pub const DEFAULT_TAU: Duration = Duration::from_millis(10);
 
@@ -114,6 +116,11 @@ pub struct MatcherConfig {
     /// [`crate::engine::EngineError::TimeLimit`] — the analogue of the
     /// paper's ">1000 s ⇒ T" reporting convention (Fig. 11).
     pub time_limit: Option<Duration>,
+    /// Cooperative cancellation token, observed at the engines' periodic
+    /// deadline-poll sites. Unlike `time_limit`, a cancelled run returns
+    /// `Ok` with the partial count and [`crate::RunStats::cancelled`]
+    /// set. `None` = not cancellable.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl MatcherConfig {
@@ -136,6 +143,7 @@ impl MatcherConfig {
             chunk_size: tdfs_gpu::device::DEFAULT_CHUNK_SIZE,
             queue_capacity: tdfs_gpu::device::DEFAULT_QUEUE_CAPACITY,
             time_limit: None,
+            cancel: None,
         }
     }
 
@@ -229,6 +237,18 @@ impl MatcherConfig {
     pub fn with_time_limit(mut self, limit: Option<Duration>) -> Self {
         self.time_limit = limit;
         self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether the attached cancellation token (if any) has been raised.
+    #[inline]
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
     }
 
     /// Overrides the warp count.

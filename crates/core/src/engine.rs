@@ -19,16 +19,16 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tdfs_graph::CsrGraph;
 use tdfs_gpu::device::Device;
 use tdfs_gpu::queue::{Task, PAD};
 use tdfs_gpu::Clock;
+use tdfs_graph::CsrGraph;
 use tdfs_mem::{ArrayLevel, LevelStore, PagedLevel, StackError};
 use tdfs_query::plan::QueryPlan;
 
 use crate::candidates::{accept, fill_level, separate_injectivity_pass, Workspace};
-use crate::sink::MatchSink;
 use crate::config::{MatcherConfig, Strategy};
+use crate::sink::MatchSink;
 use crate::stack::{StackFactory, WarpStack};
 use crate::stats::{RunResult, RunStats};
 
@@ -115,6 +115,13 @@ impl SharedRun<'_> {
             }
             _ => false,
         }
+    }
+
+    /// External-cancellation check (no error is recorded: a cancelled
+    /// run completes with `Ok` and partial counts).
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.cfg.cancel_requested()
     }
 
     /// Number of initial tasks for the device cursor.
@@ -278,7 +285,10 @@ pub fn run_on_device_from(
                 }
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("warp panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("warp panicked"))
+            .collect()
     });
 
     if let Some(e) = shared.error.into_inner().expect("error mutex poisoned") {
@@ -299,16 +309,14 @@ pub fn run_on_device_from(
     {
         let child = shared.child_work.lock().expect("child work poisoned");
         let main_units = warp_outputs.iter().map(|o| o.warp_stats.work_units());
-        stats.warp_makespan = main_units
-            .chain(child.iter().copied())
-            .max()
-            .unwrap_or(0);
+        stats.warp_makespan = main_units.chain(child.iter().copied()).max().unwrap_or(0);
         stats.warp_work_total = warp_outputs
             .iter()
             .map(|o| o.warp_stats.work_units())
             .sum::<u64>()
             + child.iter().sum::<u64>();
     }
+    stats.cancelled = cfg.cancel_requested();
     stats.tasks_enqueued = device.queue.total_enqueued();
     stats.tasks_dequeued = device.queue.total_dequeued();
     stats.queue_rejections = device.queue.total_rejected_full();
@@ -363,7 +371,7 @@ where
     let mut registered_idle = false;
 
     'outer: loop {
-        if shared.failed() || shared.over_deadline() {
+        if shared.failed() || shared.over_deadline() || shared.cancelled() {
             break;
         }
         // ---- Work acquisition: queue first, then initial chunks. ----
@@ -390,7 +398,7 @@ where
             {
                 break 'outer;
             }
-            if shared.failed() {
+            if shared.failed() || shared.cancelled() {
                 break 'outer;
             }
             std::thread::yield_now();
@@ -406,7 +414,14 @@ where
                     2
                 } else {
                     let v3 = task.v3 as u32;
-                    if !accept(shared.g, shared.plan, 2, v3, &m, shared.cfg.fused_injectivity) {
+                    if !accept(
+                        shared.g,
+                        shared.plan,
+                        2,
+                        v3,
+                        &m,
+                        shared.cfg.fused_injectivity,
+                    ) {
                         continue;
                     }
                     m[2] = v3;
@@ -429,6 +444,9 @@ where
             Work::Chunk(range) => {
                 let mut decomposing = false;
                 for local in range {
+                    if shared.cancelled() {
+                        break;
+                    }
                     let global = shared.device.global_index(local);
                     let start_level = match &shared.source {
                         InitialSource::Arcs => {
@@ -561,16 +579,29 @@ where
 
     let mut steps = 0u32;
     loop {
-        // Periodic deadline poll (cheap: one branch per candidate, one
-        // clock read every 64 Ki candidates).
+        // Periodic stop poll (cheap: one branch per candidate, one
+        // atomic load every 1 Ki candidates for cancellation, one clock
+        // read every 64 Ki candidates for the deadline).
         steps = steps.wrapping_add(1);
-        if steps & 0xFFFF == 0 && shared.over_deadline() {
-            return Ok(());
+        if steps & 0x3FF == 0 {
+            if shared.cancelled() {
+                return Ok(());
+            }
+            if steps & 0xFFFF == 0 && shared.over_deadline() {
+                return Ok(());
+            }
         }
         if stack.iters[level] < stack.levels[level].len() {
             let v = stack.levels[level].get(stack.iters[level]);
             stack.iters[level] += 1;
-            if !accept(shared.g, shared.plan, level, v, m, shared.cfg.fused_injectivity) {
+            if !accept(
+                shared.g,
+                shared.plan,
+                level,
+                v,
+                m,
+                shared.cfg.fused_injectivity,
+            ) {
                 continue;
             }
             m[level] = v;
@@ -647,7 +678,14 @@ fn decompose_level<L: LevelStore>(
     while stack.iters[level] < stack.levels[level].len() {
         let w = stack.levels[level].get(stack.iters[level]);
         stack.iters[level] += 1;
-        if !accept(shared.g, shared.plan, level, w, m, shared.cfg.fused_injectivity) {
+        if !accept(
+            shared.g,
+            shared.plan,
+            level,
+            w,
+            m,
+            shared.cfg.fused_injectivity,
+        ) {
             continue;
         }
         if !shared.device.queue.enqueue(Task::triple(m[0], m[1], w)) {
@@ -713,7 +751,17 @@ where
             let mut local = 0u64;
             let mut t0 = shared.clock.now_ns();
             for v in chunk {
-                if !accept(shared.g, shared.plan, level, v, &m, shared.cfg.fused_injectivity) {
+                if shared.cancelled() {
+                    break;
+                }
+                if !accept(
+                    shared.g,
+                    shared.plan,
+                    level,
+                    v,
+                    &m,
+                    shared.cfg.fused_injectivity,
+                ) {
                     continue;
                 }
                 m[level] = v;
@@ -779,7 +827,11 @@ fn stack_truncated<L: LevelStore + StackMetrics>(stack: &WarpStack<L>) -> u64 {
 }
 
 fn stack_page_faults<L: LevelStore + StackMetrics>(stack: &WarpStack<L>) -> u64 {
-    stack.levels.iter().map(StackMetrics::level_page_faults).sum()
+    stack
+        .levels
+        .iter()
+        .map(StackMetrics::level_page_faults)
+        .sum()
 }
 
 /// Factory trait tying a [`StackFactory`] to a concrete level type.

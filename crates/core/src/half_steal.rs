@@ -13,12 +13,11 @@
 //! Stacks are fixed-capacity arrays, as in STMatch.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex as StdMutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-use tdfs_graph::CsrGraph;
 use tdfs_gpu::device::Device;
+use tdfs_graph::CsrGraph;
 use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, StackError};
 use tdfs_query::plan::QueryPlan;
 
@@ -134,7 +133,7 @@ pub fn run_with_sink(
     let matches = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
     let idle = AtomicUsize::new(0);
-    let error: StdMutex<Option<EngineError>> = StdMutex::new(None);
+    let error: Mutex<Option<EngineError>> = Mutex::new(None);
     let deadline = cfg.time_limit.map(|l| start + l);
     let edges_admitted = AtomicU64::new(0);
     let edges_filtered = AtomicU64::new(0);
@@ -172,7 +171,10 @@ pub fn run_with_sink(
                 )
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("warp panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("warp panicked"))
+            .collect()
     });
 
     if let Some(e) = error.into_inner().expect("poisoned") {
@@ -183,6 +185,7 @@ pub fn run_with_sink(
         steals: steals.load(Ordering::Relaxed),
         stack_bytes_peak: cfg.num_warps * k * capacity * 4,
         host_preprocess,
+        cancelled: cfg.cancel_requested(),
         ..RunStats::default()
     };
     for w in &warp_stats {
@@ -197,7 +200,13 @@ pub fn run_with_sink(
         stats.edges_filtered = (g.num_arcs() - e.len()) as u64;
     }
     for s in &states {
-        stats.candidates_truncated += s.lock().levels.iter().map(|l| l.truncated()).sum::<u64>();
+        stats.candidates_truncated += s
+            .lock()
+            .expect("stack lock poisoned")
+            .levels
+            .iter()
+            .map(|l| l.truncated())
+            .sum::<u64>();
     }
 
     Ok(RunResult {
@@ -218,7 +227,7 @@ fn warp_loop(
     matches: &AtomicU64,
     steals: &AtomicU64,
     idle: &AtomicUsize,
-    error: &StdMutex<Option<EngineError>>,
+    error: &Mutex<Option<EngineError>>,
     host_edges: Option<&[(u32, u32)]>,
     total: usize,
     edges_admitted: &AtomicU64,
@@ -236,6 +245,9 @@ fn warp_loop(
     'outer: loop {
         steps = steps.wrapping_add(1);
         if steps & 0x3FF == 0 {
+            if cfg.cancel_requested() {
+                break;
+            }
             if let Some(d) = deadline {
                 if Instant::now() > d {
                     error
@@ -251,7 +263,7 @@ fn warp_loop(
         }
         // ---- One DFS step under the stack lock (the measured cost). ----
         let outcome = {
-            let mut s = states[wid].lock();
+            let mut s = states[wid].lock().expect("stack lock poisoned");
             step(g, plan, cfg, &mut s, &mut ws, &mut local_matches, sink)
         };
         match outcome {
@@ -283,7 +295,7 @@ fn warp_loop(
                     edges_filtered.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let mut s = states[wid].lock();
+            let mut s = states[wid].lock().expect("stack lock poisoned");
             debug_assert!(!s.has_work());
             s.roots = roots;
             s.root_iter = 0;
@@ -295,7 +307,7 @@ fn warp_loop(
         let mut stolen = None;
         for off in 1..num_warps {
             let victim = (wid + off) % num_warps;
-            let mut v = states[victim].lock();
+            let mut v = states[victim].lock().expect("stack lock poisoned");
             if let Some(loot) = try_steal(&mut v, steal_forbidden) {
                 stolen = Some(loot);
                 break;
@@ -308,7 +320,7 @@ fn warp_loop(
                     registered_idle = false;
                 }
                 steals.fetch_add(1, Ordering::Relaxed);
-                let mut s = states[wid].lock();
+                let mut s = states[wid].lock().expect("stack lock poisoned");
                 match loot {
                     Loot::Roots(r) => {
                         s.roots = r;
@@ -413,7 +425,16 @@ fn step(
             }
             return Ok(true);
         }
-        fill_level(g, plan, level + 1, &s.m, &mut s.levels, ws, cfg.ct_index, s.entry)?;
+        fill_level(
+            g,
+            plan,
+            level + 1,
+            &s.m,
+            &mut s.levels,
+            ws,
+            cfg.ct_index,
+            s.entry,
+        )?;
         if !cfg.fused_injectivity {
             separate_injectivity_pass(&mut s.levels[level + 1], &s.m[..level + 1], ws)?;
         }

@@ -15,9 +15,9 @@
 
 use std::time::Instant;
 
-use tdfs_graph::CsrGraph;
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
+use tdfs_graph::CsrGraph;
 use tdfs_query::plan::QueryPlan;
 
 use crate::bfs::candidates_of;
@@ -56,6 +56,12 @@ pub fn run(
     let mut ws = Workspace::new();
 
     while stride < k {
+        // Cancellation during the BFS phase: fall through to the DFS
+        // phase, which observes the same token immediately and returns
+        // the partial result with `stats.cancelled` set.
+        if cfg.cancel_requested() {
+            break;
+        }
         if let Some(d) = deadline {
             if Instant::now() > d {
                 return Err(EngineError::TimeLimit);
@@ -106,9 +112,7 @@ pub fn run(
     let device = Device::in_group(0, 1, cfg.num_warps, cfg.chunk_size, cfg.queue_capacity);
     // Remaining time budget only.
     let dfs_cfg = MatcherConfig {
-        time_limit: cfg
-            .time_limit
-            .map(|l| l.saturating_sub(start.elapsed())),
+        time_limit: cfg.time_limit.map(|l| l.saturating_sub(start.elapsed())),
         strategy: crate::config::Strategy::Timeout {
             tau: match cfg.strategy {
                 crate::config::Strategy::Timeout { tau } => tau,

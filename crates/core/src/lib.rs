@@ -34,6 +34,7 @@
 //! ```
 
 pub mod bfs;
+pub mod cancel;
 pub mod candidates;
 pub mod config;
 pub mod engine;
@@ -45,6 +46,7 @@ pub mod sink;
 pub mod stack;
 pub mod stats;
 
+pub use cancel::CancelFlag;
 pub use config::{ArrayCapacity, MatcherConfig, StackConfig, Strategy};
 pub use engine::EngineError;
 pub use multi::{run_multi_device, MultiDeviceResult};
@@ -52,9 +54,9 @@ pub use reference::{reference_count, reference_count_pattern};
 pub use sink::{CollectSink, FnSink, MatchSink};
 pub use stats::{RunResult, RunStats};
 
-use tdfs_graph::CsrGraph;
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
+use tdfs_graph::CsrGraph;
 use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
 
@@ -98,11 +100,19 @@ pub fn match_plan_with_sink(
     }
 }
 
-/// Finds up to `limit` concrete matches (plus the full count).
+/// Finds up to `limit` concrete matches (plus the match count).
 ///
 /// Returned assignments are **pattern-vertex indexed**: `m[u]` is the
 /// data vertex matched to pattern vertex `u`. Order across matches is
-/// nondeterministic (warps race); the count in the result is exact.
+/// nondeterministic (warps race).
+///
+/// Once `limit` matches are collected the run is cancelled cooperatively
+/// instead of enumerating the rest of the space: the returned count is
+/// then *partial* (at least `limit`) and `result.stats.cancelled` is
+/// set. A run that finishes under the limit reports the exact count with
+/// `cancelled` unset. The early exit reuses the caller's
+/// [`MatcherConfig::cancel`] token when one is attached (so an external
+/// cancel also stops the collection), and a private token otherwise.
 pub fn find_matches(
     g: &CsrGraph,
     pattern: &Pattern,
@@ -110,8 +120,10 @@ pub fn find_matches(
     limit: usize,
 ) -> Result<(RunResult, Vec<Vec<u32>>), EngineError> {
     let plan = QueryPlan::build_with(pattern, cfg.plan);
-    let collector = CollectSink::new(limit);
-    let result = match_plan_with_sink(g, &plan, cfg, Some(&collector))?;
+    let flag = cfg.cancel.clone().unwrap_or_default();
+    let collector = CollectSink::with_cancel(limit, flag.clone());
+    let cfg = cfg.clone().with_cancel(flag);
+    let result = match_plan_with_sink(g, &plan, &cfg, Some(&collector))?;
     let k = plan.k();
     let matches = collector
         .into_matches()

@@ -7,9 +7,9 @@
 
 use std::time::{Duration, Instant};
 
-use tdfs_graph::CsrGraph;
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
+use tdfs_graph::CsrGraph;
 use tdfs_query::plan::QueryPlan;
 
 use crate::config::{MatcherConfig, Strategy};

@@ -5,7 +5,9 @@
 //! unconditional (and what the benchmarks measure, as in the paper);
 //! sinks additionally receive the concrete assignments.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
+use crate::cancel::CancelFlag;
 
 /// Thread-safe consumer of emitted matches.
 ///
@@ -24,6 +26,9 @@ pub trait MatchSink: Sync {
 pub struct CollectSink {
     cap: usize,
     out: Mutex<Vec<Vec<u32>>>,
+    /// Raised when the collector fills, so the producing run can stop
+    /// instead of enumerating (and discarding) the rest of the space.
+    full: Option<CancelFlag>,
 }
 
 impl CollectSink {
@@ -33,17 +38,30 @@ impl CollectSink {
         Self {
             cap,
             out: Mutex::new(Vec::new()),
+            full: None,
+        }
+    }
+
+    /// [`CollectSink::new`], additionally raising `flag` once `cap`
+    /// matches have been collected. Attach the same flag to the run's
+    /// [`crate::MatcherConfig::cancel`] and the engines stop early
+    /// instead of running the enumeration to completion.
+    pub fn with_cancel(cap: usize, flag: CancelFlag) -> Self {
+        Self {
+            cap,
+            out: Mutex::new(Vec::new()),
+            full: Some(flag),
         }
     }
 
     /// Takes the collected matches.
     pub fn into_matches(self) -> Vec<Vec<u32>> {
-        self.out.into_inner()
+        self.out.into_inner().expect("collect sink poisoned")
     }
 
     /// Number collected so far.
     pub fn len(&self) -> usize {
-        self.out.lock().len()
+        self.out.lock().expect("collect sink poisoned").len()
     }
 
     /// Whether nothing was collected.
@@ -54,9 +72,14 @@ impl CollectSink {
 
 impl MatchSink for CollectSink {
     fn emit(&self, m: &[u32]) {
-        let mut guard = self.out.lock();
+        let mut guard = self.out.lock().expect("collect sink poisoned");
         if guard.len() < self.cap {
             guard.push(m.to_vec());
+        }
+        if guard.len() >= self.cap {
+            if let Some(flag) = &self.full {
+                flag.cancel();
+            }
         }
     }
 }

@@ -83,7 +83,9 @@ impl WarpStack<ArrayLevel> {
     pub fn new_array(factory: &StackFactory, k: usize) -> Self {
         match factory {
             StackFactory::Array { capacity, policy } => Self {
-                levels: (0..k).map(|_| ArrayLevel::new(*capacity, *policy)).collect(),
+                levels: (0..k)
+                    .map(|_| ArrayLevel::new(*capacity, *policy))
+                    .collect(),
                 iters: vec![0; k],
             },
             StackFactory::Paged { .. } => panic!("factory is paged"),

@@ -55,6 +55,10 @@ pub struct RunStats {
     pub warp_makespan: u64,
     /// Total work units across warps (virtual device throughput basis).
     pub warp_work_total: u64,
+    /// Whether the run stopped early because its
+    /// [`crate::cancel::CancelFlag`] was raised; the match count is then
+    /// a partial count.
+    pub cancelled: bool,
 }
 
 impl RunStats {
@@ -77,6 +81,7 @@ impl RunStats {
         self.bfs_batches += other.bfs_batches;
         self.warp_makespan = self.warp_makespan.max(other.warp_makespan);
         self.warp_work_total += other.warp_work_total;
+        self.cancelled |= other.cancelled;
     }
 }
 
@@ -154,6 +159,9 @@ impl RunStats {
         if self.bfs_batches > 0 {
             line(format!("bfs batches/levels: {}", self.bfs_batches));
         }
+        if self.cancelled {
+            line("run cancelled: counts are partial".to_owned());
+        }
         out
     }
 }
@@ -193,7 +201,13 @@ mod tests {
             ..Default::default()
         }
         .summary();
-        for needle in ["42 enqueued", "3 steals", "2.000 MB", "5.00 ms", "bfs batches"] {
+        for needle in [
+            "42 enqueued",
+            "3 steals",
+            "2.000 MB",
+            "5.00 ms",
+            "bfs batches",
+        ] {
             assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
         }
     }

@@ -97,7 +97,9 @@ fn new_kernel_cap_falls_back_in_place() {
     // level; the cap forces in-place fallback and the count must hold.
     let g = barabasi_albert(400, 4, 9);
     let cfg = MatcherConfig {
-        strategy: Strategy::NewKernel { fanout_threshold: 1 },
+        strategy: Strategy::NewKernel {
+            fanout_threshold: 1,
+        },
         ..MatcherConfig::egsm_like().with_warps(2)
     };
     let want = {

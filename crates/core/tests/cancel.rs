@@ -1,0 +1,111 @@
+//! Cooperative-cancellation behaviour: every engine must observe a
+//! raised [`CancelFlag`], stop promptly, and report `Ok` with a partial
+//! count and `stats.cancelled` set — never an error, and never a count
+//! above the true total.
+
+use std::time::{Duration, Instant};
+
+use tdfs_core::{match_pattern, reference_count, CancelFlag, MatcherConfig};
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::PatternId;
+
+fn engines() -> Vec<MatcherConfig> {
+    vec![
+        MatcherConfig::tdfs().with_warps(2),
+        MatcherConfig::no_steal().with_warps(2),
+        MatcherConfig::stmatch_like().with_warps(2),
+        MatcherConfig::pbe_like().with_warps(2),
+        MatcherConfig::egsm_like().with_warps(2),
+        MatcherConfig::hybrid().with_warps(2),
+    ]
+}
+
+#[test]
+fn pre_raised_flag_stops_every_engine() {
+    let g = barabasi_albert(200, 4, 11);
+    let p = PatternId(1).pattern();
+    for cfg in engines() {
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let cfg = cfg.with_cancel(flag);
+        let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
+        let r = match_pattern(&g, &p, &cfg).unwrap();
+        assert!(
+            r.stats.cancelled,
+            "{:?} must report cancellation",
+            cfg.strategy
+        );
+        assert!(
+            r.matches <= want,
+            "{:?}: partial count {} exceeds total {}",
+            cfg.strategy,
+            r.matches,
+            want
+        );
+    }
+}
+
+#[test]
+fn unraised_flag_changes_nothing() {
+    let g = barabasi_albert(200, 4, 12);
+    let p = PatternId(3).pattern();
+    for cfg in engines() {
+        let cfg = cfg.with_cancel(CancelFlag::new());
+        let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
+        let r = match_pattern(&g, &p, &cfg).unwrap();
+        assert!(!r.stats.cancelled);
+        assert_eq!(r.matches, want, "{:?}", cfg.strategy);
+    }
+}
+
+#[test]
+fn mid_run_cancel_returns_promptly() {
+    // A dense graph with a 5-vertex pattern: long enough that the cancel
+    // lands mid-run, and the pre/post wall-time contrast is meaningful.
+    let g = barabasi_albert(3000, 16, 13);
+    let p = PatternId(8).pattern();
+    let flag = CancelFlag::new();
+    let cfg = MatcherConfig::tdfs()
+        .with_warps(4)
+        .with_cancel(flag.clone());
+    let canceller = {
+        let flag = flag.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.cancel();
+        })
+    };
+    let start = Instant::now();
+    let r = match_pattern(&g, &p, &cfg).unwrap();
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    // Either the run beat the canceller (tiny machine variance) or it
+    // was cancelled; when cancelled it must wind down quickly.
+    if r.stats.cancelled {
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "cancelled run took {elapsed:?} to wind down"
+        );
+    }
+}
+
+#[test]
+fn deadline_still_errors_while_cancel_returns_ok() {
+    let g = barabasi_albert(500, 8, 14);
+    let p = PatternId(8).pattern();
+    // An expired deadline surfaces as Err(TimeLimit)…
+    let cfg = MatcherConfig::tdfs()
+        .with_warps(2)
+        .with_time_limit(Some(Duration::ZERO));
+    assert!(matches!(
+        match_pattern(&g, &p, &cfg),
+        Err(tdfs_core::EngineError::TimeLimit)
+    ));
+    // …while a raised cancel token on the same run is Ok + partial.
+    let flag = CancelFlag::new();
+    flag.cancel();
+    let cfg = MatcherConfig::tdfs().with_warps(2).with_cancel(flag);
+    let r = match_pattern(&g, &p, &cfg).unwrap();
+    assert!(r.stats.cancelled);
+}

@@ -95,16 +95,23 @@ fn emitted_matches_are_valid_embeddings_for_every_engine() {
 }
 
 #[test]
-fn limit_caps_collection_but_not_count() {
+fn limit_stops_the_run_early_with_partial_count() {
     let g = barabasi_albert(300, 5, 6);
     let p = PatternId(1).pattern();
     let cfg = MatcherConfig::tdfs().with_warps(2);
+    // Unlimited: exact count, one collected match per counted match,
+    // no cancellation.
     let (full, all) = find_matches(&g, &p, &cfg, usize::MAX).unwrap();
     assert!(full.matches > 10);
-    let (capped, few) = find_matches(&g, &p, &cfg, 3).unwrap();
-    assert_eq!(capped.matches, full.matches, "count unaffected by limit");
-    assert_eq!(few.len(), 3);
     assert_eq!(all.len() as u64, full.matches);
+    assert!(!full.stats.cancelled);
+    // Limited: the run is cancelled once the collector fills; the count
+    // is partial — at least the limit, at most the true total.
+    let (capped, few) = find_matches(&g, &p, &cfg, 3).unwrap();
+    assert_eq!(few.len(), 3);
+    assert!(capped.stats.cancelled, "filled collector cancels the run");
+    assert!(capped.matches >= 3);
+    assert!(capped.matches <= full.matches);
 }
 
 #[test]

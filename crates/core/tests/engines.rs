@@ -46,7 +46,9 @@ fn no_steal_matches_reference() {
     let (_, g) = &small_graphs()[0];
     for id in [1u8, 2, 5, 8, 11] {
         let cfg = MatcherConfig::no_steal().with_warps(3);
-        let got = match_pattern(g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+        let got = match_pattern(g, &PatternId(id).pattern(), &cfg)
+            .unwrap()
+            .matches;
         assert_eq!(got, expected(g, PatternId(id), cfg.plan), "P{id}");
     }
 }
@@ -56,7 +58,9 @@ fn stmatch_model_matches_reference() {
     for (name, g) in small_graphs() {
         for id in [1u8, 2, 4, 8, 13, 19] {
             let cfg = MatcherConfig::stmatch_like().with_warps(4);
-            let got = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+            let got = match_pattern(&g, &PatternId(id).pattern(), &cfg)
+                .unwrap()
+                .matches;
             assert_eq!(
                 got,
                 expected(&g, PatternId(id), cfg.plan),
@@ -89,7 +93,9 @@ fn pbe_model_matches_reference() {
     for (name, g) in small_graphs() {
         for id in [1u8, 2, 5, 8, 11] {
             let cfg = MatcherConfig::pbe_like().with_warps(4);
-            let got = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+            let got = match_pattern(&g, &PatternId(id).pattern(), &cfg)
+                .unwrap()
+                .matches;
             assert_eq!(
                 got,
                 expected(&g, PatternId(id), cfg.plan),
@@ -239,7 +245,9 @@ fn hybrid_engine_through_public_api() {
     let g = barabasi_albert(300, 4, 111);
     for id in [1u8, 4, 8, 13] {
         let cfg = MatcherConfig::hybrid().with_warps(3);
-        let got = match_pattern(&g, &PatternId(id).pattern(), &cfg).unwrap().matches;
+        let got = match_pattern(&g, &PatternId(id).pattern(), &cfg)
+            .unwrap()
+            .matches;
         assert_eq!(got, expected(&g, PatternId(id), cfg.plan), "hybrid P{id}");
     }
     // Tiny budget hybrid = DFS; huge budget = BFS almost to the end.
@@ -251,7 +259,9 @@ fn hybrid_engine_through_public_api() {
             },
             ..MatcherConfig::tdfs().with_warps(2)
         };
-        let got = match_pattern(&g, &PatternId(4).pattern(), &cfg).unwrap().matches;
+        let got = match_pattern(&g, &PatternId(4).pattern(), &cfg)
+            .unwrap()
+            .matches;
         assert_eq!(got, expected(&g, PatternId(4), cfg.plan), "budget {budget}");
     }
 }

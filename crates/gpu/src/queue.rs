@@ -3,15 +3,27 @@
 //! The queue is an array of `N` atomic `i32` slots (N a multiple of 3)
 //! used as a ring buffer. Each task occupies three consecutive slots;
 //! `-1` marks an empty slot, `-2` pads tasks that carry only a 2-vertex
-//! prefix. Enqueue/dequeue are the paper's algorithm line-by-line:
+//! prefix. Enqueue/dequeue follow the paper's algorithm:
 //!
 //! - a fast atomic add on `size` admits or rejects the operation
 //!   (cancelled with the inverse add on failure);
 //! - an atomic add on `back`/`front` claims the slot triple;
-//! - per-slot CAS (`-1 → value`) on enqueue and exchange (`value → -1`)
-//!   on dequeue hand the payload across, spinning briefly when a slot
-//!   claimed by index is still being drained/filled by a racing
-//!   operation (the paper's `__nanosleep(10)`).
+//! - the payload is handed across the claimed triple, spinning briefly
+//!   when the cell is still owned by a racing operation (the paper's
+//!   `__nanosleep(10)`).
+//!
+//! One deliberate deviation from the paper's line-by-line `-1`-CAS
+//! handoff: each task cell carries a sequence ticket (`seq`). The CAS
+//! transcription is unsound once `back` wraps — a writer stalled after
+//! claiming a cell can interleave its three stores with a second writer
+//! that lapped the ring (admitted because intervening dequeues released
+//! `size`), and a reader then observes a *mixed* task. With the paper's
+//! 1 M-task queue the lap is unreachable in practice, which is likely
+//! why the original never hits it; our tests run capacities as small as
+//! 2 tasks where it reproduces readily. Tickets give each claim
+//! exclusive cell ownership in ring order (Vyukov-style bounded MPMC)
+//! while preserving the paper's size-based admission, head/tail
+//! counters, and rejection semantics.
 //!
 //! There are no locks; contention is limited to the queue's own counters
 //! exactly as argued in §III ("we only utilize atomic operations … for
@@ -73,6 +85,11 @@ impl Task {
 /// 1 M tasks); our scaled default is 64 Ki tasks, adjustable per device.
 pub struct TaskQueue {
     slots: Box<[AtomicI32]>,
+    /// Per-task-cell sequence tickets; cell `i` starts at `i`. A cell is
+    /// writable by enqueue ticket `t` when `seq == t` and readable by
+    /// dequeue ticket `t` when `seq == t + 1`; the reader hands the cell
+    /// to the next lap by storing `t + capacity`.
+    seq: Box<[AtomicU64]>,
     size: AtomicI64,
     front: AtomicU64,
     back: AtomicU64,
@@ -88,8 +105,10 @@ impl TaskQueue {
         assert!(capacity_tasks >= 1, "queue needs at least one task slot");
         let n = capacity_tasks * 3;
         let slots = (0..n).map(|_| AtomicI32::new(EMPTY)).collect();
+        let seq = (0..capacity_tasks as u64).map(AtomicU64::new).collect();
         Self {
             slots,
+            seq,
             size: AtomicI64::new(0),
             front: AtomicU64::new(0),
             back: AtomicU64::new(0),
@@ -119,6 +138,7 @@ impl TaskQueue {
     /// Paper Alg. 3 lines 3–14. Returns `false` when the queue is full.
     pub fn enqueue(&self, task: Task) -> bool {
         let n = self.slots.len() as i64;
+        let cap = self.seq.len() as u64;
         // Line 4: register space usage.
         let old = self.size.fetch_add(3, Ordering::AcqRel);
         if old >= n {
@@ -128,27 +148,30 @@ impl TaskQueue {
             return false;
         }
         self.peak_size.fetch_max(old + 3, Ordering::Relaxed);
-        // Line 7: claim the slot triple (monotonic counter, mod N on use;
-        // N is a multiple of 3 so triples never straddle the wrap).
-        let pos = (self.back.fetch_add(3, Ordering::AcqRel) % n as u64) as usize;
-        // Lines 8–13: hand off each element, waiting for the slot to be
-        // drained if a racing dequeue at full capacity still owns it.
+        // Line 7: claim the cell (monotonic ticket, mod capacity on use).
+        let ticket = self.back.fetch_add(1, Ordering::AcqRel);
+        let cell = (ticket % cap) as usize;
+        // Wait for exclusive write ownership of the cell: the previous
+        // lap's reader must have released it (see the module docs for why
+        // the paper's `-1`-CAS handoff is insufficient here).
+        while self.seq[cell].load(Ordering::Acquire) != ticket {
+            std::hint::spin_loop();
+        }
+        // Lines 8–13: hand off the payload.
+        let pos = cell * 3;
         for (k, v) in [task.v1, task.v2, task.v3].into_iter().enumerate() {
             debug_assert!(v >= 0 || v == PAD, "task payload must not be −1");
-            while self.slots[pos + k]
-                .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                std::hint::spin_loop();
-            }
+            self.slots[pos + k].store(v, Ordering::Relaxed);
         }
+        // Publish: the cell is now readable by dequeue ticket `ticket`.
+        self.seq[cell].store(ticket + 1, Ordering::Release);
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         true
     }
 
     /// Paper Alg. 3 lines 15–26. Returns `None` when the queue is empty.
     pub fn dequeue(&self) -> Option<Task> {
-        let n = self.slots.len() as i64;
+        let cap = self.seq.len() as u64;
         // Line 16: register space release.
         let old = self.size.fetch_sub(3, Ordering::AcqRel);
         if old <= 0 {
@@ -156,21 +179,22 @@ impl TaskQueue {
             self.size.fetch_add(3, Ordering::AcqRel);
             return None;
         }
-        // Line 19: claim the slot triple.
-        let pos = (self.front.fetch_add(3, Ordering::AcqRel) % n as u64) as usize;
-        // Lines 20–25: take each element, waiting for a racing enqueue to
-        // finish filling the slot.
+        // Line 19: claim the cell.
+        let ticket = self.front.fetch_add(1, Ordering::AcqRel);
+        let cell = (ticket % cap) as usize;
+        // Lines 20–25: wait for the racing enqueue with the same ticket
+        // to finish filling the cell, then take the payload.
+        while self.seq[cell].load(Ordering::Acquire) != ticket + 1 {
+            std::hint::spin_loop();
+        }
+        let pos = cell * 3;
         let mut vals = [EMPTY; 3];
         for (k, slot) in vals.iter_mut().enumerate() {
-            loop {
-                let v = self.slots[pos + k].swap(EMPTY, Ordering::AcqRel);
-                if v != EMPTY {
-                    *slot = v;
-                    break;
-                }
-                std::hint::spin_loop();
-            }
+            *slot = self.slots[pos + k].swap(EMPTY, Ordering::Relaxed);
+            debug_assert_ne!(*slot, EMPTY, "ticketed cell must be filled");
         }
+        // Release the cell to the enqueue ticket one lap ahead.
+        self.seq[cell].store(ticket + cap, Ordering::Release);
         self.dequeued.fetch_add(1, Ordering::Relaxed);
         Some(Task {
             v1: vals[0],
@@ -305,9 +329,7 @@ mod tests {
                         cs.fetch_add(t.v1 as u64, Ordering::Relaxed);
                     }
                     None => {
-                        if done.load(Ordering::Relaxed) == 1
-                            && q.is_empty()
-                        {
+                        if done.load(Ordering::Relaxed) == 1 && q.is_empty() {
                             break;
                         }
                         std::thread::yield_now();
@@ -327,6 +349,55 @@ mod tests {
             produced_sum.load(Ordering::Relaxed),
             consumed_sum.load(Ordering::Relaxed),
             "every enqueued task must be dequeued exactly once"
+        );
+        assert_eq!(q.total_enqueued(), (THREADS * PER_THREAD) as u64);
+        assert_eq!(q.total_dequeued(), (THREADS * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn tiny_queue_wrap_contention_no_mixing() {
+        // Regression: with a 2-task ring and mixed producers/consumers,
+        // the paper's `-1`-CAS handoff let a stalled writer interleave
+        // its stores with a writer one lap ahead, yielding mixed tasks.
+        // Each thread round-trips tagged triples; any mixing trips the
+        // v1==v2==v3 check, any loss/duplication breaks the final sums.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = std::sync::Arc::new(TaskQueue::new(2));
+        let in_sum = std::sync::Arc::new(AtomicU64::new(0));
+        let out_sum = std::sync::Arc::new(AtomicU64::new(0));
+        const PER_THREAD: u32 = 20_000;
+        const THREADS: u32 = 4;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let q = q.clone();
+            let in_sum = in_sum.clone();
+            let out_sum = out_sum.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = t * PER_THREAD + i + 1;
+                    while !q.enqueue(Task::triple(v, v, v)) {
+                        std::hint::spin_loop();
+                    }
+                    in_sum.fetch_add(v as u64, Ordering::Relaxed);
+                    loop {
+                        if let Some(got) = q.dequeue() {
+                            assert_eq!(got.v1, got.v2, "mixed task payload");
+                            assert_eq!(got.v2, got.v3, "mixed task payload");
+                            out_sum.fetch_add(got.v1 as u64, Ordering::Relaxed);
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+        assert_eq!(
+            in_sum.load(Ordering::Relaxed),
+            out_sum.load(Ordering::Relaxed)
         );
         assert_eq!(q.total_enqueued(), (THREADS * PER_THREAD) as u64);
         assert_eq!(q.total_dequeued(), (THREADS * PER_THREAD) as u64);

@@ -40,7 +40,10 @@ impl WarpStats {
         // A lane probe is a binary search (~8 cycles on average for our
         // list sizes); an emit is a compacted write; a batch carries
         // fixed ballot/sync overhead; an indirection is one dereference.
-        self.elements_probed * 8 + self.elements_emitted + self.batches * 4 + self.extra_indirections
+        self.elements_probed * 8
+            + self.elements_emitted
+            + self.batches * 4
+            + self.extra_indirections
     }
 }
 
@@ -205,7 +208,12 @@ mod tests {
     fn filtered_intersection() {
         let mut w = WarpOps::new();
         let mut out = Vec::new();
-        w.intersect_filtered(&[1, 2, 3, 4, 5], &[2, 3, 4], |x| x % 2 == 0, |x| out.push(x));
+        w.intersect_filtered(
+            &[1, 2, 3, 4, 5],
+            &[2, 3, 4],
+            |x| x % 2 == 0,
+            |x| out.push(x),
+        );
         assert_eq!(out, vec![2, 4]);
     }
 

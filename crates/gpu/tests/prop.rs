@@ -1,78 +1,98 @@
-//! Property-based tests for the warp execution model: the queue under
-//! random operation sequences behaves like a bounded FIFO, and the warp
-//! kernels agree with their scalar definitions.
+//! Randomized tests for the warp execution model (internal-PRNG-driven):
+//! the queue under random operation sequences behaves like a bounded
+//! FIFO, and the warp kernels agree with their scalar definitions.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use tdfs_gpu::queue::{Task, TaskQueue, PAD};
 use tdfs_gpu::warp::WarpOps;
+use tdfs_graph::rng::Rng;
 
-fn arb_task() -> impl Strategy<Value = Task> {
-    (0u32..10_000, 0u32..10_000, prop::option::of(0u32..10_000)).prop_map(|(a, b, c)| match c {
-        Some(c) => Task::triple(a, b, c),
-        None => Task::pair(a, b),
-    })
+const CASES: u64 = 128;
+
+fn random_task(rng: &mut Rng) -> Task {
+    let a = rng.gen_range_u32(0..10_000);
+    let b = rng.gen_range_u32(0..10_000);
+    if rng.gen_bool() {
+        Task::triple(a, b, rng.gen_range_u32(0..10_000))
+    } else {
+        Task::pair(a, b)
+    }
 }
 
-proptest! {
-    #[test]
-    fn queue_is_a_bounded_fifo(
-        cap in 1usize..16,
-        ops in prop::collection::vec((any::<bool>(), arb_task()), 0..300),
-    ) {
+fn random_sorted_set(rng: &mut Rng, max: u32, len: usize) -> Vec<u32> {
+    let n = rng.gen_range(0..len);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range_u32(0..max)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn queue_is_a_bounded_fifo() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xF1F0 + case);
+        let cap = rng.gen_range(1..16);
         let q = TaskQueue::new(cap);
         let mut model: VecDeque<Task> = VecDeque::new();
-        for (enq, task) in ops {
-            if enq {
+        for _ in 0..rng.gen_range(1..300) {
+            if rng.gen_bool() {
+                let task = random_task(&mut rng);
                 let accepted = q.enqueue(task);
-                prop_assert_eq!(accepted, model.len() < cap, "fullness mismatch");
+                assert_eq!(accepted, model.len() < cap, "fullness mismatch");
                 if accepted {
                     model.push_back(task);
                 }
             } else {
                 let got = q.dequeue();
-                prop_assert_eq!(got, model.pop_front(), "FIFO order mismatch");
+                assert_eq!(got, model.pop_front(), "FIFO order mismatch");
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.is_empty(), model.is_empty());
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.is_empty(), model.is_empty());
         }
     }
+}
 
-    #[test]
-    fn task_prefix_roundtrip(t in arb_task()) {
+#[test]
+fn task_prefix_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x7A5C);
+    for _ in 0..1000 {
+        let t = random_task(&mut rng);
         if t.v3 == PAD {
-            prop_assert_eq!(t.prefix_len(), 2);
+            assert_eq!(t.prefix_len(), 2);
         } else {
-            prop_assert_eq!(t.prefix_len(), 3);
+            assert_eq!(t.prefix_len(), 3);
         }
     }
+}
 
-    #[test]
-    fn warp_intersect_matches_scalar(
-        a in prop::collection::btree_set(0u32..4000, 0..300),
-        b in prop::collection::btree_set(0u32..4000, 0..300),
-    ) {
-        let a: Vec<u32> = a.into_iter().collect();
-        let b: Vec<u32> = b.into_iter().collect();
+#[test]
+fn warp_intersect_matches_scalar() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1A7E + case);
+        let a = random_sorted_set(&mut rng, 4000, 300);
+        let b = random_sorted_set(&mut rng, 4000, 300);
         let mut w = WarpOps::new();
         let mut got = Vec::new();
         w.intersect(&a, &b, |x| got.push(x));
         let mut expect = Vec::new();
         tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
-        prop_assert_eq!(got, expect);
-        prop_assert_eq!(w.stats.elements_probed, a.len() as u64);
-        prop_assert_eq!(w.stats.batches, a.chunks(32).count() as u64);
+        assert_eq!(got, expect);
+        assert_eq!(w.stats.elements_probed, a.len() as u64);
+        assert_eq!(w.stats.batches, a.chunks(32).count() as u64);
     }
+}
 
-    #[test]
-    fn warp_filter_is_order_preserving_filter(
-        a in prop::collection::vec(0u32..1000, 0..200),
-        modulus in 1u32..7,
-    ) {
+#[test]
+fn warp_filter_is_order_preserving_filter() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xF117 + case);
+        let n = rng.gen_range(0..200);
+        let a: Vec<u32> = (0..n).map(|_| rng.gen_range_u32(0..1000)).collect();
+        let modulus = rng.gen_range_u32(1..7);
         let mut w = WarpOps::new();
         let mut got = Vec::new();
         w.filter(&a, |x| x % modulus == 0, |x| got.push(x));
         let expect: Vec<u32> = a.iter().copied().filter(|x| x % modulus == 0).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }

@@ -29,8 +29,8 @@ use std::sync::{Mutex, OnceLock};
 
 use crate::csr::CsrGraph;
 use crate::generators::{
-    add_isolated_star, add_twin_hubs, barabasi_albert, community_graph, erdos_renyi,
-    random_labels, star_hub_graph,
+    add_isolated_star, add_twin_hubs, barabasi_albert, community_graph, erdos_renyi, random_labels,
+    star_hub_graph,
 };
 use crate::stats::GraphStats;
 

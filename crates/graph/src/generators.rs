@@ -4,12 +4,9 @@
 //! are unavailable offline). Every generator is deterministic given its
 //! seed, so all experiments are reproducible bit-for-bit.
 
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, Label, VertexId};
+use crate::rng::{Rng, WeightedIndex};
 
 /// Barabási–Albert preferential attachment: `n` vertices, each new vertex
 /// attaches `m` edges to existing vertices with probability proportional
@@ -18,7 +15,7 @@ use crate::csr::{CsrGraph, Label, VertexId};
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(m >= 1, "attachment count must be ≥ 1");
     assert!(n > m, "need more vertices than the attachment count");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_edge_capacity(n * m);
     // Repeated-endpoint list: each edge endpoint appears once, so sampling
     // uniformly from it is preferential attachment.
@@ -53,13 +50,13 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
 /// Erdős–Rényi G(n, m): `m` uniform random edges. Flat degree
 /// distribution — the stand-in shape for cit-Patents.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_edge_capacity(m);
     let mut added = 0usize;
     // Oversample slightly; the builder dedups.
     while added < m + m / 8 {
-        let u = rng.gen_range(0..n as VertexId);
-        let v = rng.gen_range(0..n as VertexId);
+        let u = rng.gen_range_u32(0..n as VertexId);
+        let v = rng.gen_range_u32(0..n as VertexId);
         if u != v {
             builder.push_edge(u, v);
         }
@@ -74,8 +71,8 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
 pub fn rmat(scale: u32, edge_factor: usize, probs: [f64; 4], seed: u64) -> CsrGraph {
     let n = 1usize << scale;
     let m = n * edge_factor;
-    let dist = WeightedIndex::new(probs).expect("probabilities must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let dist = WeightedIndex::new(&probs);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_edge_capacity(m);
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
@@ -109,7 +106,7 @@ pub fn community_graph(
     seed: u64,
 ) -> CsrGraph {
     assert!(communities >= 1 && n >= communities);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let block = n / communities;
     let mut builder = GraphBuilder::with_edge_capacity(n * intra_degree / 2 + inter_edges);
     for c in 0..communities {
@@ -148,16 +145,10 @@ pub fn community_graph(
 /// counts explode combinatorially, which no simulator-scale budget can
 /// enumerate, while star hubs stress exactly what the paper studies:
 /// stack-level capacity (`d_max`) and straggler tasks rooted at hubs.
-pub fn star_hub_graph(
-    n: usize,
-    m: usize,
-    hubs: usize,
-    hub_degree: usize,
-    seed: u64,
-) -> CsrGraph {
+pub fn star_hub_graph(n: usize, m: usize, hubs: usize, hub_degree: usize, seed: u64) -> CsrGraph {
     assert!(hub_degree < n, "hub degree must be below vertex count");
     let base = barabasi_albert(n, m, seed);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00dd_ba11);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x00dd_ba11);
     let mut builder = GraphBuilder::with_edge_capacity(base.num_edges() + hubs * hub_degree);
     for (u, v) in base.arcs() {
         if u < v {
@@ -168,7 +159,7 @@ pub fn star_hub_graph(
         let hub = (n + h) as VertexId;
         let mut attached = 0usize;
         while attached < hub_degree {
-            let t = rng.gen_range(0..n as VertexId);
+            let t = rng.gen_range_u32(0..n as VertexId);
             builder.push_edge(hub, t);
             attached += 1;
         }
@@ -184,16 +175,12 @@ pub fn star_hub_graph(
 /// shared_degree`, so its state-space subtree dwarfs every other edge's
 /// — exactly the workload that defeats static assignment and that the
 /// timeout mechanism (or stealing) must decompose.
-pub fn add_twin_hubs(
-    g: &CsrGraph,
-    pairs: usize,
-    shared_degree: usize,
-    seed: u64,
-) -> CsrGraph {
+pub fn add_twin_hubs(g: &CsrGraph, pairs: usize, shared_degree: usize, seed: u64) -> CsrGraph {
     let n = g.num_vertices();
     assert!(shared_degree < n);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7717_4a1d);
-    let mut builder = GraphBuilder::with_edge_capacity(g.num_edges() + pairs * (2 * shared_degree + 1));
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7717_4a1d);
+    let mut builder =
+        GraphBuilder::with_edge_capacity(g.num_edges() + pairs * (2 * shared_degree + 1));
     for (u, v) in g.arcs() {
         if u < v {
             builder.push_edge(u, v);
@@ -205,7 +192,7 @@ pub fn add_twin_hubs(
         builder.push_edge(h1, h2);
         let mut attached = 0usize;
         while attached < shared_degree {
-            let t = rng.gen_range(0..n as VertexId);
+            let t = rng.gen_range_u32(0..n as VertexId);
             builder.push_edge(h1, t);
             builder.push_edge(h2, t);
             attached += 1;
@@ -246,8 +233,10 @@ pub fn add_isolated_star(g: &CsrGraph, leaves: usize) -> CsrGraph {
 /// paper applies to its 4 big graphs ("randomly assigning 4 labels").
 pub fn random_labels(n: usize, num_labels: usize, seed: u64) -> Vec<Label> {
     assert!(num_labels >= 1);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..num_labels as Label)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.gen_range_u32(0..num_labels as Label))
+        .collect()
 }
 
 #[cfg(test)]

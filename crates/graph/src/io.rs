@@ -70,7 +70,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> 
 
 /// Writes the graph as an edge list (each undirected edge once, `u < v`).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
-    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.arcs() {
         if u < v {
             writeln!(w, "{u} {v}")?;

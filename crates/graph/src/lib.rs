@@ -19,7 +19,9 @@
 //! - [`intersect`] — scalar sorted-set intersection kernels that serve as
 //!   the ground truth for the warp-level kernels in `tdfs-gpu`;
 //! - [`transform`] — induced subgraphs, connected components and
-//!   degeneracy ordering (standard preprocessing around a matcher).
+//!   degeneracy ordering (standard preprocessing around a matcher);
+//! - [`rng`] — the self-contained deterministic PRNG behind the
+//!   generators (the workspace builds offline with no external crates).
 
 pub mod builder;
 pub mod csr;
@@ -27,6 +29,7 @@ pub mod datasets;
 pub mod generators;
 pub mod intersect;
 pub mod io;
+pub mod rng;
 pub mod stats;
 pub mod transform;
 

@@ -1,32 +1,45 @@
-//! Property-based tests for the graph substrate.
+//! Randomized tests for the graph substrate, driven by the workspace's
+//! internal deterministic PRNG (the proptest invariants, minus the
+//! external dependency).
 
-use proptest::prelude::*;
 use tdfs_graph::intersect::{difference, intersect_count, intersect_gallop, intersect_merge};
+use tdfs_graph::rng::Rng;
 use tdfs_graph::{CsrGraph, GraphBuilder};
 
-fn arb_edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0u32..64, 0u32..64), 0..200)
+const CASES: u64 = 128;
+
+fn random_edges(rng: &mut Rng) -> Vec<(u32, u32)> {
+    let n = rng.gen_range(0..200);
+    (0..n)
+        .map(|_| (rng.gen_range_u32(0..64), rng.gen_range_u32(0..64)))
+        .collect()
 }
 
-fn arb_sorted_set() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::btree_set(0u32..5000, 0..300).prop_map(|s| s.into_iter().collect())
+fn random_sorted_set(rng: &mut Rng) -> Vec<u32> {
+    let n = rng.gen_range(0..300);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range_u32(0..5000)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
 fn build(edges: &[(u32, u32)]) -> CsrGraph {
     GraphBuilder::new().edges(edges.iter().copied()).build()
 }
 
-proptest! {
-    #[test]
-    fn builder_produces_valid_csr(edges in arb_edges()) {
+#[test]
+fn builder_produces_valid_csr() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC5A0 + case);
+        let edges = random_edges(&mut rng);
         let g = build(&edges);
         // Sorted, deduplicated, self-loop-free, symmetric adjacency.
         for v in 0..g.num_vertices() as u32 {
             let n = g.neighbors(v);
-            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(!n.contains(&v));
+            assert!(n.windows(2).all(|w| w[0] < w[1]));
+            assert!(!n.contains(&v));
             for &u in n {
-                prop_assert!(g.has_edge(u, v));
+                assert!(g.has_edge(u, v));
             }
         }
         // Edge count equals the number of distinct normalized pairs.
@@ -37,32 +50,45 @@ proptest! {
             .collect();
         norm.sort_unstable();
         norm.dedup();
-        prop_assert_eq!(g.num_edges(), norm.len());
+        assert_eq!(g.num_edges(), norm.len());
     }
+}
 
-    #[test]
-    fn arc_index_is_inverse_of_iteration(edges in arb_edges()) {
-        let g = build(&edges);
+#[test]
+fn arc_index_is_inverse_of_iteration() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA6C + case);
+        let g = build(&random_edges(&mut rng));
         for (i, (u, v)) in g.arcs().enumerate() {
-            prop_assert_eq!(g.arc(i), (u, v));
+            assert_eq!(g.arc(i), (u, v));
         }
     }
+}
 
-    #[test]
-    fn intersection_kernels_agree(a in arb_sorted_set(), b in arb_sorted_set()) {
+#[test]
+fn intersection_kernels_agree() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1A7E + case);
+        let a = random_sorted_set(&mut rng);
+        let b = random_sorted_set(&mut rng);
         let mut m = Vec::new();
         intersect_merge(&a, &b, &mut m);
         let mut gal = Vec::new();
         intersect_gallop(&a, &b, &mut gal);
-        prop_assert_eq!(&m, &gal);
-        prop_assert_eq!(m.len(), intersect_count(&a, &b));
+        assert_eq!(m, gal);
+        assert_eq!(m.len(), intersect_count(&a, &b));
         // Against the naive definition.
         let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
-        prop_assert_eq!(m, naive);
+        assert_eq!(m, naive);
     }
+}
 
-    #[test]
-    fn difference_is_complement_of_intersection(a in arb_sorted_set(), b in arb_sorted_set()) {
+#[test]
+fn difference_is_complement_of_intersection() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD1FF + case);
+        let a = random_sorted_set(&mut rng);
+        let b = random_sorted_set(&mut rng);
         let mut inter = Vec::new();
         intersect_merge(&a, &b, &mut inter);
         let mut diff = Vec::new();
@@ -70,12 +96,15 @@ proptest! {
         // inter ∪ diff = a, disjointly.
         let mut merged: Vec<u32> = inter.iter().chain(diff.iter()).copied().collect();
         merged.sort_unstable();
-        prop_assert_eq!(merged, a);
+        assert_eq!(merged, a);
     }
+}
 
-    #[test]
-    fn io_roundtrip(edges in arb_edges()) {
-        let g = build(&edges);
+#[test]
+fn io_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x10 + case);
+        let g = build(&random_edges(&mut rng));
         let mut buf = Vec::new();
         tdfs_graph::io::write_edge_list(&g, &mut buf).unwrap();
         let g2 = tdfs_graph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
@@ -83,7 +112,7 @@ proptest! {
         // representable in an edge list); compare adjacency up to the
         // last edge-bearing vertex.
         for v in 0..g2.num_vertices() as u32 {
-            prop_assert_eq!(g.neighbors(v), g2.neighbors(v));
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
         }
     }
 }

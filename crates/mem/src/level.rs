@@ -183,10 +183,7 @@ mod tests {
         let mut l = ArrayLevel::new(2, OverflowPolicy::Error);
         l.push(1).unwrap();
         l.push(2).unwrap();
-        assert_eq!(
-            l.push(3),
-            Err(StackError::LevelOverflow { capacity: 2 })
-        );
+        assert_eq!(l.push(3), Err(StackError::LevelOverflow { capacity: 2 }));
     }
 
     #[test]

@@ -293,10 +293,7 @@ mod tests {
         for v in 0..PAGE_INTS as u32 {
             l.push(v).unwrap();
         }
-        assert!(matches!(
-            l.push(0),
-            Err(StackError::LevelOverflow { .. })
-        ));
+        assert!(matches!(l.push(0), Err(StackError::LevelOverflow { .. })));
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Property-based tests for the paged-memory substrate: a paged level
-//! must behave exactly like a growable vector, and the arena must never
-//! hand the same page to two owners.
+//! Randomized tests for the paged-memory substrate (internal-PRNG
+//! driven): a paged level must behave exactly like a growable vector,
+//! and the arena must never hand the same page to two owners.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use tdfs_graph::rng::Rng;
 use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, PageArena, PagedLevel, PAGE_INTS};
+
+const CASES: u64 = 128;
 
 /// Operations on a level store.
 #[derive(Debug, Clone)]
@@ -15,24 +17,25 @@ enum Op {
     Get(usize),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..1_000_000).prop_map(Op::Push),
-            Just(Op::Clear),
-            (0usize..100).prop_map(Op::Get),
-        ],
-        0..400,
-    )
+fn random_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.gen_range(0..400);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Op::Push(rng.gen_range_u32(0..1_000_000)),
+            1 => Op::Clear,
+            _ => Op::Get(rng.gen_range(0..100)),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn paged_level_behaves_like_vec(ops in arb_ops()) {
+#[test]
+fn paged_level_behaves_like_vec() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x9A6E + case);
         let arena = Arc::new(PageArena::new(16));
         let mut level = PagedLevel::with_table_len(arena, 4);
         let mut model: Vec<u32> = Vec::new();
-        for op in ops {
+        for op in random_ops(&mut rng) {
             match op {
                 Op::Push(v) => {
                     if model.len() < level.capacity() {
@@ -46,20 +49,23 @@ proptest! {
                 }
                 Op::Get(i) => {
                     if i < model.len() {
-                        prop_assert_eq!(level.get(i), model[i]);
+                        assert_eq!(level.get(i), model[i]);
                     }
                 }
             }
-            prop_assert_eq!(level.len(), model.len());
+            assert_eq!(level.len(), model.len());
         }
-        prop_assert_eq!(level.to_vec(), model);
+        assert_eq!(level.to_vec(), model);
     }
+}
 
-    #[test]
-    fn array_level_behaves_like_vec(ops in arb_ops()) {
+#[test]
+fn array_level_behaves_like_vec() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA44A + case);
         let mut level = ArrayLevel::new(256, OverflowPolicy::Error);
         let mut model: Vec<u32> = Vec::new();
-        for op in ops {
+        for op in random_ops(&mut rng) {
             match op {
                 Op::Push(v) => {
                     if model.len() < 256 {
@@ -73,54 +79,58 @@ proptest! {
                 }
                 Op::Get(i) => {
                     if i < model.len() {
-                        prop_assert_eq!(level.get(i), model[i]);
+                        assert_eq!(level.get(i), model[i]);
                     }
                 }
             }
         }
-        prop_assert_eq!(level.to_vec(), model);
+        assert_eq!(level.to_vec(), model);
     }
+}
 
-    #[test]
-    fn paged_chunks_concatenate_to_contents(n in 0usize..5000) {
+#[test]
+fn paged_chunks_concatenate_to_contents() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DE + case);
         let arena = Arc::new(PageArena::new(8));
         let mut level = PagedLevel::with_table_len(arena, 3);
-        let n = n.min(level.capacity());
+        let n = rng.gen_range(0..5000).min(level.capacity());
         for v in 0..n as u32 {
             level.push(v).unwrap();
         }
         let mut collected = Vec::new();
         level.for_each_chunk(&mut |c| collected.extend_from_slice(c));
-        prop_assert_eq!(collected, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(collected, (0..n as u32).collect::<Vec<_>>());
         // Chunk sizes: all full pages except possibly the last.
         let mut sizes = Vec::new();
         level.for_each_chunk(&mut |c| sizes.push(c.len()));
         for (i, &s) in sizes.iter().enumerate() {
             if i + 1 < sizes.len() {
-                prop_assert_eq!(s, PAGE_INTS);
+                assert_eq!(s, PAGE_INTS);
             } else {
-                prop_assert!(s <= PAGE_INTS);
+                assert!(s <= PAGE_INTS);
             }
         }
     }
+}
 
-    #[test]
-    fn arena_alloc_free_sequences_preserve_uniqueness(
-        seq in prop::collection::vec(any::<bool>(), 1..200)
-    ) {
+#[test]
+fn arena_alloc_free_sequences_preserve_uniqueness() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA110 + case);
         let arena = PageArena::new(8);
         let mut held: Vec<u32> = Vec::new();
-        for alloc in seq {
-            if alloc {
+        for _ in 0..rng.gen_range(1..200) {
+            if rng.gen_bool() {
                 if let Some(p) = arena.alloc_page() {
-                    prop_assert!(!held.contains(&p), "page {p} double-allocated");
+                    assert!(!held.contains(&p), "page {p} double-allocated");
                     held.push(p);
                 }
             } else if let Some(p) = held.pop() {
                 arena.free_page(p);
             }
-            prop_assert_eq!(arena.pages_in_use(), held.len());
-            prop_assert!(arena.pages_in_use() <= arena.capacity_pages());
+            assert_eq!(arena.pages_in_use(), held.len());
+            assert!(arena.pages_in_use() <= arena.capacity_pages());
         }
     }
 }

@@ -30,7 +30,10 @@ impl MatchingOrder {
     ///
     /// Panics if the pattern is not connected.
     pub fn compute(p: &Pattern) -> Self {
-        assert!(p.is_connected(), "matching order requires a connected pattern");
+        assert!(
+            p.is_connected(),
+            "matching order requires a connected pattern"
+        );
         let n = p.num_vertices();
         let mut order = Vec::with_capacity(n);
         let mut placed = 0u32;
@@ -140,7 +143,9 @@ mod tests {
                 assert!(j < i);
                 assert!(p.has_edge(mo.order[i], mo.order[j]));
             }
-            let expect = (0..i).filter(|&j| p.has_edge(mo.order[i], mo.order[j])).count();
+            let expect = (0..i)
+                .filter(|&j| p.has_edge(mo.order[i], mo.order[j]))
+                .count();
             assert_eq!(mo.backward[i].len(), expect);
         }
     }

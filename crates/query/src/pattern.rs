@@ -25,7 +25,10 @@ impl Pattern {
     /// Panics on self-loops, out-of-range vertices, or an empty vertex
     /// set.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        assert!((1..=MAX_QUERY_VERTICES).contains(&n), "1..=32 vertices required");
+        assert!(
+            (1..=MAX_QUERY_VERTICES).contains(&n),
+            "1..=32 vertices required"
+        );
         let mut adj = vec![0u32; n];
         for &(u, v) in edges {
             assert!(u < n && v < n, "edge ({u},{v}) out of range");
@@ -101,7 +104,11 @@ impl Pattern {
 
     /// Number of query edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+        self.adj
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
     }
 
     /// Adjacency bitmask of `u`.

@@ -69,14 +69,20 @@ fn base_structure(i: u8) -> Pattern {
         // P3: house — square 0-1-2-3 with apex 4 over edge (0,1).
         3 => Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
         // P4: gem — path 0-1-2-3 plus an apex adjacent to all of it.
-        4 => Pattern::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (1, 4), (2, 4), (3, 4)],
-        ),
+        4 => Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (1, 4), (2, 4), (3, 4)]),
         // P5: wheel W4 — 4-cycle plus hub.
         5 => Pattern::from_edges(
             5,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4), (2, 4), (3, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+            ],
         ),
         // P6: K5 minus an edge.
         6 => Pattern::from_edges(
@@ -146,10 +152,7 @@ fn base_structure(i: u8) -> Pattern {
             ],
         ),
         // P11: hexagon with one long chord — sparse and heavy like P8.
-        11 => Pattern::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
-        ),
+        11 => Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
         _ => unreachable!("base structures are 1..=11"),
     }
 }

@@ -141,8 +141,7 @@ impl QueryPlan {
     /// position-indexed assignment (`m[i]` = data vertex at position `i`).
     pub fn constraints_satisfied(&self, m: &[u32]) -> bool {
         self.levels.iter().enumerate().all(|(i, l)| {
-            l.greater_than.iter().all(|&j| m[j] < m[i])
-                && l.less_than.iter().all(|&j| m[i] < m[j])
+            l.greater_than.iter().all(|&j| m[j] < m[i]) && l.less_than.iter().all(|&j| m[i] < m[j])
         })
     }
 }
@@ -183,9 +182,7 @@ mod tests {
             for perm in perms {
                 // Position-indexed assignment from a vertex permutation.
                 let by_vertex: Vec<u32> = perm.iter().map(|&x| x as u32 * 3 + 1).collect();
-                let by_pos: Vec<u32> = (0..k)
-                    .map(|i| by_vertex[plan.order.order[i]])
-                    .collect();
+                let by_pos: Vec<u32> = (0..k).map(|i| by_vertex[plan.order.order[i]]).collect();
                 assert_eq!(
                     plan.constraints_satisfied(&by_pos),
                     sb.satisfied(&by_vertex),
@@ -217,9 +214,10 @@ mod tests {
             },
         );
         assert_eq!(plan.aut_size, 1);
-        assert!(plan.levels.iter().all(|l| l.greater_than.is_empty()
-            && l.less_than.is_empty()
-            && l.reuse.is_none()));
+        assert!(plan
+            .levels
+            .iter()
+            .all(|l| l.greater_than.is_empty() && l.less_than.is_empty() && l.reuse.is_none()));
     }
 
     #[test]

@@ -68,9 +68,7 @@ impl SymmetryBreaking {
     /// matcher and tests; the engine compiles constraints into its plan
     /// instead.
     pub fn satisfied(&self, m: &[u32]) -> bool {
-        self.constraints
-            .iter()
-            .all(|c| m[c.small] < m[c.large])
+        self.constraints.iter().all(|c| m[c.small] < m[c.large])
     }
 }
 

@@ -1,8 +1,8 @@
-//! Property-based tests for query planning: random connected patterns
-//! must yield valid orders, true automorphism groups, sound symmetry
-//! constraints and sound reuse plans.
+//! Randomized tests for query planning (internal-PRNG driven): random
+//! connected patterns must yield valid orders, true automorphism groups,
+//! sound symmetry constraints and sound reuse plans.
 
-use proptest::prelude::*;
+use tdfs_graph::rng::Rng;
 use tdfs_query::automorphism::automorphisms;
 use tdfs_query::order::MatchingOrder;
 use tdfs_query::plan::QueryPlan;
@@ -10,78 +10,83 @@ use tdfs_query::reuse::ReusePlan;
 use tdfs_query::symmetry::SymmetryBreaking;
 use tdfs_query::Pattern;
 
+const CASES: u64 = 64;
+
 /// Random connected pattern on 3–7 vertices: a random spanning tree plus
 /// random extra edges.
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    (3usize..=7)
-        .prop_flat_map(|n| {
-            let tree = prop::collection::vec(0usize..n, n - 1);
-            let extra = prop::collection::vec((0usize..n, 0usize..n), 0..n * 2);
-            (Just(n), tree, extra)
-        })
-        .prop_map(|(n, tree, extra)| {
-            let mut edges = Vec::new();
-            // Spanning tree: vertex v > 0 attaches to a parent below it.
-            for v in 1..n {
-                edges.push((v, tree[v - 1] % v));
-            }
-            for (a, b) in extra {
-                if a != b {
-                    edges.push((a, b));
-                }
-            }
-            Pattern::from_edges(n, &edges)
-        })
+fn random_pattern(rng: &mut Rng) -> Pattern {
+    let n = rng.gen_range(3..8);
+    let mut edges = Vec::new();
+    // Spanning tree: vertex v > 0 attaches to a parent below it.
+    for v in 1..n {
+        edges.push((v, rng.gen_range(0..v)));
+    }
+    for _ in 0..rng.gen_range(0..n * 2) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Pattern::from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn order_is_valid(p in arb_pattern()) {
+#[test]
+fn order_is_valid() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x04DE + case);
+        let p = random_pattern(&mut rng);
         let mo = MatchingOrder::compute(&p);
         let n = p.num_vertices();
         let mut seen = vec![false; n];
         for &u in &mo.order {
-            prop_assert!(!seen[u]);
+            assert!(!seen[u]);
             seen[u] = true;
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s));
         for i in 1..n {
-            prop_assert!(!mo.backward[i].is_empty(), "connectivity broken at {i}");
+            assert!(!mo.backward[i].is_empty(), "connectivity broken at {i}");
             for &j in &mo.backward[i] {
-                prop_assert!(p.has_edge(mo.order[i], mo.order[j]));
+                assert!(p.has_edge(mo.order[i], mo.order[j]));
             }
         }
     }
+}
 
-    #[test]
-    fn automorphisms_form_a_group(p in arb_pattern()) {
+#[test]
+fn automorphisms_form_a_group() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA07 + case);
+        let p = random_pattern(&mut rng);
         let auts = automorphisms(&p);
         let n = p.num_vertices();
         // Every element preserves adjacency.
         for a in &auts {
             for u in 0..n {
                 for v in 0..n {
-                    prop_assert_eq!(p.has_edge(u, v), p.has_edge(a[u], a[v]));
+                    assert_eq!(p.has_edge(u, v), p.has_edge(a[u], a[v]));
                 }
             }
         }
-        // Closure under composition and inverse (finite group axioms).
+        // Closure under inverse (finite group axioms).
         for a in &auts {
             let mut inv = vec![0usize; n];
             for (x, &ax) in a.iter().enumerate() {
                 inv[ax] = x;
             }
-            prop_assert!(auts.contains(&inv));
+            assert!(auts.contains(&inv));
         }
         // Group order divides n! (Lagrange on S_n).
         let fact: usize = (1..=n).product();
-        prop_assert_eq!(fact % auts.len(), 0);
+        assert_eq!(fact % auts.len(), 0);
     }
+}
 
-    #[test]
-    fn symmetry_selects_exactly_one_representative(p in arb_pattern()) {
+#[test]
+fn symmetry_selects_exactly_one_representative() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5E1 + case);
+        let p = random_pattern(&mut rng);
         let sb = SymmetryBreaking::compute(&p);
         let auts = automorphisms(&p);
         let n = p.num_vertices();
@@ -95,39 +100,50 @@ proptest! {
                 sb.satisfied(&m)
             })
             .count();
-        prop_assert_eq!(satisfying, 1);
+        assert_eq!(satisfying, 1);
     }
+}
 
-    #[test]
-    fn reuse_sources_are_proper_subsets(p in arb_pattern()) {
+#[test]
+fn reuse_sources_are_proper_subsets() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4E5E + case);
+        let p = random_pattern(&mut rng);
         let mo = MatchingOrder::compute(&p);
         let plan = ReusePlan::compute(&mo);
         for (j, step) in plan.steps.iter().enumerate() {
             if let Some(s) = step {
-                prop_assert!(s.source >= 2 && s.source < j);
+                assert!(s.source >= 2 && s.source < j);
                 // B(source) ⊆ B(j) and remaining = B(j) \ B(source).
                 for b in &mo.backward[s.source] {
-                    prop_assert!(mo.backward[j].contains(b));
-                    prop_assert!(!s.remaining.contains(b));
+                    assert!(mo.backward[j].contains(b));
+                    assert!(!s.remaining.contains(b));
                 }
                 let expect_len = mo.backward[j].len() - mo.backward[s.source].len();
-                prop_assert_eq!(s.remaining.len(), expect_len);
+                assert_eq!(s.remaining.len(), expect_len);
             }
         }
     }
+}
 
-    #[test]
-    fn compiled_plan_matches_raw_constraints(p in arb_pattern()) {
+#[test]
+fn compiled_plan_matches_raw_constraints() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC120 + case);
+        let p = random_pattern(&mut rng);
         let plan = QueryPlan::build(&p);
         let sb = SymmetryBreaking::compute(&p);
         let n = p.num_vertices();
-        prop_assert_eq!(plan.aut_size, automorphisms(&p).len());
-        // Probe with permuted assignments.
         let auts = automorphisms(&p);
+        assert_eq!(plan.aut_size, auts.len());
+        // Probe with permuted assignments.
         for a in auts.iter().take(8) {
             let by_vertex: Vec<u32> = (0..n).map(|u| a[u] as u32 + 1).collect();
             let by_pos: Vec<u32> = (0..n).map(|i| by_vertex[plan.order.order[i]]).collect();
-            prop_assert_eq!(plan.constraints_satisfied(&by_pos), sb.satisfied(&by_vertex));
+            assert_eq!(
+                plan.constraints_satisfied(&by_pos),
+                sb.satisfied(&by_vertex)
+            );
         }
     }
 }

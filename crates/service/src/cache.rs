@@ -1,0 +1,254 @@
+//! The LRU plan cache.
+//!
+//! Query planning (matching order, automorphisms, symmetry constraints,
+//! reuse analysis) is pure in the pattern and the plan options, so
+//! plans are shared across queries. The cache is keyed by (graph name,
+//! canonical pattern, plan options): the graph name is part of the key
+//! because a served deployment typically runs a small set of recurring
+//! patterns *per graph*, and scoping eviction that way keeps one
+//! graph's burst from evicting another's working set.
+//!
+//! Eviction is least-recently-used via a monotonic touch tick; with the
+//! small capacities a service uses (tens of entries) the O(len) scan on
+//! eviction is cheaper than maintaining an intrusive list.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tdfs_query::plan::{PlanOptions, QueryPlan};
+use tdfs_query::Pattern;
+
+use crate::canon::PatternKey;
+
+/// Full cache key: graph, canonical pattern, plan options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// Catalog name of the data graph.
+    pub graph: String,
+    /// Canonical (or raw-fallback) pattern encoding.
+    pub pattern: PatternKey,
+    /// Plan options, destructured for hashing.
+    pub symmetry_breaking: bool,
+    /// See [`PlanOptions::intersection_reuse`].
+    pub intersection_reuse: bool,
+}
+
+impl PlanCacheKey {
+    /// Builds the key for a (graph, pattern, options) triple.
+    pub fn of(graph: &str, pattern: &Pattern, options: PlanOptions) -> Self {
+        Self {
+            graph: graph.to_owned(),
+            pattern: PatternKey::of(pattern),
+            symmetry_breaking: options.symmetry_breaking,
+            intersection_reuse: options.intersection_reuse,
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<QueryPlan>,
+    touched: u64,
+}
+
+/// Cache counters (monotonic).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a usable cached plan.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Hits whose cached plan was built from an isomorphic but
+    /// differently-numbered presentation and therefore rebuilt (see
+    /// [`PlanCache::get_or_build`]).
+    pub presentation_rebuilds: u64,
+}
+
+/// Bounded LRU map from [`PlanCacheKey`] to compiled plans.
+pub struct PlanCache {
+    capacity: usize,
+    map: Mutex<HashMap<PlanCacheKey, Entry>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    presentation_rebuilds: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding up to `capacity` plans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            presentation_rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the plan for (`graph`, `pattern`, `options`), building
+    /// and inserting it on a miss.
+    ///
+    /// Correctness note: a cached plan embeds the *exact* pattern it was
+    /// built from, and emitted assignments map back to that pattern's
+    /// vertex numbering. A canonical-key hit whose stored plan came from
+    /// a differently-numbered isomorphic presentation is therefore not
+    /// served as-is — the plan is rebuilt for the requested presentation
+    /// (and replaces the entry), counted in
+    /// [`PlanCacheStats::presentation_rebuilds`].
+    pub fn get_or_build(
+        &self,
+        graph: &str,
+        pattern: &Pattern,
+        options: PlanOptions,
+    ) -> Arc<QueryPlan> {
+        let key = PlanCacheKey::of(graph, pattern, options);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut map = self.map.lock().expect("plan cache poisoned");
+            if let Some(e) = map.get_mut(&key) {
+                if e.plan.pattern == *pattern {
+                    e.touched = now;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return e.plan.clone();
+                }
+                self.presentation_rebuilds.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Build outside the lock: planning is pure and racing builders
+        // at worst duplicate work for one pattern.
+        let plan = Arc::new(QueryPlan::build_with(pattern, options));
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                plan: plan.clone(),
+                touched: now,
+            },
+        );
+        plan
+    }
+
+    /// Drops every cached plan for `graph` (e.g. after unregistering).
+    pub fn invalidate_graph(&self, graph: &str) {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .retain(|k, _| k.graph != graph);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            presentation_rebuilds: self.presentation_rebuilds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> PlanOptions {
+        PlanOptions::default()
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let c = PlanCache::new(4);
+        let p = Pattern::cycle(4);
+        let a = c.get_or_build("g", &p, opts());
+        let b = c.get_or_build("g", &p, opts());
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_graphs_and_options_are_distinct_slots() {
+        let c = PlanCache::new(8);
+        let p = Pattern::cycle(4);
+        c.get_or_build("g1", &p, opts());
+        c.get_or_build("g2", &p, opts());
+        c.get_or_build(
+            "g1",
+            &p,
+            PlanOptions {
+                symmetry_breaking: false,
+                intersection_reuse: true,
+            },
+        );
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = PlanCache::new(2);
+        let p3 = Pattern::path(3);
+        let p4 = Pattern::path(4);
+        let p5 = Pattern::path(5);
+        c.get_or_build("g", &p3, opts());
+        c.get_or_build("g", &p4, opts());
+        c.get_or_build("g", &p3, opts()); // touch p3: p4 is now LRU
+        c.get_or_build("g", &p5, opts()); // evicts p4
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        c.get_or_build("g", &p3, opts()); // still cached
+        assert_eq!(c.stats().hits, 2);
+        c.get_or_build("g", &p4, opts()); // was evicted: miss
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn isomorphic_presentation_rebuilds_exact_plan() {
+        let c = PlanCache::new(4);
+        let a = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let b = Pattern::from_edges(4, &[(2, 3), (3, 0), (0, 1), (1, 2), (3, 1)]);
+        let pa = c.get_or_build("g", &a, opts());
+        let pb = c.get_or_build("g", &b, opts());
+        assert_eq!(pa.pattern, a);
+        assert_eq!(pb.pattern, b, "plan must match the requested presentation");
+        assert_eq!(c.len(), 1, "isomorphic presentations share one slot");
+        assert_eq!(c.stats().presentation_rebuilds, 1);
+    }
+
+    #[test]
+    fn invalidate_graph_clears_only_that_graph() {
+        let c = PlanCache::new(8);
+        c.get_or_build("a", &Pattern::cycle(3), opts());
+        c.get_or_build("b", &Pattern::cycle(3), opts());
+        c.invalidate_graph("a");
+        assert_eq!(c.len(), 1);
+    }
+}

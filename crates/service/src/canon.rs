@@ -1,0 +1,210 @@
+//! Canonical pattern encodings for plan-cache keys.
+//!
+//! Two isomorphic patterns should hit the same cache slot even when the
+//! client numbers their vertices differently. Query patterns are tiny
+//! (≤ 32 vertices by construction, ≤ 8 in the paper's workload), so
+//! exact canonicalization by bounded permutation search is affordable:
+//! vertices are first refined into (degree, label) classes — any
+//! isomorphism must respect them — and the minimum encoding over all
+//! class-respecting permutations is the canonical form. When the class
+//! structure is too degenerate (the permutation count exceeds
+//! [`CANON_BUDGET`]), we fall back to the raw as-given encoding: the
+//! cache then simply treats differently-presented isomorphic patterns
+//! as distinct keys, which costs a duplicate entry but never
+//! correctness.
+
+use tdfs_query::Pattern;
+
+/// Maximum number of class-respecting permutations to enumerate before
+/// falling back to the raw encoding.
+pub const CANON_BUDGET: usize = 50_000;
+
+/// A hashable pattern encoding: vertex count, per-vertex labels, and
+/// adjacency bitmasks, all in encoding order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    /// `true` when the exact canonical form was computed; `false` for
+    /// the raw-encoding fallback.
+    pub canonical: bool,
+    encoded: Vec<u64>,
+}
+
+/// Encodes `p` with vertex `u` renamed to `perm[u]`.
+fn encode_permuted(p: &Pattern, perm: &[usize]) -> Vec<u64> {
+    let n = p.num_vertices();
+    let mut adj = vec![0u64; n];
+    let mut labels = vec![0u64; n];
+    for u in 0..n {
+        labels[perm[u]] = u64::from(p.label(u));
+        for v in p.neighbors(u) {
+            adj[perm[u]] |= 1 << perm[v];
+        }
+    }
+    let mut out = Vec::with_capacity(1 + 2 * n);
+    out.push(n as u64);
+    out.extend_from_slice(&labels);
+    out.extend_from_slice(&adj);
+    out
+}
+
+/// Vertex classes under the (degree, label) invariant, each class
+/// sorted; classes ordered by their invariant so isomorphic patterns
+/// produce aligned class structures.
+fn refine_classes(p: &Pattern) -> Vec<Vec<usize>> {
+    let n = p.num_vertices();
+    let mut keyed: Vec<(usize, u32, usize)> =
+        (0..n).map(|u| (p.degree(u), p.label(u), u)).collect();
+    keyed.sort();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut prev: Option<(usize, u32)> = None;
+    for (d, l, u) in keyed {
+        if prev != Some((d, l)) {
+            classes.push(Vec::new());
+            prev = Some((d, l));
+        }
+        classes.last_mut().unwrap().push(u);
+    }
+    classes
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product()
+}
+
+/// Enumerates every class-respecting permutation, invoking `visit` with
+/// `perm` where `perm[u]` is the new index of vertex `u`.
+fn for_each_class_permutation(classes: &[Vec<usize>], visit: &mut impl FnMut(&[usize])) {
+    let n: usize = classes.iter().map(Vec::len).sum();
+    // Target index ranges: class i occupies a contiguous block.
+    let mut perm = vec![0usize; n];
+    // Per-class permutation state: orders[i] is the current arrangement
+    // of class i's members; we iterate the mixed-radix product space by
+    // recursing over classes.
+    fn rec(
+        classes: &[Vec<usize>],
+        class_idx: usize,
+        base: usize,
+        perm: &mut [usize],
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        match classes.get(class_idx) {
+            None => visit(perm),
+            Some(members) => {
+                let mut members = members.clone();
+                permute_rec(&mut members, 0, &mut |arrangement| {
+                    for (offset, &u) in arrangement.iter().enumerate() {
+                        perm[u] = base + offset;
+                    }
+                    rec(
+                        classes,
+                        class_idx + 1,
+                        base + arrangement.len(),
+                        perm,
+                        visit,
+                    );
+                });
+            }
+        }
+    }
+    // Heap-style in-place permutation enumeration.
+    fn permute_rec(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+        if k + 1 >= items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute_rec(items, k + 1, visit);
+            items.swap(k, i);
+        }
+    }
+    rec(classes, 0, 0, &mut perm, visit);
+}
+
+impl PatternKey {
+    /// Computes the cache key for `p`: the canonical encoding when the
+    /// search fits in [`CANON_BUDGET`], the raw encoding otherwise.
+    pub fn of(p: &Pattern) -> Self {
+        let classes = refine_classes(p);
+        let span: usize = classes.iter().map(|c| factorial(c.len())).product();
+        if span > CANON_BUDGET {
+            let identity: Vec<usize> = (0..p.num_vertices()).collect();
+            return Self {
+                canonical: false,
+                encoded: encode_permuted(p, &identity),
+            };
+        }
+        let mut best: Option<Vec<u64>> = None;
+        for_each_class_permutation(&classes, &mut |perm| {
+            let enc = encode_permuted(p, perm);
+            if best.as_ref().is_none_or(|b| enc < *b) {
+                best = Some(enc);
+            }
+        });
+        Self {
+            canonical: true,
+            encoded: best.expect("at least the identity permutation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isomorphic_presentations_share_a_key() {
+        // The diamond (4-cycle plus a chord), presented two ways.
+        let a = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let b = Pattern::from_edges(4, &[(2, 3), (3, 0), (0, 1), (1, 2), (3, 1)]);
+        let ka = PatternKey::of(&a);
+        let kb = PatternKey::of(&b);
+        assert!(ka.canonical && kb.canonical);
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn non_isomorphic_patterns_differ() {
+        let path = Pattern::path(4);
+        let star = Pattern::star(3);
+        let cycle = Pattern::cycle(4);
+        let kp = PatternKey::of(&path);
+        let ks = PatternKey::of(&star);
+        let kc = PatternKey::of(&cycle);
+        assert_ne!(kp, ks);
+        assert_ne!(kp, kc);
+        assert_ne!(ks, kc);
+    }
+
+    #[test]
+    fn labels_distinguish() {
+        let plain = Pattern::cycle(4);
+        let labeled = Pattern::cycle(4).with_mod_labels(2);
+        assert_ne!(PatternKey::of(&plain), PatternKey::of(&labeled));
+    }
+
+    #[test]
+    fn labeled_isomorphs_share_a_key() {
+        // A path labeled 0-1-0 is isomorphic to its reversal.
+        let a = Pattern::from_edges_labeled(3, &[(0, 1), (1, 2)], vec![0, 1, 0]);
+        let b = Pattern::from_edges_labeled(3, &[(2, 1), (1, 0)], vec![0, 1, 0]);
+        assert_eq!(PatternKey::of(&a), PatternKey::of(&b));
+    }
+
+    #[test]
+    fn clique_canonicalizes_within_budget() {
+        // K7: one class of 7 vertices → 5040 permutations, within budget.
+        let k = Pattern::clique(7);
+        assert!(PatternKey::of(&k).canonical);
+    }
+
+    #[test]
+    fn degenerate_class_falls_back_to_raw() {
+        // A 9-clique has 9! = 362880 class permutations > budget.
+        let k = Pattern::clique(9);
+        let key = PatternKey::of(&k);
+        assert!(!key.canonical);
+        // Fallback keys still work as exact-presentation keys.
+        assert_eq!(key, PatternKey::of(&Pattern::clique(9)));
+    }
+}

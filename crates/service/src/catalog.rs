@@ -1,0 +1,117 @@
+//! The graph catalog: named, shared, immutable data graphs.
+//!
+//! Queries address graphs by name; the catalog hands out `Arc` clones so
+//! a graph stays alive for every in-flight query even if it is
+//! unregistered (or replaced) mid-run. Registration is cheap — graphs
+//! are never copied.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use tdfs_graph::CsrGraph;
+
+/// Thread-safe name → graph registry.
+#[derive(Default)]
+pub struct GraphCatalog {
+    graphs: RwLock<HashMap<String, Arc<CsrGraph>>>,
+}
+
+impl GraphCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `graph` under `name`, returning the previous graph with
+    /// that name, if any. In-flight queries against a replaced graph
+    /// keep their own `Arc` and finish against the old snapshot.
+    pub fn register(&self, name: impl Into<String>, graph: Arc<CsrGraph>) -> Option<Arc<CsrGraph>> {
+        self.graphs
+            .write()
+            .expect("catalog poisoned")
+            .insert(name.into(), graph)
+    }
+
+    /// Removes the graph named `name`, returning it if it was present.
+    pub fn unregister(&self, name: &str) -> Option<Arc<CsrGraph>> {
+        self.graphs.write().expect("catalog poisoned").remove(name)
+    }
+
+    /// Looks up a graph by name.
+    pub fn get(&self, name: &str) -> Option<Arc<CsrGraph>> {
+        self.graphs
+            .read()
+            .expect("catalog poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Whether a graph named `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.graphs
+            .read()
+            .expect("catalog poisoned")
+            .contains_key(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .graphs
+            .read()
+            .expect("catalog poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().expect("catalog poisoned").len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfs_graph::GraphBuilder;
+
+    fn triangle() -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::new();
+        b.push_edge(0, 1);
+        b.push_edge(1, 2);
+        b.push_edge(0, 2);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn register_get_unregister() {
+        let c = GraphCatalog::new();
+        assert!(c.is_empty());
+        assert!(c.register("t", triangle()).is_none());
+        assert!(c.contains("t"));
+        assert_eq!(c.names(), vec!["t".to_string()]);
+        let g = c.get("t").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert!(c.unregister("t").is_some());
+        assert!(c.get("t").is_none());
+    }
+
+    #[test]
+    fn replacement_returns_old_and_old_arcs_survive() {
+        let c = GraphCatalog::new();
+        c.register("g", triangle());
+        let held = c.get("g").unwrap();
+        let old = c.register("g", triangle()).unwrap();
+        assert!(Arc::ptr_eq(&held, &old));
+        assert!(!Arc::ptr_eq(&held, &c.get("g").unwrap()));
+        assert_eq!(held.num_vertices(), 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! # tdfs-service
+//!
+//! A concurrent, multi-tenant query-serving layer over the T-DFS
+//! subgraph-matching engine ([`tdfs_core`]).
+//!
+//! The engine crates answer *one* question ("how many embeddings of this
+//! pattern exist in this graph, fast?"); this crate answers the
+//! deployment question around it: many clients, many graphs, recurring
+//! patterns, bounded resources. It provides:
+//!
+//! - a [`GraphCatalog`] of named, shared, immutable data graphs
+//!   ([`catalog`]);
+//! - an LRU [`PlanCache`] keyed by (graph, *canonical* pattern, plan
+//!   options), so isomorphic patterns presented with different vertex
+//!   numberings share one compiled plan slot ([`cache`], [`canon`]);
+//! - a worker pool behind a **bounded** admission queue with explicit
+//!   [`Rejected::QueueFull`] backpressure — submission never blocks
+//!   ([`service`]);
+//! - per-query deadlines (measured from submission, so queueing counts)
+//!   and cooperative cancellation via [`tdfs_core::CancelFlag`], threaded
+//!   through every engine's periodic poll sites;
+//! - a blocking/polling [`QueryHandle`], streamed matches through
+//!   [`tdfs_core::MatchSink`], and a [`ServiceMetrics`] snapshot
+//!   aggregating engine [`tdfs_core::RunStats`] across queries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tdfs_graph::GraphBuilder;
+//! use tdfs_query::Pattern;
+//! use tdfs_service::{QueryRequest, Service, ServiceConfig};
+//!
+//! let svc = Service::new(ServiceConfig::default());
+//! let mut b = GraphBuilder::new();
+//! for u in 0..5u32 {
+//!     for v in (u + 1)..5 {
+//!         b.push_edge(u, v);
+//!     }
+//! }
+//! svc.register_graph("k5", Arc::new(b.build()));
+//!
+//! // C(5,3) = 10 triangles in K5.
+//! let handle = svc.submit(QueryRequest::new("k5", Pattern::clique(3))).unwrap();
+//! assert_eq!(handle.wait().result.unwrap().matches, 10);
+//! ```
+
+pub mod cache;
+pub mod canon;
+pub mod catalog;
+pub mod service;
+
+pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
+pub use canon::PatternKey;
+pub use catalog::GraphCatalog;
+pub use service::{
+    QueryHandle, QueryOutcome, QueryRequest, Rejected, Service, ServiceConfig, ServiceMetrics,
+};

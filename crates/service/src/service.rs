@@ -1,0 +1,832 @@
+//! The query service: admission, scheduling, execution, metrics.
+//!
+//! A [`Service`] owns a [`GraphCatalog`], a [`PlanCache`] and a pool of
+//! worker threads fed by a **bounded** admission queue. Submission is
+//! `try`-semantics throughout: a full queue returns
+//! [`Rejected::QueueFull`] immediately — the service never blocks a
+//! client to create backpressure, it *reports* it and lets the client
+//! decide (retry, shed, or reroute).
+//!
+//! Every admitted query gets a fresh [`CancelFlag`] threaded into the
+//! engine's [`MatcherConfig`], so [`QueryHandle::cancel`] stops the run
+//! cooperatively at the engines' periodic poll sites; the query then
+//! completes `Ok` with a partial count and `stats.cancelled` set.
+//! Deadlines are measured **from submission**, so time spent waiting in
+//! the queue counts against the budget; a query whose deadline expires
+//! while queued completes with [`EngineError::TimeLimit`] without ever
+//! touching the engine.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tdfs_core::{
+    match_plan_with_sink, CancelFlag, CollectSink, EngineError, MatchSink, MatcherConfig,
+    RunResult, RunStats,
+};
+use tdfs_graph::CsrGraph;
+use tdfs_query::Pattern;
+
+use crate::cache::{PlanCache, PlanCacheStats};
+use crate::catalog::GraphCatalog;
+
+/// Service sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries (each runs one query at a time;
+    /// the engine's own warp parallelism is inside the query).
+    pub workers: usize,
+    /// Admission-queue capacity in queries; a submit beyond it is
+    /// rejected with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Plan-cache capacity in plans.
+    pub plan_cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: tdfs_core::config::default_warps().min(8),
+            queue_capacity: 64,
+            plan_cache_capacity: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is at capacity — backpressure; retry later.
+    QueueFull,
+    /// No graph with this name is registered in the catalog.
+    UnknownGraph(String),
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "admission queue full"),
+            Rejected::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
+            Rejected::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// One query to run.
+pub struct QueryRequest {
+    /// Catalog name of the data graph.
+    pub graph: String,
+    /// Query pattern.
+    pub pattern: Pattern,
+    /// Engine configuration (strategy, warps, stacks, plan options).
+    pub config: MatcherConfig,
+    /// Deadline measured from submission; `None` uses the service
+    /// default.
+    pub deadline: Option<Duration>,
+    /// When set, collect up to this many concrete matches into the
+    /// outcome (the run stops early once they are collected, as in
+    /// [`tdfs_core::find_matches`]).
+    pub collect_limit: Option<usize>,
+    /// Optional streaming sink. Receives **pattern-vertex-indexed**
+    /// assignments (`m[u]` = data vertex for pattern vertex `u`),
+    /// concurrently from the engine's warps.
+    pub sink: Option<Arc<dyn MatchSink + Send + Sync>>,
+}
+
+impl QueryRequest {
+    /// A counting query against `graph` with the default T-DFS engine.
+    pub fn new(graph: impl Into<String>, pattern: Pattern) -> Self {
+        Self {
+            graph: graph.into(),
+            pattern,
+            config: MatcherConfig::tdfs(),
+            deadline: None,
+            collect_limit: None,
+            sink: None,
+        }
+    }
+
+    /// Sets the engine configuration.
+    pub fn with_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets a per-query deadline (from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Collects up to `limit` concrete matches into the outcome.
+    pub fn with_collect_limit(mut self, limit: usize) -> Self {
+        self.collect_limit = Some(limit);
+        self
+    }
+
+    /// Streams matches to `sink` as they are found.
+    pub fn with_sink(mut self, sink: Arc<dyn MatchSink + Send + Sync>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+/// Final state of a finished query.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Service-assigned query id (matches [`QueryHandle::id`]).
+    pub query_id: u64,
+    /// Engine result: `Ok` carries the count (partial iff
+    /// `stats.cancelled`); a missed deadline — in queue or mid-run — is
+    /// `Err(TimeLimit)`.
+    pub result: Result<RunResult, EngineError>,
+    /// Collected matches when the request set a `collect_limit`
+    /// (pattern-vertex-indexed).
+    pub matches: Option<Vec<Vec<u32>>>,
+    /// Submission-to-completion wall time (queueing included).
+    pub latency: Duration,
+}
+
+impl QueryOutcome {
+    /// Whether the run stopped early on its cancel token (count is
+    /// partial).
+    pub fn cancelled(&self) -> bool {
+        matches!(&self.result, Ok(r) if r.stats.cancelled)
+    }
+}
+
+/// Client-side handle to an admitted query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: u64,
+    cancel: CancelFlag,
+    rx: mpsc::Receiver<QueryOutcome>,
+}
+
+impl QueryHandle {
+    /// Service-assigned query id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cooperative cancellation; the query still completes (with
+    /// a partial count) and must be waited on as usual.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the query finishes.
+    ///
+    /// Every admitted query is guaranteed an outcome (shutdown drains
+    /// the queue), so this cannot block forever on a live service.
+    pub fn wait(self) -> QueryOutcome {
+        self.rx.recv().expect("worker dropped without an outcome")
+    }
+
+    /// Non-blocking poll; `Some` exactly once, when the query finished.
+    pub fn try_wait(&mut self) -> Option<QueryOutcome> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the outcome.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<QueryOutcome> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceMetrics {
+    /// Queries admitted to the queue.
+    pub admitted: u64,
+    /// Submissions rejected with [`Rejected::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Submissions rejected with [`Rejected::UnknownGraph`].
+    pub rejected_unknown_graph: u64,
+    /// Submissions rejected with [`Rejected::ShuttingDown`].
+    pub rejected_shutdown: u64,
+    /// Queries that finished `Ok` (including cancelled partials).
+    pub completed: u64,
+    /// Subset of `completed` that stopped on their cancel token.
+    pub cancelled: u64,
+    /// Queries that missed their deadline (in queue or mid-run).
+    pub deadline_expired: u64,
+    /// Queries that failed with a non-deadline engine error.
+    pub failed: u64,
+    /// Queries waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Engine counters merged across all completed queries.
+    pub engine: RunStats,
+    /// Sum of completion latencies (queueing + execution).
+    pub total_latency: Duration,
+    /// Largest single completion latency.
+    pub max_latency: Duration,
+    /// Plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+}
+
+impl ServiceMetrics {
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let finished = self.completed + self.deadline_expired + self.failed;
+        let mean_ms = if finished > 0 {
+            self.total_latency.as_secs_f64() * 1e3 / finished as f64
+        } else {
+            0.0
+        };
+        format!(
+            "admission: {} admitted, {} queue-full, {} unknown-graph, {} shutdown; depth {}\n\
+             outcomes: {} completed ({} cancelled), {} deadline-expired, {} failed\n\
+             latency: {:.2} ms mean, {:.2} ms max\n\
+             plan cache: {} hits, {} misses, {} evictions, {} presentation rebuilds",
+            self.admitted,
+            self.rejected_queue_full,
+            self.rejected_unknown_graph,
+            self.rejected_shutdown,
+            self.queue_depth,
+            self.completed,
+            self.cancelled,
+            self.deadline_expired,
+            self.failed,
+            mean_ms,
+            self.max_latency.as_secs_f64() * 1e3,
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.evictions,
+            self.plan_cache.presentation_rebuilds,
+        )
+    }
+}
+
+struct Job {
+    id: u64,
+    graph_name: String,
+    graph: Arc<CsrGraph>,
+    pattern: Pattern,
+    config: MatcherConfig,
+    deadline: Option<Duration>,
+    collect_limit: Option<usize>,
+    sink: Option<Arc<dyn MatchSink + Send + Sync>>,
+    cancel: CancelFlag,
+    submitted: Instant,
+    tx: mpsc::Sender<QueryOutcome>,
+}
+
+/// Queue state guarded by one mutex so admission and shutdown cannot
+/// interleave into a stranded job (a push after the workers decided the
+/// queue was drained).
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+#[derive(Default)]
+struct MetricCounters {
+    admitted: u64,
+    rejected_queue_full: u64,
+    rejected_unknown_graph: u64,
+    rejected_shutdown: u64,
+    completed: u64,
+    cancelled: u64,
+    deadline_expired: u64,
+    failed: u64,
+    engine: RunStats,
+    total_latency: Duration,
+    max_latency: Duration,
+}
+
+struct Inner {
+    catalog: GraphCatalog,
+    cache: PlanCache,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    metrics: Mutex<MetricCounters>,
+    next_id: Mutex<u64>,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+}
+
+/// Fan-out sink used per job: feeds the bounded collector (raw
+/// position-indexed, remapped later in bulk) and the client's streaming
+/// sink (remapped per match to pattern-vertex indexing).
+struct ServiceSink<'a> {
+    collect: Option<&'a CollectSink>,
+    client: Option<&'a dyn MatchSink>,
+    order: &'a [usize],
+}
+
+impl MatchSink for ServiceSink<'_> {
+    fn emit(&self, m: &[u32]) {
+        if let Some(c) = self.collect {
+            c.emit(m);
+        }
+        if let Some(s) = self.client {
+            let mut by_vertex = vec![0u32; m.len()];
+            for (i, &v) in m.iter().enumerate() {
+                by_vertex[self.order[i]] = v;
+            }
+            s.emit(&by_vertex);
+        }
+    }
+}
+
+/// The multi-tenant query service.
+///
+/// `Service` is `Sync`: share it behind an `Arc` and submit from any
+/// number of client threads. Dropping it shuts down gracefully (drains
+/// the queue, joins the workers).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service with `config.workers` worker threads.
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            catalog: GraphCatalog::new(),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+            metrics: Mutex::new(MetricCounters::default()),
+            next_id: Mutex::new(0),
+            queue_capacity: config.queue_capacity.max(1),
+            default_deadline: config.default_deadline,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("tdfs-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The graph catalog (register/unregister data graphs here).
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.inner.catalog
+    }
+
+    /// Registers `graph` under `name` (convenience for
+    /// `catalog().register`).
+    pub fn register_graph(&self, name: impl Into<String>, graph: Arc<CsrGraph>) {
+        self.inner.catalog.register(name, graph);
+    }
+
+    /// Unregisters `name` and drops its cached plans. In-flight queries
+    /// against the graph finish on their own `Arc`.
+    pub fn unregister_graph(&self, name: &str) -> Option<Arc<CsrGraph>> {
+        let g = self.inner.catalog.unregister(name);
+        if g.is_some() {
+            self.inner.cache.invalidate_graph(name);
+        }
+        g
+    }
+
+    /// Tries to admit `request`. Never blocks: a full queue, an unknown
+    /// graph, or a shutting-down service reject immediately.
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryHandle, Rejected> {
+        let Some(graph) = self.inner.catalog.get(&request.graph) else {
+            self.inner
+                .metrics
+                .lock()
+                .expect("metrics poisoned")
+                .rejected_unknown_graph += 1;
+            return Err(Rejected::UnknownGraph(request.graph));
+        };
+        let cancel = request.config.cancel.clone().unwrap_or_default();
+        let (tx, rx) = mpsc::channel();
+        let id = {
+            let mut next = self.inner.next_id.lock().expect("id poisoned");
+            *next += 1;
+            *next
+        };
+        let deadline = request.deadline.or(self.inner.default_deadline);
+        let job = Job {
+            id,
+            graph_name: request.graph,
+            graph,
+            pattern: request.pattern,
+            config: request.config,
+            deadline,
+            collect_limit: request.collect_limit,
+            sink: request.sink,
+            cancel: cancel.clone(),
+            submitted: Instant::now(),
+            tx,
+        };
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            if q.shutting_down {
+                drop(q);
+                self.inner
+                    .metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .rejected_shutdown += 1;
+                return Err(Rejected::ShuttingDown);
+            }
+            if q.jobs.len() >= self.inner.queue_capacity {
+                drop(q);
+                self.inner
+                    .metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .rejected_queue_full += 1;
+                return Err(Rejected::QueueFull);
+            }
+            q.jobs.push_back(job);
+        }
+        self.inner.available.notify_one();
+        self.inner
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .admitted += 1;
+        Ok(QueryHandle { id, cancel, rx })
+    }
+
+    /// Snapshot of the service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let depth = self.inner.queue.lock().expect("queue poisoned").jobs.len();
+        let m = self.inner.metrics.lock().expect("metrics poisoned");
+        ServiceMetrics {
+            admitted: m.admitted,
+            rejected_queue_full: m.rejected_queue_full,
+            rejected_unknown_graph: m.rejected_unknown_graph,
+            rejected_shutdown: m.rejected_shutdown,
+            completed: m.completed,
+            cancelled: m.cancelled,
+            deadline_expired: m.deadline_expired,
+            failed: m.failed,
+            queue_depth: depth,
+            engine: m.engine.clone(),
+            total_latency: m.total_latency,
+            max_latency: m.max_latency,
+            plan_cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Stops admitting work, drains the queue, and joins the workers.
+    /// Queued queries still run (cancel them first for a fast stop).
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.shutting_down = true;
+        }
+        self.inner.available.notify_all();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers poisoned")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(j) = q.jobs.pop_front() {
+                    break Some(j);
+                }
+                if q.shutting_down {
+                    break None;
+                }
+                q = inner.available.wait(q).expect("queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => run_job(inner, job),
+            None => return,
+        }
+    }
+}
+
+fn run_job(inner: &Inner, job: Job) {
+    let mut cfg = job.config.clone().with_cancel(job.cancel.clone());
+    if let Some(deadline) = job.deadline {
+        match deadline.checked_sub(job.submitted.elapsed()) {
+            Some(remaining) => {
+                cfg.time_limit = Some(match cfg.time_limit {
+                    Some(t) => t.min(remaining),
+                    None => remaining,
+                });
+            }
+            None => {
+                // Expired while queued: same outcome as an in-run miss,
+                // without paying for planning or execution.
+                finish(inner, &job, Err(EngineError::TimeLimit), None);
+                return;
+            }
+        }
+    }
+    let plan = inner
+        .cache
+        .get_or_build(&job.graph_name, &job.pattern, cfg.plan);
+    let collector = job
+        .collect_limit
+        .map(|limit| CollectSink::with_cancel(limit, job.cancel.clone()));
+    let sink = ServiceSink {
+        collect: collector.as_ref(),
+        client: job.sink.as_deref().map(|s| s as &dyn MatchSink),
+        order: &plan.order.order,
+    };
+    let sink_opt: Option<&dyn MatchSink> = if sink.collect.is_some() || sink.client.is_some() {
+        Some(&sink)
+    } else {
+        None
+    };
+    let result = match_plan_with_sink(&job.graph, &plan, &cfg, sink_opt);
+    let matches = collector.map(|c| {
+        let k = plan.k();
+        c.into_matches()
+            .into_iter()
+            .map(|by_pos| {
+                let mut by_vertex = vec![0u32; k];
+                for (i, &v) in by_pos.iter().enumerate() {
+                    by_vertex[plan.order.order[i]] = v;
+                }
+                by_vertex
+            })
+            .collect()
+    });
+    finish(inner, &job, result, matches);
+}
+
+fn finish(
+    inner: &Inner,
+    job: &Job,
+    result: Result<RunResult, EngineError>,
+    matches: Option<Vec<Vec<u32>>>,
+) {
+    let latency = job.submitted.elapsed();
+    {
+        let mut m = inner.metrics.lock().expect("metrics poisoned");
+        match &result {
+            Ok(r) => {
+                m.completed += 1;
+                if r.stats.cancelled {
+                    m.cancelled += 1;
+                }
+                m.engine.merge(&r.stats);
+            }
+            Err(EngineError::TimeLimit) => m.deadline_expired += 1,
+            Err(_) => m.failed += 1,
+        }
+        m.total_latency += latency;
+        m.max_latency = m.max_latency.max(latency);
+    }
+    // The client may have dropped its handle; the outcome is then simply
+    // discarded.
+    let _ = job.tx.send(QueryOutcome {
+        query_id: job.id,
+        result,
+        matches,
+        latency,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfs_core::reference_count;
+    use tdfs_graph::generators::barabasi_albert;
+    use tdfs_graph::GraphBuilder;
+    use tdfs_query::plan::QueryPlan;
+    use tdfs_query::PatternId;
+
+    fn k5() -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        Arc::new(b.build())
+    }
+
+    fn small_service() -> Service {
+        Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            plan_cache_capacity: 8,
+            default_deadline: None,
+        })
+    }
+
+    #[test]
+    fn counts_agree_with_the_reference() {
+        let svc = small_service();
+        let g = Arc::new(barabasi_albert(100, 3, 1));
+        svc.register_graph("ba", g.clone());
+        let p = PatternId(1).pattern();
+        let want = reference_count(&g, &QueryPlan::build_with(&p, Default::default()));
+        let h = svc.submit(QueryRequest::new("ba", p)).unwrap();
+        let out = h.wait();
+        assert_eq!(out.result.unwrap().matches, want);
+        assert!(out.matches.is_none(), "no collect_limit, no matches");
+    }
+
+    #[test]
+    fn collect_limit_returns_pattern_indexed_matches() {
+        let svc = small_service();
+        svc.register_graph("k5", k5());
+        let h = svc
+            .submit(QueryRequest::new("k5", PatternId(2).pattern()).with_collect_limit(100))
+            .unwrap();
+        let out = h.wait();
+        let matches = out.matches.unwrap();
+        assert_eq!(out.result.unwrap().matches, 5);
+        assert_eq!(matches.len(), 5);
+        for m in &matches {
+            assert_eq!(m.len(), 4);
+        }
+    }
+
+    #[test]
+    fn unknown_graph_is_rejected() {
+        let svc = small_service();
+        let err = svc
+            .submit(QueryRequest::new("nope", Pattern::clique(3)))
+            .unwrap_err();
+        assert_eq!(err, Rejected::UnknownGraph("nope".into()));
+        assert_eq!(svc.metrics().rejected_unknown_graph, 1);
+    }
+
+    /// A sink that signals when the engine first emits, then blocks until
+    /// released — pins a worker deterministically.
+    struct BlockingSink {
+        entered: Arc<(Mutex<bool>, Condvar)>,
+        release: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl MatchSink for BlockingSink {
+        fn emit(&self, _m: &[u32]) {
+            {
+                let (m, c) = &*self.entered;
+                *m.lock().unwrap() = true;
+                c.notify_all();
+            }
+            let (m, c) = &*self.release;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = c.wait(g).unwrap();
+            }
+        }
+    }
+
+    fn wait_flag(pair: &(Mutex<bool>, Condvar)) {
+        let (m, c) = pair;
+        let mut g = m.lock().unwrap();
+        while !*g {
+            g = c.wait(g).unwrap();
+        }
+    }
+
+    fn raise_flag(pair: &(Mutex<bool>, Condvar)) {
+        let (m, c) = pair;
+        *m.lock().unwrap() = true;
+        c.notify_all();
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            plan_cache_capacity: 4,
+            default_deadline: None,
+        });
+        svc.register_graph("k5", k5());
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let sink = Arc::new(BlockingSink {
+            entered: entered.clone(),
+            release: release.clone(),
+        });
+        let blocker = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .unwrap();
+        // The single worker is now pinned inside emit.
+        wait_flag(&entered);
+        let queued = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap();
+        let err = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap_err();
+        assert_eq!(err, Rejected::QueueFull);
+        raise_flag(&release);
+        assert!(blocker.wait().result.is_ok());
+        assert!(queued.wait().result.is_ok());
+        let m = svc.metrics();
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.rejected_queue_full, 1);
+        assert_eq!(m.completed, 2);
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_skips_execution() {
+        let svc = small_service();
+        svc.register_graph("k5", k5());
+        let h = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_deadline(Duration::ZERO))
+            .unwrap();
+        let out = h.wait();
+        assert!(matches!(out.result, Err(EngineError::TimeLimit)));
+        assert_eq!(svc.metrics().deadline_expired, 1);
+    }
+
+    #[test]
+    fn repeated_patterns_hit_the_plan_cache() {
+        let svc = small_service();
+        svc.register_graph("k5", k5());
+        for _ in 0..3 {
+            svc.submit(QueryRequest::new("k5", PatternId(2).pattern()))
+                .unwrap()
+                .wait();
+        }
+        let s = svc.metrics().plan_cache;
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn cancelled_query_completes_partial() {
+        let svc = small_service();
+        svc.register_graph("ba", Arc::new(barabasi_albert(2000, 12, 21)));
+        let h = svc
+            .submit(
+                QueryRequest::new("ba", PatternId(8).pattern())
+                    .with_config(MatcherConfig::tdfs().with_warps(2)),
+            )
+            .unwrap();
+        h.cancel();
+        let out = h.wait();
+        let r = out.result.unwrap();
+        // Either the run was genuinely interrupted or it beat the cancel;
+        // both are legal, but a cancelled run must say so.
+        assert_eq!(r.stats.cancelled, svc.metrics().cancelled == 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains() {
+        let svc = small_service();
+        svc.register_graph("k5", k5());
+        let h = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap();
+        svc.shutdown();
+        let err = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap_err();
+        assert_eq!(err, Rejected::ShuttingDown);
+        // The job admitted before shutdown still completed.
+        assert!(h.wait().result.is_ok());
+    }
+
+    #[test]
+    fn metrics_summary_mentions_counters() {
+        let svc = small_service();
+        svc.register_graph("k5", k5());
+        svc.submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap()
+            .wait();
+        let s = svc.metrics().summary();
+        for needle in ["admitted", "completed", "latency", "plan cache"] {
+            assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Multithreaded service stress: many client threads, multiple graphs,
+//! mixed labeled/unlabeled patterns, backpressure, and cancellation —
+//! the end-to-end behaviours the subsystem exists to provide.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdfs_core::{reference_count, MatcherConfig};
+use tdfs_graph::generators::{barabasi_albert, random_labels};
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::{Pattern, PatternId};
+use tdfs_service::{QueryRequest, Rejected, Service, ServiceConfig};
+
+/// N client threads hammer one service with mixed queries against two
+/// graphs; every completed count must equal the serial reference count.
+#[test]
+fn concurrent_clients_get_correct_counts() {
+    let svc = Arc::new(Service::new(ServiceConfig {
+        workers: 3,
+        queue_capacity: 128,
+        plan_cache_capacity: 16,
+        default_deadline: None,
+    }));
+    let plain = Arc::new(barabasi_albert(250, 4, 31));
+    let labeled = {
+        let g = barabasi_albert(250, 4, 32);
+        let n = g.num_vertices();
+        Arc::new(g.with_labels(random_labels(n, 3, 33)))
+    };
+    svc.register_graph("plain", plain.clone());
+    svc.register_graph("labeled", labeled.clone());
+
+    // (graph name, pattern) workload; PatternId(12) is labeled (mod-3
+    // labels on the diamond) so it exercises label filtering on the
+    // labeled graph.
+    let workload: Vec<(&str, Pattern)> = vec![
+        ("plain", PatternId(1).pattern()),
+        ("plain", Pattern::clique(3)),
+        ("plain", PatternId(3).pattern()),
+        ("labeled", Pattern::clique(3)),
+        ("labeled", PatternId(12).pattern()),
+        ("labeled", Pattern::path(4)),
+    ];
+    let expected: Vec<u64> = workload
+        .iter()
+        .map(|(name, p)| {
+            let g = if *name == "plain" { &plain } else { &labeled };
+            reference_count(g, &QueryPlan::build_with(p, Default::default()))
+        })
+        .collect();
+
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            let svc = svc.clone();
+            let workload = workload.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..4 {
+                    let i = (c + round) % workload.len();
+                    let (name, p) = &workload[i];
+                    let req = QueryRequest::new(*name, p.clone())
+                        .with_config(MatcherConfig::tdfs().with_warps(2));
+                    let out = svc
+                        .submit(req)
+                        .expect("queue sized for the workload")
+                        .wait();
+                    let r = out.result.expect("query failed");
+                    assert!(!r.stats.cancelled);
+                    assert_eq!(
+                        r.matches, expected[i],
+                        "client {c} round {round}: wrong count for {name}/{i}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let m = svc.metrics();
+    assert_eq!(m.admitted, 24);
+    assert_eq!(m.completed, 24);
+    assert_eq!(m.cancelled + m.deadline_expired + m.failed, 0);
+    assert_eq!(m.queue_depth, 0);
+    // 6 distinct (graph, pattern) pairs → at most 6 plans built even
+    // under concurrency-raced duplicate builds; the rest are hits.
+    let pc = m.plan_cache;
+    assert!(pc.hits + pc.misses >= 24);
+    assert!(pc.hits >= 24 - 2 * 6, "cache barely used: {pc:?}");
+}
+
+/// A full queue rejects immediately instead of blocking the client.
+#[test]
+fn saturated_service_rejects_not_blocks() {
+    let svc = Arc::new(Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        plan_cache_capacity: 4,
+        default_deadline: None,
+    }));
+    // One big graph so each query holds the single worker a while.
+    svc.register_graph("ba", Arc::new(barabasi_albert(1500, 10, 34)));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    let mut max_submit = Duration::ZERO;
+    for _ in 0..12 {
+        let req = QueryRequest::new("ba", PatternId(8).pattern())
+            .with_config(MatcherConfig::tdfs().with_warps(2));
+        let t = Instant::now();
+        let r = svc.submit(req);
+        max_submit = max_submit.max(t.elapsed());
+        match r {
+            Ok(h) => handles.push(h),
+            Err(Rejected::QueueFull) => {
+                rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => panic!("unexpected rejection {e}"),
+        }
+    }
+    assert!(
+        max_submit < Duration::from_secs(1),
+        "submit blocked for {max_submit:?}"
+    );
+    // Cancel everything still pending so the test winds down fast.
+    for h in &handles {
+        h.cancel();
+    }
+    for h in handles {
+        assert!(h.wait().result.is_ok());
+    }
+    let m = svc.metrics();
+    assert_eq!(m.rejected_queue_full, rejected.load(Ordering::Relaxed));
+    assert!(
+        m.rejected_queue_full > 0,
+        "queue of 2 with 1 worker never filled across 12 fast submits"
+    );
+    assert_eq!(m.admitted, 12 - m.rejected_queue_full);
+}
+
+/// A cancelled query returns promptly with `cancelled` set in its stats.
+#[test]
+fn cancellation_is_prompt_and_reported() {
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        plan_cache_capacity: 4,
+        default_deadline: None,
+    });
+    // Large dense graph + 5-vertex near-clique: minutes of work uncancelled.
+    svc.register_graph("big", Arc::new(barabasi_albert(6000, 24, 35)));
+    let h = svc
+        .submit(
+            QueryRequest::new("big", PatternId(8).pattern())
+                .with_config(MatcherConfig::tdfs().with_warps(2)),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let t = Instant::now();
+    h.cancel();
+    let out = h.wait();
+    let wind_down = t.elapsed();
+    let r = out.result.expect("cancel must not be an error");
+    assert!(
+        r.stats.cancelled,
+        "run finished a 6000-vertex dense census in 50 ms?"
+    );
+    assert!(
+        wind_down < Duration::from_secs(5),
+        "cancel took {wind_down:?} to take effect"
+    );
+    let m = svc.metrics();
+    assert_eq!(m.cancelled, 1);
+    assert_eq!(m.completed, 1);
+}

@@ -32,10 +32,12 @@ fn main() {
         let saved: usize = plan
             .levels
             .iter()
-            .map(|l| l.reuse.as_ref().map_or(0, |s| {
-                // operands the seed replaces
-                l.backward.len() - s.remaining.len()
-            }))
+            .map(|l| {
+                l.reuse.as_ref().map_or(0, |s| {
+                    // operands the seed replaces
+                    l.backward.len() - s.remaining.len()
+                })
+            })
             .sum();
         let r = match_pattern(&g, &p, &cfg).expect("matching failed");
         println!(

@@ -34,7 +34,11 @@ fn main() {
             (8, 0),
         ])
         .build();
-    println!("data graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "data graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Count the catalogue patterns P1 (diamond) and P2 (4-clique).
     let cfg = MatcherConfig::tdfs();

@@ -23,9 +23,7 @@
 
 use std::process::ExitCode;
 
-use tdfs::core::{
-    find_matches, match_plan, run_multi_device, MatcherConfig, Strategy,
-};
+use tdfs::core::{find_matches, match_plan, run_multi_device, MatcherConfig, Strategy};
 use tdfs::graph::{datasets::DatasetId, io, CsrGraph, GraphStats};
 use tdfs::query::plan::QueryPlan;
 use tdfs::query::{Pattern, PatternId};
@@ -62,10 +60,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--graph" => a.graph = Some(val("--graph")?),
             "--labels" => a.labels = Some(val("--labels")?),
@@ -74,10 +69,18 @@ fn parse_args() -> Result<Args, String> {
             "--pattern-edges" => a.pattern_edges = Some(val("--pattern-edges")?),
             "--engine" => a.engine = val("--engine")?,
             "--warps" => {
-                a.warps = Some(val("--warps")?.parse().map_err(|e| format!("--warps: {e}"))?)
+                a.warps = Some(
+                    val("--warps")?
+                        .parse()
+                        .map_err(|e| format!("--warps: {e}"))?,
+                )
             }
             "--tau-ms" => {
-                a.tau_ms = Some(val("--tau-ms")?.parse().map_err(|e| format!("--tau-ms: {e}"))?)
+                a.tau_ms = Some(
+                    val("--tau-ms")?
+                        .parse()
+                        .map_err(|e| format!("--tau-ms: {e}"))?,
+                )
             }
             "--time-limit-s" => {
                 a.time_limit_s = Some(
@@ -221,14 +224,21 @@ fn run(a: Args) -> Result<(), String> {
             a.devices
         );
         for (d, rr) in r.per_device.iter().enumerate() {
-            println!("  device {d}: {} matches, {:.2} ms", rr.matches, rr.millis());
+            println!(
+                "  device {d}: {} matches, {:.2} ms",
+                rr.matches,
+                rr.millis()
+            );
         }
         return Ok(());
     }
 
     if a.show > 0 {
         let (r, matches) = find_matches(&g, &p, &cfg, a.show).map_err(|e| e.to_string())?;
-        println!("{} matches in {:.2} ms", r.matches, r.millis());
+        // The run stops early once `show` matches are collected, so the
+        // count is a lower bound when that happened.
+        let partial = if r.stats.cancelled { "at least " } else { "" };
+        println!("{partial}{} matches in {:.2} ms", r.matches, r.millis());
         for m in &matches {
             println!("  {m:?}");
         }

@@ -4,3 +4,4 @@ pub use tdfs_gpu as gpu;
 pub use tdfs_graph as graph;
 pub use tdfs_mem as mem;
 pub use tdfs_query as query;
+pub use tdfs_service as service;

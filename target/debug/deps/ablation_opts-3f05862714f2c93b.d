@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_opts-3f05862714f2c93b.d: crates/bench/benches/ablation_opts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_opts-3f05862714f2c93b.rmeta: crates/bench/benches/ablation_opts.rs Cargo.toml
+
+crates/bench/benches/ablation_opts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

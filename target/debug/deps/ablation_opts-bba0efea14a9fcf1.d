@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opts-bba0efea14a9fcf1.d: crates/bench/benches/ablation_opts.rs
+
+/root/repo/target/debug/deps/ablation_opts-bba0efea14a9fcf1: crates/bench/benches/ablation_opts.rs
+
+crates/bench/benches/ablation_opts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/behavior-2fee1538285b5eaa.d: crates/core/tests/behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavior-2fee1538285b5eaa.rmeta: crates/core/tests/behavior.rs Cargo.toml
+
+crates/core/tests/behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-5c2bd2ce78228088.d: crates/core/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-5c2bd2ce78228088: crates/core/tests/behavior.rs
+
+crates/core/tests/behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cancel-4995e5c0a7d7e7eb.d: crates/core/tests/cancel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcancel-4995e5c0a7d7e7eb.rmeta: crates/core/tests/cancel.rs Cargo.toml
+
+crates/core/tests/cancel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

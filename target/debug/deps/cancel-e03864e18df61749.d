@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cancel-e03864e18df61749.d: crates/core/tests/cancel.rs
+
+/root/repo/target/debug/deps/cancel-e03864e18df61749: crates/core/tests/cancel.rs
+
+crates/core/tests/cancel.rs:

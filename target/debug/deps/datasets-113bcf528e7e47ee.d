@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datasets-113bcf528e7e47ee.d: crates/bench/src/bin/datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets-113bcf528e7e47ee.rmeta: crates/bench/src/bin/datasets.rs Cargo.toml
+
+crates/bench/src/bin/datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

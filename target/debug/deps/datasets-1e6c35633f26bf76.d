@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datasets-1e6c35633f26bf76.d: crates/bench/src/bin/datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets-1e6c35633f26bf76.rmeta: crates/bench/src/bin/datasets.rs Cargo.toml
+
+crates/bench/src/bin/datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

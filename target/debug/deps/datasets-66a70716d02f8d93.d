@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datasets-66a70716d02f8d93.d: crates/bench/src/bin/datasets.rs
+
+/root/repo/target/debug/deps/datasets-66a70716d02f8d93: crates/bench/src/bin/datasets.rs
+
+crates/bench/src/bin/datasets.rs:

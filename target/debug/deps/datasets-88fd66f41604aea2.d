@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datasets-88fd66f41604aea2.d: crates/bench/src/bin/datasets.rs
+
+/root/repo/target/debug/deps/datasets-88fd66f41604aea2: crates/bench/src/bin/datasets.rs
+
+crates/bench/src/bin/datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/emission-64a0e667c047499f.d: crates/core/tests/emission.rs
+
+/root/repo/target/debug/deps/emission-64a0e667c047499f: crates/core/tests/emission.rs
+
+crates/core/tests/emission.rs:

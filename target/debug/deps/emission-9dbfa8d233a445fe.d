@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/emission-9dbfa8d233a445fe.d: crates/core/tests/emission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libemission-9dbfa8d233a445fe.rmeta: crates/core/tests/emission.rs Cargo.toml
+
+crates/core/tests/emission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines-e43342e6780c8507.d: crates/core/tests/engines.rs
+
+/root/repo/target/debug/deps/engines-e43342e6780c8507: crates/core/tests/engines.rs
+
+crates/core/tests/engines.rs:

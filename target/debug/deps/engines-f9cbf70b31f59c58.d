@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-f9cbf70b31f59c58.d: crates/core/tests/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-f9cbf70b31f59c58.rmeta: crates/core/tests/engines.rs Cargo.toml
+
+crates/core/tests/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

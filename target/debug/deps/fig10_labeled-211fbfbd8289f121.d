@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_labeled-211fbfbd8289f121.d: crates/bench/benches/fig10_labeled.rs
+
+/root/repo/target/debug/deps/fig10_labeled-211fbfbd8289f121: crates/bench/benches/fig10_labeled.rs
+
+crates/bench/benches/fig10_labeled.rs:

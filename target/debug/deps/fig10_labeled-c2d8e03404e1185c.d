@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_labeled-c2d8e03404e1185c.d: crates/bench/benches/fig10_labeled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_labeled-c2d8e03404e1185c.rmeta: crates/bench/benches/fig10_labeled.rs Cargo.toml
+
+crates/bench/benches/fig10_labeled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

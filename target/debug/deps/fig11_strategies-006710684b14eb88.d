@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_strategies-006710684b14eb88.d: crates/bench/benches/fig11_strategies.rs
+
+/root/repo/target/debug/deps/fig11_strategies-006710684b14eb88: crates/bench/benches/fig11_strategies.rs
+
+crates/bench/benches/fig11_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_strategies-22b7cee23ca2cbd4.d: crates/bench/benches/fig11_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_strategies-22b7cee23ca2cbd4.rmeta: crates/bench/benches/fig11_strategies.rs Cargo.toml
+
+crates/bench/benches/fig11_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

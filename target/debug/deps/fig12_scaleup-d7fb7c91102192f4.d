@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_scaleup-d7fb7c91102192f4.d: crates/bench/benches/fig12_scaleup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_scaleup-d7fb7c91102192f4.rmeta: crates/bench/benches/fig12_scaleup.rs Cargo.toml
+
+crates/bench/benches/fig12_scaleup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_scaleup-f2e9bb8375850a50.d: crates/bench/benches/fig12_scaleup.rs
+
+/root/repo/target/debug/deps/fig12_scaleup-f2e9bb8375850a50: crates/bench/benches/fig12_scaleup.rs
+
+crates/bench/benches/fig12_scaleup.rs:

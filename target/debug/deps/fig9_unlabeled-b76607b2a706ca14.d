@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_unlabeled-b76607b2a706ca14.d: crates/bench/benches/fig9_unlabeled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_unlabeled-b76607b2a706ca14.rmeta: crates/bench/benches/fig9_unlabeled.rs Cargo.toml
+
+crates/bench/benches/fig9_unlabeled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_unlabeled-f10e5f069edc5508.d: crates/bench/benches/fig9_unlabeled.rs
+
+/root/repo/target/debug/deps/fig9_unlabeled-f10e5f069edc5508: crates/bench/benches/fig9_unlabeled.rs
+
+crates/bench/benches/fig9_unlabeled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-4c5110a674ba8bc7.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-4c5110a674ba8bc7: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

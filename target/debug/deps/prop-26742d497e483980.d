@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-26742d497e483980.d: crates/query/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-26742d497e483980.rmeta: crates/query/tests/prop.rs Cargo.toml
+
+crates/query/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

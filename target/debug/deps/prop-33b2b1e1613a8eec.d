@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-33b2b1e1613a8eec.d: crates/mem/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-33b2b1e1613a8eec: crates/mem/tests/prop.rs
+
+crates/mem/tests/prop.rs:

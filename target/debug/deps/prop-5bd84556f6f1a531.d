@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5bd84556f6f1a531.d: crates/graph/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5bd84556f6f1a531.rmeta: crates/graph/tests/prop.rs Cargo.toml
+
+crates/graph/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-919dd7fd39630feb.d: crates/graph/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-919dd7fd39630feb: crates/graph/tests/prop.rs
+
+crates/graph/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-d5ef32b3a714376c.d: crates/gpu/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-d5ef32b3a714376c: crates/gpu/tests/prop.rs
+
+crates/gpu/tests/prop.rs:

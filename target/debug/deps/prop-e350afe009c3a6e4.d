@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e350afe009c3a6e4.d: crates/query/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e350afe009c3a6e4: crates/query/tests/prop.rs
+
+crates/query/tests/prop.rs:

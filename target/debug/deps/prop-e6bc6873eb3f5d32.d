@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-e6bc6873eb3f5d32.d: crates/mem/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e6bc6873eb3f5d32.rmeta: crates/mem/tests/prop.rs Cargo.toml
+
+crates/mem/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

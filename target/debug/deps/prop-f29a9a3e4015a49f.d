@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-f29a9a3e4015a49f.d: crates/gpu/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-f29a9a3e4015a49f.rmeta: crates/gpu/tests/prop.rs Cargo.toml
+
+crates/gpu/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_end_to_end-4cd15e58e0a290a1.d: tests/property_end_to_end.rs
+
+/root/repo/target/debug/deps/property_end_to_end-4cd15e58e0a290a1: tests/property_end_to_end.rs
+
+tests/property_end_to_end.rs:

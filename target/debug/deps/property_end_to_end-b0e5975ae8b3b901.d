@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_end_to_end-b0e5975ae8b3b901.d: tests/property_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_end_to_end-b0e5975ae8b3b901.rmeta: tests/property_end_to_end.rs Cargo.toml
+
+tests/property_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-08decca762897c7f.d: crates/service/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-08decca762897c7f.rmeta: crates/service/tests/stress.rs Cargo.toml
+
+crates/service/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-9fd961ae9da21bbc.d: crates/service/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-9fd961ae9da21bbc: crates/service/tests/stress.rs
+
+crates/service/tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab2_tau_youtube-18ba1c2004dd7b42.d: crates/bench/benches/tab2_tau_youtube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab2_tau_youtube-18ba1c2004dd7b42.rmeta: crates/bench/benches/tab2_tau_youtube.rs Cargo.toml
+
+crates/bench/benches/tab2_tau_youtube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

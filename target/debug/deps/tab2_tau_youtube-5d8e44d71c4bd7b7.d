@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_tau_youtube-5d8e44d71c4bd7b7.d: crates/bench/benches/tab2_tau_youtube.rs
+
+/root/repo/target/debug/deps/tab2_tau_youtube-5d8e44d71c4bd7b7: crates/bench/benches/tab2_tau_youtube.rs
+
+crates/bench/benches/tab2_tau_youtube.rs:

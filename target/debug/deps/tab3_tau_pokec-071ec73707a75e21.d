@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab3_tau_pokec-071ec73707a75e21.d: crates/bench/benches/tab3_tau_pokec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab3_tau_pokec-071ec73707a75e21.rmeta: crates/bench/benches/tab3_tau_pokec.rs Cargo.toml
+
+crates/bench/benches/tab3_tau_pokec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_tau_pokec-5e06fb0df1ccd8b2.d: crates/bench/benches/tab3_tau_pokec.rs
+
+/root/repo/target/debug/deps/tab3_tau_pokec-5e06fb0df1ccd8b2: crates/bench/benches/tab3_tau_pokec.rs
+
+crates/bench/benches/tab3_tau_pokec.rs:

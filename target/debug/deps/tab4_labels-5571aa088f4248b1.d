@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_labels-5571aa088f4248b1.d: crates/bench/benches/tab4_labels.rs
+
+/root/repo/target/debug/deps/tab4_labels-5571aa088f4248b1: crates/bench/benches/tab4_labels.rs
+
+crates/bench/benches/tab4_labels.rs:

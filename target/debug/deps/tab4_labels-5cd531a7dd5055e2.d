@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_labels-5cd531a7dd5055e2.d: crates/bench/benches/tab4_labels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_labels-5cd531a7dd5055e2.rmeta: crates/bench/benches/tab4_labels.rs Cargo.toml
+
+crates/bench/benches/tab4_labels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab56_memory_pokec-41d59207ec813c3e.d: crates/bench/benches/tab56_memory_pokec.rs
+
+/root/repo/target/debug/deps/tab56_memory_pokec-41d59207ec813c3e: crates/bench/benches/tab56_memory_pokec.rs
+
+crates/bench/benches/tab56_memory_pokec.rs:

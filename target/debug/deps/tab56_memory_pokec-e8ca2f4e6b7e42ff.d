@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab56_memory_pokec-e8ca2f4e6b7e42ff.d: crates/bench/benches/tab56_memory_pokec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab56_memory_pokec-e8ca2f4e6b7e42ff.rmeta: crates/bench/benches/tab56_memory_pokec.rs Cargo.toml
+
+crates/bench/benches/tab56_memory_pokec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab78_memory_youtube-cb9dad4f1aa009d7.d: crates/bench/benches/tab78_memory_youtube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab78_memory_youtube-cb9dad4f1aa009d7.rmeta: crates/bench/benches/tab78_memory_youtube.rs Cargo.toml
+
+crates/bench/benches/tab78_memory_youtube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab78_memory_youtube-f6c730c2c251ca66.d: crates/bench/benches/tab78_memory_youtube.rs
+
+/root/repo/target/debug/deps/tab78_memory_youtube-f6c730c2c251ca66: crates/bench/benches/tab78_memory_youtube.rs
+
+crates/bench/benches/tab78_memory_youtube.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tdfs-3f5ec890e581caac.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtdfs-3f5ec890e581caac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtdfs-3f5ec890e581caac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdfs-52e1d19626c6b930.d: src/bin/tdfs.rs
+
+/root/repo/target/debug/deps/tdfs-52e1d19626c6b930: src/bin/tdfs.rs
+
+src/bin/tdfs.rs:

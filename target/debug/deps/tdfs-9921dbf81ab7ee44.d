@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdfs-9921dbf81ab7ee44.d: src/bin/tdfs.rs
+
+/root/repo/target/debug/deps/tdfs-9921dbf81ab7ee44: src/bin/tdfs.rs
+
+src/bin/tdfs.rs:

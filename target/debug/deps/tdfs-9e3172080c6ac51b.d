@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tdfs-9e3172080c6ac51b.d: src/bin/tdfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs-9e3172080c6ac51b.rmeta: src/bin/tdfs.rs Cargo.toml
+
+src/bin/tdfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

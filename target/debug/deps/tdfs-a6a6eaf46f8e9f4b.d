@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdfs-a6a6eaf46f8e9f4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/tdfs-a6a6eaf46f8e9f4b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tdfs-da7d88bfd57eb33e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs-da7d88bfd57eb33e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

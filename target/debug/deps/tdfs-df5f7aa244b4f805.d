@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tdfs-df5f7aa244b4f805.d: src/bin/tdfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs-df5f7aa244b4f805.rmeta: src/bin/tdfs.rs Cargo.toml
+
+src/bin/tdfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

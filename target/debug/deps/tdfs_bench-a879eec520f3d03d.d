@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tdfs_bench-a879eec520f3d03d.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tdfs_bench-a879eec520f3d03d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

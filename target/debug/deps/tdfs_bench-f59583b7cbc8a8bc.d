@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tdfs_bench-f59583b7cbc8a8bc.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtdfs_bench-f59583b7cbc8a8bc.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtdfs_bench-f59583b7cbc8a8bc.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tdfs_core-19ace0ea072cfcd8.d: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/tdfs_core-19ace0ea072cfcd8: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs.rs:
+crates/core/src/cancel.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/half_steal.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/multi.rs:
+crates/core/src/reference.rs:
+crates/core/src/sink.rs:
+crates/core/src/stack.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tdfs_core-bb415853dcd311b0.d: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libtdfs_core-bb415853dcd311b0.rlib: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libtdfs_core-bb415853dcd311b0.rmeta: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs.rs:
+crates/core/src/cancel.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/half_steal.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/multi.rs:
+crates/core/src/reference.rs:
+crates/core/src/sink.rs:
+crates/core/src/stack.rs:
+crates/core/src/stats.rs:

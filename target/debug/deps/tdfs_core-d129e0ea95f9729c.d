@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/tdfs_core-d129e0ea95f9729c.d: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_core-d129e0ea95f9729c.rmeta: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bfs.rs:
+crates/core/src/cancel.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/half_steal.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/multi.rs:
+crates/core/src/reference.rs:
+crates/core/src/sink.rs:
+crates/core/src/stack.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tdfs_gpu-2d2373a46f09653f.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+/root/repo/target/debug/deps/libtdfs_gpu-2d2373a46f09653f.rlib: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+/root/repo/target/debug/deps/libtdfs_gpu-2d2373a46f09653f.rmeta: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/queue.rs:
+crates/gpu/src/warp.rs:

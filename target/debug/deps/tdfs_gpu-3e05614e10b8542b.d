@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tdfs_gpu-3e05614e10b8542b.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_gpu-3e05614e10b8542b.rmeta: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/queue.rs:
+crates/gpu/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

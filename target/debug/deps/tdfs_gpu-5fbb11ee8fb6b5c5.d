@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tdfs_gpu-5fbb11ee8fb6b5c5.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_gpu-5fbb11ee8fb6b5c5.rmeta: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/queue.rs:
+crates/gpu/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tdfs_gpu-ea068e1c58ffd9da.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+/root/repo/target/debug/deps/tdfs_gpu-ea068e1c58ffd9da: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/queue.rs:
+crates/gpu/src/warp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tdfs_graph-02a99d7940838ddd.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/intersect.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/transform.rs
+
+/root/repo/target/debug/deps/libtdfs_graph-02a99d7940838ddd.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/intersect.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/transform.rs
+
+/root/repo/target/debug/deps/libtdfs_graph-02a99d7940838ddd.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/intersect.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/transform.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/intersect.rs:
+crates/graph/src/io.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/transform.rs:

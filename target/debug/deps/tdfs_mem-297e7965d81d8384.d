@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tdfs_mem-297e7965d81d8384.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+/root/repo/target/debug/deps/libtdfs_mem-297e7965d81d8384.rlib: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+/root/repo/target/debug/deps/libtdfs_mem-297e7965d81d8384.rmeta: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/level.rs:
+crates/mem/src/paged.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tdfs_mem-3ebfb33c6367648f.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+/root/repo/target/debug/deps/tdfs_mem-3ebfb33c6367648f: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/level.rs:
+crates/mem/src/paged.rs:

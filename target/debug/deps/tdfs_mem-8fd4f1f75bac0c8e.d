@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tdfs_mem-8fd4f1f75bac0c8e.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_mem-8fd4f1f75bac0c8e.rmeta: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/level.rs:
+crates/mem/src/paged.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

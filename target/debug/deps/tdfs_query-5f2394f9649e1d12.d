@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tdfs_query-5f2394f9649e1d12.d: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+/root/repo/target/debug/deps/libtdfs_query-5f2394f9649e1d12.rlib: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+/root/repo/target/debug/deps/libtdfs_query-5f2394f9649e1d12.rmeta: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+crates/query/src/lib.rs:
+crates/query/src/automorphism.rs:
+crates/query/src/order.rs:
+crates/query/src/pattern.rs:
+crates/query/src/patterns.rs:
+crates/query/src/plan.rs:
+crates/query/src/reuse.rs:
+crates/query/src/symmetry.rs:

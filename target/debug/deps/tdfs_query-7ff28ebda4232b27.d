@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tdfs_query-7ff28ebda4232b27.d: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_query-7ff28ebda4232b27.rmeta: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/automorphism.rs:
+crates/query/src/order.rs:
+crates/query/src/pattern.rs:
+crates/query/src/patterns.rs:
+crates/query/src/plan.rs:
+crates/query/src/reuse.rs:
+crates/query/src/symmetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tdfs_query-97b20743db30b463.d: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+/root/repo/target/debug/deps/tdfs_query-97b20743db30b463: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+crates/query/src/lib.rs:
+crates/query/src/automorphism.rs:
+crates/query/src/order.rs:
+crates/query/src/pattern.rs:
+crates/query/src/patterns.rs:
+crates/query/src/plan.rs:
+crates/query/src/reuse.rs:
+crates/query/src/symmetry.rs:

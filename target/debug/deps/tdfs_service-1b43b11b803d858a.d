@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tdfs_service-1b43b11b803d858a.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+/root/repo/target/debug/deps/libtdfs_service-1b43b11b803d858a.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+/root/repo/target/debug/deps/libtdfs_service-1b43b11b803d858a.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/canon.rs:
+crates/service/src/catalog.rs:
+crates/service/src/service.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tdfs_service-9c2e3062aa70c6ea.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_service-9c2e3062aa70c6ea.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/canon.rs:
+crates/service/src/catalog.rs:
+crates/service/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tdfs_service-d42ab6f5f097091b.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+/root/repo/target/debug/deps/tdfs_service-d42ab6f5f097091b: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/canon.rs:
+crates/service/src/catalog.rs:
+crates/service/src/service.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tdfs_service-ef8499fa5caa746f.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdfs_service-ef8499fa5caa746f.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/canon.rs:
+crates/service/src/catalog.rs:
+crates/service/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

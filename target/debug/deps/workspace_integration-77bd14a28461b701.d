@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace_integration-77bd14a28461b701.d: tests/workspace_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_integration-77bd14a28461b701.rmeta: tests/workspace_integration.rs Cargo.toml
+
+tests/workspace_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

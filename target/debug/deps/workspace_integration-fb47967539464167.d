@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_integration-fb47967539464167.d: tests/workspace_integration.rs
+
+/root/repo/target/debug/deps/workspace_integration-fb47967539464167: tests/workspace_integration.rs
+
+tests/workspace_integration.rs:

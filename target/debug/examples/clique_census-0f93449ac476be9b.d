@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clique_census-0f93449ac476be9b.d: examples/clique_census.rs
+
+/root/repo/target/debug/examples/clique_census-0f93449ac476be9b: examples/clique_census.rs
+
+examples/clique_census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clique_census-413e78365a51f06a.d: examples/clique_census.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclique_census-413e78365a51f06a.rmeta: examples/clique_census.rs Cargo.toml
+
+examples/clique_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/labeled_search-4b4cda3b9c583a66.d: examples/labeled_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblabeled_search-4b4cda3b9c583a66.rmeta: examples/labeled_search.rs Cargo.toml
+
+examples/labeled_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/labeled_search-63e976937ecb2230.d: examples/labeled_search.rs
+
+/root/repo/target/debug/examples/labeled_search-63e976937ecb2230: examples/labeled_search.rs
+
+examples/labeled_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_device-04e9001faa8be9ee.d: examples/multi_device.rs
+
+/root/repo/target/debug/examples/multi_device-04e9001faa8be9ee: examples/multi_device.rs
+
+examples/multi_device.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_device-56b695043df37b28.d: examples/multi_device.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_device-56b695043df37b28.rmeta: examples/multi_device.rs Cargo.toml
+
+examples/multi_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

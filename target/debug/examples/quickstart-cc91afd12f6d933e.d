@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cc91afd12f6d933e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cc91afd12f6d933e: examples/quickstart.rs
+
+examples/quickstart.rs:

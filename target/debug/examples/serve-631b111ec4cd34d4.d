@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve-631b111ec4cd34d4.d: examples/serve.rs
+
+/root/repo/target/debug/examples/serve-631b111ec4cd34d4: examples/serve.rs
+
+examples/serve.rs:

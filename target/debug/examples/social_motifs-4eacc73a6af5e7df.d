@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_motifs-4eacc73a6af5e7df.d: examples/social_motifs.rs
+
+/root/repo/target/debug/examples/social_motifs-4eacc73a6af5e7df: examples/social_motifs.rs
+
+examples/social_motifs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_motifs-90541a542a1cebff.d: examples/social_motifs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_motifs-90541a542a1cebff.rmeta: examples/social_motifs.rs Cargo.toml
+
+examples/social_motifs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

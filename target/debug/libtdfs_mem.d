@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtdfs_mem.rlib: /root/repo/crates/mem/src/arena.rs /root/repo/crates/mem/src/level.rs /root/repo/crates/mem/src/lib.rs /root/repo/crates/mem/src/paged.rs

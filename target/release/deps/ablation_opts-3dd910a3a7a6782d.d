@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_opts-3dd910a3a7a6782d.d: crates/bench/benches/ablation_opts.rs
+
+/root/repo/target/release/deps/ablation_opts-3dd910a3a7a6782d: crates/bench/benches/ablation_opts.rs
+
+crates/bench/benches/ablation_opts.rs:

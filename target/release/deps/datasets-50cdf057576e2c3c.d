@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/datasets-50cdf057576e2c3c.d: crates/bench/src/bin/datasets.rs
+
+/root/repo/target/release/deps/datasets-50cdf057576e2c3c: crates/bench/src/bin/datasets.rs
+
+crates/bench/src/bin/datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/datasets-5a8baad94f6318b6.d: crates/bench/src/bin/datasets.rs
+
+/root/repo/target/release/deps/datasets-5a8baad94f6318b6: crates/bench/src/bin/datasets.rs
+
+crates/bench/src/bin/datasets.rs:

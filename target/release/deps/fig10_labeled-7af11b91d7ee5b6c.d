@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_labeled-7af11b91d7ee5b6c.d: crates/bench/benches/fig10_labeled.rs
+
+/root/repo/target/release/deps/fig10_labeled-7af11b91d7ee5b6c: crates/bench/benches/fig10_labeled.rs
+
+crates/bench/benches/fig10_labeled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_strategies-a4543f4aadd93e5f.d: crates/bench/benches/fig11_strategies.rs
+
+/root/repo/target/release/deps/fig11_strategies-a4543f4aadd93e5f: crates/bench/benches/fig11_strategies.rs
+
+crates/bench/benches/fig11_strategies.rs:

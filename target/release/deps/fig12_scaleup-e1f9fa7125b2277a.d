@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_scaleup-e1f9fa7125b2277a.d: crates/bench/benches/fig12_scaleup.rs
+
+/root/repo/target/release/deps/fig12_scaleup-e1f9fa7125b2277a: crates/bench/benches/fig12_scaleup.rs
+
+crates/bench/benches/fig12_scaleup.rs:

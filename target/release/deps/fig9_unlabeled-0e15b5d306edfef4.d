@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_unlabeled-0e15b5d306edfef4.d: crates/bench/benches/fig9_unlabeled.rs
+
+/root/repo/target/release/deps/fig9_unlabeled-0e15b5d306edfef4: crates/bench/benches/fig9_unlabeled.rs
+
+crates/bench/benches/fig9_unlabeled.rs:

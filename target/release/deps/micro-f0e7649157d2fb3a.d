@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-f0e7649157d2fb3a.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-f0e7649157d2fb3a: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

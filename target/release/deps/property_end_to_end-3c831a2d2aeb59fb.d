@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_end_to_end-3c831a2d2aeb59fb.d: tests/property_end_to_end.rs
+
+/root/repo/target/release/deps/property_end_to_end-3c831a2d2aeb59fb: tests/property_end_to_end.rs
+
+tests/property_end_to_end.rs:

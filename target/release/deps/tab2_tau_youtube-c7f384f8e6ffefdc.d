@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_tau_youtube-c7f384f8e6ffefdc.d: crates/bench/benches/tab2_tau_youtube.rs
+
+/root/repo/target/release/deps/tab2_tau_youtube-c7f384f8e6ffefdc: crates/bench/benches/tab2_tau_youtube.rs
+
+crates/bench/benches/tab2_tau_youtube.rs:

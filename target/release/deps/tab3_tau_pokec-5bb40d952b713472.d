@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_tau_pokec-5bb40d952b713472.d: crates/bench/benches/tab3_tau_pokec.rs
+
+/root/repo/target/release/deps/tab3_tau_pokec-5bb40d952b713472: crates/bench/benches/tab3_tau_pokec.rs
+
+crates/bench/benches/tab3_tau_pokec.rs:

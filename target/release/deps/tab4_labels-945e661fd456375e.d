@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_labels-945e661fd456375e.d: crates/bench/benches/tab4_labels.rs
+
+/root/repo/target/release/deps/tab4_labels-945e661fd456375e: crates/bench/benches/tab4_labels.rs
+
+crates/bench/benches/tab4_labels.rs:

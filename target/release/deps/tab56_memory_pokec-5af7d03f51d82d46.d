@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab56_memory_pokec-5af7d03f51d82d46.d: crates/bench/benches/tab56_memory_pokec.rs
+
+/root/repo/target/release/deps/tab56_memory_pokec-5af7d03f51d82d46: crates/bench/benches/tab56_memory_pokec.rs
+
+crates/bench/benches/tab56_memory_pokec.rs:

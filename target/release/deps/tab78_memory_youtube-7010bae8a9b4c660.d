@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab78_memory_youtube-7010bae8a9b4c660.d: crates/bench/benches/tab78_memory_youtube.rs
+
+/root/repo/target/release/deps/tab78_memory_youtube-7010bae8a9b4c660: crates/bench/benches/tab78_memory_youtube.rs
+
+crates/bench/benches/tab78_memory_youtube.rs:

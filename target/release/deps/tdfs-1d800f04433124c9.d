@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tdfs-1d800f04433124c9.d: src/bin/tdfs.rs
+
+/root/repo/target/release/deps/tdfs-1d800f04433124c9: src/bin/tdfs.rs
+
+src/bin/tdfs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tdfs-716d040c447b1cfb.d: src/lib.rs
+
+/root/repo/target/release/deps/libtdfs-716d040c447b1cfb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtdfs-716d040c447b1cfb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tdfs-b546fe5ff8173a92.d: src/bin/tdfs.rs
+
+/root/repo/target/release/deps/tdfs-b546fe5ff8173a92: src/bin/tdfs.rs
+
+src/bin/tdfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tdfs-e6a61b76f6c17ee4.d: src/lib.rs
+
+/root/repo/target/release/deps/tdfs-e6a61b76f6c17ee4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tdfs_bench-349be5d80aae28ab.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtdfs_bench-349be5d80aae28ab.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtdfs_bench-349be5d80aae28ab.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

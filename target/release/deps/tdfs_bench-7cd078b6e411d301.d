@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/tdfs_bench-7cd078b6e411d301.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/tdfs_bench-7cd078b6e411d301: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

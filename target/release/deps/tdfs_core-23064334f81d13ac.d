@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/tdfs_core-23064334f81d13ac.d: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libtdfs_core-23064334f81d13ac.rlib: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libtdfs_core-23064334f81d13ac.rmeta: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/cancel.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/half_steal.rs crates/core/src/hybrid.rs crates/core/src/multi.rs crates/core/src/reference.rs crates/core/src/sink.rs crates/core/src/stack.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs.rs:
+crates/core/src/cancel.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/half_steal.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/multi.rs:
+crates/core/src/reference.rs:
+crates/core/src/sink.rs:
+crates/core/src/stack.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tdfs_gpu-56ec56690bdd2225.d: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+/root/repo/target/release/deps/libtdfs_gpu-56ec56690bdd2225.rlib: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+/root/repo/target/release/deps/libtdfs_gpu-56ec56690bdd2225.rmeta: crates/gpu/src/lib.rs crates/gpu/src/clock.rs crates/gpu/src/device.rs crates/gpu/src/queue.rs crates/gpu/src/warp.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/clock.rs:
+crates/gpu/src/device.rs:
+crates/gpu/src/queue.rs:
+crates/gpu/src/warp.rs:

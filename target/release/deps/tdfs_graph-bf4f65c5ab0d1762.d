@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tdfs_graph-bf4f65c5ab0d1762.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/intersect.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/transform.rs
+
+/root/repo/target/release/deps/libtdfs_graph-bf4f65c5ab0d1762.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/intersect.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/transform.rs
+
+/root/repo/target/release/deps/libtdfs_graph-bf4f65c5ab0d1762.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/generators.rs crates/graph/src/intersect.rs crates/graph/src/io.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/transform.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/intersect.rs:
+crates/graph/src/io.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/transform.rs:

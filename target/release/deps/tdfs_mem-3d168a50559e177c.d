@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tdfs_mem-3d168a50559e177c.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+/root/repo/target/release/deps/libtdfs_mem-3d168a50559e177c.rlib: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+/root/repo/target/release/deps/libtdfs_mem-3d168a50559e177c.rmeta: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/level.rs crates/mem/src/paged.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/level.rs:
+crates/mem/src/paged.rs:

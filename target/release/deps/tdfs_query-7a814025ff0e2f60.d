@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tdfs_query-7a814025ff0e2f60.d: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+/root/repo/target/release/deps/libtdfs_query-7a814025ff0e2f60.rlib: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+/root/repo/target/release/deps/libtdfs_query-7a814025ff0e2f60.rmeta: crates/query/src/lib.rs crates/query/src/automorphism.rs crates/query/src/order.rs crates/query/src/pattern.rs crates/query/src/patterns.rs crates/query/src/plan.rs crates/query/src/reuse.rs crates/query/src/symmetry.rs
+
+crates/query/src/lib.rs:
+crates/query/src/automorphism.rs:
+crates/query/src/order.rs:
+crates/query/src/pattern.rs:
+crates/query/src/patterns.rs:
+crates/query/src/plan.rs:
+crates/query/src/reuse.rs:
+crates/query/src/symmetry.rs:

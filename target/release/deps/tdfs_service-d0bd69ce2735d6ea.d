@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tdfs_service-d0bd69ce2735d6ea.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+/root/repo/target/release/deps/libtdfs_service-d0bd69ce2735d6ea.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+/root/repo/target/release/deps/libtdfs_service-d0bd69ce2735d6ea.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/canon.rs crates/service/src/catalog.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/canon.rs:
+crates/service/src/catalog.rs:
+crates/service/src/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workspace_integration-0047bde8a4155ae8.d: tests/workspace_integration.rs
+
+/root/repo/target/release/deps/workspace_integration-0047bde8a4155ae8: tests/workspace_integration.rs
+
+tests/workspace_integration.rs:

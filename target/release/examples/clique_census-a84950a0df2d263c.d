@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clique_census-a84950a0df2d263c.d: examples/clique_census.rs
+
+/root/repo/target/release/examples/clique_census-a84950a0df2d263c: examples/clique_census.rs
+
+examples/clique_census.rs:

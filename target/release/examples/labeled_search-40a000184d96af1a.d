@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/labeled_search-40a000184d96af1a.d: examples/labeled_search.rs
+
+/root/repo/target/release/examples/labeled_search-40a000184d96af1a: examples/labeled_search.rs
+
+examples/labeled_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_device-7a73890bf4f65fb2.d: examples/multi_device.rs
+
+/root/repo/target/release/examples/multi_device-7a73890bf4f65fb2: examples/multi_device.rs
+
+examples/multi_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ce886ff9c6c538e3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ce886ff9c6c538e3: examples/quickstart.rs
+
+examples/quickstart.rs:

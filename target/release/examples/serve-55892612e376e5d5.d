@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve-55892612e376e5d5.d: examples/serve.rs
+
+/root/repo/target/release/examples/serve-55892612e376e5d5: examples/serve.rs
+
+examples/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/social_motifs-aca5422853cf925c.d: examples/social_motifs.rs
+
+/root/repo/target/release/examples/social_motifs-aca5422853cf925c: examples/social_motifs.rs
+
+examples/social_motifs.rs:

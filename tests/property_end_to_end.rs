@@ -1,73 +1,84 @@
-//! End-to-end property tests: for random data graphs and random
-//! connected patterns, every engine must agree with the serial
-//! reference matcher, under default and adversarial settings.
+//! End-to-end randomized tests (internal-PRNG driven): for random data
+//! graphs and random connected patterns, every engine must agree with
+//! the serial reference matcher, under default and adversarial settings.
 
-use proptest::prelude::*;
 use std::time::Duration;
 
 use tdfs::core::{match_pattern, reference_count, MatcherConfig};
+use tdfs::graph::rng::Rng;
 use tdfs::graph::{CsrGraph, GraphBuilder};
 use tdfs::query::plan::QueryPlan;
 use tdfs::query::Pattern;
 
+const CASES: u64 = 48;
+
 /// Random data graph on up to 40 vertices.
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    prop::collection::vec((0u32..40, 0u32..40), 1..250)
-        .prop_map(|edges| GraphBuilder::new().num_vertices(40).edges(edges).build())
+fn random_graph(rng: &mut Rng) -> CsrGraph {
+    let m = rng.gen_range(1..250);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_range_u32(0..40), rng.gen_range_u32(0..40)))
+        .collect();
+    GraphBuilder::new().num_vertices(40).edges(edges).build()
 }
 
 /// Random labeled data graph.
-fn arb_labeled_graph() -> impl Strategy<Value = CsrGraph> {
-    (arb_graph(), prop::collection::vec(0u32..3, 40))
-        .prop_map(|(g, labels)| g.with_labels(labels))
+fn random_labeled_graph(rng: &mut Rng) -> CsrGraph {
+    let g = random_graph(rng);
+    let labels: Vec<u32> = (0..40).map(|_| rng.gen_range_u32(0..3)).collect();
+    g.with_labels(labels)
 }
 
 /// Random connected pattern on 3–5 vertices (kept small so the serial
-/// reference stays fast under proptest's case count).
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    (3usize..=5)
-        .prop_flat_map(|n| {
-            let tree = prop::collection::vec(0usize..n, n - 1);
-            let extra = prop::collection::vec((0usize..n, 0usize..n), 0..n);
-            (Just(n), tree, extra)
-        })
-        .prop_map(|(n, tree, extra)| {
-            let mut edges = Vec::new();
-            // Spanning tree: vertex v > 0 attaches to a parent below it.
-            for v in 1..n {
-                edges.push((v, tree[v - 1] % v));
-            }
-            for (a, b) in extra {
-                if a != b {
-                    edges.push((a, b));
-                }
-            }
-            Pattern::from_edges(n, &edges)
-        })
+/// reference stays fast under the case count).
+fn random_pattern(rng: &mut Rng) -> Pattern {
+    let n = rng.gen_range(3..6);
+    let mut edges = Vec::new();
+    // Spanning tree: vertex v > 0 attaches to a parent below it.
+    for v in 1..n {
+        edges.push((v, rng.gen_range(0..v)));
+    }
+    for _ in 0..rng.gen_range(0..n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Pattern::from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn tdfs_agrees_with_reference(g in arb_graph(), p in arb_pattern()) {
+#[test]
+fn tdfs_agrees_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE2E0 + case);
+        let g = random_graph(&mut rng);
+        let p = random_pattern(&mut rng);
         let cfg = MatcherConfig::tdfs().with_warps(2);
         let got = match_pattern(&g, &p, &cfg).unwrap().matches;
         let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn labeled_tdfs_agrees_with_reference(g in arb_labeled_graph(), p in arb_pattern()) {
-        let p = p.with_mod_labels(3);
+#[test]
+fn labeled_tdfs_agrees_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1A8E1 + case);
+        let g = random_labeled_graph(&mut rng);
+        let p = random_pattern(&mut rng).with_mod_labels(3);
         let cfg = MatcherConfig::tdfs().with_warps(2);
         let got = match_pattern(&g, &p, &cfg).unwrap().matches;
         let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn all_engines_agree(g in arb_graph(), p in arb_pattern()) {
+#[test]
+fn all_engines_agree() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA112 + case);
+        let g = random_graph(&mut rng);
+        let p = random_pattern(&mut rng);
         let configs = [
             MatcherConfig::tdfs().with_warps(2),
             MatcherConfig::no_steal().with_warps(2),
@@ -78,11 +89,16 @@ proptest! {
             .iter()
             .map(|c| match_pattern(&g, &p, c).unwrap().matches)
             .collect();
-        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{:?}", counts);
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     }
+}
 
-    #[test]
-    fn adversarial_timeout_agrees(g in arb_graph(), p in arb_pattern()) {
+#[test]
+fn adversarial_timeout_agrees() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x0AD3 + case);
+        let g = random_graph(&mut rng);
+        let p = random_pattern(&mut rng);
         let cfg = MatcherConfig {
             queue_capacity: 2,
             ..MatcherConfig::tdfs().with_warps(3)
@@ -90,21 +106,29 @@ proptest! {
         .with_tau(Some(Duration::from_nanos(1)));
         let got = match_pattern(&g, &p, &cfg).unwrap().matches;
         let want = reference_count(&g, &QueryPlan::build_with(&p, cfg.plan));
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn automorphism_count_identity(g in arb_graph(), p in arb_pattern()) {
-        use tdfs::query::plan::PlanOptions;
+#[test]
+fn automorphism_count_identity() {
+    use tdfs::query::plan::PlanOptions;
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA404 + case);
+        let g = random_graph(&mut rng);
+        let p = random_pattern(&mut rng);
         let broken = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(2))
             .unwrap()
             .matches;
         let cfg = MatcherConfig {
-            plan: PlanOptions { symmetry_breaking: false, intersection_reuse: true },
+            plan: PlanOptions {
+                symmetry_breaking: false,
+                intersection_reuse: true,
+            },
             ..MatcherConfig::tdfs().with_warps(2)
         };
         let embeddings = match_pattern(&g, &p, &cfg).unwrap().matches;
         let aut = QueryPlan::build(&p).aut_size as u64;
-        prop_assert_eq!(embeddings, broken * aut);
+        assert_eq!(embeddings, broken * aut);
     }
 }

@@ -97,8 +97,12 @@ fn all_strategies_agree_end_to_end() {
 #[test]
 fn stats_are_plausible() {
     let g = barabasi_albert(300, 5, 77);
-    let r = match_pattern(&g, &PatternId(2).pattern(), &MatcherConfig::tdfs().with_warps(4))
-        .unwrap();
+    let r = match_pattern(
+        &g,
+        &PatternId(2).pattern(),
+        &MatcherConfig::tdfs().with_warps(4),
+    )
+    .unwrap();
     let s = &r.stats;
     assert!(s.warp.intersections > 0);
     assert!(s.warp.elements_probed >= s.warp.elements_emitted);
