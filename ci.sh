@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --workspace --benches"
+cargo build --workspace --benches
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 

@@ -4,10 +4,17 @@
 
 use std::sync::Arc;
 
-use tdfs_bench::harness::bench;
+use tdfs_bench::harness::{bench, bench_median, JsonReport};
+use tdfs_core::config::MatcherConfig;
+use tdfs_core::match_pattern;
 use tdfs_gpu::queue::{Task, TaskQueue};
-use tdfs_gpu::warp::WarpOps;
+use tdfs_gpu::warp::{IntersectKind, WarpOps};
+use tdfs_graph::generators::barabasi_albert;
 use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, PageArena, PagedLevel};
+use tdfs_query::PatternId;
+
+/// Machine-readable output consumed by CHANGES.md / CI diffing.
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_intersect.json");
 
 fn bench_queue() {
     println!("-- task_queue --");
@@ -61,6 +68,94 @@ fn bench_intersection() {
     }
 }
 
+/// Spread operand pair with partial overlap: B is every third value of
+/// a shared universe, A probes `a_len` evenly spaced points of it — so
+/// roughly a third of the probes hit, at any size ratio. Worst case for
+/// probe locality (maximal gap between consecutive landing points).
+fn spread_pair(a_len: usize, b_len: usize) -> (Vec<u32>, Vec<u32>) {
+    let universe = (b_len * 3) as u32;
+    let b: Vec<u32> = (0..b_len as u32).map(|i| i * 3).collect();
+    let a: Vec<u32> = (0..a_len as u32)
+        .map(|i| i * (universe / a_len as u32))
+        .collect();
+    (a, b)
+}
+
+/// Clustered operand pair: A is a dense run in the middle of B — the
+/// locality Eq. (1) operands tend to have, since candidate sets cluster
+/// in shared neighborhoods. Best case for cursor-carrying kernels.
+fn clustered_pair(a_len: usize, b_len: usize) -> (Vec<u32>, Vec<u32>) {
+    let b: Vec<u32> = (0..b_len as u32).map(|i| i * 3).collect();
+    let start = (b_len as u32) * 3 / 2;
+    let a: Vec<u32> = (0..a_len as u32).map(|i| start + i * 3).collect();
+    (a, b)
+}
+
+fn bench_adaptive_intersection(report: &mut JsonReport) {
+    println!("-- adaptive_intersect --");
+    // The heuristic's three regimes — merge (1:1), binary search
+    // (middle band), gallop (1:1024) — on both probe-locality shapes.
+    // The pinned-bsearch column is the pre-adaptive fixed kernel the
+    // selection has to beat on the skewed shapes.
+    type PairFn = fn(usize, usize) -> (Vec<u32>, Vec<u32>);
+    let shapes: [(&str, PairFn); 2] = [("spread", spread_pair), ("clustered", clustered_pair)];
+    for (ratio, a_len, b_len) in [
+        ("1:1", 4096, 4096),
+        ("1:32", 512, 16384),
+        ("1:1024", 64, 65536),
+    ] {
+        for (shape, mk) in shapes {
+            let (a, b) = mk(a_len, b_len);
+            let kinds: [(&str, Option<IntersectKind>); 4] = [
+                ("adaptive", None),
+                ("merge", Some(IntersectKind::Merge)),
+                ("bsearch", Some(IntersectKind::BinarySearch)),
+                ("gallop", Some(IntersectKind::Gallop)),
+            ];
+            for (kname, kind) in kinds {
+                let mut w = WarpOps::new();
+                let median = bench_median(&format!("intersect/{ratio}/{shape}/{kname}"), || {
+                    let mut n = 0u32;
+                    match kind {
+                        None => w.intersect(&a, &b, |_| n += 1),
+                        Some(k) => w.intersect_with(k, &a, &b, |_| n += 1),
+                    }
+                    n
+                });
+                report.record(&format!("intersect/{ratio}/{shape}/{kname}_ns"), median);
+            }
+        }
+    }
+}
+
+fn bench_leaf_fusion(report: &mut JsonReport) {
+    println!("-- leaf_fusion --");
+    // Clique counting on a scale-free graph is leaf-dominated: the fused
+    // leaf consumes the deepest-level candidates in the lanes instead of
+    // materializing them onto `stack[k-1]`.
+    let g = barabasi_albert(300, 6, 77);
+    for (pname, id) in [("k4", 2u8), ("k5", 7u8)] {
+        let p = PatternId(id).pattern();
+        for fused in [true, false] {
+            let cfg = MatcherConfig::tdfs().with_warps(2).with_fused_leaf(fused);
+            let mode = if fused { "fused" } else { "unfused" };
+            let median = bench_median(&format!("leaf_fusion/{pname}/{mode}"), || {
+                match_pattern(&g, &p, &cfg).unwrap().matches
+            });
+            report.record(&format!("leaf_fusion/{pname}/{mode}_ns"), median);
+            let r = match_pattern(&g, &p, &cfg).unwrap();
+            report.record(
+                &format!("leaf_fusion/{pname}/{mode}_elements_emitted"),
+                r.stats.warp.elements_emitted as f64,
+            );
+            report.record(
+                &format!("leaf_fusion/{pname}/{mode}_stack_bytes_peak"),
+                r.stats.stack_bytes_peak as f64,
+            );
+        }
+    }
+}
+
 fn bench_stacks() {
     println!("-- stack_level --");
     const N: usize = 8192;
@@ -92,7 +187,12 @@ fn bench_stacks() {
 }
 
 fn main() {
+    let mut report = JsonReport::new();
     bench_queue();
     bench_intersection();
+    bench_adaptive_intersection(&mut report);
+    bench_leaf_fusion(&mut report);
     bench_stacks();
+    report.write(REPORT_PATH).expect("write bench report");
+    println!("report written to {REPORT_PATH}");
 }

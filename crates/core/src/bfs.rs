@@ -19,7 +19,7 @@ use std::time::Instant;
 use tdfs_graph::CsrGraph;
 use tdfs_query::plan::QueryPlan;
 
-use crate::candidates::{accept, Workspace};
+use crate::candidates::{candidates_of_each, Workspace};
 use crate::config::MatcherConfig;
 use crate::engine::{edge_admitted, EngineError};
 use crate::sink::MatchSink;
@@ -210,6 +210,26 @@ fn parallel_pass(
                         for (i, slot) in counts_chunk.iter_mut().enumerate() {
                             let p = batch.start + widx * chunk + i;
                             let m = &frontier[p * stride..(p + 1) * stride];
+                            if cfg.fused_leaf {
+                                // Fused counting pass: candidates are
+                                // counted (and, at the output level,
+                                // emitted) straight out of the lanes —
+                                // no materialization in pass 1.
+                                let mut n = 0usize;
+                                if let Some(sink) = sink {
+                                    full[..stride].copy_from_slice(m);
+                                    let buf = &mut full;
+                                    candidates_of_each(g, plan, level, m, &mut ws, |v| {
+                                        n += 1;
+                                        buf[stride] = v;
+                                        sink.emit(buf);
+                                    });
+                                } else {
+                                    candidates_of_each(g, plan, level, m, &mut ws, |_| n += 1);
+                                }
+                                *slot = n;
+                                continue;
+                            }
                             candidates_of(g, plan, level, m, &mut ws, &mut cands);
                             *slot = cands.len();
                             if let Some(sink) = sink {
@@ -281,7 +301,8 @@ fn split_by_offsets<'a>(
 }
 
 /// From-scratch Eq. (1) candidates with all predicates applied (BFS keeps
-/// no per-partial stacks, so there is no reuse source).
+/// no per-partial stacks, so there is no reuse source). Materializes into
+/// the caller-owned `out`; all scratch lives in the workspace.
 pub(crate) fn candidates_of(
     g: &CsrGraph,
     plan: &QueryPlan,
@@ -291,27 +312,5 @@ pub(crate) fn candidates_of(
     out: &mut Vec<u32>,
 ) {
     out.clear();
-    let lvl = &plan.levels[level];
-    let mut lists: Vec<&[u32]> = lvl.backward.iter().map(|&b| g.neighbors(m[b])).collect();
-    lists.sort_by_key(|l| l.len());
-    if lists.len() == 1 {
-        ws.warp.filter(
-            lists[0],
-            |v| accept(g, plan, level, v, m, true),
-            |v| out.push(v),
-        );
-        return;
-    }
-    let mut acc: Vec<u32> = Vec::new();
-    ws.warp.intersect(lists[0], lists[1], |v| acc.push(v));
-    for b in &lists[2..] {
-        let mut nxt = Vec::new();
-        ws.warp.intersect(&acc, b, |v| nxt.push(v));
-        acc = nxt;
-    }
-    ws.warp.filter(
-        &acc,
-        |v| accept(g, plan, level, v, m, true),
-        |v| out.push(v),
-    );
+    candidates_of_each(g, plan, level, m, ws, |v| out.push(v));
 }

@@ -21,6 +21,15 @@ pub struct Workspace {
     pub warp: WarpOps,
     scratch_a: Vec<u32>,
     scratch_b: Vec<u32>,
+    /// Data-vertex ids whose neighbor lists are the Eq. (1) operands of
+    /// the current fill, sorted smallest-degree first. Stored as ids
+    /// rather than `&[u32]` slices so the buffer can live here across
+    /// calls without borrowing the graph.
+    operand_ids: Vec<u32>,
+    /// Full-match assembly buffer for sink emission at the fused leaf
+    /// (taken out with `mem::take` while the workspace is borrowed by
+    /// [`fuse_leaf_level`]).
+    pub(crate) leaf_buf: Vec<u32>,
 }
 
 impl Workspace {
@@ -87,6 +96,7 @@ pub fn separate_injectivity_pass<L: LevelStore>(
         warp,
         scratch_a,
         scratch_b,
+        ..
     } = ws;
     scratch_a.clear();
     level_store.for_each_chunk(&mut |c| scratch_a.extend_from_slice(c));
@@ -136,6 +146,8 @@ pub fn fill_level<L: LevelStore>(
         warp,
         scratch_a,
         scratch_b,
+        operand_ids,
+        ..
     } = ws;
 
     let reuse = lvl.reuse.as_ref().filter(|s| s.source >= valid_from);
@@ -152,64 +164,244 @@ pub fn fill_level<L: LevelStore>(
         if ct_index {
             warp.charge_indirections(CT_INDEX_INDIRECTIONS * step.remaining.len() as u64);
         }
-        let first = g.neighbors(m[step.remaining[0]]);
         if step.remaining.len() == 1 {
+            let first = g.neighbors(m[step.remaining[0]]);
             let mut err = None;
             source.for_each_chunk(&mut |chunk| {
                 warp.intersect(chunk, first, |x| push_latched(dest, x, &mut err));
             });
             return err.map_or(Ok(()), Err);
         }
+        operand_ids.clear();
+        operand_ids.extend(step.remaining.iter().map(|&j| m[j]));
+        operand_ids.sort_unstable_by_key(|&v| g.degree(v));
+        let first = g.neighbors(operand_ids[0]);
         scratch_a.clear();
         source.for_each_chunk(&mut |chunk| {
             warp.intersect(chunk, first, |x| scratch_a.push(x));
         });
-        let rest: Vec<&[u32]> = step.remaining[1..]
-            .iter()
-            .map(|&b| g.neighbors(m[b]))
-            .collect();
-        return fold_into(dest, &rest, warp, scratch_a, scratch_b);
+        return fold_neighbors(dest, g, &operand_ids[1..], warp, scratch_a, scratch_b);
     }
 
     // No reuse: intersect the backward neighbor lists, smallest first.
     if ct_index {
         warp.charge_indirections(CT_INDEX_INDIRECTIONS * lvl.backward.len() as u64);
     }
-    let mut operands: Vec<&[u32]> = lvl.backward.iter().map(|&b| g.neighbors(m[b])).collect();
-    operands.sort_by_key(|l| l.len());
+    operand_ids.clear();
+    operand_ids.extend(lvl.backward.iter().map(|&j| m[j]));
+    operand_ids.sort_unstable_by_key(|&v| g.degree(v));
 
-    if operands.len() == 1 {
+    if operand_ids.len() == 1 {
         // Single backward neighbor: candidates are its whole list.
         let mut err = None;
-        warp.filter(operands[0], |_| true, |x| push_latched(dest, x, &mut err));
+        warp.filter(
+            g.neighbors(operand_ids[0]),
+            |_| true,
+            |x| push_latched(dest, x, &mut err),
+        );
         return err.map_or(Ok(()), Err);
     }
 
-    if operands.len() == 2 {
+    if operand_ids.len() == 2 {
         let mut err = None;
-        warp.intersect(operands[0], operands[1], |x| {
-            push_latched(dest, x, &mut err)
-        });
+        warp.intersect(
+            g.neighbors(operand_ids[0]),
+            g.neighbors(operand_ids[1]),
+            |x| push_latched(dest, x, &mut err),
+        );
         return err.map_or(Ok(()), Err);
     }
 
     scratch_a.clear();
-    warp.intersect(operands[0], operands[1], |x| scratch_a.push(x));
-    fold_into(dest, &operands[2..], warp, scratch_a, scratch_b)
+    warp.intersect(
+        g.neighbors(operand_ids[0]),
+        g.neighbors(operand_ids[1]),
+        |x| scratch_a.push(x),
+    );
+    fold_neighbors(dest, g, &operand_ids[2..], warp, scratch_a, scratch_b)
 }
 
-/// Folds `scratch_a ∩ operands...` into `dest`; the last intersection
+/// Computes the leaf level's Eq. (1) candidates and consumes them in
+/// place: instead of materializing `stack[k-1]`, the final intersection
+/// runs with the full consumption predicate folded into the lanes
+/// ([`WarpOps::intersect_filtered`]) and hands each surviving candidate
+/// straight to `on_match`. No stack pushes, no overflow handling, no
+/// second pass — the deepest, hottest level becomes one filtered
+/// intersection.
+///
+/// Injectivity is always folded into the predicate here, even for the
+/// STMatch personality whose [`separate_injectivity_pass`] needs a
+/// materialized level to subtract from — the accepted set is identical
+/// either way, only the (now nonexistent) extra pass differs.
+///
+/// `head` is the stack below the leaf (potential reuse sources);
+/// `valid_from` has the same staleness meaning as in [`fill_level`].
+#[allow(clippy::too_many_arguments)]
+pub fn fuse_leaf_level<L: LevelStore, F: FnMut(u32)>(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    m: &[u32],
+    head: &[L],
+    ws: &mut Workspace,
+    ct_index: bool,
+    valid_from: usize,
+    mut on_match: F,
+) {
+    let leaf = plan.k() - 1;
+    let lvl = &plan.levels[leaf];
+    debug_assert!(!lvl.backward.is_empty());
+    let Workspace {
+        warp,
+        scratch_a,
+        scratch_b,
+        operand_ids,
+        ..
+    } = ws;
+
+    let keep = |v: u32| accept(g, plan, leaf, v, m, true);
+
+    let reuse = lvl.reuse.as_ref().filter(|s| s.source >= valid_from);
+    if let Some(step) = reuse {
+        let source = &head[step.source];
+        if step.remaining.is_empty() {
+            source.for_each_chunk(&mut |chunk| {
+                warp.filter(chunk, keep, &mut on_match);
+            });
+            return;
+        }
+        if ct_index {
+            warp.charge_indirections(CT_INDEX_INDIRECTIONS * step.remaining.len() as u64);
+        }
+        if step.remaining.len() == 1 {
+            let first = g.neighbors(m[step.remaining[0]]);
+            source.for_each_chunk(&mut |chunk| {
+                warp.intersect_filtered(chunk, first, keep, &mut on_match);
+            });
+            return;
+        }
+        operand_ids.clear();
+        operand_ids.extend(step.remaining.iter().map(|&j| m[j]));
+        operand_ids.sort_unstable_by_key(|&v| g.degree(v));
+        let first = g.neighbors(operand_ids[0]);
+        scratch_a.clear();
+        source.for_each_chunk(&mut |chunk| {
+            warp.intersect(chunk, first, |x| scratch_a.push(x));
+        });
+        fold_neighbors_fused(
+            g,
+            &operand_ids[1..],
+            warp,
+            scratch_a,
+            scratch_b,
+            keep,
+            on_match,
+        );
+        return;
+    }
+
+    if ct_index {
+        warp.charge_indirections(CT_INDEX_INDIRECTIONS * lvl.backward.len() as u64);
+    }
+    operand_ids.clear();
+    operand_ids.extend(lvl.backward.iter().map(|&j| m[j]));
+    operand_ids.sort_unstable_by_key(|&v| g.degree(v));
+
+    if operand_ids.len() == 1 {
+        warp.filter(g.neighbors(operand_ids[0]), keep, &mut on_match);
+        return;
+    }
+
+    if operand_ids.len() == 2 {
+        warp.intersect_filtered(
+            g.neighbors(operand_ids[0]),
+            g.neighbors(operand_ids[1]),
+            keep,
+            &mut on_match,
+        );
+        return;
+    }
+
+    scratch_a.clear();
+    warp.intersect(
+        g.neighbors(operand_ids[0]),
+        g.neighbors(operand_ids[1]),
+        |x| scratch_a.push(x),
+    );
+    fold_neighbors_fused(
+        g,
+        &operand_ids[2..],
+        warp,
+        scratch_a,
+        scratch_b,
+        keep,
+        on_match,
+    );
+}
+
+/// From-scratch Eq. (1) candidates for one partial match, with the full
+/// consumption predicate folded into the final intersection and each
+/// survivor handed to `emit` in ascending order. Used by the BFS engine,
+/// which keeps no per-partial stacks (so there is no reuse source) and
+/// consumes candidates immediately.
+pub(crate) fn candidates_of_each<F: FnMut(u32)>(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    level: usize,
+    m: &[u32],
+    ws: &mut Workspace,
+    mut emit: F,
+) {
+    let lvl = &plan.levels[level];
+    debug_assert!(!lvl.backward.is_empty());
+    let Workspace {
+        warp,
+        scratch_a,
+        scratch_b,
+        operand_ids,
+        ..
+    } = ws;
+    let keep = |v: u32| accept(g, plan, level, v, m, true);
+    operand_ids.clear();
+    operand_ids.extend(lvl.backward.iter().map(|&j| m[j]));
+    operand_ids.sort_unstable_by_key(|&v| g.degree(v));
+    match operand_ids.len() {
+        1 => warp.filter(g.neighbors(operand_ids[0]), keep, &mut emit),
+        2 => warp.intersect_filtered(
+            g.neighbors(operand_ids[0]),
+            g.neighbors(operand_ids[1]),
+            keep,
+            &mut emit,
+        ),
+        _ => {
+            scratch_a.clear();
+            warp.intersect(
+                g.neighbors(operand_ids[0]),
+                g.neighbors(operand_ids[1]),
+                |x| scratch_a.push(x),
+            );
+            fold_neighbors_fused(g, &operand_ids[2..], warp, scratch_a, scratch_b, keep, emit);
+        }
+    }
+}
+
+/// Folds `scratch_a ∩ N(ids...)` into `dest`; the last intersection
 /// writes straight into the stack level (the batched cross-page write of
-/// Fig. 6).
-fn fold_into<L: LevelStore>(
+/// Fig. 6). An empty intermediate short-circuits the remaining folds —
+/// the result can only be empty.
+fn fold_neighbors<L: LevelStore>(
     dest: &mut L,
-    operands: &[&[u32]],
+    g: &CsrGraph,
+    ids: &[u32],
     warp: &mut WarpOps,
     scratch_a: &mut Vec<u32>,
     scratch_b: &mut Vec<u32>,
 ) -> Result<(), StackError> {
-    let n = operands.len();
-    for (i, &b) in operands.iter().enumerate() {
+    let n = ids.len();
+    for (i, &v) in ids.iter().enumerate() {
+        if scratch_a.is_empty() {
+            return Ok(());
+        }
+        let b = g.neighbors(v);
         if i + 1 == n {
             let mut err = None;
             warp.intersect(scratch_a, b, |x| push_latched(dest, x, &mut err));
@@ -219,10 +411,38 @@ fn fold_into<L: LevelStore>(
         warp.intersect(scratch_a, b, |x| scratch_b.push(x));
         std::mem::swap(scratch_a, scratch_b);
     }
-    // No operands left: move scratch into dest.
+    // No ids left: move scratch into dest.
     let mut err = None;
     warp.filter(scratch_a, |_| true, |x| push_latched(dest, x, &mut err));
     err.map_or(Ok(()), Err)
+}
+
+/// [`fold_neighbors`] for the fused leaf: the final intersection applies
+/// `keep` in the lanes and emits survivors instead of pushing them.
+fn fold_neighbors_fused(
+    g: &CsrGraph,
+    ids: &[u32],
+    warp: &mut WarpOps,
+    scratch_a: &mut Vec<u32>,
+    scratch_b: &mut Vec<u32>,
+    mut keep: impl FnMut(u32) -> bool,
+    mut emit: impl FnMut(u32),
+) {
+    let n = ids.len();
+    for (i, &v) in ids.iter().enumerate() {
+        if scratch_a.is_empty() {
+            return;
+        }
+        let b = g.neighbors(v);
+        if i + 1 == n {
+            warp.intersect_filtered(scratch_a, b, &mut keep, &mut emit);
+            return;
+        }
+        scratch_b.clear();
+        warp.intersect(scratch_a, b, |x| scratch_b.push(x));
+        std::mem::swap(scratch_a, scratch_b);
+    }
+    warp.filter(scratch_a, &mut keep, &mut emit);
 }
 
 #[cfg(test)]
@@ -324,6 +544,50 @@ mod tests {
         let v_bad = (0..4).find(|&v| g.label(v) != want).unwrap();
         assert!(accept(&g, &plan, 1, v_ok, &m[..1], true) || v_ok == 0);
         assert!(!accept(&g, &plan, 1, v_bad, &m[..1], true) || g.label(v_bad) == want);
+    }
+
+    #[test]
+    fn fused_leaf_agrees_with_materialize_then_accept() {
+        let g = k5_graph();
+        let plan = QueryPlan::build(&PatternId(2).pattern()); // K4
+        let mut s = stack(4, 16);
+        let mut ws = Workspace::new();
+        let m = [0u32, 1, 2, 0];
+        fill_level(&g, &plan, 2, &m, &mut s, &mut ws, false, 2).unwrap();
+        // Materialized path: fill the leaf, then accept-filter.
+        fill_level(&g, &plan, 3, &m, &mut s, &mut ws, false, 2).unwrap();
+        let expect: Vec<u32> = s[3]
+            .to_vec()
+            .into_iter()
+            .filter(|&v| accept(&g, &plan, 3, v, &m, true))
+            .collect();
+        assert_eq!(expect, vec![3, 4]);
+        // Fused path: same candidates, no materialization.
+        let (head, _) = s.split_at(3);
+        let mut got = Vec::new();
+        fuse_leaf_level(&g, &plan, &m, head, &mut ws, false, 2, |v| got.push(v));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fused_leaf_without_reuse_agrees_too() {
+        let g = k5_graph();
+        let p = PatternId(2).pattern();
+        let plan = QueryPlan::build_with(
+            &p,
+            PlanOptions {
+                symmetry_breaking: true,
+                intersection_reuse: false,
+            },
+        );
+        let mut s = stack(4, 16);
+        let mut ws = Workspace::new();
+        let m = [0u32, 1, 2, 0];
+        fill_level(&g, &plan, 2, &m, &mut s, &mut ws, false, 2).unwrap();
+        let (head, _) = s.split_at(3);
+        let mut got = Vec::new();
+        fuse_leaf_level(&g, &plan, &m, head, &mut ws, false, 2, |v| got.push(v));
+        assert_eq!(got, vec![3, 4]);
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub struct MatcherConfig {
     /// Fuse the injectivity check into candidate consumption (T-DFS).
     /// `false` models STMatch's separate set-difference pass.
     pub fused_injectivity: bool,
+    /// Fuse the leaf level (`level + 1 == k`) into the final
+    /// intersection: candidates are counted/emitted straight out of the
+    /// lanes instead of being materialized into `stack[k-1]` and walked
+    /// in a second pass. Default on for every preset; `false` restores
+    /// the paper-faithful materialize-then-consume leaf for ablation.
+    pub fused_leaf: bool,
     /// Run edge filtering on the host with a single thread before the
     /// kernel (STMatch), instead of in-warp during chunk fetch (T-DFS).
     pub host_edge_filter: bool,
@@ -138,6 +144,7 @@ impl MatcherConfig {
             },
             plan: PlanOptions::default(),
             fused_injectivity: true,
+            fused_leaf: true,
             host_edge_filter: false,
             ct_index: false,
             chunk_size: tdfs_gpu::device::DEFAULT_CHUNK_SIZE,
@@ -255,6 +262,12 @@ impl MatcherConfig {
     pub fn with_warps(mut self, n: usize) -> Self {
         assert!(n >= 1);
         self.num_warps = n;
+        self
+    }
+
+    /// Toggles leaf-level fusion (ablation / A-B benchmarking).
+    pub fn with_fused_leaf(mut self, fused: bool) -> Self {
+        self.fused_leaf = fused;
         self
     }
 }

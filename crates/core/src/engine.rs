@@ -26,7 +26,9 @@ use tdfs_graph::CsrGraph;
 use tdfs_mem::{ArrayLevel, LevelStore, PagedLevel, StackError};
 use tdfs_query::plan::QueryPlan;
 
-use crate::candidates::{accept, fill_level, separate_injectivity_pass, Workspace};
+use crate::candidates::{
+    accept, fill_level, fuse_leaf_level, separate_injectivity_pass, Workspace,
+};
 use crate::config::{MatcherConfig, Strategy};
 use crate::sink::MatchSink;
 use crate::stack::{StackFactory, WarpStack};
@@ -547,6 +549,12 @@ where
         shared.emit(&m[..k]);
         return Ok(());
     }
+    if shared.cfg.fused_leaf && start_level + 1 == k {
+        // The whole task is one leaf: a single fused intersection counts
+        // and emits without ever materializing `stack[k-1]`.
+        fused_leaf_task(shared, &stack.levels, ws, m, start_level, local_matches);
+        return Ok(());
+    }
 
     let mut level = start_level;
     // One in-place descent is guaranteed after a queue-full event so a
@@ -630,6 +638,16 @@ where
                     }
                 }
             }
+            // ---- Fused leaf (after the timeout hook so decomposition
+            // still fires at shallow depths): the deepest level is one
+            // filtered intersection instead of a fill + second pass. ----
+            if shared.cfg.fused_leaf && level + 2 == k {
+                fused_leaf_task(shared, &stack.levels, ws, m, start_level, local_matches);
+                if shared.cancelled() {
+                    return Ok(());
+                }
+                continue;
+            }
             level += 1;
             fill_level(
                 shared.g,
@@ -660,6 +678,57 @@ where
             }
             level -= 1;
         }
+    }
+}
+
+/// Runs the fused leaf for the full prefix `m[..k-1]`: one filtered
+/// intersection with the consumption predicate folded into the lanes,
+/// counting (and emitting) matches without materializing `stack[k-1]`.
+/// `valid_from` carries the same reuse-staleness meaning as in
+/// [`fill_level`].
+fn fused_leaf_task<L: LevelStore>(
+    shared: &SharedRun<'_>,
+    levels: &[L],
+    ws: &mut Workspace,
+    m: &[u32],
+    valid_from: usize,
+    local_matches: &mut u64,
+) {
+    let k = shared.plan.k();
+    let head = &levels[..k - 1];
+    if shared.sink.is_some() {
+        // Assemble emitted matches in a workspace-resident buffer (taken
+        // out for the duration of the call — `ws` is busy inside).
+        let mut buf = std::mem::take(&mut ws.leaf_buf);
+        buf.clear();
+        buf.extend_from_slice(&m[..k - 1]);
+        buf.push(0);
+        fuse_leaf_level(
+            shared.g,
+            shared.plan,
+            m,
+            head,
+            ws,
+            shared.cfg.ct_index,
+            valid_from,
+            |v| {
+                *local_matches += 1;
+                buf[k - 1] = v;
+                shared.emit(&buf);
+            },
+        );
+        ws.leaf_buf = buf;
+    } else {
+        fuse_leaf_level(
+            shared.g,
+            shared.plan,
+            m,
+            head,
+            ws,
+            shared.cfg.ct_index,
+            valid_from,
+            |_| *local_matches += 1,
+        );
     }
 }
 

@@ -21,7 +21,9 @@ use tdfs_graph::CsrGraph;
 use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, StackError};
 use tdfs_query::plan::QueryPlan;
 
-use crate::candidates::{accept, fill_level, separate_injectivity_pass, Workspace};
+use crate::candidates::{
+    accept, fill_level, fuse_leaf_level, separate_injectivity_pass, Workspace,
+};
 use crate::config::{ArrayCapacity, MatcherConfig, StackConfig};
 use crate::engine::{edge_admitted, host_filter_edges, EngineError};
 use crate::sink::MatchSink;
@@ -400,6 +402,11 @@ fn step(
             }
             return Ok(true);
         }
+        if cfg.fused_leaf && k == 3 {
+            // The root edge's one remaining level is the leaf: fuse it.
+            fused_leaf_step(g, plan, cfg, s, ws, 2, local_matches, sink);
+            return Ok(true);
+        }
         fill_level(g, plan, 2, &s.m, &mut s.levels, ws, cfg.ct_index, s.entry)?;
         if !cfg.fused_injectivity {
             separate_injectivity_pass(&mut s.levels[2], &s.m[..2], ws)?;
@@ -425,6 +432,13 @@ fn step(
             }
             return Ok(true);
         }
+        if cfg.fused_leaf && level + 2 == k {
+            // Consume the leaf in place — no `stack[k-1]` fill, and the
+            // level never becomes steal bait (a fused leaf is gone before
+            // a thief could lock the stack anyway).
+            fused_leaf_step(g, plan, cfg, s, ws, s.entry, local_matches, sink);
+            return Ok(true);
+        }
         fill_level(
             g,
             plan,
@@ -446,6 +460,40 @@ fn step(
         s.depth = level - 1;
     }
     Ok(true)
+}
+
+/// Fused leaf under the stack lock: one filtered intersection counts and
+/// emits the matches of the full prefix `s.m[..k-1]` without
+/// materializing `levels[k-1]`.
+#[allow(clippy::too_many_arguments)]
+fn fused_leaf_step(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    s: &VictimState,
+    ws: &mut Workspace,
+    valid_from: usize,
+    local_matches: &mut u64,
+    sink: Option<&dyn MatchSink>,
+) {
+    let k = plan.k();
+    let head = &s.levels[..k - 1];
+    if let Some(sink) = sink {
+        let mut buf = std::mem::take(&mut ws.leaf_buf);
+        buf.clear();
+        buf.extend_from_slice(&s.m[..k - 1]);
+        buf.push(0);
+        fuse_leaf_level(g, plan, &s.m, head, ws, cfg.ct_index, valid_from, |v| {
+            *local_matches += 1;
+            buf[k - 1] = v;
+            sink.emit(&buf);
+        });
+        ws.leaf_buf = buf;
+    } else {
+        fuse_leaf_level(g, plan, &s.m, head, ws, cfg.ct_index, valid_from, |_| {
+            *local_matches += 1;
+        });
+    }
 }
 
 /// STMatch's half steal: from the shallowest stealable position —

@@ -7,7 +7,7 @@
 //! against — intentionally simple, obviously correct, and only used on
 //! test-sized graphs.
 
-use tdfs_graph::intersect::intersect_merge;
+use tdfs_graph::intersect::{intersect_for_each, intersect_merge};
 use tdfs_graph::CsrGraph;
 use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
@@ -33,42 +33,62 @@ pub fn reference_count_pattern(g: &CsrGraph, pattern: &Pattern) -> u64 {
     reference_count(g, &QueryPlan::build(pattern))
 }
 
+/// The consumption-time predicate of Algorithm 1: label, degree,
+/// injectivity, and compiled symmetry constraints.
+fn passes(g: &CsrGraph, plan: &QueryPlan, i: usize, v: u32, m: &[u32]) -> bool {
+    let level = &plan.levels[i];
+    g.label(v) == level.label
+        && g.degree(v) >= level.degree
+        && m[..i].iter().all(|&prev| prev != v)
+        && level.greater_than.iter().all(|&j| m[j] < v)
+        && level.less_than.iter().all(|&j| v < m[j])
+}
+
 fn enumerate(g: &CsrGraph, plan: &QueryPlan, m: &mut Vec<u32>, i: usize, count: &mut u64) {
     let k = plan.k();
     let level = &plan.levels[i];
+    let backward = &level.backward;
+
+    if i + 1 == k {
+        // Fused leaf (the scalar mirror of the engines' fused leaf
+        // level): fold all but the last backward list, then visit the
+        // final intersection with the predicate applied in place —
+        // nothing is materialized at the deepest level.
+        let last = g.neighbors(m[backward[backward.len() - 1]]);
+        if backward.len() == 1 {
+            for &v in last {
+                if passes(g, plan, i, v, m) {
+                    *count += 1;
+                }
+            }
+            return;
+        }
+        let mut cands: Vec<u32> = g.neighbors(m[backward[0]]).to_vec();
+        let mut scratch = Vec::new();
+        for &b in &backward[1..backward.len() - 1] {
+            scratch.clear();
+            intersect_merge(&cands, g.neighbors(m[b]), &mut scratch);
+            std::mem::swap(&mut cands, &mut scratch);
+        }
+        intersect_for_each(&cands, last, |v| {
+            if passes(g, plan, i, v, m) {
+                *count += 1;
+            }
+        });
+        return;
+    }
+
     // Eq. (1): intersect the neighbor lists of all backward matches.
-    let mut cands: Vec<u32> = g.neighbors(m[level.backward[0]]).to_vec();
+    let mut cands: Vec<u32> = g.neighbors(m[backward[0]]).to_vec();
     let mut scratch = Vec::new();
-    for &b in &level.backward[1..] {
+    for &b in &backward[1..] {
         scratch.clear();
         intersect_merge(&cands, g.neighbors(m[b]), &mut scratch);
         std::mem::swap(&mut cands, &mut scratch);
     }
-    'next: for &v in &cands {
-        if g.label(v) != level.label || g.degree(v) < level.degree {
-            continue;
-        }
-        // Injectivity.
-        for &prev in m[..i].iter() {
-            if prev == v {
-                continue 'next;
-            }
-        }
-        // Symmetry constraints.
-        for &j in &level.greater_than {
-            if m[j] >= v {
-                continue 'next;
-            }
-        }
-        for &j in &level.less_than {
-            if v >= m[j] {
-                continue 'next;
-            }
-        }
-        m[i] = v;
-        if i + 1 == k {
-            *count += 1;
-        } else {
+    for &v in &cands {
+        if passes(g, plan, i, v, m) {
+            m[i] = v;
             enumerate(g, plan, m, i + 1, count);
         }
     }

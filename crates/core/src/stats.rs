@@ -122,6 +122,10 @@ impl RunStats {
             self.warp.elements_emitted
         ));
         line(format!(
+            "warp kernels: {} merge, {} bsearch, {} gallop",
+            self.warp.merge_kernels, self.warp.bsearch_kernels, self.warp.gallop_kernels
+        ));
+        line(format!(
             "work: makespan {:.2} M units, total {:.2} M units",
             self.warp_makespan as f64 / 1e6,
             self.warp_work_total as f64 / 1e6

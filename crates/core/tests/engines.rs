@@ -300,6 +300,77 @@ fn empty_and_tiny_graphs() {
 }
 
 #[test]
+fn fused_leaf_flag_preserves_counts_across_engines() {
+    // Every engine preset must produce identical counts with the fused
+    // leaf on (default) and off (paper-faithful materialize-then-consume
+    // ablation path), and both must agree with the reference.
+    type Preset = fn() -> MatcherConfig;
+    let presets: [(&str, Preset); 5] = [
+        ("tdfs", MatcherConfig::tdfs),
+        ("stmatch", MatcherConfig::stmatch_like),
+        ("egsm", MatcherConfig::egsm_like),
+        ("pbe", MatcherConfig::pbe_like),
+        ("hybrid", MatcherConfig::hybrid),
+    ];
+    let (gname, g) = &small_graphs()[0];
+    for id in [1u8, 2, 5, 8] {
+        for (pname, mk) in presets {
+            let fused_cfg = mk().with_warps(3);
+            assert!(fused_cfg.fused_leaf, "fusion must default on");
+            let unfused_cfg = mk().with_warps(3).with_fused_leaf(false);
+            let p = PatternId(id).pattern();
+            let fused = match_pattern(g, &p, &fused_cfg).unwrap().matches;
+            let unfused = match_pattern(g, &p, &unfused_cfg).unwrap().matches;
+            let want = expected(g, PatternId(id), fused_cfg.plan);
+            assert_eq!(fused, want, "{pname} fused P{id} on {gname}");
+            assert_eq!(unfused, want, "{pname} unfused P{id} on {gname}");
+        }
+    }
+    // The labeled graph too, on the preset with the most moving parts.
+    let (gname, g) = &small_graphs()[2];
+    for id in [13u8, 19] {
+        let p = PatternId(id).pattern();
+        let cfg = MatcherConfig::tdfs().with_warps(4);
+        let fused = match_pattern(g, &p, &cfg).unwrap().matches;
+        let unfused = match_pattern(g, &p, &cfg.clone().with_fused_leaf(false))
+            .unwrap()
+            .matches;
+        assert_eq!(fused, unfused, "tdfs P{id} on {gname}");
+    }
+}
+
+#[test]
+fn fused_leaf_reduces_emitted_elements_on_clique_counting() {
+    // Clique counting is leaf-dominated: with fusion the deepest-level
+    // candidates are consumed inside the lanes (symmetry constraints
+    // folded into the ballot) instead of being materialized onto
+    // `stack[k-1]`, so fewer elements are emitted and the peak stack
+    // never grows.
+    let g = barabasi_albert(300, 6, 77);
+    for id in [2u8, 7] {
+        let p = PatternId(id).pattern();
+        let fused = match_pattern(&g, &p, &MatcherConfig::tdfs().with_warps(2)).unwrap();
+        let unfused = match_pattern(
+            &g,
+            &p,
+            &MatcherConfig::tdfs().with_warps(2).with_fused_leaf(false),
+        )
+        .unwrap();
+        assert_eq!(fused.matches, unfused.matches, "P{id}");
+        assert!(
+            fused.stats.warp.elements_emitted < unfused.stats.warp.elements_emitted,
+            "P{id}: fusion must emit fewer elements ({} vs {})",
+            fused.stats.warp.elements_emitted,
+            unfused.stats.warp.elements_emitted
+        );
+        assert!(
+            fused.stats.stack_bytes_peak <= unfused.stats.stack_bytes_peak,
+            "P{id}: fusion must not grow the stacks"
+        );
+    }
+}
+
+#[test]
 fn labeled_patterns_respect_labels() {
     let g = barabasi_albert(200, 5, 99);
     let n = g.num_vertices();

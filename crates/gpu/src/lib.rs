@@ -13,8 +13,9 @@
 //!
 //! - [`queue`] — the lock-free circular task queue `Q_task` (paper
 //!   Algorithm 3, line-by-line);
-//! - [`warp`] — 32-lane warp primitives: batched binary-search
-//!   intersection with ballot compaction, per-warp statistics;
+//! - [`warp`] — 32-lane warp primitives: size-adaptive batched
+//!   intersection (merge / binary-search / gallop lane kernels) with
+//!   ballot compaction, per-warp statistics;
 //! - [`device`] — device configuration, chunked edge cursor, multi-device
 //!   round-robin partitioning;
 //! - [`clock`] — the timeout clock (real or mocked for tests).
@@ -27,4 +28,4 @@ pub mod warp;
 pub use clock::Clock;
 pub use device::{Device, DeviceGroup};
 pub use queue::{Task, TaskQueue};
-pub use warp::{WarpOps, WarpStats, WARP_SIZE};
+pub use warp::{select_kind, IntersectKind, WarpOps, WarpStats, WARP_SIZE};

@@ -8,12 +8,81 @@
 //! ballot scan into consecutive output positions (§II, and Fig. 6's
 //! batched cross-page writes).
 //!
+//! The paper describes only the binary-search lane kernel. Real GPU
+//! matchers select the membership strategy by size ratio, because a
+//! per-lane binary search is wasteful when `|A| ≈ |B|` (a linear merge
+//! touches each element of `B` once) and too shallow when `|B| ≫ |A|`
+//! (galloping skips runs of `B` the lanes will never land in). This
+//! module therefore carries three lane kernels behind one adaptive entry
+//! point — see [`IntersectKind`] and [`select_kind`] — all sharing the
+//! same batch structure, ballot compaction, and emission order, so that
+//! `batches` / `elements_probed` / `elements_emitted` accounting stays
+//! comparable no matter which kernel ran.
+//!
 //! The batch structure is observable: outputs are produced in compacted
-//! groups of ≤ 32, and [`WarpStats`] counts batches, binary searches and
-//! scanned elements so experiments can report warp-op totals.
+//! groups of ≤ 32, and [`WarpStats`] counts batches, lane probes and
+//! emitted elements, plus one counter per kernel strategy so the
+//! adaptive choice shows up in run stats and service metrics.
 
 /// Number of lanes per warp (CUDA warp size).
 pub const WARP_SIZE: usize = 32;
+
+/// Below this `|B| / |A|` ratio a linear merge does less work than one
+/// binary search per lane: each lane's search costs ~log2|B| random
+/// probes of `B`, while the shared merge cursor advances |B|/|A|
+/// *sequential* slots per lane on average — and sequential slots are far
+/// cheaper than random probes (prefetched, branch-predictable). Measured
+/// on the micro benches (`BENCH_intersect.json`) the crossover sits
+/// between ratio 32 and 128 across operand sizes from 64 to 2048, so 64
+/// is the cut.
+pub const MERGE_MAX_RATIO: usize = 64;
+
+/// At and above this `|B| / |A|` ratio the galloping kernel replaces
+/// binary search. Galloping probes exponentially from the previous
+/// lane's landing point, so its cost per lane is ~2·log2(gap) instead
+/// of log2|B|: when probes land close together (the common case for
+/// Eq. (1) operands, whose candidates cluster in shared neighborhoods)
+/// it is flat in |B| and measures 3–4× faster than binary search, while
+/// for adversarially spread probes the gap approaches |B|/|A| and it is
+/// bounded at ~2× worse. The upside grows and the downside shrinks with
+/// the ratio; at 1024 the trade is clearly favorable, and binary search
+/// — the kernel the paper actually describes — keeps the broad middle
+/// band.
+pub const GALLOP_MIN_RATIO: usize = 1024;
+
+/// Lane membership strategy for a warp intersection `A ∩ B`.
+///
+/// All three kernels drive emission from `A` in 32-lane batches and
+/// produce identical output; they differ only in how a lane tests its
+/// element against `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectKind {
+    /// Shared linear cursor over `B` advanced across lanes and batches —
+    /// one merge pass total. Best when `|A| ≈ |B|`.
+    Merge,
+    /// Each lane binary-searches `B` from scratch — the paper's kernel.
+    /// Best in the middle band of size ratios.
+    BinarySearch,
+    /// Each lane gallops (exponential steps, then binary search inside
+    /// the bracketed window) from the previous lane's landing point.
+    /// Best when `|B|` dwarfs `|A|`.
+    Gallop,
+}
+
+/// Picks the lane kernel from the operand sizes; the heuristic is the
+/// documented ratio test on `|B| / |A|` with `A` the driving list:
+/// merge below [`MERGE_MAX_RATIO`], binary search in the middle band,
+/// galloping at and above [`GALLOP_MIN_RATIO`].
+#[inline]
+pub fn select_kind(a_len: usize, b_len: usize) -> IntersectKind {
+    if a_len == 0 || b_len < a_len.saturating_mul(MERGE_MAX_RATIO) {
+        IntersectKind::Merge
+    } else if b_len < a_len.saturating_mul(GALLOP_MIN_RATIO) {
+        IntersectKind::BinarySearch
+    } else {
+        IntersectKind::Gallop
+    }
+}
 
 /// Per-warp operation counters.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -22,13 +91,19 @@ pub struct WarpStats {
     pub intersections: u64,
     /// Number of 32-lane batches issued.
     pub batches: u64,
-    /// Total elements of `A` lanes have binary-searched.
+    /// Total elements of `A` lanes have probed against `B`.
     pub elements_probed: u64,
     /// Total elements emitted after ballot compaction.
     pub elements_emitted: u64,
     /// Extra memory dereferences charged by indexed candidate access
     /// (the EGSM CT-index model adds 2 per lookup).
     pub extra_indirections: u64,
+    /// Intersections executed with the merge lane kernel.
+    pub merge_kernels: u64,
+    /// Intersections executed with the binary-search lane kernel.
+    pub bsearch_kernels: u64,
+    /// Intersections executed with the galloping lane kernel.
+    pub gallop_kernels: u64,
 }
 
 impl WarpStats {
@@ -36,9 +111,14 @@ impl WarpStats {
     /// cycles used for makespan reporting on hosts with fewer cores than
     /// warps (load imbalance is invisible in wall time when warps
     /// timeshare one core, but not in `max` over per-warp work).
+    ///
+    /// The formula deliberately charges every strategy the same per
+    /// probe/emit/batch: the per-kernel counters record *which* kernel
+    /// ran, while work accounting stays strategy-independent so runs
+    /// remain comparable when the heuristic flips a site's choice.
     pub fn work_units(&self) -> u64 {
-        // A lane probe is a binary search (~8 cycles on average for our
-        // list sizes); an emit is a compacted write; a batch carries
+        // A lane probe is a membership test (~8 cycles on average for
+        // our list sizes); an emit is a compacted write; a batch carries
         // fixed ballot/sync overhead; an indirection is one dereference.
         self.elements_probed * 8
             + self.elements_emitted
@@ -55,6 +135,9 @@ impl WarpStats {
         self.elements_probed += other.elements_probed;
         self.elements_emitted += other.elements_emitted;
         self.extra_indirections += other.extra_indirections;
+        self.merge_kernels += other.merge_kernels;
+        self.bsearch_kernels += other.bsearch_kernels;
+        self.gallop_kernels += other.gallop_kernels;
     }
 }
 
@@ -65,27 +148,106 @@ pub struct WarpOps {
     pub stats: WarpStats,
 }
 
+/// Lane membership test for one intersection: a stateful closure so the
+/// merge and gallop kernels can keep their cursor across lanes *and*
+/// batches (one pass over `B` per intersection, as the device kernels
+/// do with a register carried across iterations).
+struct LaneProbe<'b> {
+    kind: IntersectKind,
+    b: &'b [u32],
+    cursor: usize,
+}
+
+impl<'b> LaneProbe<'b> {
+    fn new(kind: IntersectKind, b: &'b [u32]) -> Self {
+        Self { kind, b, cursor: 0 }
+    }
+
+    /// Does `x` occur in `B`? Lanes call this with ascending `x`.
+    #[inline]
+    fn contains(&mut self, x: u32) -> bool {
+        match self.kind {
+            IntersectKind::BinarySearch => self.b.binary_search(&x).is_ok(),
+            IntersectKind::Merge => {
+                while self.cursor < self.b.len() && self.b[self.cursor] < x {
+                    self.cursor += 1;
+                }
+                self.cursor < self.b.len() && self.b[self.cursor] == x
+            }
+            IntersectKind::Gallop => {
+                // Exponential probe from the rolling cursor, then binary
+                // search inside the bracketed window.
+                let b = self.b;
+                let mut lo = self.cursor;
+                if lo >= b.len() {
+                    return false;
+                }
+                let mut step = 1usize;
+                while lo + step < b.len() && b[lo + step] < x {
+                    lo += step;
+                    step <<= 1;
+                }
+                let hi = (lo + step + 1).min(b.len());
+                match b[lo..hi].binary_search(&x) {
+                    Ok(i) => {
+                        self.cursor = lo + i;
+                        true
+                    }
+                    Err(i) => {
+                        self.cursor = lo + i;
+                        false
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl WarpOps {
     /// Creates a fresh warp context.
     pub fn new() -> Self {
         Self::default()
     }
 
+    #[inline]
+    fn charge_kernel(&mut self, kind: IntersectKind) {
+        self.stats.intersections += 1;
+        match kind {
+            IntersectKind::Merge => self.stats.merge_kernels += 1,
+            IntersectKind::BinarySearch => self.stats.bsearch_kernels += 1,
+            IntersectKind::Gallop => self.stats.gallop_kernels += 1,
+        }
+    }
+
     /// Warp intersection `A ∩ B`: lanes take 32-element batches of `A`,
-    /// each lane binary-searches its element in `B`, and surviving lanes
-    /// are ballot-compacted into `emit` in batch order.
+    /// each lane tests its element against `B` with the size-adaptive
+    /// kernel ([`select_kind`]), and surviving lanes are ballot-compacted
+    /// into `emit` in batch order.
     ///
     /// `emit` receives each surviving element exactly once, in ascending
     /// order (batches preserve `A`'s order).
-    pub fn intersect<F: FnMut(u32)>(&mut self, a: &[u32], b: &[u32], mut emit: F) {
-        self.stats.intersections += 1;
+    pub fn intersect<F: FnMut(u32)>(&mut self, a: &[u32], b: &[u32], emit: F) {
+        self.intersect_with(select_kind(a.len(), b.len()), a, b, emit);
+    }
+
+    /// [`WarpOps::intersect`] with an explicit lane kernel — used by
+    /// benches and equivalence tests to pin the strategy.
+    pub fn intersect_with<F: FnMut(u32)>(
+        &mut self,
+        kind: IntersectKind,
+        a: &[u32],
+        b: &[u32],
+        mut emit: F,
+    ) {
+        self.charge_kernel(kind);
+        let mut probe = LaneProbe::new(kind, b);
         for batch in a.chunks(WARP_SIZE) {
             self.stats.batches += 1;
             self.stats.elements_probed += batch.len() as u64;
             // Ballot: bit i set iff lane i's element survives.
             let mut ballot = 0u32;
             for (lane, &x) in batch.iter().enumerate() {
-                if b.binary_search(&x).is_ok() {
+                if probe.contains(x) {
                     ballot |= 1 << lane;
                 }
             }
@@ -105,19 +267,36 @@ impl WarpOps {
     /// Intersection of a list with `B` under a per-element predicate that
     /// lanes evaluate before the ballot (used for label checks fused with
     /// the intersection — the "set intersections and vertex removal
-    /// together" lightweight path of T-DFS).
-    pub fn intersect_filtered<P, F>(&mut self, a: &[u32], b: &[u32], mut keep: P, mut emit: F)
+    /// together" lightweight path of T-DFS). Kernel choice is adaptive,
+    /// as in [`WarpOps::intersect`].
+    pub fn intersect_filtered<P, F>(&mut self, a: &[u32], b: &[u32], keep: P, emit: F)
     where
         P: FnMut(u32) -> bool,
         F: FnMut(u32),
     {
-        self.stats.intersections += 1;
+        self.intersect_filtered_with(select_kind(a.len(), b.len()), a, b, keep, emit);
+    }
+
+    /// [`WarpOps::intersect_filtered`] with an explicit lane kernel.
+    pub fn intersect_filtered_with<P, F>(
+        &mut self,
+        kind: IntersectKind,
+        a: &[u32],
+        b: &[u32],
+        mut keep: P,
+        mut emit: F,
+    ) where
+        P: FnMut(u32) -> bool,
+        F: FnMut(u32),
+    {
+        self.charge_kernel(kind);
+        let mut probe = LaneProbe::new(kind, b);
         for batch in a.chunks(WARP_SIZE) {
             self.stats.batches += 1;
             self.stats.elements_probed += batch.len() as u64;
             let mut ballot = 0u32;
             for (lane, &x) in batch.iter().enumerate() {
-                if b.binary_search(&x).is_ok() && keep(x) {
+                if probe.contains(x) && keep(x) {
                     ballot |= 1 << lane;
                 }
             }
@@ -168,10 +347,23 @@ impl WarpOps {
 mod tests {
     use super::*;
 
+    const KINDS: [IntersectKind; 3] = [
+        IntersectKind::Merge,
+        IntersectKind::BinarySearch,
+        IntersectKind::Gallop,
+    ];
+
     fn run_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
         let mut w = WarpOps::new();
         let mut out = Vec::new();
         w.intersect(a, b, |x| out.push(x));
+        out
+    }
+
+    fn run_with(kind: IntersectKind, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut w = WarpOps::new();
+        let mut out = Vec::new();
+        w.intersect_with(kind, a, b, |x| out.push(x));
         out
     }
 
@@ -182,39 +374,81 @@ mod tests {
         let mut expect = Vec::new();
         tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
         assert_eq!(run_intersect(&a, &b), expect);
+        for kind in KINDS {
+            assert_eq!(run_with(kind, &a, &b), expect, "{kind:?}");
+        }
     }
 
     #[test]
     fn preserves_order() {
-        let out = run_intersect(&[1, 5, 9, 70, 71, 100], &[5, 9, 71, 100]);
-        assert_eq!(out, vec![5, 9, 71, 100]);
+        for kind in KINDS {
+            let out = run_with(kind, &[1, 5, 9, 70, 71, 100], &[5, 9, 71, 100]);
+            assert_eq!(out, vec![5, 9, 71, 100], "{kind:?}");
+        }
     }
 
     #[test]
     fn batch_counting() {
         let a: Vec<u32> = (0..65).collect();
         let b: Vec<u32> = (0..65).collect();
+        for kind in KINDS {
+            let mut w = WarpOps::new();
+            let mut n = 0usize;
+            w.intersect_with(kind, &a, &b, |_| n += 1);
+            assert_eq!(n, 65);
+            assert_eq!(w.stats.batches, 3, "{kind:?}"); // 32 + 32 + 1
+            assert_eq!(w.stats.elements_probed, 65);
+            assert_eq!(w.stats.elements_emitted, 65);
+            assert_eq!(w.stats.intersections, 1);
+        }
+    }
+
+    #[test]
+    fn heuristic_picks_by_ratio() {
+        // 1:1 and near-equal sizes → merge (including A larger than B).
+        assert_eq!(select_kind(100, 100), IntersectKind::Merge);
+        assert_eq!(select_kind(100, 10), IntersectKind::Merge);
+        assert_eq!(select_kind(100, 6_399), IntersectKind::Merge);
+        assert_eq!(select_kind(32, 1024), IntersectKind::Merge);
+        // Middle band → the paper's binary-search kernel.
+        assert_eq!(select_kind(100, 6_400), IntersectKind::BinarySearch);
+        assert_eq!(select_kind(16, 2048), IntersectKind::BinarySearch);
+        assert_eq!(select_kind(100, 102_399), IntersectKind::BinarySearch);
+        // Extreme skew → galloping.
+        assert_eq!(select_kind(100, 102_400), IntersectKind::Gallop);
+        assert_eq!(select_kind(1, 1024), IntersectKind::Gallop);
+        // Degenerate inputs never panic and pick the cheap kernel.
+        assert_eq!(select_kind(0, 1024), IntersectKind::Merge);
+        assert_eq!(select_kind(0, 0), IntersectKind::Merge);
+    }
+
+    #[test]
+    fn per_strategy_counters() {
         let mut w = WarpOps::new();
-        let mut n = 0usize;
-        w.intersect(&a, &b, |_| n += 1);
-        assert_eq!(n, 65);
-        assert_eq!(w.stats.batches, 3); // 32 + 32 + 1
-        assert_eq!(w.stats.elements_probed, 65);
-        assert_eq!(w.stats.elements_emitted, 65);
-        assert_eq!(w.stats.intersections, 1);
+        let b: Vec<u32> = (0..2048).collect();
+        w.intersect(&[1, 2, 3], &[1, 2, 3], |_| {}); // 1:1 → merge
+        w.intersect(&(0..16).collect::<Vec<_>>(), &b, |_| {}); // 1:128 → bsearch
+        w.intersect(&[7], &b, |_| {}); // 1:2048 → gallop
+        assert_eq!(w.stats.merge_kernels, 1);
+        assert_eq!(w.stats.bsearch_kernels, 1);
+        assert_eq!(w.stats.gallop_kernels, 1);
+        assert_eq!(w.stats.intersections, 3);
     }
 
     #[test]
     fn filtered_intersection() {
-        let mut w = WarpOps::new();
-        let mut out = Vec::new();
-        w.intersect_filtered(
-            &[1, 2, 3, 4, 5],
-            &[2, 3, 4],
-            |x| x % 2 == 0,
-            |x| out.push(x),
-        );
-        assert_eq!(out, vec![2, 4]);
+        for kind in KINDS {
+            let mut w = WarpOps::new();
+            let mut out = Vec::new();
+            w.intersect_filtered_with(
+                kind,
+                &[1, 2, 3, 4, 5],
+                &[2, 3, 4],
+                |x| x % 2 == 0,
+                |x| out.push(x),
+            );
+            assert_eq!(out, vec![2, 4], "{kind:?}");
+        }
     }
 
     #[test]
@@ -227,8 +461,21 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(run_intersect(&[], &[1, 2]).is_empty());
-        assert!(run_intersect(&[1, 2], &[]).is_empty());
+        for kind in KINDS {
+            assert!(run_with(kind, &[], &[1, 2]).is_empty());
+            assert!(run_with(kind, &[1, 2], &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn gallop_cursor_survives_batch_boundaries() {
+        // 40 elements of A spread across a huge B: the rolling cursor
+        // must stay correct across the 32-lane batch boundary.
+        let a: Vec<u32> = (0..40).map(|x| x * 1000).collect();
+        let b: Vec<u32> = (0..40_000).collect();
+        let expect: Vec<u32> = a.clone();
+        assert_eq!(run_with(IntersectKind::Gallop, &a, &b), expect);
+        assert_eq!(run_with(IntersectKind::Merge, &a, &b), expect);
     }
 
     #[test]
@@ -239,9 +486,15 @@ mod tests {
             elements_probed: 3,
             elements_emitted: 4,
             extra_indirections: 5,
+            merge_kernels: 6,
+            bsearch_kernels: 7,
+            gallop_kernels: 8,
         };
         a.merge(&a.clone());
         assert_eq!(a.intersections, 2);
         assert_eq!(a.extra_indirections, 10);
+        assert_eq!(a.merge_kernels, 12);
+        assert_eq!(a.bsearch_kernels, 14);
+        assert_eq!(a.gallop_kernels, 16);
     }
 }

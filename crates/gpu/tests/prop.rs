@@ -4,10 +4,16 @@
 
 use std::collections::VecDeque;
 use tdfs_gpu::queue::{Task, TaskQueue, PAD};
-use tdfs_gpu::warp::WarpOps;
+use tdfs_gpu::warp::{select_kind, IntersectKind, WarpOps};
 use tdfs_graph::rng::Rng;
 
 const CASES: u64 = 128;
+
+const KINDS: [IntersectKind; 3] = [
+    IntersectKind::Merge,
+    IntersectKind::BinarySearch,
+    IntersectKind::Gallop,
+];
 
 fn random_task(rng: &mut Rng) -> Task {
     let a = rng.gen_range_u32(0..10_000);
@@ -79,6 +85,99 @@ fn warp_intersect_matches_scalar() {
         assert_eq!(got, expect);
         assert_eq!(w.stats.elements_probed, a.len() as u64);
         assert_eq!(w.stats.batches, a.chunks(32).count() as u64);
+    }
+}
+
+/// Random operand pair in one of four shapes the adaptive heuristic has
+/// to cover: balanced, skewed (tiny A vs huge B), disjoint ranges, and
+/// heavily overlapping (dense in a small universe).
+fn random_shaped_pair(rng: &mut Rng, shape: u64) -> (Vec<u32>, Vec<u32>) {
+    match shape % 4 {
+        0 => (
+            random_sorted_set(rng, 4000, 300),
+            random_sorted_set(rng, 4000, 300),
+        ),
+        1 => (
+            random_sorted_set(rng, 100_000, 8),
+            random_sorted_set(rng, 100_000, 3000),
+        ),
+        2 => {
+            // Disjoint value ranges: no element can match.
+            let a = random_sorted_set(rng, 1000, 200);
+            let b: Vec<u32> = random_sorted_set(rng, 1000, 200)
+                .iter()
+                .map(|x| x + 10_000)
+                .collect();
+            (a, b)
+        }
+        _ => (
+            random_sorted_set(rng, 150, 120),
+            random_sorted_set(rng, 150, 120),
+        ),
+    }
+}
+
+#[test]
+fn all_kernels_agree_with_scalar_on_all_shapes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xADA9 + case);
+        let (a, b) = random_shaped_pair(&mut rng, case);
+        let mut expect = Vec::new();
+        tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
+        for kind in KINDS {
+            let mut w = WarpOps::new();
+            let mut got = Vec::new();
+            w.intersect_with(kind, &a, &b, |x| got.push(x));
+            assert_eq!(got, expect, "{kind:?} shape {}", case % 4);
+            // The batch accounting is strategy-independent by design:
+            // every kernel walks the same 32-lane chunks of A.
+            assert_eq!(w.stats.elements_probed, a.len() as u64);
+            assert_eq!(w.stats.elements_emitted, expect.len() as u64);
+            assert_eq!(w.stats.batches, a.chunks(32).count() as u64);
+        }
+    }
+}
+
+#[test]
+fn adaptive_dispatch_matches_scalar_and_charges_selected_kernel() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD15C + case);
+        let (a, b) = random_shaped_pair(&mut rng, case);
+        let mut w = WarpOps::new();
+        let mut got = Vec::new();
+        w.intersect(&a, &b, |x| got.push(x));
+        let mut expect = Vec::new();
+        tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
+        assert_eq!(got, expect);
+        let charged = match select_kind(a.len(), b.len()) {
+            IntersectKind::Merge => w.stats.merge_kernels,
+            IntersectKind::BinarySearch => w.stats.bsearch_kernels,
+            IntersectKind::Gallop => w.stats.gallop_kernels,
+        };
+        assert_eq!(charged, 1, "selected strategy must be the one charged");
+        assert_eq!(
+            w.stats.merge_kernels + w.stats.bsearch_kernels + w.stats.gallop_kernels,
+            w.stats.intersections,
+            "every intersection is charged to exactly one strategy"
+        );
+    }
+}
+
+#[test]
+fn filtered_kernels_agree_with_filtered_scalar() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xF17E + case);
+        let (a, b) = random_shaped_pair(&mut rng, case);
+        let modulus = rng.gen_range_u32(1..7);
+        let mut expect = Vec::new();
+        tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
+        expect.retain(|x| x % modulus == 0);
+        for kind in KINDS {
+            let mut w = WarpOps::new();
+            let mut got = Vec::new();
+            w.intersect_filtered_with(kind, &a, &b, |x| x % modulus == 0, |x| got.push(x));
+            assert_eq!(got, expect, "{kind:?} mod {modulus}");
+        }
     }
 }
 

@@ -26,12 +26,9 @@ pub fn intersect_merge(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) 
 /// algorithm in the paper has each of the 32 lanes binary-search one
 /// element of `a` against `b`, which has the same asymptotics.
 pub fn intersect_gallop(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
-    let (small, large, small_is_a) = if a.len() <= b.len() {
-        (a, b, true)
-    } else {
-        (b, a, false)
-    };
-    let _ = small_is_a; // result is symmetric; kept for clarity
+    // The result is symmetric, so always gallop the smaller side over
+    // the larger one.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let mut lo = 0usize;
     for &x in small {
         // Exponential probe from the last found position to bound the
@@ -50,6 +47,24 @@ pub fn intersect_gallop(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>)
         }
         if lo >= large.len() {
             break;
+        }
+    }
+}
+
+/// Merge-based intersection that visits each common element instead of
+/// materializing the result — the scalar analogue of the engines' fused
+/// leaf level, where the deepest intersection is consumed in place.
+pub fn intersect_for_each<F: FnMut(VertexId)>(a: &[VertexId], b: &[VertexId], mut f: F) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(a[i]);
+                i += 1;
+                j += 1;
+            }
         }
     }
 }

@@ -2,7 +2,9 @@
 //! internal deterministic PRNG (the proptest invariants, minus the
 //! external dependency).
 
-use tdfs_graph::intersect::{difference, intersect_count, intersect_gallop, intersect_merge};
+use tdfs_graph::intersect::{
+    difference, intersect_count, intersect_for_each, intersect_gallop, intersect_merge,
+};
 use tdfs_graph::rng::Rng;
 use tdfs_graph::{CsrGraph, GraphBuilder};
 
@@ -80,6 +82,65 @@ fn intersection_kernels_agree() {
         // Against the naive definition.
         let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
         assert_eq!(m, naive);
+    }
+}
+
+#[test]
+fn kernels_agree_on_skewed_overlapping_and_disjoint_shapes() {
+    // The shapes that stress the adaptive-kernel selection: size-skewed
+    // operands (gallop territory), dense overlap (merge territory), and
+    // disjoint ranges (everything must emit nothing).
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5E7A + case);
+        let (a, b) = match case % 3 {
+            0 => {
+                // Skewed ~1:1000: a handful of probes into a long list.
+                let n = rng.gen_range(1..8);
+                let mut a: Vec<u32> = (0..n).map(|_| rng.gen_range_u32(0..50_000)).collect();
+                a.sort_unstable();
+                a.dedup();
+                let mut b: Vec<u32> = (0..4000).map(|_| rng.gen_range_u32(0..50_000)).collect();
+                b.sort_unstable();
+                b.dedup();
+                (a, b)
+            }
+            1 => {
+                // Heavy overlap in a small universe.
+                let mut a: Vec<u32> = (0..150).map(|_| rng.gen_range_u32(0..200)).collect();
+                a.sort_unstable();
+                a.dedup();
+                let mut b: Vec<u32> = (0..150).map(|_| rng.gen_range_u32(0..200)).collect();
+                b.sort_unstable();
+                b.dedup();
+                (a, b)
+            }
+            _ => {
+                // Disjoint value ranges.
+                let a = random_sorted_set(&mut rng);
+                let b: Vec<u32> = random_sorted_set(&mut rng)
+                    .iter()
+                    .map(|x| x + 100_000)
+                    .collect();
+                (a, b)
+            }
+        };
+        let mut m = Vec::new();
+        intersect_merge(&a, &b, &mut m);
+        let mut gal = Vec::new();
+        intersect_gallop(&a, &b, &mut gal);
+        assert_eq!(m, gal, "merge vs gallop, shape {}", case % 3);
+        assert_eq!(
+            m.len(),
+            intersect_count(&a, &b),
+            "count, shape {}",
+            case % 3
+        );
+        let mut visited = Vec::new();
+        intersect_for_each(&a, &b, |v| visited.push(v));
+        assert_eq!(m, visited, "for_each visitor, shape {}", case % 3);
+        if case % 3 == 2 {
+            assert!(m.is_empty(), "disjoint ranges must intersect empty");
+        }
     }
 }
 

@@ -248,6 +248,7 @@ impl ServiceMetrics {
             "admission: {} admitted, {} queue-full, {} unknown-graph, {} shutdown; depth {}\n\
              outcomes: {} completed ({} cancelled), {} deadline-expired, {} failed\n\
              latency: {:.2} ms mean, {:.2} ms max\n\
+             engine kernels: {} merge, {} bsearch, {} gallop\n\
              plan cache: {} hits, {} misses, {} evictions, {} presentation rebuilds",
             self.admitted,
             self.rejected_queue_full,
@@ -260,6 +261,9 @@ impl ServiceMetrics {
             self.failed,
             mean_ms,
             self.max_latency.as_secs_f64() * 1e3,
+            self.engine.warp.merge_kernels,
+            self.engine.warp.bsearch_kernels,
+            self.engine.warp.gallop_kernels,
             self.plan_cache.hits,
             self.plan_cache.misses,
             self.plan_cache.evictions,
