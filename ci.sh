@@ -17,6 +17,26 @@ cargo build --workspace --benches
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos tests (fault injection + deterministic concurrency kit)"
+# The chaos feature swaps the fault-point macros from compile-time no-ops
+# to the scripted testkit registry; tier-1 tests above run without it, so
+# this job cannot change their outcome.
+cargo clippy --workspace --all-targets --features chaos -- -D warnings
+cargo test --workspace --features chaos -q
+
+# Nightly-only ThreadSanitizer pass over the lock-free queue and the page
+# arena, the two places where a memory-ordering mistake would be silent.
+# Opt in with TDFS_NIGHTLY_TSAN=1 (requires a nightly toolchain with
+# rust-src); the default CI run is unchanged without it.
+if [[ "${TDFS_NIGHTLY_TSAN:-0}" == "1" ]]; then
+    echo "==> ThreadSanitizer (nightly): queue + arena test binaries"
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Z build-std --target x86_64-unknown-linux-gnu \
+        -p tdfs-gpu -p tdfs-mem -q
+else
+    echo "==> ThreadSanitizer: skipped (set TDFS_NIGHTLY_TSAN=1 to run)"
+fi
+
 echo "==> offline resolution check"
 cargo metadata --offline --format-version 1 >/dev/null
 

@@ -68,6 +68,10 @@ pub enum StackConfig {
         arena_pages: usize,
         /// Page-table length per level (paper default 40).
         table_len: usize,
+        /// Degrade levels to a heap spill when the arena is exhausted
+        /// (reported in [`crate::RunStats::pages_spilled`]) instead of
+        /// failing the run with `OutOfPages`.
+        spill: bool,
     },
     /// Fixed-capacity array per level.
     Array {
@@ -141,6 +145,7 @@ impl MatcherConfig {
             stack: StackConfig::Paged {
                 arena_pages: 8192,
                 table_len: 40,
+                spill: true,
             },
             plan: PlanOptions::default(),
             fused_injectivity: true,

@@ -43,6 +43,10 @@ pub enum EngineError {
     /// The configured time budget expired — the paper's "T" outcome
     /// (Fig. 11: "'T' means > 1000 s").
     TimeLimit,
+    /// A worker thread executing the query panicked. Raised by the
+    /// service layer's poisoned-worker recovery, not by the engines
+    /// themselves (an in-engine warp panic propagates).
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for EngineError {
@@ -50,6 +54,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Stack(e) => write!(f, "engine stack failure: {e}"),
             EngineError::TimeLimit => write!(f, "time limit exceeded"),
+            EngineError::WorkerPanicked => write!(f, "worker thread panicked during the query"),
         }
     }
 }
@@ -303,6 +308,8 @@ pub fn run_on_device_from(
         stats.edges_filtered += out.edges_filtered;
         stats.candidates_truncated += out.truncated;
         stats.page_faults += out.page_faults;
+        stats.pages_spilled += out.spill_events;
+        stats.candidates_spilled += out.spilled;
     }
     if let InitialSource::Edges(edges) = &shared.source {
         stats.edges_admitted = edges.len() as u64;
@@ -325,12 +332,16 @@ pub fn run_on_device_from(
     stats.queue_peak = device.queue.peak_tasks();
     stats.timeouts_fired = shared.timeouts.load(Ordering::Relaxed);
     stats.kernels_launched = shared.kernels.load(Ordering::Relaxed);
+    stats.queue_stall_yields = device.queue.total_stall_yields();
     stats.stack_bytes_peak = match &factory {
         StackFactory::Array { capacity, .. } => cfg.num_warps * k * capacity * 4,
-        StackFactory::Paged { arena, table_len } => {
-            arena.peak_bytes() + cfg.num_warps * k * table_len * 4
-        }
+        StackFactory::Paged {
+            arena, table_len, ..
+        } => arena.peak_bytes() + cfg.num_warps * k * table_len * 4,
     };
+    // Every warp stack has been dropped (the scope joined), so any page
+    // still checked out of the arena has leaked.
+    stats.pages_leaked = factory.arena().map_or(0, |a| a.pages_in_use() as u64);
 
     Ok(RunResult {
         matches: shared.matches.load(Ordering::Relaxed),
@@ -346,6 +357,8 @@ struct WarpOutput {
     edges_filtered: u64,
     truncated: u64,
     page_faults: u64,
+    spill_events: u64,
+    spilled: u64,
 }
 
 /// One unit of acquired work.
@@ -522,6 +535,8 @@ where
         edges_filtered,
         truncated: stack_truncated(&stack),
         page_faults: stack_page_faults(&stack),
+        spill_events: stack_metric_sum(&stack, |l| l.level_spill_events()),
+        spilled: stack_metric_sum(&stack, |l| l.level_spilled()),
     }
 }
 
@@ -622,9 +637,13 @@ where
             // of descending while ≤ 3 vertices are matched. ----
             if level <= 2 {
                 if let Some(tau) = shared.tau_ns {
+                    // Fault point: force this warp to look like a
+                    // straggler, triggering decomposition regardless of
+                    // the clock.
+                    let forced_straggle = crate::chaos_inject!("core.dfs.straggler");
                     if grace {
                         grace = false;
-                    } else if shared.clock.now_ns() - *t0 > tau {
+                    } else if forced_straggle || shared.clock.now_ns() - *t0 > tau {
                         shared.timeouts.fetch_add(1, Ordering::Relaxed);
                         // Put the current candidate back and enqueue the
                         // remainder of this level. If `Q_task` fills up,
@@ -876,6 +895,15 @@ pub trait StackMetrics {
     fn level_page_faults(&self) -> u64 {
         0
     }
+    /// Times this level degraded to its heap spill (paged levels with
+    /// spill enabled).
+    fn level_spill_events(&self) -> u64 {
+        0
+    }
+    /// Candidates written to the heap spill (paged levels).
+    fn level_spilled(&self) -> u64 {
+        0
+    }
 }
 
 impl StackMetrics for ArrayLevel {
@@ -887,6 +915,12 @@ impl StackMetrics for ArrayLevel {
 impl StackMetrics for PagedLevel {
     fn level_page_faults(&self) -> u64 {
         self.page_faults()
+    }
+    fn level_spill_events(&self) -> u64 {
+        self.spill_events()
+    }
+    fn level_spilled(&self) -> u64 {
+        self.spilled()
     }
 }
 
@@ -901,6 +935,13 @@ fn stack_page_faults<L: LevelStore + StackMetrics>(stack: &WarpStack<L>) -> u64 
         .iter()
         .map(StackMetrics::level_page_faults)
         .sum()
+}
+
+fn stack_metric_sum<L: LevelStore + StackMetrics>(
+    stack: &WarpStack<L>,
+    metric: fn(&L) -> u64,
+) -> u64 {
+    stack.levels.iter().map(metric).sum()
 }
 
 /// Factory trait tying a [`StackFactory`] to a concrete level type.

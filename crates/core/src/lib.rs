@@ -33,6 +33,25 @@
 //! assert_eq!(result.matches, 5);
 //! ```
 
+/// `chaos_inject!("name")` is `true` when the named fault point should
+/// take its failure path; compile-time `false` without the `chaos`
+/// feature. Bind the result with `let` before using it in a larger
+/// boolean expression (clippy `nonminimal_bool`).
+#[cfg(feature = "chaos")]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        ::tdfs_testkit::fault::fire($name) == ::tdfs_testkit::fault::Outcome::Inject
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        false
+    };
+}
+
+pub(crate) use chaos_inject;
+
 pub mod bfs;
 pub mod cancel;
 pub mod candidates;

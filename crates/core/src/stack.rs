@@ -27,6 +27,8 @@ pub enum StackFactory {
         arena: Arc<PageArena>,
         /// Page-table length per level.
         table_len: usize,
+        /// Whether levels degrade to a heap spill on arena exhaustion.
+        spill: bool,
     },
 }
 
@@ -45,9 +47,11 @@ impl StackFactory {
             StackConfig::Paged {
                 arena_pages,
                 table_len,
+                spill,
             } => StackFactory::Paged {
                 arena: Arc::new(PageArena::new(arena_pages)),
                 table_len,
+                spill,
             },
         }
     }
@@ -97,9 +101,15 @@ impl WarpStack<PagedLevel> {
     /// Builds a paged stack from the factory.
     pub fn new_paged(factory: &StackFactory, k: usize) -> Self {
         match factory {
-            StackFactory::Paged { arena, table_len } => Self {
+            StackFactory::Paged {
+                arena,
+                table_len,
+                spill,
+            } => Self {
                 levels: (0..k)
-                    .map(|_| PagedLevel::with_table_len(arena.clone(), *table_len))
+                    .map(|_| {
+                        PagedLevel::with_table_len(arena.clone(), *table_len).with_spill(*spill)
+                    })
                     .collect(),
                 iters: vec![0; k],
             },
@@ -152,6 +162,7 @@ mod tests {
             &StackConfig::Paged {
                 arena_pages: 16,
                 table_len: 4,
+                spill: false,
             },
             500,
         );
@@ -171,6 +182,7 @@ mod tests {
             &StackConfig::Paged {
                 arena_pages: 4,
                 table_len: 2,
+                spill: false,
             },
             10,
         );

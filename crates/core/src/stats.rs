@@ -38,6 +38,18 @@ pub struct RunStats {
     pub stack_bytes_peak: usize,
     /// Page faults served by the arena (paged stacks only).
     pub page_faults: u64,
+    /// Times a paged level degraded to its heap spill because the arena
+    /// was exhausted mid-fill (spill-enabled paged stacks). The run
+    /// completed correctly, but outside the arena's memory bound.
+    pub pages_spilled: u64,
+    /// Candidates written to heap spills instead of arena pages.
+    pub candidates_spilled: u64,
+    /// Arena pages still checked out after every warp stack was dropped —
+    /// always 0 unless a page was leaked.
+    pub pages_leaked: u64,
+    /// Times a queue operation exhausted its bounded spin on a contended
+    /// cell and yielded the OS thread (see `tdfs_gpu::queue::SPIN_LIMIT`).
+    pub queue_stall_yields: u64,
     /// Candidates silently dropped by truncating array stacks (STMatch's
     /// fixed-4096 mode); nonzero means the count is **wrong**.
     pub candidates_truncated: u64,
@@ -76,6 +88,10 @@ impl RunStats {
         self.edges_filtered += other.edges_filtered;
         self.stack_bytes_peak += other.stack_bytes_peak;
         self.page_faults += other.page_faults;
+        self.pages_spilled += other.pages_spilled;
+        self.candidates_spilled += other.candidates_spilled;
+        self.pages_leaked += other.pages_leaked;
+        self.queue_stall_yields += other.queue_stall_yields;
         self.candidates_truncated += other.candidates_truncated;
         self.host_preprocess += other.host_preprocess;
         self.bfs_batches += other.bfs_batches;
@@ -154,6 +170,18 @@ impl RunStats {
             self.page_faults,
             self.candidates_truncated
         ));
+        if self.pages_spilled > 0 || self.pages_leaked > 0 {
+            line(format!(
+                "degradation: {} spill events ({} candidates on heap), {} pages leaked",
+                self.pages_spilled, self.candidates_spilled, self.pages_leaked
+            ));
+        }
+        if self.queue_stall_yields > 0 {
+            line(format!(
+                "queue stalls: {} spin-limit yields",
+                self.queue_stall_yields
+            ));
+        }
         if self.host_preprocess > Duration::ZERO {
             line(format!(
                 "host preprocessing: {:.2} ms",
@@ -214,6 +242,51 @@ mod tests {
         ] {
             assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
         }
+        assert!(
+            !s.contains("degradation") && !s.contains("queue stalls"),
+            "degradation lines only appear when the counters are nonzero:\n{s}"
+        );
+    }
+
+    #[test]
+    fn summary_reports_degradation_counters() {
+        let s = RunStats {
+            pages_spilled: 2,
+            candidates_spilled: 4096,
+            queue_stall_yields: 7,
+            ..Default::default()
+        }
+        .summary();
+        for needle in [
+            "2 spill events",
+            "4096 candidates on heap",
+            "7 spin-limit yields",
+        ] {
+            assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn merge_sums_degradation_counters() {
+        let mut a = RunStats {
+            pages_spilled: 1,
+            candidates_spilled: 10,
+            pages_leaked: 0,
+            queue_stall_yields: 2,
+            ..Default::default()
+        };
+        let b = RunStats {
+            pages_spilled: 2,
+            candidates_spilled: 5,
+            pages_leaked: 1,
+            queue_stall_yields: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pages_spilled, 3);
+        assert_eq!(a.candidates_spilled, 15);
+        assert_eq!(a.pages_leaked, 1);
+        assert_eq!(a.queue_stall_yields, 5);
     }
 
     #[test]

@@ -30,12 +30,39 @@ impl Clock {
     }
 
     /// Current time in nanoseconds since the clock epoch.
+    ///
+    /// Under the `chaos` feature the `gpu.clock.storm` fault point skews
+    /// the reading forward by a fixed amount per injection — a "straggler
+    /// storm" that makes in-flight DFS walks look slow enough to trip the
+    /// paper's timeout decomposition without any wall-clock waiting. The
+    /// skew is cumulative (injection counts only grow), so the clock stays
+    /// monotone.
     #[inline]
     pub fn now_ns(&self) -> u64 {
-        match self {
+        let t = match self {
             Clock::Real(epoch) => epoch.elapsed().as_nanos() as u64,
             Clock::Mock(t) => t.load(Ordering::Relaxed),
-        }
+        };
+        self.storm_skew(t)
+    }
+
+    #[cfg(feature = "chaos")]
+    fn storm_skew(&self, t: u64) -> u64 {
+        // Forward skew applied per injection: 10 ms, comfortably past
+        // every preset timeout threshold.
+        const CLOCK_STORM_NS: u64 = 10_000_000;
+        // Every reading is a hit; the installed script decides which hits
+        // add skew. Reading the cumulative injection count (rather than a
+        // per-call delta) keeps concurrent readers consistent.
+        let _ = crate::chaos_inject!("gpu.clock.storm");
+        let fired = ::tdfs_testkit::fault::injections("gpu.clock.storm");
+        t.saturating_add(fired.saturating_mul(CLOCK_STORM_NS))
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline(always)]
+    fn storm_skew(&self, t: u64) -> u64 {
+        t
     }
 
     /// Advances a mock clock by `ns`. Panics on a real clock.

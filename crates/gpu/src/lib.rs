@@ -25,7 +25,44 @@ pub mod device;
 pub mod queue;
 pub mod warp;
 
+/// `chaos_inject!("name")` evaluates to `true` when the named fault point
+/// should take its failure path. With the `chaos` feature off it is a
+/// compile-time `false`, so the branch folds away entirely and release
+/// builds pay nothing.
+///
+/// Callers must bind the result with `let` before combining it into larger
+/// boolean expressions (`let oom = chaos_inject!(..); if oom || real_oom`),
+/// otherwise the no-op expansion trips clippy's `nonminimal_bool` lint.
+#[cfg(feature = "chaos")]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        ::tdfs_testkit::fault::fire($name) == ::tdfs_testkit::fault::Outcome::Inject
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        false
+    };
+}
+
+/// `chaos_point!("name")` marks a pass-through fault point: it can stall or
+/// panic per the installed script but never redirects control flow at the
+/// call site. No-op without the `chaos` feature.
+#[cfg(feature = "chaos")]
+macro_rules! chaos_point {
+    ($name:literal) => {
+        let _ = ::tdfs_testkit::fault::fire($name);
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos_point {
+    ($name:literal) => {};
+}
+
+pub(crate) use {chaos_inject, chaos_point};
+
 pub use clock::Clock;
 pub use device::{Device, DeviceGroup};
-pub use queue::{Task, TaskQueue};
+pub use queue::{DequeueOp, EnqueueOp, OpStep, Task, TaskQueue, SPIN_LIMIT};
 pub use warp::{select_kind, IntersectKind, WarpOps, WarpStats, WARP_SIZE};

@@ -28,13 +28,41 @@
 //! There are no locks; contention is limited to the queue's own counters
 //! exactly as argued in §III ("we only utilize atomic operations … for
 //! lightweight contentions on the head and tail").
+//!
+//! ## Step-wise operations
+//!
+//! Both operations are implemented as *step state machines*
+//! ([`EnqueueOp`] / [`DequeueOp`]): each `step()` call performs at most
+//! one atomic transition and reports progress / blocked / done. The
+//! production [`TaskQueue::enqueue`] / [`TaskQueue::dequeue`] wrappers
+//! drive the machine to completion with a bounded spin that falls back
+//! to `std::thread::yield_now()` after [`SPIN_LIMIT`] consecutive
+//! blocked polls (counted in [`TaskQueue::total_stall_yields`]) — a
+//! pure spin here livelocks on oversubscribed hosts, where the thread
+//! holding the cell may not be running. The `tdfs-testkit` virtual
+//! scheduler drives the *same* machines single-threadedly to replay
+//! specific interleavings deterministically, so the code under test and
+//! the code in production are one implementation.
+//!
+//! ## Fault points (active only with the `chaos` feature)
+//!
+//! - `gpu.queue.enqueue.full` — force the full-queue rejection path on
+//!   an admit, exercising callers' queue-pressure recovery;
+//! - `gpu.queue.enqueue.claimed` / `gpu.queue.dequeue.claimed` — a
+//!   stall window between claiming a cell and completing the payload
+//!   handoff, the exact window of the wraparound race above.
 
+use crate::{chaos_inject, chaos_point};
 use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU64, Ordering};
 
 /// Empty-slot sentinel (paper: all elements initialized as −1).
 pub const EMPTY: i32 = -1;
 /// Placeholder for the third vertex of a 2-prefix task (paper: −2).
 pub const PAD: i32 = -2;
+
+/// Consecutive blocked polls before a production wrapper yields the OS
+/// thread instead of spinning further.
+pub const SPIN_LIMIT: u32 = 128;
 
 /// A work-stealing task: a 2- or 3-vertex prefix of a partial match.
 ///
@@ -79,6 +107,233 @@ impl Task {
     }
 }
 
+/// Result of stepping an [`EnqueueOp`] or [`DequeueOp`] once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStep<T> {
+    /// A transition was performed; the operation is not finished.
+    Progress,
+    /// The operation is waiting on a racing operation's transition (the
+    /// claimed cell's sequence ticket is not ours yet). Stepping again
+    /// without running the racing thread cannot make progress.
+    Blocked,
+    /// The operation finished with this result. Further steps keep
+    /// returning `Done` with the same result.
+    Done(T),
+}
+
+enum EnqState {
+    Admit,
+    Claim,
+    Acquire { ticket: u64 },
+    Write { ticket: u64, idx: usize },
+    Publish { ticket: u64 },
+    Finished { admitted: bool },
+}
+
+/// A step-wise enqueue of one task (paper Alg. 3 lines 3–14).
+///
+/// Create with [`TaskQueue::begin_enqueue`]; drive with [`EnqueueOp::step`]
+/// until `Done(admitted)`. Dropping an op mid-flight after `Admit`
+/// succeeded would wedge the ring (the claimed ticket is never published),
+/// so drive every op to completion — the deterministic scheduler's
+/// deadlock detection makes that an explicit test failure rather than a
+/// hang.
+pub struct EnqueueOp<'q> {
+    queue: &'q TaskQueue,
+    task: Task,
+    state: EnqState,
+}
+
+impl EnqueueOp<'_> {
+    /// Perform at most one atomic transition.
+    pub fn step(&mut self) -> OpStep<bool> {
+        let q = self.queue;
+        let cap = q.seq.len() as u64;
+        match self.state {
+            EnqState::Admit => {
+                // Fault point: pretend the size admission saw a full
+                // queue, driving callers down their rejection path.
+                let forced_full = chaos_inject!("gpu.queue.enqueue.full");
+                let n = q.admit_limit;
+                // Line 4: register space usage.
+                let old = if forced_full {
+                    n
+                } else {
+                    q.size.fetch_add(3, Ordering::AcqRel)
+                };
+                if old >= n {
+                    // Lines 5–6: cancel, signal full.
+                    if !forced_full {
+                        q.size.fetch_sub(3, Ordering::AcqRel);
+                    }
+                    q.rejected_full.fetch_add(1, Ordering::Relaxed);
+                    self.state = EnqState::Finished { admitted: false };
+                    return OpStep::Done(false);
+                }
+                q.peak_size.fetch_max(old + 3, Ordering::Relaxed);
+                self.state = EnqState::Claim;
+                OpStep::Progress
+            }
+            EnqState::Claim => {
+                // Line 7: claim the cell (monotonic ticket, mod capacity
+                // on use).
+                let ticket = q.back.fetch_add(1, Ordering::AcqRel);
+                // Fault point: stall in the claimed-but-unwritten window —
+                // the window of the wraparound race in the module docs.
+                chaos_point!("gpu.queue.enqueue.claimed");
+                self.state = EnqState::Acquire { ticket };
+                OpStep::Progress
+            }
+            EnqState::Acquire { ticket } => {
+                // Wait for exclusive write ownership of the cell: the
+                // previous lap's reader must have released it (see the
+                // module docs for why the paper's `-1`-CAS handoff is
+                // insufficient here).
+                let cell = (ticket % cap) as usize;
+                if q.seq[cell].load(Ordering::Acquire) != ticket {
+                    return OpStep::Blocked;
+                }
+                self.state = EnqState::Write { ticket, idx: 0 };
+                OpStep::Progress
+            }
+            EnqState::Write { ticket, idx } => {
+                // Lines 8–13: hand off the payload, one word per step.
+                let cell = (ticket % cap) as usize;
+                let v = [self.task.v1, self.task.v2, self.task.v3][idx];
+                debug_assert!(v >= 0 || v == PAD, "task payload must not be −1");
+                q.slots[cell * 3 + idx].store(v, Ordering::Relaxed);
+                self.state = if idx == 2 {
+                    EnqState::Publish { ticket }
+                } else {
+                    EnqState::Write {
+                        ticket,
+                        idx: idx + 1,
+                    }
+                };
+                OpStep::Progress
+            }
+            EnqState::Publish { ticket } => {
+                // Publish: the cell is now readable by dequeue ticket
+                // `ticket`.
+                let cell = (ticket % cap) as usize;
+                q.seq[cell].store(ticket + 1, Ordering::Release);
+                q.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.state = EnqState::Finished { admitted: true };
+                OpStep::Done(true)
+            }
+            EnqState::Finished { admitted } => OpStep::Done(admitted),
+        }
+    }
+}
+
+enum DeqState {
+    Admit,
+    Claim,
+    Acquire {
+        ticket: u64,
+    },
+    Read {
+        ticket: u64,
+        idx: usize,
+        vals: [i32; 3],
+    },
+    Release {
+        ticket: u64,
+        vals: [i32; 3],
+    },
+    Finished {
+        task: Option<Task>,
+    },
+}
+
+/// A step-wise dequeue (paper Alg. 3 lines 15–26).
+///
+/// Create with [`TaskQueue::begin_dequeue`]; drive with
+/// [`DequeueOp::step`] until `Done(result)`. The same drive-to-completion
+/// rule as [`EnqueueOp`] applies.
+pub struct DequeueOp<'q> {
+    queue: &'q TaskQueue,
+    state: DeqState,
+}
+
+impl DequeueOp<'_> {
+    /// Perform at most one atomic transition.
+    pub fn step(&mut self) -> OpStep<Option<Task>> {
+        let q = self.queue;
+        let cap = q.seq.len() as u64;
+        match self.state {
+            DeqState::Admit => {
+                // Line 16: register space release.
+                let old = q.size.fetch_sub(3, Ordering::AcqRel);
+                if old <= 0 {
+                    // Lines 17–18: cancel, signal empty.
+                    q.size.fetch_add(3, Ordering::AcqRel);
+                    self.state = DeqState::Finished { task: None };
+                    return OpStep::Done(None);
+                }
+                self.state = DeqState::Claim;
+                OpStep::Progress
+            }
+            DeqState::Claim => {
+                // Line 19: claim the cell.
+                let ticket = q.front.fetch_add(1, Ordering::AcqRel);
+                // Fault point: stall between claiming the cell and
+                // reading it, mirroring the enqueue-side window.
+                chaos_point!("gpu.queue.dequeue.claimed");
+                self.state = DeqState::Acquire { ticket };
+                OpStep::Progress
+            }
+            DeqState::Acquire { ticket } => {
+                // Lines 20–25: wait for the racing enqueue with the same
+                // ticket to finish filling the cell.
+                let cell = (ticket % cap) as usize;
+                if q.seq[cell].load(Ordering::Acquire) != ticket + 1 {
+                    return OpStep::Blocked;
+                }
+                self.state = DeqState::Read {
+                    ticket,
+                    idx: 0,
+                    vals: [EMPTY; 3],
+                };
+                OpStep::Progress
+            }
+            DeqState::Read {
+                ticket,
+                idx,
+                mut vals,
+            } => {
+                let cell = (ticket % cap) as usize;
+                vals[idx] = q.slots[cell * 3 + idx].swap(EMPTY, Ordering::Relaxed);
+                debug_assert_ne!(vals[idx], EMPTY, "ticketed cell must be filled");
+                self.state = if idx == 2 {
+                    DeqState::Release { ticket, vals }
+                } else {
+                    DeqState::Read {
+                        ticket,
+                        idx: idx + 1,
+                        vals,
+                    }
+                };
+                OpStep::Progress
+            }
+            DeqState::Release { ticket, vals } => {
+                // Release the cell to the enqueue ticket one lap ahead.
+                let cell = (ticket % cap) as usize;
+                q.seq[cell].store(ticket + cap, Ordering::Release);
+                q.dequeued.fetch_add(1, Ordering::Relaxed);
+                let task = Task {
+                    v1: vals[0],
+                    v2: vals[1],
+                    v3: vals[2],
+                };
+                self.state = DeqState::Finished { task: Some(task) };
+                OpStep::Done(Some(task))
+            }
+            DeqState::Finished { task } => OpStep::Done(task),
+        }
+    }
+}
+
 /// The lock-free circular task queue.
 ///
 /// The default capacity in the paper is N = 3 million integers (12 MB,
@@ -88,14 +343,24 @@ pub struct TaskQueue {
     /// Per-task-cell sequence tickets; cell `i` starts at `i`. A cell is
     /// writable by enqueue ticket `t` when `seq == t` and readable by
     /// dequeue ticket `t` when `seq == t + 1`; the reader hands the cell
-    /// to the next lap by storing `t + capacity`.
+    /// to the next lap by storing `t + cells`.
     seq: Box<[AtomicU64]>,
+    /// Size-admission bound in slots (3 × the *logical* capacity). The
+    /// physical ring is never smaller than 2 cells even for a logical
+    /// capacity of 1: on a 1-cell ring the reader's release value
+    /// `t + cells` equals the writer's publish value `t + 1`, so a
+    /// lapping writer (admitted the moment the reader's admit freed
+    /// `size`) could overwrite the cell mid-read. With ≥ 2 cells the
+    /// lapping writer lands on a different cell and the collision cannot
+    /// occur; admission still enforces the logical bound exactly.
+    admit_limit: i64,
     size: AtomicI64,
     front: AtomicU64,
     back: AtomicU64,
     enqueued: AtomicU64,
     dequeued: AtomicU64,
     rejected_full: AtomicU64,
+    stall_yields: AtomicU64,
     peak_size: AtomicI64,
 }
 
@@ -103,25 +368,27 @@ impl TaskQueue {
     /// Creates a queue holding up to `capacity_tasks` tasks.
     pub fn new(capacity_tasks: usize) -> Self {
         assert!(capacity_tasks >= 1, "queue needs at least one task slot");
-        let n = capacity_tasks * 3;
-        let slots = (0..n).map(|_| AtomicI32::new(EMPTY)).collect();
-        let seq = (0..capacity_tasks as u64).map(AtomicU64::new).collect();
+        let cells = capacity_tasks.max(2);
+        let slots = (0..cells * 3).map(|_| AtomicI32::new(EMPTY)).collect();
+        let seq = (0..cells as u64).map(AtomicU64::new).collect();
         Self {
             slots,
             seq,
+            admit_limit: (capacity_tasks * 3) as i64,
             size: AtomicI64::new(0),
             front: AtomicU64::new(0),
             back: AtomicU64::new(0),
             enqueued: AtomicU64::new(0),
             dequeued: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
+            stall_yields: AtomicU64::new(0),
             peak_size: AtomicI64::new(0),
         }
     }
 
-    /// Capacity in tasks.
+    /// Capacity in tasks (the logical admission bound).
     pub fn capacity(&self) -> usize {
-        self.slots.len() / 3
+        (self.admit_limit / 3) as usize
     }
 
     /// Current task count (approximate under concurrency, exact when
@@ -135,72 +402,65 @@ impl TaskQueue {
         self.size.load(Ordering::Acquire) <= 0
     }
 
+    /// Start a step-wise enqueue (see the module docs).
+    pub fn begin_enqueue(&self, task: Task) -> EnqueueOp<'_> {
+        EnqueueOp {
+            queue: self,
+            task,
+            state: EnqState::Admit,
+        }
+    }
+
+    /// Start a step-wise dequeue (see the module docs).
+    pub fn begin_dequeue(&self) -> DequeueOp<'_> {
+        DequeueOp {
+            queue: self,
+            state: DeqState::Admit,
+        }
+    }
+
     /// Paper Alg. 3 lines 3–14. Returns `false` when the queue is full.
     pub fn enqueue(&self, task: Task) -> bool {
-        let n = self.slots.len() as i64;
-        let cap = self.seq.len() as u64;
-        // Line 4: register space usage.
-        let old = self.size.fetch_add(3, Ordering::AcqRel);
-        if old >= n {
-            // Lines 5–6: cancel, signal full.
-            self.size.fetch_sub(3, Ordering::AcqRel);
-            self.rejected_full.fetch_add(1, Ordering::Relaxed);
-            return false;
+        let mut op = self.begin_enqueue(task);
+        let mut blocked = 0u32;
+        loop {
+            match op.step() {
+                OpStep::Done(admitted) => return admitted,
+                OpStep::Progress => blocked = 0,
+                OpStep::Blocked => {
+                    blocked += 1;
+                    if blocked >= SPIN_LIMIT {
+                        blocked = 0;
+                        self.stall_yields.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
         }
-        self.peak_size.fetch_max(old + 3, Ordering::Relaxed);
-        // Line 7: claim the cell (monotonic ticket, mod capacity on use).
-        let ticket = self.back.fetch_add(1, Ordering::AcqRel);
-        let cell = (ticket % cap) as usize;
-        // Wait for exclusive write ownership of the cell: the previous
-        // lap's reader must have released it (see the module docs for why
-        // the paper's `-1`-CAS handoff is insufficient here).
-        while self.seq[cell].load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
-        }
-        // Lines 8–13: hand off the payload.
-        let pos = cell * 3;
-        for (k, v) in [task.v1, task.v2, task.v3].into_iter().enumerate() {
-            debug_assert!(v >= 0 || v == PAD, "task payload must not be −1");
-            self.slots[pos + k].store(v, Ordering::Relaxed);
-        }
-        // Publish: the cell is now readable by dequeue ticket `ticket`.
-        self.seq[cell].store(ticket + 1, Ordering::Release);
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
-        true
     }
 
     /// Paper Alg. 3 lines 15–26. Returns `None` when the queue is empty.
     pub fn dequeue(&self) -> Option<Task> {
-        let cap = self.seq.len() as u64;
-        // Line 16: register space release.
-        let old = self.size.fetch_sub(3, Ordering::AcqRel);
-        if old <= 0 {
-            // Lines 17–18: cancel, signal empty.
-            self.size.fetch_add(3, Ordering::AcqRel);
-            return None;
+        let mut op = self.begin_dequeue();
+        let mut blocked = 0u32;
+        loop {
+            match op.step() {
+                OpStep::Done(task) => return task,
+                OpStep::Progress => blocked = 0,
+                OpStep::Blocked => {
+                    blocked += 1;
+                    if blocked >= SPIN_LIMIT {
+                        blocked = 0;
+                        self.stall_yields.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
         }
-        // Line 19: claim the cell.
-        let ticket = self.front.fetch_add(1, Ordering::AcqRel);
-        let cell = (ticket % cap) as usize;
-        // Lines 20–25: wait for the racing enqueue with the same ticket
-        // to finish filling the cell, then take the payload.
-        while self.seq[cell].load(Ordering::Acquire) != ticket + 1 {
-            std::hint::spin_loop();
-        }
-        let pos = cell * 3;
-        let mut vals = [EMPTY; 3];
-        for (k, slot) in vals.iter_mut().enumerate() {
-            *slot = self.slots[pos + k].swap(EMPTY, Ordering::Relaxed);
-            debug_assert_ne!(*slot, EMPTY, "ticketed cell must be filled");
-        }
-        // Release the cell to the enqueue ticket one lap ahead.
-        self.seq[cell].store(ticket + cap, Ordering::Release);
-        self.dequeued.fetch_add(1, Ordering::Relaxed);
-        Some(Task {
-            v1: vals[0],
-            v2: vals[1],
-            v3: vals[2],
-        })
     }
 
     /// Total successful enqueues.
@@ -216,6 +476,14 @@ impl TaskQueue {
     /// Enqueue attempts rejected because the queue was full.
     pub fn total_rejected_full(&self) -> u64 {
         self.rejected_full.load(Ordering::Relaxed)
+    }
+
+    /// Times a production enqueue/dequeue exhausted its spin budget on a
+    /// contended cell and yielded the OS thread. Nonzero values mean the
+    /// host was oversubscribed enough that pure spinning would have
+    /// livelocked.
+    pub fn total_stall_yields(&self) -> u64 {
+        self.stall_yields.load(Ordering::Relaxed)
     }
 
     /// High-water mark of concurrently queued tasks — the paper's claim
@@ -294,6 +562,47 @@ mod tests {
     }
 
     #[test]
+    fn stepwise_ops_match_wrappers() {
+        let q = TaskQueue::new(2);
+        let mut enq = q.begin_enqueue(Task::triple(7, 8, 9));
+        let mut steps = 0;
+        let admitted = loop {
+            steps += 1;
+            match enq.step() {
+                OpStep::Done(ok) => break ok,
+                OpStep::Progress => {}
+                OpStep::Blocked => panic!("uncontended enqueue must not block"),
+            }
+        };
+        assert!(admitted);
+        // Admit, Claim, Acquire, 3×Write, Publish.
+        assert_eq!(steps, 7);
+        let mut deq = q.begin_dequeue();
+        let task = loop {
+            match deq.step() {
+                OpStep::Done(t) => break t,
+                OpStep::Progress => {}
+                OpStep::Blocked => panic!("uncontended dequeue must not block"),
+            }
+        };
+        assert_eq!(task, Some(Task::triple(7, 8, 9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stepwise_rejections_terminate_immediately() {
+        let q = TaskQueue::new(1);
+        assert!(q.enqueue(Task::triple(1, 1, 1)));
+        let mut enq = q.begin_enqueue(Task::triple(2, 2, 2));
+        // Full queue: the admit step itself reports Done(false).
+        assert_eq!(enq.step(), OpStep::Done(false));
+        assert_eq!(q.total_rejected_full(), 1);
+        assert_eq!(q.dequeue().unwrap().v1, 1);
+        let mut deq = q.begin_dequeue();
+        assert_eq!(deq.step(), OpStep::Done(None));
+    }
+
+    #[test]
     fn concurrent_producers_consumers_no_loss() {
         use std::sync::atomic::{AtomicU64, Ordering};
         let q = std::sync::Arc::new(TaskQueue::new(64));
@@ -361,6 +670,7 @@ mod tests {
         // its stores with a writer one lap ahead, yielding mixed tasks.
         // Each thread round-trips tagged triples; any mixing trips the
         // v1==v2==v3 check, any loss/duplication breaks the final sums.
+        // (tests/interleave.rs replays the same race deterministically.)
         use std::sync::atomic::{AtomicU64, Ordering};
         let q = std::sync::Arc::new(TaskQueue::new(2));
         let in_sum = std::sync::Arc::new(AtomicU64::new(0));

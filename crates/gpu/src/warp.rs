@@ -211,6 +211,11 @@ impl WarpOps {
 
     #[inline]
     fn charge_kernel(&mut self, kind: IntersectKind) {
+        // Fault point on every intersection launch: a scripted stall here
+        // models one warp's kernels running slow (a straggler) without
+        // touching the clock. Compiles away without the `chaos` feature,
+        // keeping the micro benches at their published numbers.
+        crate::chaos_point!("gpu.warp.intersect");
         self.stats.intersections += 1;
         match kind {
             IntersectKind::Merge => self.stats.merge_kernels += 1,

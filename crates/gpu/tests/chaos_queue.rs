@@ -1,0 +1,153 @@
+//! Chaos tests for the task queue's fault points and its bounded-spin
+//! recovery (requires `--features chaos`).
+//!
+//! Every test holds a [`ChaosGuard`] — even the ones with an empty
+//! script — because the fault-point registry is process-global and the
+//! guard is what serializes chaos tests within one binary.
+//!
+//! [`ChaosGuard`]: tdfs_testkit::fault::ChaosGuard
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tdfs_gpu::queue::{OpStep, Task, TaskQueue};
+use tdfs_testkit::fault::{self, Action, ChaosScript, Trigger};
+
+/// `gpu.queue.enqueue.full`: a forced full-queue admission on an
+/// otherwise empty queue takes the rejection path (counter bumped, size
+/// accounting untouched) and the very next push succeeds.
+#[test]
+fn forced_full_rejection_recovers() {
+    let _chaos = ChaosScript::new()
+        .inject("gpu.queue.enqueue.full", Trigger::Nth(1))
+        .install();
+    let q = TaskQueue::new(4);
+    assert!(
+        !q.enqueue(Task::triple(1, 1, 1)),
+        "first push is forced full"
+    );
+    assert_eq!(q.total_rejected_full(), 1);
+    assert_eq!(fault::injections("gpu.queue.enqueue.full"), 1);
+    assert!(q.is_empty(), "forced rejection must not leak size");
+    // Recovery: the transient pressure is gone, pushes flow again.
+    assert!(q.enqueue(Task::triple(2, 2, 2)));
+    assert_eq!(q.dequeue(), Some(Task::triple(2, 2, 2)));
+    assert_eq!(q.dequeue(), None);
+}
+
+/// Satellite 4 regression: stall storms in the claimed-but-unpublished
+/// windows (`gpu.queue.enqueue.claimed` / `gpu.queue.dequeue.claimed`)
+/// widen the exact race window of the wraparound bug while four threads
+/// round-trip through a 2-task ring. The bounded spin + yield in the
+/// production wrappers must keep every thread making progress — a pure
+/// spin livelocks exactly here when the stalled claim holder isn't
+/// scheduled — and every payload must still cross unmixed.
+#[test]
+fn claim_window_stall_storm_makes_progress() {
+    let _chaos = ChaosScript::new()
+        .on(
+            "gpu.queue.enqueue.claimed",
+            Trigger::Probability(0.25),
+            Action::Stall { yields: 50 },
+        )
+        .on(
+            "gpu.queue.dequeue.claimed",
+            Trigger::Probability(0.25),
+            Action::Stall { yields: 50 },
+        )
+        .seed(11)
+        .install();
+
+    let q = Arc::new(TaskQueue::new(2));
+    let in_sum = Arc::new(AtomicU64::new(0));
+    let out_sum = Arc::new(AtomicU64::new(0));
+    const PER_THREAD: u32 = 2_000;
+    const THREADS: u32 = 4;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let q = q.clone();
+        let in_sum = in_sum.clone();
+        let out_sum = out_sum.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                let v = t * PER_THREAD + i + 1;
+                while !q.enqueue(Task::triple(v, v, v)) {
+                    std::thread::yield_now();
+                }
+                in_sum.fetch_add(v as u64, Ordering::Relaxed);
+                loop {
+                    if let Some(got) = q.dequeue() {
+                        assert_eq!(got.v1, got.v2, "mixed task payload");
+                        assert_eq!(got.v2, got.v3, "mixed task payload");
+                        out_sum.fetch_add(got.v1 as u64, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(q.is_empty());
+    assert_eq!(
+        in_sum.load(Ordering::Relaxed),
+        out_sum.load(Ordering::Relaxed)
+    );
+    assert_eq!(q.total_enqueued(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(q.total_dequeued(), (THREADS * PER_THREAD) as u64);
+    assert!(
+        fault::injections("gpu.queue.enqueue.claimed")
+            + fault::injections("gpu.queue.dequeue.claimed")
+            > 0,
+        "the storm must actually have stalled some claims"
+    );
+}
+
+/// Satellite 4 fix, observed directly: a dequeuer contending with a
+/// stalled (claimed-but-unpublished) enqueue exhausts its spin budget
+/// and yields the OS thread instead of burning the core, and the yield
+/// is counted in `total_stall_yields`.
+#[test]
+fn contended_cell_spins_then_yields() {
+    let _chaos = ChaosScript::new().install();
+    let q = Arc::new(TaskQueue::new(2));
+    // Claim cell 0 and stall in the unwritten window.
+    let mut enq = q.begin_enqueue(Task::triple(9, 9, 9));
+    assert_eq!(enq.step(), OpStep::Progress, "admit");
+    assert_eq!(enq.step(), OpStep::Progress, "claim");
+
+    let consumer = {
+        let q = q.clone();
+        std::thread::spawn(move || q.dequeue())
+    };
+    // Give the consumer ample time to blow through SPIN_LIMIT polls of
+    // the unpublished cell and fall back to yielding.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    // Unstall: publish the payload; the consumer completes.
+    loop {
+        if let OpStep::Done(admitted) = enq.step() {
+            assert!(admitted);
+            break;
+        }
+    }
+    assert_eq!(consumer.join().unwrap(), Some(Task::triple(9, 9, 9)));
+    assert!(
+        q.total_stall_yields() >= 1,
+        "the blocked dequeue must have yielded at least once"
+    );
+}
+
+/// Unscripted fault points still count hits, so coverage of the stall
+/// windows is assertable without scripting them.
+#[test]
+fn fault_points_are_reached_without_scripts() {
+    let _chaos = ChaosScript::new().install();
+    let q = TaskQueue::new(2);
+    assert!(q.enqueue(Task::pair(1, 2)));
+    assert_eq!(q.dequeue(), Some(Task::pair(1, 2)));
+    assert_eq!(fault::hits("gpu.queue.enqueue.claimed"), 1);
+    assert_eq!(fault::hits("gpu.queue.dequeue.claimed"), 1);
+    assert_eq!(fault::hits("gpu.queue.enqueue.full"), 1);
+}

@@ -98,6 +98,14 @@ impl PageArena {
 
     /// Pops a page off the free list. `None` when exhausted.
     pub fn alloc_page(&self) -> Option<PageId> {
+        // Fault point: report the arena exhausted regardless of actual
+        // occupancy, driving callers down the same path as a real OOM
+        // (paged levels degrade to their heap spill).
+        let forced_oom = crate::chaos_inject!("mem.arena.oom");
+        if forced_oom {
+            self.failed_allocs.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         loop {
             let head = self.head.load(Ordering::Acquire);
             let page = head as u32;

@@ -18,6 +18,25 @@ pub mod arena;
 pub mod level;
 pub mod paged;
 
+/// `chaos_inject!("name")` is `true` when the named fault point should
+/// take its failure path; compile-time `false` (and thus folded away)
+/// without the `chaos` feature. Bind the result with `let` before using
+/// it in a larger boolean expression (clippy `nonminimal_bool`).
+#[cfg(feature = "chaos")]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        ::tdfs_testkit::fault::fire($name) == ::tdfs_testkit::fault::Outcome::Inject
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        false
+    };
+}
+
+pub(crate) use chaos_inject;
+
 pub use arena::{PageArena, PageId, PAGE_BYTES, PAGE_INTS};
 pub use level::{ArrayLevel, LevelStore, OverflowPolicy, StackError};
 pub use paged::{PagedLevel, DEFAULT_PAGE_TABLE_LEN};

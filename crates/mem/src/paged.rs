@@ -7,6 +7,20 @@
 //! shared [`PageArena`] — the model's analogue of the leader-thread
 //! page-fault path in Algorithm 5. Page-fault counts are tracked so the
 //! experiments can report allocation activity.
+//!
+//! ## Spill-to-heap degradation
+//!
+//! A level created with [`PagedLevel::with_spill`] does not fail when the
+//! arena runs out of pages mid-fill: from the first failed page request
+//! onward it appends to a private heap buffer instead ("spilling"), so
+//! reads see one contiguous logical level — a paged prefix followed by
+//! the spilled tail. This trades the arena's bounded-memory guarantee for
+//! forward progress, which is the right call for a serving system: an
+//! engine run that transiently overshoots the arena degrades (and
+//! reports [`PagedLevel::spill_events`] / [`PagedLevel::spilled`] so the
+//! overshoot is visible in `RunStats`) rather than aborting the query.
+//! The spill is abandoned at the next `clear`/`release`, returning the
+//! level to pure paged operation.
 
 use std::sync::Arc;
 
@@ -33,7 +47,21 @@ pub struct PagedLevel {
     /// Page backing the current write position (hot-path cache so a push
     /// within a page skips the table lookup).
     write_page: PageId,
+    /// Whether arena exhaustion degrades to the heap spill instead of
+    /// returning [`StackError::OutOfPages`].
+    spill_enabled: bool,
+    /// Logical index of the first spilled element; [`NOT_SPILLING`]
+    /// while the level is purely paged.
+    spill_start: usize,
+    /// The spilled tail: logical elements `spill_start..len`.
+    spill: Vec<u32>,
+    /// Times this level entered spill mode (at most one per clear cycle).
+    spill_events: u64,
+    /// Elements written to the spill since creation.
+    spilled_total: u64,
 }
+
+const NOT_SPILLING: usize = usize::MAX;
 
 impl PagedLevel {
     /// Creates an empty level with the default page-table length.
@@ -52,7 +80,40 @@ impl PagedLevel {
             page_faults: 0,
             peak_pages: 0,
             write_page: NULL_PAGE,
+            spill_enabled: false,
+            spill_start: NOT_SPILLING,
+            spill: Vec::new(),
+            spill_events: 0,
+            spilled_total: 0,
         }
+    }
+
+    /// Enables or disables spill-to-heap degradation (see the module
+    /// docs); builder-style, used by the stack factory.
+    pub fn with_spill(mut self, enabled: bool) -> Self {
+        self.spill_enabled = enabled;
+        self
+    }
+
+    /// Whether the level is currently in spill mode.
+    pub fn is_spilling(&self) -> bool {
+        self.spill_start != NOT_SPILLING
+    }
+
+    /// Times the level entered spill mode since creation.
+    pub fn spill_events(&self) -> u64 {
+        self.spill_events
+    }
+
+    /// Elements written to the heap spill since creation.
+    pub fn spilled(&self) -> u64 {
+        self.spilled_total
+    }
+
+    /// Length of the paged prefix (everything below the spill point).
+    #[inline]
+    fn paged_len(&self) -> usize {
+        self.len.min(self.spill_start)
     }
 
     /// Maximum number of candidates the level can hold.
@@ -81,6 +142,8 @@ impl PagedLevel {
         }
         self.len = 0;
         self.write_page = NULL_PAGE;
+        self.spill_start = NOT_SPILLING;
+        self.spill = Vec::new();
     }
 
     /// The paper's optional shrink policy: "assume we have n pages in a
@@ -88,7 +151,7 @@ impl PagedLevel {
     /// uses no more than n/4 pages, then we can free the last n/2 pages".
     pub fn shrink(&mut self) {
         let held = self.pages_held();
-        let used = self.len.div_ceil(PAGE_INTS);
+        let used = self.paged_len().div_ceil(PAGE_INTS);
         if held >= 2 && used * 4 <= held {
             let keep = held - held / 2;
             let mut seen = 0usize;
@@ -138,9 +201,22 @@ impl LevelStore for PagedLevel {
         // The first page may already exist; re-prime the write cache so
         // the next push takes the slow path and finds it.
         self.write_page = NULL_PAGE;
+        // A spill does not survive its fill: the next fill retries the
+        // arena (pressure may have passed). The buffer keeps its
+        // capacity so repeated spills don't reallocate.
+        self.spill_start = NOT_SPILLING;
+        self.spill.clear();
     }
 
     fn push(&mut self, v: u32) -> Result<(), StackError> {
+        // Degraded mode: every write after the first failed page request
+        // goes to the heap tail.
+        if self.spill_start != NOT_SPILLING {
+            self.spill.push(v);
+            self.spilled_total += 1;
+            self.len += 1;
+            return Ok(());
+        }
         let pos = self.len;
         let offset = pos % PAGE_INTS;
         // Hot path: still inside the cached write page.
@@ -157,7 +233,20 @@ impl LevelStore for PagedLevel {
                 capacity: self.capacity(),
             });
         }
-        let page = self.ensure_page(pos / PAGE_INTS)?;
+        let page = match self.ensure_page(pos / PAGE_INTS) {
+            Ok(page) => page,
+            Err(StackError::OutOfPages) if self.spill_enabled => {
+                // Graceful degradation: enter spill mode at this element
+                // instead of failing the fill.
+                self.spill_start = pos;
+                self.spill_events += 1;
+                self.spill.push(v);
+                self.spilled_total += 1;
+                self.len = pos + 1;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         self.write_page = page;
         // SAFETY: the level exclusively owns `page` (allocated above or
         // earlier by this level and not freed until release/drop).
@@ -174,6 +263,9 @@ impl LevelStore for PagedLevel {
 
     fn get(&self, i: usize) -> u32 {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if i >= self.spill_start {
+            return self.spill[i - self.spill_start];
+        }
         let page = self.table[i / PAGE_INTS];
         debug_assert_ne!(page, NULL_PAGE);
         // SAFETY: page owned by this level; index bounded by len.
@@ -181,7 +273,7 @@ impl LevelStore for PagedLevel {
     }
 
     fn for_each_chunk(&self, f: &mut dyn FnMut(&[u32])) {
-        let mut remaining = self.len;
+        let mut remaining = self.paged_len();
         let mut page_idx = 0usize;
         while remaining > 0 {
             let page = self.table[page_idx];
@@ -194,11 +286,16 @@ impl LevelStore for PagedLevel {
             remaining -= take;
             page_idx += 1;
         }
+        if !self.spill.is_empty() {
+            f(&self.spill);
+        }
     }
 
     fn bytes_reserved(&self) -> usize {
-        // Held pages plus the page table itself.
-        self.pages_held() * crate::arena::PAGE_BYTES + self.table.len() * 4
+        // Held pages plus the page table itself, plus any heap spill.
+        self.pages_held() * crate::arena::PAGE_BYTES
+            + self.table.len() * 4
+            + self.spill.capacity() * 4
     }
 }
 
@@ -208,6 +305,7 @@ impl std::fmt::Debug for PagedLevel {
             .field("len", &self.len)
             .field("pages_held", &self.pages_held())
             .field("capacity", &self.capacity())
+            .field("spilling", &self.is_spilling())
             .finish()
     }
 }
@@ -303,6 +401,58 @@ mod tests {
         let mut l2 = PagedLevel::with_table_len(a, 2);
         l1.push(1).unwrap();
         assert_eq!(l2.push(2), Err(StackError::OutOfPages));
+    }
+
+    #[test]
+    fn spill_degrades_instead_of_failing() {
+        let a = arena(1);
+        let mut l = PagedLevel::with_table_len(a.clone(), 3).with_spill(true);
+        let n = PAGE_INTS + 10;
+        for v in 0..n as u32 {
+            l.push(v).unwrap();
+        }
+        assert!(l.is_spilling());
+        assert_eq!(l.spill_events(), 1);
+        assert_eq!(l.spilled(), 10);
+        assert_eq!(l.pages_held(), 1, "only the page the arena could supply");
+        // Reads span the paged prefix and the spilled tail seamlessly.
+        assert_eq!(l.get(PAGE_INTS - 1), (PAGE_INTS - 1) as u32);
+        assert_eq!(l.get(PAGE_INTS), PAGE_INTS as u32);
+        assert_eq!(l.to_vec(), (0..n as u32).collect::<Vec<_>>());
+        let mut sizes = Vec::new();
+        l.for_each_chunk(&mut |c| sizes.push(c.len()));
+        assert_eq!(sizes, vec![PAGE_INTS, 10]);
+        assert!(l.bytes_reserved() >= PAGE_INTS * 4 + 10 * 4);
+    }
+
+    #[test]
+    fn spill_resets_on_clear_and_release() {
+        let a = arena(1);
+        let mut l = PagedLevel::with_table_len(a.clone(), 3).with_spill(true);
+        for v in 0..(PAGE_INTS + 5) as u32 {
+            l.push(v).unwrap();
+        }
+        assert!(l.is_spilling());
+        l.clear();
+        assert!(!l.is_spilling(), "clear abandons the spill");
+        // Refill within one page: the retained page absorbs it, no spill.
+        for v in 0..10u32 {
+            l.push(v).unwrap();
+        }
+        assert!(!l.is_spilling());
+        assert_eq!(l.spill_events(), 1);
+        l.release();
+        assert_eq!(a.pages_in_use(), 0);
+        assert!(!l.is_spilling());
+    }
+
+    #[test]
+    fn spill_disabled_still_errors() {
+        let a = arena(1);
+        let mut hog = PagedLevel::with_table_len(a.clone(), 2);
+        hog.push(1).unwrap();
+        let mut l = PagedLevel::with_table_len(a, 2);
+        assert_eq!(l.push(2), Err(StackError::OutOfPages));
     }
 
     #[test]

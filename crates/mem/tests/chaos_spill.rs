@@ -1,0 +1,103 @@
+//! Chaos tests for `mem.arena.oom` and the paged levels' spill-to-heap
+//! degradation (requires `--features chaos`).
+//!
+//! Every test holds a `ChaosGuard` because the fault-point registry is
+//! process-global; the guard serializes chaos tests within one binary.
+
+use std::sync::Arc;
+
+use tdfs_mem::{LevelStore, PageArena, PagedLevel, StackError, PAGE_INTS};
+use tdfs_testkit::fault::{self, ChaosScript, Trigger};
+
+/// `mem.arena.oom` mid-fill: the second page allocation is forced to
+/// fail while the level is spill-enabled. The fill must complete
+/// correctly on the heap spill (the documented recovery), the
+/// degradation must be counted, and a later `clear` + refill must return
+/// to the arena once the fault has passed.
+#[test]
+fn forced_oom_mid_fill_degrades_to_spill_and_recovers() {
+    let _chaos = ChaosScript::new()
+        .inject("mem.arena.oom", Trigger::Nth(2))
+        .install();
+    let arena = Arc::new(PageArena::new(8));
+    let mut level = PagedLevel::with_table_len(arena.clone(), 4).with_spill(true);
+
+    // Fill past one page: the second page allocation is the forced OOM.
+    let n = PAGE_INTS + PAGE_INTS / 2;
+    for v in 0..n as u32 {
+        level.push(v).expect("spill-enabled push must not fail");
+    }
+    assert_eq!(fault::injections("mem.arena.oom"), 1);
+    assert!(level.is_spilling(), "level must have degraded to its spill");
+    assert_eq!(level.spill_events(), 1);
+    assert_eq!(level.spilled(), (n - PAGE_INTS) as u64);
+    assert_eq!(level.len(), n);
+    assert_eq!(arena.pages_in_use(), 1, "only page one came from the arena");
+    assert_eq!(arena.total_failed_allocs(), 1);
+
+    // Reads span the paged prefix and the heap tail seamlessly.
+    for i in [0, 1, PAGE_INTS - 1, PAGE_INTS, PAGE_INTS + 1, n - 1] {
+        assert_eq!(level.get(i), i as u32);
+    }
+    let mut flat = Vec::new();
+    level.for_each_chunk(&mut |chunk| flat.extend_from_slice(chunk));
+    assert_eq!(flat.len(), n);
+    assert!(flat.iter().enumerate().all(|(i, &v)| v == i as u32));
+
+    // Recovery: the fault was one-shot, so after a clear the next fill
+    // stays inside the arena's memory bound.
+    level.clear();
+    assert!(!level.is_spilling(), "clear must abandon the spill");
+    for v in 0..n as u32 {
+        level.push(v).unwrap();
+    }
+    assert!(!level.is_spilling(), "refill must use arena pages again");
+    assert_eq!(arena.pages_in_use(), 2);
+    assert_eq!(level.spill_events(), 1, "no new degradation");
+
+    level.release();
+    assert_eq!(arena.pages_in_use(), 0, "release must return every page");
+}
+
+/// Without spill enabled, the same forced OOM surfaces as the classic
+/// `OutOfPages` error — the degradation path is strictly opt-in.
+#[test]
+fn forced_oom_without_spill_surfaces_out_of_pages() {
+    let _chaos = ChaosScript::new()
+        .inject("mem.arena.oom", Trigger::Always)
+        .install();
+    let arena = Arc::new(PageArena::new(8));
+    let mut level = PagedLevel::with_table_len(arena.clone(), 4);
+    assert_eq!(level.push(7), Err(StackError::OutOfPages));
+    assert_eq!(level.len(), 0);
+    assert!(!level.is_spilling());
+    assert!(fault::injections("mem.arena.oom") >= 1);
+    assert_eq!(arena.pages_in_use(), 0);
+}
+
+/// A sustained OOM storm (every allocation fails) pushes an entire fill
+/// onto the heap; accounting and contents stay exact and no page is ever
+/// taken from — or leaked back into — the arena.
+#[test]
+fn sustained_oom_storm_spills_everything() {
+    let _chaos = ChaosScript::new()
+        .inject("mem.arena.oom", Trigger::Always)
+        .install();
+    let arena = Arc::new(PageArena::new(8));
+    let mut level = PagedLevel::with_table_len(arena.clone(), 4).with_spill(true);
+    let n = 3 * PAGE_INTS;
+    for v in 0..n as u32 {
+        level.push(v).unwrap();
+    }
+    assert_eq!(level.len(), n);
+    assert_eq!(level.spilled(), n as u64);
+    assert_eq!(level.spill_events(), 1, "one degradation covers the fill");
+    assert_eq!(arena.pages_in_use(), 0, "no page ever came from the arena");
+    for i in [0, n / 2, n - 1] {
+        assert_eq!(level.get(i), i as u32);
+    }
+    level.release();
+    assert!(!level.is_spilling());
+    assert_eq!(level.len(), 0);
+    assert_eq!(arena.pages_in_use(), 0);
+}

@@ -1,0 +1,206 @@
+//! Property tests for the page arena and paged levels against the
+//! testkit's shadow model: random alloc/free/grow sequences must never
+//! double-assign a page, must hand freed pages back out, and must keep
+//! the peak-page accounting in lockstep with a trivially-correct
+//! reference allocator.
+
+use std::sync::Arc;
+
+use tdfs_graph::rng::Rng;
+use tdfs_mem::{LevelStore, PageArena, PagedLevel, StackError, PAGE_INTS};
+use tdfs_testkit::model::ShadowArena;
+
+const CASES: u64 = 40;
+
+/// Random alloc/free sequences on the arena, mirrored into the shadow
+/// model after every operation: double-assigns, spurious OOMs,
+/// double-frees, and any divergence of the in-use/peak/alloc counters
+/// panic inside the model or trip the lockstep asserts.
+#[test]
+fn arena_alloc_free_matches_shadow_model() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA110C + case);
+        let pages = rng.gen_range(1..32);
+        let arena = PageArena::new(pages);
+        let mut model = ShadowArena::new(pages as u32);
+        let mut held: Vec<u32> = Vec::new();
+
+        for _ in 0..400 {
+            // Bias towards alloc so exhaustion (and its failed-alloc
+            // accounting) is exercised regularly.
+            if held.is_empty() || rng.gen_range(0..3) < 2 {
+                let got = arena.alloc_page();
+                model.on_alloc(got);
+                if let Some(p) = got {
+                    held.push(p);
+                }
+            } else {
+                let i = rng.gen_range(0..held.len());
+                let p = held.swap_remove(i);
+                arena.free_page(p);
+                model.on_free(p);
+            }
+            assert_eq!(arena.pages_in_use(), model.in_use());
+            assert_eq!(arena.peak_pages(), model.peak());
+            assert_eq!(arena.total_allocs(), model.allocs());
+            assert_eq!(arena.total_failed_allocs(), model.failed_allocs());
+        }
+
+        // Freed pages come back: drain everything, then the full
+        // capacity must be allocatable again.
+        for p in held.drain(..) {
+            arena.free_page(p);
+            model.on_free(p);
+        }
+        for _ in 0..pages {
+            let got = arena.alloc_page();
+            assert!(got.is_some(), "freed pages must be reusable");
+            model.on_alloc(got);
+        }
+        assert_eq!(arena.pages_in_use(), pages);
+        model.on_alloc(arena.alloc_page()); // exhausted: legitimate OOM
+    }
+}
+
+/// Random push/clear/release/shrink sequences on paged levels sharing
+/// one arena, with a `Vec<u32>` content mirror per level and the arena's
+/// occupancy checked against the levels' own page accounting after every
+/// operation. Content is verified via both `get` and `for_each_chunk`.
+#[test]
+fn paged_levels_grow_and_release_against_mirror() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x9A6ED + case);
+        let arena_pages = rng.gen_range(2..8);
+        let table_len = rng.gen_range(1..4);
+        let arena = Arc::new(PageArena::new(arena_pages));
+        let n_levels = rng.gen_range(1..4);
+        let mut levels: Vec<PagedLevel> = (0..n_levels)
+            .map(|_| PagedLevel::with_table_len(arena.clone(), table_len))
+            .collect();
+        let mut mirrors: Vec<Vec<u32>> = vec![Vec::new(); n_levels];
+
+        for _ in 0..300 {
+            let li = rng.gen_range(0..n_levels);
+            match rng.gen_range(0..10) {
+                // Push a small burst.
+                0..=6 => {
+                    for _ in 0..rng.gen_range(1..200) {
+                        let v = rng.gen_range_u32(0..1_000_000);
+                        match levels[li].push(v) {
+                            Ok(()) => mirrors[li].push(v),
+                            Err(StackError::OutOfPages) => {
+                                assert_eq!(
+                                    arena.pages_in_use(),
+                                    arena.capacity_pages(),
+                                    "OutOfPages reported with free pages available"
+                                );
+                                break;
+                            }
+                            Err(StackError::LevelOverflow { capacity }) => {
+                                assert_eq!(capacity, table_len * PAGE_INTS);
+                                assert_eq!(mirrors[li].len(), capacity);
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Clear keeps the pages for refill.
+                7 => {
+                    let held = levels[li].pages_held();
+                    levels[li].clear();
+                    mirrors[li].clear();
+                    assert_eq!(levels[li].pages_held(), held, "clear must keep pages");
+                }
+                // Release returns the pages to the arena.
+                8 => {
+                    levels[li].release();
+                    mirrors[li].clear();
+                    assert_eq!(levels[li].pages_held(), 0);
+                }
+                // Shrink drops pages beyond the live length.
+                _ => {
+                    levels[li].shrink();
+                    mirrors[li].clear();
+                    levels[li].clear();
+                }
+            }
+
+            assert_eq!(levels[li].len(), mirrors[li].len());
+            let total_held: usize = levels.iter().map(|l| l.pages_held()).sum();
+            assert_eq!(
+                arena.pages_in_use(),
+                total_held,
+                "arena occupancy must equal the levels' page accounting"
+            );
+            // Spot-check content through the indexed accessor.
+            if !mirrors[li].is_empty() {
+                for _ in 0..8 {
+                    let i = rng.gen_range(0..mirrors[li].len());
+                    assert_eq!(levels[li].get(i), mirrors[li][i]);
+                }
+            }
+        }
+
+        // Full content check at the end of every case, via chunks.
+        for (level, mirror) in levels.iter().zip(&mirrors) {
+            let mut flat = Vec::new();
+            level.for_each_chunk(&mut |chunk| flat.extend_from_slice(chunk));
+            assert_eq!(&flat, mirror);
+        }
+
+        // Releasing everything returns the arena to empty — no leaks.
+        for level in &mut levels {
+            level.release();
+        }
+        assert_eq!(arena.pages_in_use(), 0);
+        assert!(arena.peak_pages() <= arena.capacity_pages());
+    }
+}
+
+/// Concurrent alloc/free hammering: ownership of every page is tracked
+/// in a shared atomic bitmap, so a double-assigned page (two threads
+/// holding the same page at once) trips immediately.
+#[test]
+fn concurrent_alloc_free_never_double_assigns() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const PAGES: usize = 16;
+    const THREADS: usize = 4;
+    let arena = Arc::new(PageArena::new(PAGES));
+    let owned: Arc<Vec<AtomicBool>> =
+        Arc::new((0..PAGES).map(|_| AtomicBool::new(false)).collect());
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let arena = arena.clone();
+        let owned = owned.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Rng::seed_from_u64(0xC0_FFEE + t as u64);
+            let mut held: Vec<u32> = Vec::new();
+            for _ in 0..5_000 {
+                if held.is_empty() || rng.gen_bool() {
+                    if let Some(p) = arena.alloc_page() {
+                        let was = owned[p as usize].swap(true, Ordering::SeqCst);
+                        assert!(!was, "page {p} double-assigned");
+                        held.push(p);
+                    }
+                } else {
+                    let i = rng.gen_range(0..held.len());
+                    let p = held.swap_remove(i);
+                    let was = owned[p as usize].swap(false, Ordering::SeqCst);
+                    assert!(was, "freeing page {p} not marked owned");
+                    arena.free_page(p);
+                }
+            }
+            for p in held {
+                owned[p as usize].store(false, Ordering::SeqCst);
+                arena.free_page(p);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(arena.pages_in_use(), 0);
+    assert!(arena.peak_pages() <= PAGES);
+    assert!(arena.total_allocs() > 0);
+}

@@ -45,6 +45,22 @@
 //! assert_eq!(handle.wait().result.unwrap().matches, 10);
 //! ```
 
+/// `chaos_point!("name")` runs the named fault point's scripted action
+/// (stall, panic) when the `chaos` feature is on; compiles to nothing
+/// without it.
+#[cfg(feature = "chaos")]
+macro_rules! chaos_point {
+    ($name:literal) => {
+        let _ = ::tdfs_testkit::fault::fire($name);
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos_point {
+    ($name:literal) => {};
+}
+
+pub(crate) use chaos_point;
+
 pub mod cache;
 pub mod canon;
 pub mod catalog;
@@ -54,5 +70,6 @@ pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
 pub use catalog::GraphCatalog;
 pub use service::{
-    QueryHandle, QueryOutcome, QueryRequest, Rejected, Service, ServiceConfig, ServiceMetrics,
+    QueryHandle, QueryOutcome, QueryRequest, Rejected, RetryPolicy, Service, ServiceConfig,
+    ServiceMetrics,
 };

@@ -18,6 +18,8 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -46,6 +48,13 @@ pub struct ServiceConfig {
     pub plan_cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
+    /// Maximum poisoned-worker restarts over the service's lifetime. A
+    /// worker that panics mid-query fails that query with
+    /// [`EngineError::WorkerPanicked`], retires, and is replaced by a
+    /// fresh thread while restarts remain; past the limit the panicking
+    /// thread keeps serving (the pool never shrinks) but the panic is
+    /// still counted.
+    pub worker_restart_limit: usize,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +64,30 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             plan_cache_capacity: 64,
             default_deadline: None,
+            worker_restart_limit: 8,
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for [`Service::submit_with_retry`]:
+/// transient [`Rejected::QueueFull`] backpressure is retried after an
+/// exponentially growing sleep; every other rejection is final.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = plain `submit`).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -83,6 +116,11 @@ impl fmt::Display for Rejected {
 impl std::error::Error for Rejected {}
 
 /// One query to run.
+///
+/// Cloning is cheap (the sink is shared behind an `Arc`); it is what
+/// lets [`Service::submit_with_retry`] resubmit the same request after
+/// transient backpressure.
+#[derive(Clone)]
 pub struct QueryRequest {
     /// Catalog name of the data graph.
     pub graph: String,
@@ -225,6 +263,15 @@ pub struct ServiceMetrics {
     pub failed: u64,
     /// Queries waiting in the admission queue right now.
     pub queue_depth: usize,
+    /// Resubmissions performed by [`Service::submit_with_retry`] after a
+    /// [`Rejected::QueueFull`] (each counted rejection that was retried).
+    pub admission_retries: u64,
+    /// Worker threads that panicked mid-query. The query fails with
+    /// [`EngineError::WorkerPanicked`]; the service keeps running.
+    pub worker_panics: u64,
+    /// Replacement workers spawned for panicked ones (≤ `worker_panics`,
+    /// bounded by [`ServiceConfig::worker_restart_limit`]).
+    pub workers_restarted: u64,
     /// Engine counters merged across all completed queries.
     pub engine: RunStats,
     /// Sum of completion latencies (queueing + execution).
@@ -248,6 +295,7 @@ impl ServiceMetrics {
             "admission: {} admitted, {} queue-full, {} unknown-graph, {} shutdown; depth {}\n\
              outcomes: {} completed ({} cancelled), {} deadline-expired, {} failed\n\
              latency: {:.2} ms mean, {:.2} ms max\n\
+             faults: {} admission retries, {} worker panics, {} workers restarted\n\
              engine kernels: {} merge, {} bsearch, {} gallop\n\
              plan cache: {} hits, {} misses, {} evictions, {} presentation rebuilds",
             self.admitted,
@@ -261,6 +309,9 @@ impl ServiceMetrics {
             self.failed,
             mean_ms,
             self.max_latency.as_secs_f64() * 1e3,
+            self.admission_retries,
+            self.worker_panics,
+            self.workers_restarted,
             self.engine.warp.merge_kernels,
             self.engine.warp.bsearch_kernels,
             self.engine.warp.gallop_kernels,
@@ -304,9 +355,22 @@ struct MetricCounters {
     cancelled: u64,
     deadline_expired: u64,
     failed: u64,
+    admission_retries: u64,
+    worker_panics: u64,
+    workers_restarted: u64,
     engine: RunStats,
     total_latency: Duration,
     max_latency: Duration,
+}
+
+/// Worker handles plus the respawn gate, under one lock so a poisoned
+/// worker's replacement can never race past [`Service::shutdown`]'s
+/// drain: either the respawn sees `closed` and declines, or the pushed
+/// handle is visible to the next drain pass.
+struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+    closed: bool,
+    restarts: usize,
 }
 
 struct Inner {
@@ -318,6 +382,19 @@ struct Inner {
     next_id: Mutex<u64>,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
+    workers: Mutex<WorkerPool>,
+    restart_limit: usize,
+    next_worker: AtomicUsize,
+}
+
+/// Metrics lock that survives worker panics: the counters are
+/// independent `u64`s with no cross-field invariant, so a lock poisoned
+/// mid-update is still safe to read and bump.
+fn lock_metrics(inner: &Inner) -> std::sync::MutexGuard<'_, MetricCounters> {
+    inner
+        .metrics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Fan-out sink used per job: feeds the bounded collector (raw
@@ -351,12 +428,12 @@ impl MatchSink for ServiceSink<'_> {
 /// the queue, joins the workers).
 pub struct Service {
     inner: Arc<Inner>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Service {
     /// Starts a service with `config.workers` worker threads.
     pub fn new(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
             catalog: GraphCatalog::new(),
             cache: PlanCache::new(config.plan_cache_capacity),
@@ -369,8 +446,15 @@ impl Service {
             next_id: Mutex::new(0),
             queue_capacity: config.queue_capacity.max(1),
             default_deadline: config.default_deadline,
+            workers: Mutex::new(WorkerPool {
+                handles: Vec::new(),
+                closed: false,
+                restarts: 0,
+            }),
+            restart_limit: config.worker_restart_limit,
+            next_worker: AtomicUsize::new(workers),
         });
-        let workers = (0..config.workers.max(1))
+        let handles: Vec<_> = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
@@ -379,10 +463,13 @@ impl Service {
                     .expect("spawn service worker")
             })
             .collect();
-        Self {
-            inner,
-            workers: Mutex::new(workers),
-        }
+        inner
+            .workers
+            .lock()
+            .expect("workers poisoned")
+            .handles
+            .extend(handles);
+        Self { inner }
     }
 
     /// The graph catalog (register/unregister data graphs here).
@@ -410,11 +497,7 @@ impl Service {
     /// graph, or a shutting-down service reject immediately.
     pub fn submit(&self, request: QueryRequest) -> Result<QueryHandle, Rejected> {
         let Some(graph) = self.inner.catalog.get(&request.graph) else {
-            self.inner
-                .metrics
-                .lock()
-                .expect("metrics poisoned")
-                .rejected_unknown_graph += 1;
+            lock_metrics(&self.inner).rejected_unknown_graph += 1;
             return Err(Rejected::UnknownGraph(request.graph));
         };
         let cancel = request.config.cancel.clone().unwrap_or_default();
@@ -442,37 +525,57 @@ impl Service {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
             if q.shutting_down {
                 drop(q);
-                self.inner
-                    .metrics
-                    .lock()
-                    .expect("metrics poisoned")
-                    .rejected_shutdown += 1;
+                lock_metrics(&self.inner).rejected_shutdown += 1;
                 return Err(Rejected::ShuttingDown);
             }
             if q.jobs.len() >= self.inner.queue_capacity {
                 drop(q);
-                self.inner
-                    .metrics
-                    .lock()
-                    .expect("metrics poisoned")
-                    .rejected_queue_full += 1;
+                lock_metrics(&self.inner).rejected_queue_full += 1;
                 return Err(Rejected::QueueFull);
             }
             q.jobs.push_back(job);
         }
         self.inner.available.notify_one();
-        self.inner
-            .metrics
-            .lock()
-            .expect("metrics poisoned")
-            .admitted += 1;
+        lock_metrics(&self.inner).admitted += 1;
         Ok(QueryHandle { id, cancel, rx })
+    }
+
+    /// [`Service::submit`] with bounded retry on transient
+    /// [`Rejected::QueueFull`] backpressure: sleeps `policy`'s
+    /// exponentially growing backoff between attempts and gives up —
+    /// returning the final `QueueFull` — after `policy.max_retries`
+    /// resubmissions. Non-transient rejections (unknown graph, shutdown)
+    /// are returned immediately, never retried. Each resubmission bumps
+    /// [`ServiceMetrics::admission_retries`].
+    ///
+    /// This blocks the caller for up to the summed backoff, which is the
+    /// point: it converts the service's report-don't-block backpressure
+    /// into a bounded wait at the edge, where blocking is the client's
+    /// explicit choice.
+    pub fn submit_with_retry(
+        &self,
+        request: QueryRequest,
+        policy: &RetryPolicy,
+    ) -> Result<QueryHandle, Rejected> {
+        let mut backoff = policy.initial_backoff.min(policy.max_backoff);
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(request.clone()) {
+                Err(Rejected::QueueFull) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    lock_metrics(&self.inner).admission_retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2).min(policy.max_backoff);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
         let depth = self.inner.queue.lock().expect("queue poisoned").jobs.len();
-        let m = self.inner.metrics.lock().expect("metrics poisoned");
+        let m = lock_metrics(&self.inner);
         ServiceMetrics {
             admitted: m.admitted,
             rejected_queue_full: m.rejected_queue_full,
@@ -483,6 +586,9 @@ impl Service {
             deadline_expired: m.deadline_expired,
             failed: m.failed,
             queue_depth: depth,
+            admission_retries: m.admission_retries,
+            worker_panics: m.worker_panics,
+            workers_restarted: m.workers_restarted,
             engine: m.engine.clone(),
             total_latency: m.total_latency,
             max_latency: m.max_latency,
@@ -499,14 +605,26 @@ impl Service {
             q.shutting_down = true;
         }
         self.inner.available.notify_all();
-        let workers: Vec<_> = self
-            .workers
-            .lock()
-            .expect("workers poisoned")
-            .drain(..)
-            .collect();
-        for w in workers {
-            let _ = w.join();
+        // Drain-and-join until the pool is empty: closing the pool first
+        // stops further respawns, and any replacement pushed before the
+        // close is picked up by a later pass.
+        loop {
+            let handles: Vec<_> = {
+                let mut pool = self
+                    .inner
+                    .workers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                pool.closed = true;
+                pool.handles.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for w in handles {
+                let _ = w.join();
+            }
+            self.inner.available.notify_all();
         }
     }
 }
@@ -517,7 +635,7 @@ impl Drop for Service {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let job = {
             let mut q = inner.queue.lock().expect("queue poisoned");
@@ -532,13 +650,54 @@ fn worker_loop(inner: &Inner) {
             }
         };
         match job {
-            Some(job) => run_job(inner, job),
+            Some(job) => {
+                let panicked =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| run_job(inner, &job))).is_err();
+                if panicked {
+                    // The query dies with the panic, not the service: fail
+                    // it explicitly so the client's `wait` returns, then
+                    // retire this (possibly poisoned) thread and hand the
+                    // pool slot to a fresh one.
+                    lock_metrics(inner).worker_panics += 1;
+                    finish(inner, &job, Err(EngineError::WorkerPanicked), None);
+                    if respawn_replacement(inner) {
+                        return;
+                    }
+                    // Past the restart limit, or shutting down: keep
+                    // serving on this thread — the pool never shrinks.
+                }
+            }
             None => return,
         }
     }
 }
 
-fn run_job(inner: &Inner, job: Job) {
+/// Spawns a replacement worker for a panicked one, unless the pool is
+/// closed (shutdown) or the lifetime restart budget is spent. Returns
+/// whether the caller should retire.
+fn respawn_replacement(inner: &Arc<Inner>) -> bool {
+    let mut pool = inner
+        .workers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if pool.closed || pool.restarts >= inner.restart_limit {
+        return false;
+    }
+    pool.restarts += 1;
+    let n = inner.next_worker.fetch_add(1, Ordering::Relaxed);
+    let arc = inner.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("tdfs-service-{n}"))
+        .spawn(move || worker_loop(&arc))
+        .expect("spawn replacement worker");
+    pool.handles.push(handle);
+    drop(pool);
+    lock_metrics(inner).workers_restarted += 1;
+    true
+}
+
+fn run_job(inner: &Inner, job: &Job) {
+    crate::chaos_point!("service.worker.run");
     let mut cfg = job.config.clone().with_cancel(job.cancel.clone());
     if let Some(deadline) = job.deadline {
         match deadline.checked_sub(job.submitted.elapsed()) {
@@ -551,7 +710,7 @@ fn run_job(inner: &Inner, job: Job) {
             None => {
                 // Expired while queued: same outcome as an in-run miss,
                 // without paying for planning or execution.
-                finish(inner, &job, Err(EngineError::TimeLimit), None);
+                finish(inner, job, Err(EngineError::TimeLimit), None);
                 return;
             }
         }
@@ -586,7 +745,7 @@ fn run_job(inner: &Inner, job: Job) {
             })
             .collect()
     });
-    finish(inner, &job, result, matches);
+    finish(inner, job, result, matches);
 }
 
 fn finish(
@@ -597,7 +756,7 @@ fn finish(
 ) {
     let latency = job.submitted.elapsed();
     {
-        let mut m = inner.metrics.lock().expect("metrics poisoned");
+        let mut m = lock_metrics(inner);
         match &result {
             Ok(r) => {
                 m.completed += 1;
@@ -646,7 +805,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             plan_cache_capacity: 8,
-            default_deadline: None,
+            ..ServiceConfig::default()
         })
     }
 
@@ -731,7 +890,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             plan_cache_capacity: 4,
-            default_deadline: None,
+            ..ServiceConfig::default()
         });
         svc.register_graph("k5", k5());
         let entered = Arc::new((Mutex::new(false), Condvar::new()));
@@ -759,6 +918,190 @@ mod tests {
         assert_eq!(m.admitted, 2);
         assert_eq!(m.rejected_queue_full, 1);
         assert_eq!(m.completed, 2);
+    }
+
+    #[test]
+    fn submit_with_retry_gives_up_after_bounded_attempts() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            plan_cache_capacity: 4,
+            ..ServiceConfig::default()
+        });
+        svc.register_graph("k5", k5());
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let sink = Arc::new(BlockingSink {
+            entered: entered.clone(),
+            release: release.clone(),
+        });
+        let blocker = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .unwrap();
+        wait_flag(&entered);
+        let queued = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap();
+        // The worker is pinned and the queue is full: every attempt of a
+        // bounded retry fails, and each resubmission is counted.
+        let policy = RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(1),
+        };
+        let err = svc
+            .submit_with_retry(QueryRequest::new("k5", Pattern::clique(3)), &policy)
+            .unwrap_err();
+        assert_eq!(err, Rejected::QueueFull);
+        assert_eq!(svc.metrics().admission_retries, 3);
+        assert_eq!(
+            svc.metrics().rejected_queue_full,
+            4,
+            "all 4 attempts rejected"
+        );
+        raise_flag(&release);
+        assert!(blocker.wait().result.is_ok());
+        assert!(queued.wait().result.is_ok());
+    }
+
+    #[test]
+    fn submit_with_retry_recovers_from_transient_backpressure() {
+        let svc = Arc::new(Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            plan_cache_capacity: 4,
+            ..ServiceConfig::default()
+        }));
+        svc.register_graph("k5", k5());
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let sink = Arc::new(BlockingSink {
+            entered: entered.clone(),
+            release: release.clone(),
+        });
+        let blocker = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .unwrap();
+        wait_flag(&entered);
+        let queued = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap();
+        // Retry from another thread against the full queue; once at least
+        // one attempt has been rejected, unpin the worker so the queue
+        // drains and a later attempt is admitted.
+        let retrier = {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_retries: 10_000,
+                    initial_backoff: Duration::from_micros(200),
+                    max_backoff: Duration::from_millis(1),
+                };
+                svc.submit_with_retry(QueryRequest::new("k5", Pattern::clique(3)), &policy)
+            })
+        };
+        while svc.metrics().admission_retries == 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        raise_flag(&release);
+        let handle = retrier.join().unwrap().expect("retry should be admitted");
+        assert!(blocker.wait().result.is_ok());
+        assert!(queued.wait().result.is_ok());
+        assert!(handle.wait().result.is_ok());
+        let m = svc.metrics();
+        assert!(m.admission_retries >= 1);
+        assert_eq!(m.completed, 3);
+    }
+
+    #[test]
+    fn submit_with_retry_does_not_retry_final_rejections() {
+        let svc = small_service();
+        let err = svc
+            .submit_with_retry(
+                QueryRequest::new("nope", Pattern::clique(3)),
+                &RetryPolicy::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, Rejected::UnknownGraph("nope".into()));
+        assert_eq!(svc.metrics().admission_retries, 0);
+    }
+
+    /// A sink that panics on the first emit only — models a poisoned
+    /// worker without risking a double panic (which would abort).
+    struct PanicOnceSink {
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl MatchSink for PanicOnceSink {
+        fn emit(&self, _m: &[u32]) {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                panic!("sink panic (injected by test)");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_fails_query_and_restarts_worker() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            plan_cache_capacity: 4,
+            ..ServiceConfig::default()
+        });
+        svc.register_graph("k5", k5());
+        let sink = Arc::new(PanicOnceSink {
+            armed: std::sync::atomic::AtomicBool::new(true),
+        });
+        let h = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .unwrap();
+        let out = h.wait();
+        assert!(matches!(out.result, Err(EngineError::WorkerPanicked)));
+        // The sole worker was replaced: the next query still runs.
+        let out = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap()
+            .wait();
+        assert_eq!(out.result.unwrap().matches, 10);
+        let m = svc.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.workers_restarted, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.completed, 1);
+        let s = m.summary();
+        assert!(
+            s.contains("1 worker panics"),
+            "summary missing faults:\n{s}"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn exhausted_restart_budget_keeps_the_pool_serving() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            plan_cache_capacity: 4,
+            worker_restart_limit: 0,
+            ..ServiceConfig::default()
+        });
+        svc.register_graph("k5", k5());
+        let sink = Arc::new(PanicOnceSink {
+            armed: std::sync::atomic::AtomicBool::new(true),
+        });
+        let h = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .unwrap();
+        assert!(matches!(h.wait().result, Err(EngineError::WorkerPanicked)));
+        // No restart budget: the panicking thread itself keeps serving.
+        let out = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap()
+            .wait();
+        assert_eq!(out.result.unwrap().matches, 10);
+        let m = svc.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.workers_restarted, 0);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Service-layer chaos tests (requires `--features chaos`): the
+//! `service.worker.run` fault point drives the poisoned-worker recovery
+//! path from the outside — no cooperating sink required, the worker
+//! thread itself is killed mid-job.
+//!
+//! Every test holds a `ChaosGuard` because the fault-point registry is
+//! process-global; the guard serializes chaos tests within one binary.
+
+use std::sync::Arc;
+
+use tdfs_core::EngineError;
+use tdfs_graph::GraphBuilder;
+use tdfs_query::Pattern;
+use tdfs_service::{QueryRequest, Service, ServiceConfig};
+use tdfs_testkit::fault::{self, Action, ChaosScript, Trigger};
+
+fn k5() -> Arc<tdfs_graph::CsrGraph> {
+    let mut b = GraphBuilder::new();
+    for u in 0..5 {
+        for v in (u + 1)..5 {
+            b.push_edge(u, v);
+        }
+    }
+    Arc::new(b.build())
+}
+
+/// `service.worker.run` panics the first job: the query fails with
+/// `WorkerPanicked`, the pool restarts the dead worker, and the next
+/// query completes on the replacement.
+#[test]
+fn injected_worker_crash_fails_query_and_restarts_worker() {
+    let _chaos = ChaosScript::new()
+        .on(
+            "service.worker.run",
+            Trigger::Nth(1),
+            Action::Panic("injected worker crash"),
+        )
+        .install();
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        plan_cache_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    svc.register_graph("k5", k5());
+
+    let out = svc
+        .submit(QueryRequest::new("k5", Pattern::clique(3)))
+        .unwrap()
+        .wait();
+    assert!(matches!(out.result, Err(EngineError::WorkerPanicked)));
+    assert_eq!(fault::injections("service.worker.run"), 1);
+
+    // The sole worker was replaced: the next query still runs, on an
+    // unscripted pass through the same fault point.
+    let out = svc
+        .submit(QueryRequest::new("k5", Pattern::clique(3)))
+        .unwrap()
+        .wait();
+    assert_eq!(out.result.unwrap().matches, 10);
+    assert!(fault::hits("service.worker.run") >= 2);
+
+    let m = svc.metrics();
+    assert_eq!(m.worker_panics, 1);
+    assert_eq!(m.workers_restarted, 1);
+    assert_eq!(m.failed, 1);
+    assert_eq!(m.completed, 1);
+    svc.shutdown();
+}
+
+/// A crash storm that outlives the restart budget: every scripted job
+/// dies, restarts stop at the budget, and the pool still serves the
+/// first unscripted query — it never shrinks to zero workers.
+#[test]
+fn crash_storm_exhausts_restart_budget_without_losing_the_pool() {
+    let _chaos = ChaosScript::new()
+        .on(
+            "service.worker.run",
+            Trigger::FirstN(3),
+            Action::Panic("injected crash storm"),
+        )
+        .install();
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        plan_cache_capacity: 4,
+        worker_restart_limit: 2,
+        ..ServiceConfig::default()
+    });
+    svc.register_graph("k5", k5());
+
+    for i in 0..3 {
+        let out = svc
+            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .unwrap()
+            .wait();
+        assert!(
+            matches!(out.result, Err(EngineError::WorkerPanicked)),
+            "storm job {i} must die"
+        );
+    }
+    // Third panic found the budget spent: no third restart, but the
+    // surviving thread keeps draining the queue.
+    let out = svc
+        .submit(QueryRequest::new("k5", Pattern::clique(4)))
+        .unwrap()
+        .wait();
+    assert_eq!(out.result.unwrap().matches, 5);
+
+    let m = svc.metrics();
+    assert_eq!(m.worker_panics, 3);
+    assert_eq!(m.workers_restarted, 2);
+    assert_eq!(m.failed, 3);
+    assert_eq!(m.completed, 1);
+    let s = m.summary();
+    assert!(
+        s.contains("3 worker panics") && s.contains("2 workers restarted"),
+        "summary missing fault counters:\n{s}"
+    );
+    svc.shutdown();
+}

@@ -21,6 +21,7 @@ fn concurrent_clients_get_correct_counts() {
         queue_capacity: 128,
         plan_cache_capacity: 16,
         default_deadline: None,
+        worker_restart_limit: 8,
     }));
     let plain = Arc::new(barabasi_albert(250, 4, 31));
     let labeled = {
@@ -99,6 +100,7 @@ fn saturated_service_rejects_not_blocks() {
         queue_capacity: 2,
         plan_cache_capacity: 4,
         default_deadline: None,
+        worker_restart_limit: 8,
     }));
     // One big graph so each query holds the single worker a while.
     svc.register_graph("ba", Arc::new(barabasi_albert(1500, 10, 34)));
@@ -147,6 +149,7 @@ fn cancellation_is_prompt_and_reported() {
         queue_capacity: 8,
         plan_cache_capacity: 4,
         default_deadline: None,
+        worker_restart_limit: 8,
     });
     // Large dense graph + 5-vertex near-clique: minutes of work uncancelled.
     svc.register_graph("big", Arc::new(barabasi_albert(6000, 24, 35)));

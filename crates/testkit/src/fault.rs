@@ -1,0 +1,361 @@
+//! Scriptable named fault points.
+//!
+//! The runtime crates (`tdfs-gpu`, `tdfs-mem`, `tdfs-core`, `tdfs-service`)
+//! embed *fault points* — named hooks at the places the paper's algorithms can
+//! fail in production: the task queue filling up mid-push (Alg. 3), the paged
+//! arena running dry mid-`fill_level` (Alg. 5), a warp stalling long enough to
+//! trip timeout decomposition (Alg. 4), a service worker panicking. With the
+//! `chaos` cargo feature off those hooks compile to nothing. With it on, each
+//! hook consults the global registry in this module: a test installs a
+//! [`ChaosScript`] describing *when* each named point should fire
+//! (always, the Nth hit, every Nth hit, with probability p, or on an explicit
+//! schedule of hit indices) and *what* should happen (inject the failure
+//! path, panic, or stall by yielding).
+//!
+//! The registry is process-global because fault points are reached from deep
+//! inside the engines where threading a handle through every call would
+//! distort the code under test. Tests that install scripts must therefore be
+//! serialized; [`ChaosScript::install`] returns a [`ChaosGuard`] that holds a
+//! global mutex for the duration of the test and clears the registry on drop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use tdfs_graph::rng::Rng;
+
+/// Decides on which hits of a fault point the configured action fires.
+#[derive(Debug, Clone)]
+pub enum Trigger {
+    /// Never fire. The default for any point without a script entry.
+    Never,
+    /// Fire on every hit.
+    Always,
+    /// Fire only on the `n`th hit (1-based).
+    Nth(u64),
+    /// Fire on the first `n` hits, then go quiet.
+    FirstN(u64),
+    /// Fire on every `n`th hit (hits n, 2n, 3n, ...).
+    EveryNth(u64),
+    /// Fire on each hit independently with probability `p`, using a seeded
+    /// deterministic RNG (SplitMix64) so runs are reproducible.
+    Probability(f64),
+    /// Fire exactly on the listed 1-based hit indices.
+    Schedule(Vec<u64>),
+}
+
+impl Trigger {
+    fn decide(&self, hit: u64, rng: &mut Rng) -> bool {
+        match self {
+            Trigger::Never => false,
+            Trigger::Always => true,
+            Trigger::Nth(n) => hit == *n,
+            Trigger::FirstN(n) => hit <= *n,
+            Trigger::EveryNth(n) => *n != 0 && hit.is_multiple_of(*n),
+            Trigger::Probability(p) => rng.gen_f64() < *p,
+            Trigger::Schedule(hits) => hits.contains(&hit),
+        }
+    }
+}
+
+/// What happens when a fault point fires.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Take the failure path at the call site (e.g. report the queue full,
+    /// report the arena out of pages). This is the default action.
+    Inject,
+    /// Panic with a message, to exercise unwind-recovery paths.
+    Panic(&'static str),
+    /// Stall the calling thread by yielding `yields` times before continuing
+    /// on the success path. Models a straggler warp without wall-clock sleeps.
+    Stall { yields: u32 },
+}
+
+struct Entry {
+    trigger: Trigger,
+    action: Action,
+    hits: AtomicU64,
+    fired: AtomicU64,
+    rng: Mutex<Rng>,
+}
+
+#[derive(Default)]
+struct Registry {
+    entries: HashMap<&'static str, Entry>,
+    /// Hit counters for points that were reached but have no script entry.
+    /// Lets tests assert coverage ("the point was compiled in and reached")
+    /// without scripting it.
+    unscripted_hits: HashMap<&'static str, u64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock_registry() -> MutexGuard<'static, Registry> {
+    // Chaos tests panic on purpose; a poisoned registry is expected and the
+    // data (plain counters + triggers) cannot be left in a torn state.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The outcome a fault point reports back to its call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Continue on the normal path.
+    Pass,
+    /// Take the failure path.
+    Inject,
+}
+
+/// Record a hit on `name` and return what the call site should do.
+///
+/// This is the single entry point used by the `chaos_inject!` / `chaos_point!`
+/// macros in the runtime crates. `Action::Panic` panics from here;
+/// `Action::Stall` yields from here and then reports [`Outcome::Pass`].
+pub fn fire(name: &'static str) -> Outcome {
+    let decision = {
+        let mut reg = lock_registry();
+        match reg.entries.get(name) {
+            Some(entry) => {
+                let hit = entry.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut rng = entry.rng.lock().unwrap_or_else(PoisonError::into_inner);
+                if entry.trigger.decide(hit, &mut rng) {
+                    entry.fired.fetch_add(1, Ordering::Relaxed);
+                    Some(entry.action.clone())
+                } else {
+                    None
+                }
+            }
+            None => {
+                *reg.unscripted_hits.entry(name).or_insert(0) += 1;
+                None
+            }
+        }
+    };
+    match decision {
+        None => Outcome::Pass,
+        Some(Action::Inject) => Outcome::Inject,
+        Some(Action::Panic(msg)) => panic!("chaos[{name}]: {msg}"),
+        Some(Action::Stall { yields }) => {
+            for _ in 0..yields {
+                std::thread::yield_now();
+            }
+            Outcome::Pass
+        }
+    }
+}
+
+/// Total times `name` was reached (scripted or not) since the last reset.
+pub fn hits(name: &str) -> u64 {
+    let reg = lock_registry();
+    if let Some(entry) = reg.entries.get(name) {
+        entry.hits.load(Ordering::Relaxed)
+    } else {
+        reg.unscripted_hits.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Times `name`'s action actually fired since the last reset.
+pub fn injections(name: &str) -> u64 {
+    let reg = lock_registry();
+    reg.entries
+        .get(name)
+        .map(|e| e.fired.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+fn clear() {
+    let mut reg = lock_registry();
+    reg.entries.clear();
+    reg.unscripted_hits.clear();
+}
+
+/// A script mapping fault-point names to (trigger, action) pairs.
+///
+/// ```ignore
+/// let _chaos = ChaosScript::new()
+///     .on("mem.arena.oom", Trigger::Nth(3), Action::Inject)
+///     .on("core.dfs.straggler", Trigger::Probability(0.5), Action::Inject)
+///     .seed(42)
+///     .install();
+/// // ... run the engine; fault points fire per the script ...
+/// assert!(tdfs_testkit::fault::injections("mem.arena.oom") >= 1);
+/// // dropping the guard clears the registry
+/// ```
+#[derive(Default)]
+pub struct ChaosScript {
+    points: Vec<(&'static str, Trigger, Action)>,
+    seed: u64,
+}
+
+impl ChaosScript {
+    pub fn new() -> Self {
+        ChaosScript {
+            points: Vec::new(),
+            seed: 0xb5ad4ece_da1ce2a9,
+        }
+    }
+
+    /// Add a scripted point. Later entries for the same name replace earlier
+    /// ones at install time.
+    pub fn on(mut self, name: &'static str, trigger: Trigger, action: Action) -> Self {
+        self.points.push((name, trigger, action));
+        self
+    }
+
+    /// Shorthand for `.on(name, trigger, Action::Inject)`.
+    pub fn inject(self, name: &'static str, trigger: Trigger) -> Self {
+        self.on(name, trigger, Action::Inject)
+    }
+
+    /// Seed for the per-point RNGs used by [`Trigger::Probability`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Install the script into the global registry, serializing against other
+    /// chaos tests. Hold the returned guard for the duration of the test.
+    pub fn install(self) -> ChaosGuard {
+        let serial = chaos_serial_lock();
+        clear();
+        let mut reg = lock_registry();
+        for (i, (name, trigger, action)) in self.points.into_iter().enumerate() {
+            reg.entries.insert(
+                name,
+                Entry {
+                    trigger,
+                    action,
+                    hits: AtomicU64::new(0),
+                    fired: AtomicU64::new(0),
+                    rng: Mutex::new(Rng::seed_from_u64(
+                        self.seed
+                            .wrapping_add(i as u64)
+                            .wrapping_mul(0x9e3779b97f4a7c15),
+                    )),
+                },
+            );
+        }
+        drop(reg);
+        ChaosGuard { _serial: serial }
+    }
+}
+
+fn chaos_serial_lock() -> MutexGuard<'static, ()> {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    SERIAL
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serializes chaos tests within a process and clears the registry on drop.
+pub struct ChaosGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscripted_points_pass_and_count_hits() {
+        let _guard = ChaosScript::new().install();
+        assert_eq!(fire("t.unscripted"), Outcome::Pass);
+        assert_eq!(fire("t.unscripted"), Outcome::Pass);
+        assert_eq!(hits("t.unscripted"), 2);
+        assert_eq!(injections("t.unscripted"), 0);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _guard = ChaosScript::new()
+            .inject("t.nth", Trigger::Nth(3))
+            .install();
+        let fired: Vec<bool> = (0..5).map(|_| fire("t.nth") == Outcome::Inject).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+        assert_eq!(injections("t.nth"), 1);
+        assert_eq!(hits("t.nth"), 5);
+    }
+
+    #[test]
+    fn first_n_and_every_nth() {
+        let _guard = ChaosScript::new()
+            .inject("t.first", Trigger::FirstN(2))
+            .inject("t.every", Trigger::EveryNth(2))
+            .install();
+        let first: Vec<bool> = (0..4).map(|_| fire("t.first") == Outcome::Inject).collect();
+        assert_eq!(first, vec![true, true, false, false]);
+        let every: Vec<bool> = (0..4).map(|_| fire("t.every") == Outcome::Inject).collect();
+        assert_eq!(every, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn schedule_trigger_fires_on_listed_hits() {
+        let _guard = ChaosScript::new()
+            .inject("t.sched", Trigger::Schedule(vec![1, 4]))
+            .install();
+        let fired: Vec<bool> = (0..5).map(|_| fire("t.sched") == Outcome::Inject).collect();
+        assert_eq!(fired, vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn probability_is_deterministic_for_a_seed() {
+        let run = || {
+            let _guard = ChaosScript::new()
+                .inject("t.prob", Trigger::Probability(0.5))
+                .seed(7)
+                .install();
+            (0..64)
+                .map(|_| fire("t.prob") == Outcome::Inject)
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&f| f));
+        assert!(a.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn panic_action_panics_with_point_name() {
+        let _guard = ChaosScript::new()
+            .on("t.panic", Trigger::Always, Action::Panic("boom"))
+            .install();
+        let err = std::panic::catch_unwind(|| fire("t.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("t.panic"),
+            "panic message should name the point: {msg}"
+        );
+    }
+
+    #[test]
+    fn stall_action_passes_after_yielding() {
+        let _guard = ChaosScript::new()
+            .on("t.stall", Trigger::Always, Action::Stall { yields: 4 })
+            .install();
+        assert_eq!(fire("t.stall"), Outcome::Pass);
+        assert_eq!(injections("t.stall"), 1);
+    }
+
+    #[test]
+    fn guard_drop_clears_registry() {
+        {
+            let _guard = ChaosScript::new()
+                .inject("t.clear", Trigger::Always)
+                .install();
+            assert_eq!(fire("t.clear"), Outcome::Inject);
+        }
+        let _guard = ChaosScript::new().install();
+        assert_eq!(fire("t.clear"), Outcome::Pass);
+        assert_eq!(hits("t.clear"), 1);
+    }
+}

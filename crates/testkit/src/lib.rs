@@ -1,0 +1,29 @@
+//! # tdfs-testkit
+//!
+//! Fault-injection chaos runtime and deterministic concurrency test kit for
+//! the T-DFS engines.
+//!
+//! Three pieces:
+//!
+//! * [`fault`] — a global registry of named, scriptable fault points. The
+//!   runtime crates embed hooks (via their `chaos_inject!` / `chaos_point!`
+//!   macros) that compile to no-ops unless their `chaos` cargo feature is on;
+//!   tests install a [`fault::ChaosScript`] to make specific points fail on
+//!   the Nth hit, with probability p, or on an explicit schedule.
+//! * [`sched`] — a virtual scheduler that drives step-wise concurrent
+//!   operations (the queue's `EnqueueOp` / `DequeueOp` state machines) from a
+//!   single OS thread in any chosen interleaving, including exhaustive
+//!   sweeps over all schedule prefixes of a bounded length.
+//! * [`model`] — shadow models (reference implementations) for property
+//!   tests, currently the page-arena allocation model.
+//!
+//! This crate deliberately depends only on `tdfs-graph` (for the seeded
+//! SplitMix64 RNG); the runtime crates depend on *it* optionally, so there is
+//! no dependency cycle and release builds never link it.
+
+pub mod fault;
+pub mod model;
+pub mod sched;
+
+pub use fault::{Action, ChaosGuard, ChaosScript, Outcome, Trigger};
+pub use sched::{run_schedule, sweep_schedules, RunOutcome, Step, System};

@@ -1,0 +1,124 @@
+//! Shadow models for property tests.
+//!
+//! A shadow model is a trivially-correct reference implementation kept in
+//! lockstep with the real data structure; after each operation the test
+//! asserts the real structure agrees with the model. [`ShadowArena`] models
+//! the page arena's allocation bookkeeping (free set, in-use set, peak) so
+//! random alloc/free sequences can assert no page is ever double-assigned,
+//! freed pages come back, and peak accounting matches.
+
+use std::collections::BTreeSet;
+
+/// Reference model of a fixed-size page allocator.
+#[derive(Debug)]
+pub struct ShadowArena {
+    free: BTreeSet<u32>,
+    in_use: BTreeSet<u32>,
+    peak: usize,
+    allocs: u64,
+    failed: u64,
+}
+
+impl ShadowArena {
+    pub fn new(pages: u32) -> Self {
+        ShadowArena {
+            free: (0..pages).collect(),
+            in_use: BTreeSet::new(),
+            peak: 0,
+            allocs: 0,
+            failed: 0,
+        }
+    }
+
+    /// Record an allocation result from the real arena. Panics if the real
+    /// arena handed out a page the model says is not free (double-assign).
+    pub fn on_alloc(&mut self, page: Option<u32>) {
+        match page {
+            Some(p) => {
+                assert!(
+                    self.free.remove(&p),
+                    "arena double-assigned page {p}: model says it is {}",
+                    if self.in_use.contains(&p) {
+                        "already in use"
+                    } else {
+                        "out of range"
+                    }
+                );
+                self.in_use.insert(p);
+                self.allocs += 1;
+                self.peak = self.peak.max(self.in_use.len());
+            }
+            None => {
+                assert!(
+                    self.free.is_empty(),
+                    "arena reported OOM with {} pages free in the model",
+                    self.free.len()
+                );
+                self.failed += 1;
+            }
+        }
+    }
+
+    /// Record a free of `page`. Panics on double-free.
+    pub fn on_free(&mut self, page: u32) {
+        assert!(
+            self.in_use.remove(&page),
+            "freed page {page} that the model says is not in use"
+        );
+        self.free.insert(page);
+    }
+
+    pub fn in_use(&self) -> usize {
+        self.in_use.len()
+    }
+
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    pub fn failed_allocs(&self) -> u64 {
+        self.failed
+    }
+
+    /// Pages the model believes are currently in use.
+    pub fn in_use_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        self.in_use.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_alloc_free_peak() {
+        let mut m = ShadowArena::new(2);
+        m.on_alloc(Some(0));
+        m.on_alloc(Some(1));
+        assert_eq!(m.in_use(), 2);
+        assert_eq!(m.peak(), 2);
+        m.on_alloc(None); // exhausted — legitimate OOM
+        m.on_free(1);
+        m.on_alloc(Some(1)); // freed page reused
+        assert_eq!(m.peak(), 2);
+        assert_eq!(m.allocs(), 3);
+        assert_eq!(m.failed_allocs(), 1);
+    }
+
+    #[test]
+    fn model_catches_double_assign() {
+        let mut m = ShadowArena::new(2);
+        m.on_alloc(Some(0));
+        assert!(std::panic::catch_unwind(move || m.on_alloc(Some(0))).is_err());
+    }
+
+    #[test]
+    fn model_catches_spurious_oom() {
+        let mut m = ShadowArena::new(2);
+        assert!(std::panic::catch_unwind(move || m.on_alloc(None)).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Deterministic virtual scheduler for step-wise concurrent operations.
+//!
+//! The lock-free task queue (paper Alg. 3) exposes its enqueue/dequeue
+//! operations as *step state machines* (`EnqueueOp` / `DequeueOp` in
+//! `tdfs-gpu`): each call to `step()` performs at most one atomic transition
+//! and reports whether the operation made progress, is blocked waiting on
+//! another thread, or finished. That lets this module drive N logical
+//! "threads" from a single OS thread in any interleaving we choose — the
+//! moral equivalent of picking which warp the GPU scheduler runs next — and
+//! therefore replay specific races deterministically or enumerate every
+//! schedule prefix of a bounded length.
+//!
+//! A test implements [`System`]: it owns the shared object plus one op per
+//! logical thread, and maps "step thread `i`" onto the right state machine.
+
+/// Result of stepping one logical thread once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The thread performed a transition and has more work to do.
+    Progress,
+    /// The thread is blocked waiting on another thread's transition
+    /// (e.g. spinning on a cell's sequence ticket).
+    Blocked,
+    /// The thread's operation completed; further steps are no-ops.
+    Done,
+}
+
+/// A system of logical threads that can be stepped deterministically.
+pub trait System {
+    /// Number of logical threads. Thread ids are `0..threads()`.
+    fn threads(&self) -> usize;
+    /// Step thread `i` once.
+    fn step(&mut self, i: usize) -> Step;
+}
+
+/// Outcome of driving a system to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All threads reached [`Step::Done`] within `steps` total steps.
+    Completed { steps: usize },
+    /// Every unfinished thread reported [`Step::Blocked`] through a full
+    /// sweep: no schedule can make progress. The ids are the stuck threads.
+    Deadlock { stuck: Vec<usize> },
+    /// The step budget ran out with threads still live (livelock guard).
+    Exhausted,
+}
+
+/// Drive `sys` with an explicit `schedule` prefix (a sequence of thread ids),
+/// then finish with deterministic round-robin until done, deadlock, or the
+/// step budget `max_steps` is exhausted.
+///
+/// Steps scheduled on finished threads are skipped and do not count. After
+/// the prefix, a full sweep in which every live thread reports
+/// [`Step::Blocked`] is declared a deadlock — with single-threaded stepping
+/// nothing can change between sweeps, so blocked-everywhere is permanent.
+pub fn run_schedule<S: System>(sys: &mut S, schedule: &[usize], max_steps: usize) -> RunOutcome {
+    let n = sys.threads();
+    let mut done = vec![false; n];
+    let mut steps = 0usize;
+
+    let finished = |done: &[bool]| done.iter().all(|&d| d);
+
+    for &i in schedule {
+        assert!(i < n, "schedule references thread {i} but system has {n}");
+        if done[i] {
+            continue;
+        }
+        if steps >= max_steps {
+            return RunOutcome::Exhausted;
+        }
+        steps += 1;
+        if sys.step(i) == Step::Done {
+            done[i] = true;
+        }
+    }
+
+    // Round-robin tail with deadlock detection.
+    while !finished(&done) {
+        let mut any_progress = false;
+        for (i, d) in done.iter_mut().enumerate() {
+            if *d {
+                continue;
+            }
+            if steps >= max_steps {
+                return RunOutcome::Exhausted;
+            }
+            steps += 1;
+            match sys.step(i) {
+                Step::Done => {
+                    *d = true;
+                    any_progress = true;
+                }
+                Step::Progress => any_progress = true,
+                Step::Blocked => {}
+            }
+        }
+        if !any_progress {
+            let stuck = (0..n).filter(|&i| !done[i]).collect();
+            return RunOutcome::Deadlock { stuck };
+        }
+    }
+    RunOutcome::Completed { steps }
+}
+
+/// Exhaustively enumerate every schedule prefix of length `len` over
+/// `threads` logical threads (`threads^len` runs), building a fresh system
+/// for each via `make`, driving it with [`run_schedule`], and handing the
+/// finished system plus its outcome to `check`.
+///
+/// This is the "exhaustive small-schedule sweep": the prefix pins down the
+/// first `len` scheduling decisions (where the interesting races live —
+/// ticket claims and cell handoffs happen in an op's first few steps), and
+/// the deterministic round-robin tail completes the run. 4 threads × length 8
+/// is 65 536 runs, comfortably fast since all stepping is in-process.
+pub fn sweep_schedules<S, F, C>(
+    threads: usize,
+    len: usize,
+    max_steps: usize,
+    mut make: F,
+    mut check: C,
+) -> usize
+where
+    S: System,
+    F: FnMut() -> S,
+    C: FnMut(&S, &RunOutcome, &[usize]),
+{
+    assert!(threads >= 1);
+    let total = (threads as u64).pow(len as u32);
+    let mut schedule = vec![0usize; len];
+    for mut code in 0..total {
+        for slot in schedule.iter_mut() {
+            *slot = (code % threads as u64) as usize;
+            code /= threads as u64;
+        }
+        let mut sys = make();
+        assert_eq!(
+            sys.threads(),
+            threads,
+            "make() must build a {threads}-thread system"
+        );
+        let outcome = run_schedule(&mut sys, &schedule, max_steps);
+        check(&sys, &outcome, &schedule);
+    }
+    total as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads hand a token back and forth: thread 0 must move first,
+    /// thread 1 blocks until it has.
+    struct Handoff {
+        token: usize,
+        remaining: [usize; 2],
+    }
+
+    impl System for Handoff {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn step(&mut self, i: usize) -> Step {
+            if self.remaining[i] == 0 {
+                return Step::Done;
+            }
+            if self.token != i {
+                return Step::Blocked;
+            }
+            self.token = 1 - i;
+            self.remaining[i] -= 1;
+            if self.remaining[i] == 0 {
+                Step::Done
+            } else {
+                Step::Progress
+            }
+        }
+    }
+
+    #[test]
+    fn run_schedule_completes_handoff_in_any_order() {
+        for schedule in [&[0usize, 1, 0, 1][..], &[1, 1, 1, 0][..], &[][..]] {
+            let mut sys = Handoff {
+                token: 0,
+                remaining: [2, 2],
+            };
+            let outcome = run_schedule(&mut sys, schedule, 1000);
+            assert!(
+                matches!(outcome, RunOutcome::Completed { .. }),
+                "{schedule:?}: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_schedule_detects_deadlock() {
+        struct Stuck;
+        impl System for Stuck {
+            fn threads(&self) -> usize {
+                2
+            }
+            fn step(&mut self, _i: usize) -> Step {
+                Step::Blocked
+            }
+        }
+        let outcome = run_schedule(&mut Stuck, &[0, 1], 1000);
+        assert_eq!(outcome, RunOutcome::Deadlock { stuck: vec![0, 1] });
+    }
+
+    #[test]
+    fn run_schedule_exhausts_budget_on_livelock() {
+        struct Spinner;
+        impl System for Spinner {
+            fn threads(&self) -> usize {
+                1
+            }
+            fn step(&mut self, _i: usize) -> Step {
+                Step::Progress
+            }
+        }
+        assert_eq!(run_schedule(&mut Spinner, &[], 64), RunOutcome::Exhausted);
+    }
+
+    #[test]
+    fn sweep_enumerates_threads_pow_len_schedules() {
+        let mut runs = 0usize;
+        let total = sweep_schedules(
+            2,
+            3,
+            1000,
+            || Handoff {
+                token: 0,
+                remaining: [1, 1],
+            },
+            |_sys, outcome, schedule| {
+                runs += 1;
+                assert!(
+                    matches!(outcome, RunOutcome::Completed { .. }),
+                    "schedule {schedule:?} failed: {outcome:?}"
+                );
+            },
+        );
+        assert_eq!(total, 8);
+        assert_eq!(runs, 8);
+    }
+}

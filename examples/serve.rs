@@ -20,6 +20,7 @@ fn main() {
         queue_capacity: 16,
         plan_cache_capacity: 16,
         default_deadline: Some(Duration::from_secs(30)),
+        worker_restart_limit: 8,
     }));
 
     // Tenant graphs: an unlabeled scale-free graph and a labeled one.
