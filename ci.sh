@@ -24,6 +24,20 @@ echo "==> chaos tests (fault injection + deterministic concurrency kit)"
 cargo clippy --workspace --all-targets --features chaos -- -D warnings
 cargo test --workspace --features chaos -q
 
+echo "==> recovery job (durable execution: leases, fencing, resume)"
+# Focused re-run of the durability suite: exact counts under scripted
+# worker kills and zombie acks, seeded random kill/stall schedules with
+# a snapshot/cancel/resume cut on every engine, and the wedge path.
+cargo test -p tdfs-service --test durable -q
+cargo test -p tdfs-service --features chaos --test chaos_durable -q
+# Lease-overhead guard (BENCH_lease.json, asserts <5% geomean): timing
+# is machine-sensitive, so it is opt-in like the TSAN pass.
+if [[ "${TDFS_BENCH_GUARD:-0}" == "1" ]]; then
+    cargo bench -p tdfs-bench --bench lease
+else
+    echo "==> lease bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
+fi
+
 # Nightly-only ThreadSanitizer pass over the lock-free queue and the page
 # arena, the two places where a memory-ordering mistake would be silent.
 # Opt in with TDFS_NIGHTLY_TSAN=1 (requires a nightly toolchain with

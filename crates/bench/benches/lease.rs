@@ -1,0 +1,90 @@
+//! Lease/ack overhead guard: the durable execution path (leased edge
+//! shards, epoch-fenced acks, watchdog) versus the legacy single-shot
+//! path, on the same counting workloads the micro benches use. Both
+//! arms go through the service so the queue/worker cost cancels and the
+//! delta isolates the durability layer. Writes `BENCH_lease.json` and
+//! asserts the geometric-mean overhead stays under 5%.
+
+use std::sync::Arc;
+
+use tdfs_bench::harness::{bench_median, JsonReport};
+use tdfs_core::MatcherConfig;
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_query::Pattern;
+use tdfs_service::{DurableConfig, QueryRequest, Service, ServiceConfig};
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lease.json");
+
+/// Hard bound on the geometric-mean durable/legacy ratio.
+const MAX_OVERHEAD: f64 = 1.05;
+/// Per-workload sanity bound (looser: single medians are noisier).
+const MAX_OVERHEAD_SINGLE: f64 = 1.15;
+
+fn workloads() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("k4", Pattern::clique(4)),
+        (
+            "house",
+            Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
+        ),
+    ]
+}
+
+fn main() {
+    let g = Arc::new(barabasi_albert(1500, 6, 17));
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        plan_cache_capacity: 8,
+        durability: DurableConfig::default(),
+        ..ServiceConfig::default()
+    });
+    svc.register_graph("ba", g);
+    let cfg = MatcherConfig::tdfs().with_warps(4);
+
+    let mut report = JsonReport::new();
+    let mut log_ratio_sum = 0.0;
+    let n = workloads().len() as f64;
+    println!("-- lease_overhead --");
+    for (name, pattern) in workloads() {
+        let run = |durable: bool| {
+            svc.submit(
+                QueryRequest::new("ba", pattern.clone())
+                    .with_config(cfg.clone())
+                    .with_durable(durable),
+            )
+            .unwrap()
+            .wait()
+            .result
+            .unwrap()
+            .matches
+        };
+        // Interleave-free A/B: warm both paths once, then measure.
+        let (a, b) = (run(false), run(true));
+        assert_eq!(a, b, "{name}: durable and legacy counts must agree");
+
+        let legacy = bench_median(&format!("lease/{name}/legacy"), || run(false));
+        let durable = bench_median(&format!("lease/{name}/durable"), || run(true));
+        let ratio = durable / legacy;
+        println!("lease/{name}: overhead {:.2}%", (ratio - 1.0) * 100.0);
+        report.record(&format!("lease/{name}/legacy_ns"), legacy);
+        report.record(&format!("lease/{name}/durable_ns"), durable);
+        report.record(&format!("lease/{name}/overhead_ratio"), ratio);
+        assert!(
+            ratio < MAX_OVERHEAD_SINGLE,
+            "lease/{name}: durable path {ratio:.3}x legacy exceeds the \
+             per-workload sanity bound {MAX_OVERHEAD_SINGLE}"
+        );
+        log_ratio_sum += ratio.ln();
+    }
+    let geomean = (log_ratio_sum / n).exp();
+    println!("lease overhead geomean: {:.2}%", (geomean - 1.0) * 100.0);
+    report.record("lease/overhead_geomean", geomean);
+    report.write(REPORT_PATH).expect("write BENCH_lease.json");
+    assert!(
+        geomean < MAX_OVERHEAD,
+        "lease overhead geomean {geomean:.3} exceeds the {MAX_OVERHEAD} guard"
+    );
+    println!("lease overhead guard: ok (< {MAX_OVERHEAD})");
+    svc.shutdown();
+}

@@ -177,7 +177,9 @@ impl Report {
                 "",
             ),
             Err(EngineError::TimeLimit) => (None, 0, None, "T"),
-            Err(EngineError::Stack(_)) | Err(EngineError::WorkerPanicked) => (None, 0, None, "ERR"),
+            Err(EngineError::Stack(_))
+            | Err(EngineError::WorkerPanicked)
+            | Err(EngineError::Wedged) => (None, 0, None, "ERR"),
         };
         self.push(Cell {
             system: system.to_owned(),

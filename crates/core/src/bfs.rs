@@ -43,6 +43,31 @@ pub fn run_with_sink(
     budget_bytes: usize,
     sink: Option<&dyn MatchSink>,
 ) -> Result<RunResult, EngineError> {
+    run_inner(g, plan, cfg, budget_bytes, sink, None)
+}
+
+/// [`run_with_sink`] seeded from an explicit pre-admitted edge list
+/// instead of the full arc stream — the durable layer's shard entry
+/// point. The edges must already satisfy [`edge_admitted`].
+pub fn run_on_edges_with_sink(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    budget_bytes: usize,
+    edges: &[(u32, u32)],
+    sink: Option<&dyn MatchSink>,
+) -> Result<RunResult, EngineError> {
+    run_inner(g, plan, cfg, budget_bytes, sink, Some(edges))
+}
+
+fn run_inner(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    budget_bytes: usize,
+    sink: Option<&dyn MatchSink>,
+    edges_override: Option<&[(u32, u32)]>,
+) -> Result<RunResult, EngineError> {
     let start = Instant::now();
     let deadline = cfg.time_limit.map(|l| start + l);
     let k = plan.k();
@@ -50,13 +75,21 @@ pub fn run_with_sink(
 
     // Level 0/1: the filtered edges, stride 2.
     let mut frontier: Vec<u32> = Vec::new();
-    for (u, v) in g.arcs() {
-        if edge_admitted(g, plan, u, v) {
+    if let Some(edges) = edges_override {
+        for &(u, v) in edges {
             frontier.push(u);
             frontier.push(v);
             stats.edges_admitted += 1;
-        } else {
-            stats.edges_filtered += 1;
+        }
+    } else {
+        for (u, v) in g.arcs() {
+            if edge_admitted(g, plan, u, v) {
+                frontier.push(u);
+                frontier.push(v);
+                stats.edges_admitted += 1;
+            } else {
+                stats.edges_filtered += 1;
+            }
         }
     }
     let mut peak_bytes = frontier.len() * 4;

@@ -47,6 +47,10 @@ pub enum EngineError {
     /// service layer's poisoned-worker recovery, not by the engines
     /// themselves (an in-engine warp panic propagates).
     WorkerPanicked,
+    /// The query made no progress despite repeated lease reclaims — a
+    /// task kept being re-granted past the durable layer's epoch limit.
+    /// Raised by the service watchdog, never by the engines.
+    Wedged,
 }
 
 impl std::fmt::Display for EngineError {
@@ -55,6 +59,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Stack(e) => write!(f, "engine stack failure: {e}"),
             EngineError::TimeLimit => write!(f, "time limit exceeded"),
             EngineError::WorkerPanicked => write!(f, "worker thread panicked during the query"),
+            EngineError::Wedged => {
+                write!(f, "query wedged: a task exceeded the lease epoch limit")
+            }
         }
     }
 }
@@ -277,6 +284,23 @@ pub fn run_on_device_from(
     };
 
     let warp_outputs: Vec<WarpOutput> = std::thread::scope(|scope| {
+        // A single-warp run executes on the calling thread — the scope
+        // exists only so timeout decomposition can still spawn child
+        // warps. This keeps fine-grained callers (the durable layer
+        // runs one engine warp per shard) free of a per-run spawn.
+        if cfg.num_warps == 1 {
+            let out = match &factory {
+                StackFactory::Array { .. } => {
+                    let stack = WarpStack::<ArrayLevel>::new_array(&factory, k);
+                    warp_main(&shared, &factory, stack, scope)
+                }
+                StackFactory::Paged { .. } => {
+                    let stack = WarpStack::<PagedLevel>::new_paged(&factory, k);
+                    warp_main(&shared, &factory, stack, scope)
+                }
+            };
+            return vec![out];
+        }
         let mut handles = Vec::with_capacity(cfg.num_warps);
         for _ in 0..cfg.num_warps {
             let shared = &shared;

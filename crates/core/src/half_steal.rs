@@ -92,6 +92,32 @@ pub fn run_with_sink(
     device: &Device,
     sink: Option<&dyn MatchSink>,
 ) -> Result<RunResult, EngineError> {
+    run_inner(g, plan, cfg, device, sink, None)
+}
+
+/// [`run_with_sink`] over an explicit pre-admitted edge list instead of
+/// the full arc stream — the durable layer's shard entry point. The
+/// edges must already satisfy [`edge_admitted`]; no re-filtering
+/// happens (mirrors the `host_edge_filter` path).
+pub fn run_on_edges_with_sink(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    device: &Device,
+    edges: Vec<(u32, u32)>,
+    sink: Option<&dyn MatchSink>,
+) -> Result<RunResult, EngineError> {
+    run_inner(g, plan, cfg, device, sink, Some(edges))
+}
+
+fn run_inner(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    device: &Device,
+    sink: Option<&dyn MatchSink>,
+    edges_override: Option<Vec<(u32, u32)>>,
+) -> Result<RunResult, EngineError> {
     let start = Instant::now();
     let k = plan.k();
     let (capacity, policy) = match cfg.stack {
@@ -108,7 +134,10 @@ pub fn run_with_sink(
     };
 
     let mut host_preprocess = std::time::Duration::ZERO;
-    let host_edges = if cfg.host_edge_filter {
+    let overridden = edges_override.is_some();
+    let host_edges = if let Some(edges) = edges_override {
+        Some(edges)
+    } else if cfg.host_edge_filter {
         let t = Instant::now();
         let e = host_filter_edges(g, plan);
         host_preprocess = t.elapsed();
@@ -199,7 +228,14 @@ pub fn run_with_sink(
     stats.edges_filtered = edges_filtered.load(Ordering::Relaxed);
     if let Some(e) = &host_edges {
         stats.edges_admitted = e.len() as u64;
-        stats.edges_filtered = (g.num_arcs() - e.len()) as u64;
+        // A shard override is a subset of the admitted edges: the edges
+        // it does not contain were not *filtered*, they belong to other
+        // shards.
+        stats.edges_filtered = if overridden {
+            0
+        } else {
+            (g.num_arcs() - e.len()) as u64
+        };
     }
     for s in &states {
         stats.candidates_truncated += s

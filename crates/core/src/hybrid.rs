@@ -36,6 +36,31 @@ pub fn run(
     budget_bytes: usize,
     sink: Option<&dyn MatchSink>,
 ) -> Result<RunResult, EngineError> {
+    run_inner(g, plan, cfg, budget_bytes, sink, None)
+}
+
+/// [`run`] seeded from an explicit pre-admitted edge list instead of
+/// the full arc stream — the durable layer's shard entry point. The
+/// edges must already satisfy [`edge_admitted`].
+pub fn run_on_edges(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    budget_bytes: usize,
+    edges: &[(u32, u32)],
+    sink: Option<&dyn MatchSink>,
+) -> Result<RunResult, EngineError> {
+    run_inner(g, plan, cfg, budget_bytes, sink, Some(edges))
+}
+
+fn run_inner(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    budget_bytes: usize,
+    sink: Option<&dyn MatchSink>,
+    edges_override: Option<&[(u32, u32)]>,
+) -> Result<RunResult, EngineError> {
     let start = Instant::now();
     let k = plan.k();
     let deadline = cfg.time_limit.map(|l| start + l);
@@ -43,12 +68,19 @@ pub fn run(
     // ---- Phase 1: BFS expansion under the memory budget. ----
     let mut frontier: Vec<u32> = Vec::new();
     let mut edges_filtered = 0u64;
-    for (u, v) in g.arcs() {
-        if edge_admitted(g, plan, u, v) {
+    if let Some(edges) = edges_override {
+        for &(u, v) in edges {
             frontier.push(u);
             frontier.push(v);
-        } else {
-            edges_filtered += 1;
+        }
+    } else {
+        for (u, v) in g.arcs() {
+            if edge_admitted(g, plan, u, v) {
+                frontier.push(u);
+                frontier.push(v);
+            } else {
+                edges_filtered += 1;
+            }
         }
     }
     let mut stride = 2usize;

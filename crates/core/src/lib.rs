@@ -67,11 +67,15 @@ pub mod stats;
 
 pub use cancel::CancelFlag;
 pub use config::{ArrayCapacity, MatcherConfig, StackConfig, Strategy};
-pub use engine::EngineError;
+pub use engine::{host_filter_edges, EngineError};
 pub use multi::{run_multi_device, MultiDeviceResult};
 pub use reference::{reference_count, reference_count_pattern};
 pub use sink::{CollectSink, FnSink, MatchSink};
 pub use stats::{RunResult, RunStats};
+// Re-exported so downstream crates (e.g. the service's snapshot codec)
+// can name every part of a `MatcherConfig` without depending on
+// `tdfs-mem` directly.
+pub use tdfs_mem::OverflowPolicy;
 
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
@@ -116,6 +120,49 @@ pub fn match_plan_with_sink(
         Strategy::HalfSteal => half_steal::run_with_sink(g, plan, cfg, &device_for(cfg), sink),
         Strategy::Bfs { budget_bytes } => bfs::run_with_sink(g, plan, cfg, budget_bytes, sink),
         Strategy::Hybrid { budget_bytes, .. } => hybrid::run(g, plan, cfg, budget_bytes, sink),
+    }
+}
+
+/// [`match_plan_with_sink`] restricted to an explicit initial-edge
+/// list — the durable layer's shard entry point.
+///
+/// `edges` must be a subset of [`engine::host_filter_edges`]`(g, plan)`
+/// (already admitted under the plan's filter and symmetry constraints);
+/// no re-filtering happens. Because every match is rooted at exactly
+/// one admitted initial edge, counts are **additive over disjoint edge
+/// subsets**: running this over a partition of the admitted edge list
+/// and summing yields exactly [`match_plan`]'s count, for every
+/// strategy.
+pub fn match_plan_on_edges(
+    g: &CsrGraph,
+    plan: &QueryPlan,
+    cfg: &MatcherConfig,
+    edges: Vec<(u32, u32)>,
+    sink: Option<&dyn sink::MatchSink>,
+) -> Result<RunResult, EngineError> {
+    match cfg.strategy {
+        Strategy::Timeout { .. } | Strategy::NewKernel { .. } => {
+            let device = device_for(cfg);
+            engine::run_on_device_from(
+                g,
+                plan,
+                cfg,
+                &device,
+                Clock::real(),
+                sink,
+                engine::InitialSource::Edges(edges),
+                std::time::Duration::ZERO,
+            )
+        }
+        Strategy::HalfSteal => {
+            half_steal::run_on_edges_with_sink(g, plan, cfg, &device_for(cfg), edges, sink)
+        }
+        Strategy::Bfs { budget_bytes } => {
+            bfs::run_on_edges_with_sink(g, plan, cfg, budget_bytes, &edges, sink)
+        }
+        Strategy::Hybrid { budget_bytes, .. } => {
+            hybrid::run_on_edges(g, plan, cfg, budget_bytes, &edges, sink)
+        }
     }
 }
 

@@ -383,3 +383,43 @@ fn labeled_patterns_respect_labels() {
         assert_eq!(got, expected(&labeled, PatternId(id), cfg.plan), "P{id}");
     }
 }
+
+/// Foundation of durable execution: every match is rooted at exactly
+/// one admitted initial edge, so counts are additive over a partition
+/// of the admitted edge list — for every strategy.
+#[test]
+fn sharded_edge_counts_are_additive_for_every_engine() {
+    use tdfs_core::{host_filter_edges, match_plan_on_edges};
+
+    let g = barabasi_albert(300, 4, 11);
+    let configs = [
+        ("tdfs", MatcherConfig::tdfs()),
+        ("stmatch", MatcherConfig::stmatch_like()),
+        ("egsm", MatcherConfig::egsm_like()),
+        ("pbe", MatcherConfig::pbe_like()),
+        ("hybrid", MatcherConfig::hybrid()),
+    ];
+    for id in [1u8, 2, 3] {
+        for (name, cfg) in &configs {
+            let cfg = cfg.clone().with_warps(2);
+            let plan = QueryPlan::build_with(&PatternId(id).pattern(), cfg.plan);
+            let want = reference_count(&g, &plan);
+            let edges = host_filter_edges(&g, &plan);
+            // Uneven 3-way partition, including an empty shard.
+            let cut1 = edges.len() / 3;
+            let cut2 = edges.len() / 2;
+            let mut got = 0;
+            for shard in [
+                &edges[..cut1],
+                &edges[cut1..cut2],
+                &edges[cut2..],
+                &edges[0..0],
+            ] {
+                got += match_plan_on_edges(&g, &plan, &cfg, shard.to_vec(), None)
+                    .unwrap()
+                    .matches;
+            }
+            assert_eq!(got, want, "{name} P{id} sharded count");
+        }
+    }
+}

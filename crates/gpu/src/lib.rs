@@ -22,6 +22,7 @@
 
 pub mod clock;
 pub mod device;
+pub mod lease;
 pub mod queue;
 pub mod warp;
 
@@ -64,5 +65,6 @@ pub(crate) use {chaos_inject, chaos_point};
 
 pub use clock::Clock;
 pub use device::{Device, DeviceGroup};
+pub use lease::{AckOutcome, Lease, LeaseCheckpoint, LeaseStats, LeaseTable, LeasedQueue};
 pub use queue::{DequeueOp, EnqueueOp, OpStep, Task, TaskQueue, SPIN_LIMIT};
 pub use warp::{select_kind, IntersectKind, WarpOps, WarpStats, WARP_SIZE};

@@ -1,0 +1,703 @@
+//! Durable query execution: leased shards, epoch-fenced exactly-once
+//! counting, watchdog-driven recovery, checkpoint/resume.
+//!
+//! # Model
+//!
+//! A durable query's admitted initial-edge list (the same
+//! [`tdfs_core::host_filter_edges`] space every engine enumerates) is
+//! split into contiguous **edge-range shards**. Each shard is a
+//! self-describing task in a [`LeaseTable`]: shard workers lease one,
+//! run the query's configured engine over exactly that edge range
+//! ([`tdfs_core::match_plan_on_edges`]), and `ack` the shard's match
+//! count. Because every match is rooted at exactly one admitted initial
+//! edge, shard counts are additive over the disjoint ranges — the sum
+//! of accepted acks is exactly the uninterrupted count, for all five
+//! engines.
+//!
+//! # Exactly-once counting
+//!
+//! A count is published only by an **accepted ack**, and the lease
+//! table's epoch fence accepts at most one ack per task:
+//!
+//! - a worker that panics mid-shard has its lease failed immediately —
+//!   the shard requeues (split in half when possible) with a bumped
+//!   epoch, and the dead attempt never acks;
+//! - a worker that merely *stalls* past the lease deadline is reaped by
+//!   the watchdog: the shard requeues, the zombie's per-lease cancel
+//!   token is raised, and if the zombie completes anyway its ack
+//!   carries a stale epoch and is **fenced** (discarded);
+//! - a worker that observes a query-level cancel releases its lease
+//!   unexecuted and publishes nothing.
+//!
+//! Match **emissions** (sinks / collected matches) are flushed before
+//! the ack with a fence pre-check, so they are exactly-once in the
+//! fault-free case and at-least-once under reclaim races — counts stay
+//! exact either way. The contract is deliberate: a count is a sum
+//! (double-adding corrupts it silently); an emission is a row a
+//! downstream consumer can deduplicate.
+//!
+//! # Watchdog
+//!
+//! One thread per durable query drives recovery and the heartbeat:
+//! reap expired leases (straggler → requeue **split in half**, the
+//! lease-level analogue of the paper's timeout decomposition), revoke
+//! zombies, propagate query-level cancellation into running shards,
+//! and fail the query with [`EngineError::Wedged`] when a task's epoch
+//! exceeds the configured bound (a shard that dies under every worker
+//! assigned to it). Progress is observable via
+//! [`crate::Service::progress`].
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tdfs_core::{
+    match_plan_on_edges, CancelFlag, CollectSink, EngineError, MatchSink, MatcherConfig, RunResult,
+    RunStats,
+};
+use tdfs_gpu::lease::{AckOutcome, Lease, LeaseStats, LeaseTable};
+use tdfs_graph::CsrGraph;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+
+use crate::snapshot::{self, QuerySnapshot};
+
+/// Durable-execution knobs (per service, overridable per query via
+/// [`crate::QueryRequest::with_durable`]).
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Whether queries run durably by default. Durable execution shards
+    /// the query over leased edge ranges: worker panics and stalls are
+    /// recovered instead of failing the query, and
+    /// [`crate::Service::snapshot`] / [`crate::Service::resume`] work.
+    pub enabled: bool,
+    /// Admitted edges per shard task. Smaller shards mean finer
+    /// recovery granularity and more lease traffic.
+    pub shard_edges: usize,
+    /// Lease duration; a shard not acked within it is considered
+    /// stalled and reclaimed. Reclaiming a *live* worker is safe (its
+    /// ack is fenced, its run revoked) — the timeout trades wasted work
+    /// against recovery latency, never correctness.
+    pub lease_timeout: Duration,
+    /// Watchdog period: reap/revoke/heartbeat cadence.
+    pub watchdog_interval: Duration,
+    /// Fail the query as [`EngineError::Wedged`] once any task's epoch
+    /// exceeds this bound (it was reclaimed this many times without
+    /// ever acking).
+    pub max_task_epochs: u32,
+    /// Shard-worker threads per durable query; they race on the lease
+    /// table and split the query's warp budget between them. `0` (the
+    /// default) uses the query's `num_warps`, each shard running
+    /// single-warp, so total parallelism matches the non-durable run;
+    /// explicit lower counts give each shard a multi-warp engine run.
+    pub workers: usize,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            shard_edges: 512,
+            lease_timeout: Duration::from_millis(500),
+            watchdog_interval: Duration::from_millis(10),
+            max_task_epochs: 16,
+            workers: 0,
+        }
+    }
+}
+
+/// A contiguous range of the query's admitted initial-edge list —
+/// the durable layer's task payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First edge index (inclusive).
+    pub start: u32,
+    /// One past the last edge index.
+    pub end: u32,
+}
+
+impl Shard {
+    fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Straggler decomposition: halve when possible.
+    fn split(&self) -> Vec<Shard> {
+        if self.len() > 1 {
+            let mid = self.start + self.len() / 2;
+            vec![
+                Shard {
+                    start: self.start,
+                    end: mid,
+                },
+                Shard {
+                    start: mid,
+                    end: self.end,
+                },
+            ]
+        } else {
+            vec![*self]
+        }
+    }
+}
+
+/// Point-in-time progress of a durable query.
+#[derive(Debug, Clone)]
+pub struct QueryProgress {
+    /// Service-assigned query id.
+    pub query_id: u64,
+    /// Unclaimed shard tasks.
+    pub tasks_pending: usize,
+    /// Shards under a live lease right now.
+    pub tasks_outstanding: usize,
+    /// Shards acked (published) so far, including before any resume.
+    pub tasks_acked: u64,
+    /// Matches published so far.
+    pub matches: u64,
+    /// Embeddings emitted to sinks so far.
+    pub emitted: u64,
+    /// Highest lease epoch any task reached (wedge indicator).
+    pub max_epoch: u32,
+    /// How many times this query has been resumed.
+    pub resumes: u32,
+    /// Lifetime lease counters of this query's ledger.
+    pub leases: LeaseStats,
+    /// Whether the query has finished.
+    pub done: bool,
+    /// Failure diagnostics attached by the watchdog (wedged queries).
+    pub diagnostics: Option<String>,
+}
+
+/// Shared state of one durable query: the ledger plus everything a
+/// snapshot or progress probe needs. Registered with the service when
+/// the job starts and retained after completion (bounded; see
+/// `DURABLE_RETAIN` in `service.rs`) so post-completion snapshots work.
+pub struct DurableState {
+    pub(crate) query_id: u64,
+    pub(crate) graph_name: String,
+    pub(crate) pattern: Pattern,
+    /// Engine configuration as serialized (no cancel / time limit).
+    pub(crate) config: MatcherConfig,
+    pub(crate) edge_count: u64,
+    pub(crate) ledger: LeaseTable<Shard>,
+    /// Matches published by accepted acks (including resumed base).
+    pub(crate) matches: AtomicU64,
+    /// Embeddings emitted to sinks (including resumed base).
+    pub(crate) emitted: AtomicU64,
+    /// Accepted acks (including resumed base).
+    pub(crate) tasks_acked: AtomicU64,
+    pub(crate) resumes: u32,
+    /// Engine stats merged over accepted shards.
+    pub(crate) run_stats: Mutex<RunStats>,
+    /// First fatal error (TimeLimit / Stack / Wedged) wins.
+    pub(crate) error: Mutex<Option<EngineError>>,
+    /// Cancel token of each live lease, keyed by task id — raised on
+    /// reclaim (zombie revocation) and on query-level cancel.
+    active: Mutex<HashMap<u64, CancelFlag>>,
+    pub(crate) done: AtomicBool,
+    /// Human-readable diagnostics attached by the watchdog on failure.
+    pub(crate) diagnostics: Mutex<Option<String>>,
+    /// Serializes ack publication (ledger ack + counter adds) against
+    /// snapshot capture, so a snapshot never sees a task acked with its
+    /// matches not yet added — that image would resume to an undercount.
+    publish: Mutex<()>,
+}
+
+impl DurableState {
+    fn record_error(&self, e: EngineError) {
+        self.error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get_or_insert(e);
+    }
+
+    fn failed(&self) -> bool {
+        self.error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
+    }
+
+    fn revoke(&self, task_id: u64) {
+        if let Some(flag) = self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&task_id)
+        {
+            flag.cancel();
+        }
+    }
+
+    fn revoke_all(&self) {
+        for flag in self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            flag.cancel();
+        }
+    }
+
+    /// Point-in-time progress.
+    pub(crate) fn progress(&self) -> QueryProgress {
+        QueryProgress {
+            query_id: self.query_id,
+            tasks_pending: self.ledger.pending_len(),
+            tasks_outstanding: self.ledger.outstanding_len(),
+            tasks_acked: self.tasks_acked.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+            emitted: self.emitted.load(Ordering::Relaxed),
+            max_epoch: self.ledger.max_epoch(),
+            resumes: self.resumes,
+            leases: self.ledger.stats(),
+            done: self.done.load(Ordering::Relaxed),
+            diagnostics: self
+                .diagnostics
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Serializes the recoverable state. Outstanding leases are demoted
+    /// back to pending tasks in the image — taking a snapshot never
+    /// disturbs the live run.
+    pub(crate) fn to_snapshot(&self) -> Vec<u8> {
+        let _publish = self
+            .publish
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cp = self.ledger.checkpoint();
+        snapshot::encode(&QuerySnapshot {
+            graph: self.graph_name.clone(),
+            pattern: self.pattern.clone(),
+            config: self.config.clone(),
+            edge_count: self.edge_count,
+            matches: self.matches.load(Ordering::Relaxed),
+            emitted: self.emitted.load(Ordering::Relaxed),
+            tasks_acked: self.tasks_acked.load(Ordering::Relaxed),
+            resumes: self.resumes,
+            next_task_id: cp.next_id,
+            acked: cp.acked,
+            pending: cp.pending,
+        })
+    }
+
+    pub(crate) fn lease_stats(&self) -> LeaseStats {
+        self.ledger.stats()
+    }
+}
+
+/// Per-shard emission buffer: the engine emits position-indexed
+/// matches into it; they are flushed to the real sinks only after the
+/// fence pre-check, so a recovered shard's emissions are not duplicated
+/// in the fault-free path.
+struct ShardBuffer {
+    rows: Mutex<Vec<Vec<u32>>>,
+}
+
+impl MatchSink for ShardBuffer {
+    fn emit(&self, m: &[u32]) {
+        self.rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(m.to_vec());
+    }
+}
+
+/// Everything a durable run needs from the job, borrowed for the scope
+/// of the worker threads.
+pub(crate) struct DurableJob<'a> {
+    pub graph: &'a CsrGraph,
+    pub plan: &'a QueryPlan,
+    /// Base engine configuration (cancel token *not* attached — shards
+    /// get private tokens).
+    pub config: &'a MatcherConfig,
+    /// The full admitted-edge list shards index into.
+    pub edges: &'a [(u32, u32)],
+    /// Query-level cancellation (client handle / collect limit).
+    pub cancel: &'a CancelFlag,
+    /// Absolute deadline, if any.
+    pub deadline: Option<Instant>,
+    /// Bounded match collector (from `collect_limit`).
+    pub collector: Option<&'a CollectSink>,
+    /// Client streaming sink (pattern-vertex indexing).
+    pub client: Option<&'a dyn MatchSink>,
+}
+
+/// Builds the shared state for a fresh durable query, sharding the
+/// admitted edge list.
+///
+/// Shard boundaries equalize *estimated work*, not edge count: a walk
+/// rooted at a hub edge is far heavier than one rooted at the fringe,
+/// and on scale-free graphs equal-count shards leave one worker
+/// grinding a hub shard long after the rest drained. Endpoint degree
+/// sum is the first-order work estimate; the shard count still follows
+/// `shard_edges` so recovery granularity is unchanged on average.
+pub(crate) fn fresh_state(
+    query_id: u64,
+    graph_name: String,
+    pattern: Pattern,
+    config: MatcherConfig,
+    graph: &CsrGraph,
+    edges: &[(u32, u32)],
+    dcfg: &DurableConfig,
+) -> Arc<DurableState> {
+    let ledger = LeaseTable::new(dcfg.lease_timeout);
+    let edge_count = edges.len() as u64;
+    let shards = edge_count.div_ceil(dcfg.shard_edges.max(1) as u64);
+    if shards > 0 {
+        let weight = |&(u, v): &(u32, u32)| (graph.degree(u) + graph.degree(v)) as u64 + 1;
+        let total: u64 = edges.iter().map(weight).sum();
+        let mut acc = 0u64;
+        let mut cut = 0u64;
+        let mut start = 0usize;
+        for (i, e) in edges.iter().enumerate() {
+            acc += weight(e);
+            // Cut once this shard holds its proportional share of the
+            // total weight (saturating at one edge per shard).
+            if acc.saturating_mul(shards) >= (cut + 1) * total && i + 1 > start {
+                ledger.submit(Shard {
+                    start: start as u32,
+                    end: (i + 1) as u32,
+                });
+                start = i + 1;
+                cut += 1;
+            }
+        }
+        if start < edges.len() {
+            ledger.submit(Shard {
+                start: start as u32,
+                end: edges.len() as u32,
+            });
+        }
+    }
+    Arc::new(state_with(
+        query_id, graph_name, pattern, config, edge_count, ledger, 0, 0, 0, 0,
+    ))
+}
+
+/// Rebuilds the shared state from a decoded snapshot.
+pub(crate) fn resumed_state(
+    query_id: u64,
+    snap: &QuerySnapshot,
+    dcfg: &DurableConfig,
+) -> Arc<DurableState> {
+    let ledger = LeaseTable::new(dcfg.lease_timeout);
+    for &(id, epoch, shard) in &snap.pending {
+        ledger.restore(id, epoch, shard);
+    }
+    for &id in &snap.acked {
+        ledger.restore_acked(id);
+    }
+    Arc::new(state_with(
+        query_id,
+        snap.graph.clone(),
+        snap.pattern.clone(),
+        snap.config.clone(),
+        snap.edge_count,
+        ledger,
+        snap.matches,
+        snap.emitted,
+        snap.tasks_acked,
+        snap.resumes + 1,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn state_with(
+    query_id: u64,
+    graph_name: String,
+    pattern: Pattern,
+    config: MatcherConfig,
+    edge_count: u64,
+    ledger: LeaseTable<Shard>,
+    matches: u64,
+    emitted: u64,
+    tasks_acked: u64,
+    resumes: u32,
+) -> DurableState {
+    DurableState {
+        query_id,
+        graph_name,
+        pattern,
+        config,
+        edge_count,
+        ledger,
+        matches: AtomicU64::new(matches),
+        emitted: AtomicU64::new(emitted),
+        tasks_acked: AtomicU64::new(tasks_acked),
+        resumes,
+        run_stats: Mutex::new(RunStats::default()),
+        error: Mutex::new(None),
+        active: Mutex::new(HashMap::new()),
+        done: AtomicBool::new(false),
+        diagnostics: Mutex::new(None),
+        publish: Mutex::new(()),
+    }
+}
+
+/// Runs a durable query to completion: spawns the shard workers, drives
+/// the watchdog on the calling thread, and returns the assembled
+/// result. The caller (the service worker) owns admission bookkeeping
+/// and outcome delivery.
+pub(crate) fn execute(
+    state: &Arc<DurableState>,
+    job: &DurableJob<'_>,
+    dcfg: &DurableConfig,
+    start: Instant,
+) -> Result<RunResult, EngineError> {
+    let workers = if dcfg.workers == 0 {
+        job.config.num_warps
+    } else {
+        dcfg.workers
+    }
+    .max(1);
+    // The query's warp budget is split across the shard workers (auto:
+    // one single-warp engine run per worker, so total parallelism
+    // matches the non-durable run); configuring fewer workers gives
+    // each shard a multi-warp run with the engine balancing inside it.
+    let shard_warps = (job.config.num_warps / workers).max(1);
+    let live = AtomicUsize::new(workers);
+
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let state = Arc::clone(state);
+            let live = &live;
+            scope.spawn(move || {
+                // Decrement through a drop guard: the watchdog's exit
+                // condition must hold even if a shard worker unwinds
+                // through a path no catch_unwind covers. The poke wakes
+                // the watchdog out of its ledger wait immediately.
+                struct LiveGuard<'a>(&'a AtomicUsize, &'a DurableState);
+                impl Drop for LiveGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::Release);
+                        self.1.ledger.poke();
+                    }
+                }
+                let _live = LiveGuard(live, &state);
+                shard_worker(&state, job, wid as u32, shard_warps);
+            });
+        }
+        watchdog(state, job, dcfg, &live);
+    });
+
+    if let Some(e) = *state
+        .error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(e);
+    }
+    let mut stats = state
+        .run_stats
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    stats.cancelled = job.cancel.is_cancelled();
+    Ok(RunResult {
+        matches: state.matches.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        stats,
+    })
+}
+
+fn shard_worker(state: &Arc<DurableState>, job: &DurableJob<'_>, wid: u32, shard_warps: usize) {
+    loop {
+        if state.failed() || job.cancel.is_cancelled() {
+            return;
+        }
+        if let Some(d) = job.deadline {
+            if Instant::now() > d {
+                state.record_error(EngineError::TimeLimit);
+                return;
+            }
+        }
+        let Some(lease) = state.ledger.lease(wid) else {
+            if state.ledger.drained() {
+                return;
+            }
+            state.ledger.wait_change(Duration::from_millis(1));
+            continue;
+        };
+        run_shard(state, job, &lease, shard_warps);
+    }
+}
+
+fn run_shard(
+    state: &Arc<DurableState>,
+    job: &DurableJob<'_>,
+    lease: &Lease<Shard>,
+    shard_warps: usize,
+) {
+    // Private cancel token: raised by the watchdog on reclaim (zombie
+    // revocation) or when the query-level token / a fatal error fires.
+    let flag = CancelFlag::new();
+    state
+        .active
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(lease.task_id, flag.clone());
+
+    let mut cfg = job.config.clone().with_cancel(flag).with_warps(shard_warps);
+    if let Some(d) = job.deadline {
+        cfg.time_limit = Some(d.saturating_duration_since(Instant::now()));
+    }
+    // A shard seeds at most `shard.len()` walks, so the full-query task
+    // queue is outsized for it; a smaller ring keeps per-shard setup
+    // cheap, and queue-full still degrades to in-place processing.
+    let shard_queue = (lease.task.len() as usize * 4).max(1024);
+    cfg.queue_capacity = cfg.queue_capacity.min(shard_queue);
+    let shard = lease.task;
+    let edges = job.edges[shard.start as usize..shard.end as usize].to_vec();
+    let buffer = (job.collector.is_some() || job.client.is_some()).then(|| ShardBuffer {
+        rows: Mutex::new(Vec::new()),
+    });
+    let sink_opt = buffer.as_ref().map(|b| b as &dyn MatchSink);
+
+    // The acceptance-test kill point, inside the unwind boundary so a
+    // scripted panic models a worker dying mid-shard (and a stall a
+    // straggler) without unwinding the shard-worker thread itself.
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        crate::chaos_point!("service.worker.run");
+        match_plan_on_edges(job.graph, job.plan, &cfg, edges, sink_opt)
+    }));
+
+    state
+        .active
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .remove(&lease.task_id);
+
+    match run {
+        Err(_panic) => {
+            // Dead worker (the thread survived, the shard attempt did
+            // not): reclaim the lease now, splitting the shard so a
+            // poisonous range narrows with every recovery.
+            state.ledger.fail(lease, |s| s.split());
+        }
+        Ok(Err(e)) => {
+            // Engine failure (stack / time limit) fails the query; put
+            // the shard back so a snapshot still sees it as unfinished.
+            state.ledger.release(lease);
+            state.record_error(e);
+        }
+        Ok(Ok(r)) => {
+            if r.stats.cancelled {
+                // Query-level cancel or zombie revocation interrupted
+                // the shard: its partial count must never publish.
+                state.ledger.release(lease);
+                return;
+            }
+            // The zombie window between completing the work and
+            // publishing it — where a stalled worker races its reaper.
+            crate::chaos_point!("service.durable.ack");
+            // Flush emissions before the ack (fence pre-check keeps the
+            // fault-free path exactly-once; see module docs). A client
+            // sink that panics is a recovered fault like any other —
+            // the lease fails, the shard retries, and a deterministic
+            // panicker wedges the query instead of killing workers.
+            if let Some(buffer) = &buffer {
+                let flushed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if state.ledger.is_current(lease) {
+                        flush_emissions(state, job, buffer);
+                    }
+                }));
+                if flushed.is_err() {
+                    state.ledger.fail(lease, |s| s.split());
+                    return;
+                }
+            }
+            let publish = state
+                .publish
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.ledger.ack(lease) == AckOutcome::Accepted {
+                state.matches.fetch_add(r.matches, Ordering::Relaxed);
+                state.tasks_acked.fetch_add(1, Ordering::Relaxed);
+                state
+                    .run_stats
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .merge(&r.stats);
+            }
+            drop(publish);
+            // A fenced ack discards the count: the reclaimed copy of
+            // this shard publishes instead.
+        }
+    }
+}
+
+fn flush_emissions(state: &DurableState, job: &DurableJob<'_>, buffer: &ShardBuffer) {
+    let rows = std::mem::take(
+        &mut *buffer
+            .rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    let order = &job.plan.order.order;
+    for m in &rows {
+        if let Some(c) = job.collector {
+            c.emit(m);
+        }
+        if let Some(client) = job.client {
+            let mut by_vertex = vec![0u32; m.len()];
+            for (i, &v) in m.iter().enumerate() {
+                by_vertex[order[i]] = v;
+            }
+            client.emit(&by_vertex);
+        }
+    }
+    state
+        .emitted
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+}
+
+/// The per-query watchdog, run on the service worker's own thread while
+/// the shard workers execute. Each tick: propagate cancellation, reap
+/// expired leases (straggler decomposition + zombie revocation), and
+/// check the wedge bound.
+fn watchdog(
+    state: &Arc<DurableState>,
+    job: &DurableJob<'_>,
+    dcfg: &DurableConfig,
+    live: &AtomicUsize,
+) {
+    // Park on the ledger's condvar rather than sleep-polling: any
+    // grant/ack/requeue wakes the watchdog, and an exiting worker pokes
+    // it, so query completion is never gated on the reap cadence and an
+    // idle watchdog costs no timeslices (which matters when shard
+    // workers and watchdog share cores).
+    let tick = dcfg.watchdog_interval.min(Duration::from_millis(50));
+    while live.load(Ordering::Acquire) > 0 {
+        state.ledger.wait_change(tick);
+        if job.cancel.is_cancelled() || state.failed() {
+            state.revoke_all();
+            continue;
+        }
+        for task_id in state.ledger.reap(Instant::now(), |s| s.split()) {
+            state.revoke(task_id);
+        }
+        let max_epoch = state.ledger.max_epoch();
+        if max_epoch > dcfg.max_task_epochs {
+            *state
+                .diagnostics
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(format!(
+                "wedged: a shard reached lease epoch {max_epoch} (limit {}); {} pending, {} \
+                 outstanding, {} acked",
+                dcfg.max_task_epochs,
+                state.ledger.pending_len(),
+                state.ledger.outstanding_len(),
+                state.tasks_acked.load(Ordering::Relaxed),
+            ));
+            state.record_error(EngineError::Wedged);
+            state.revoke_all();
+        }
+    }
+}

@@ -64,12 +64,16 @@ pub(crate) use chaos_point;
 pub mod cache;
 pub mod canon;
 pub mod catalog;
+pub mod durable;
 pub mod service;
+pub mod snapshot;
 
 pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
 pub use catalog::GraphCatalog;
+pub use durable::{DurableConfig, QueryProgress, Shard};
 pub use service::{
-    QueryHandle, QueryOutcome, QueryRequest, Rejected, RetryPolicy, Service, ServiceConfig,
-    ServiceMetrics,
+    QueryHandle, QueryOutcome, QueryRequest, Rejected, ResumeError, RetryPolicy, Service,
+    ServiceConfig, ServiceMetrics, SnapshotError,
 };
+pub use snapshot::{DecodeError, QuerySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

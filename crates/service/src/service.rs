@@ -16,7 +16,7 @@
 //! while queued completes with [`EngineError::TimeLimit`] without ever
 //! touching the engine.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,14 +26,22 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tdfs_core::{
-    match_plan_with_sink, CancelFlag, CollectSink, EngineError, MatchSink, MatcherConfig,
-    RunResult, RunStats,
+    host_filter_edges, match_plan_with_sink, CancelFlag, CollectSink, EngineError, MatchSink,
+    MatcherConfig, RunResult, RunStats,
 };
+use tdfs_gpu::lease::LeaseStats;
 use tdfs_graph::CsrGraph;
 use tdfs_query::Pattern;
 
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::catalog::GraphCatalog;
+use crate::durable::{self, DurableConfig, DurableJob, DurableState, QueryProgress};
+use crate::snapshot::{self, DecodeError, QuerySnapshot};
+
+/// Completed durable queries kept registered (snapshot-able and visible
+/// to [`Service::progress`]) before their lease counters are folded into
+/// the service-lifetime base and the state is dropped.
+const DURABLE_RETAIN: usize = 256;
 
 /// Service sizing knobs.
 #[derive(Debug, Clone)]
@@ -55,6 +63,10 @@ pub struct ServiceConfig {
     /// thread keeps serving (the pool never shrinks) but the panic is
     /// still counted.
     pub worker_restart_limit: usize,
+    /// Durable-execution defaults (leases, watchdog, sharding). Durable
+    /// runs recover worker panics and stalls per shard — the restart
+    /// limit above is the backstop for panics *outside* shard execution.
+    pub durability: DurableConfig,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +77,7 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 64,
             default_deadline: None,
             worker_restart_limit: 8,
+            durability: DurableConfig::default(),
         }
     }
 }
@@ -115,6 +128,74 @@ impl fmt::Display for Rejected {
 
 impl std::error::Error for Rejected {}
 
+/// Why [`Service::snapshot`] could not produce a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// No durable query with this id is registered (unknown id,
+    /// non-durable query, or evicted from the completed-query retention
+    /// window).
+    UnknownQuery(u64),
+    /// The query is admitted but still waiting in the queue; it has no
+    /// execution state yet. Retry once it starts (or cancel it — an
+    /// unstarted query has nothing worth checkpointing).
+    NotStarted(u64),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnknownQuery(id) => write!(f, "no durable query with id {id}"),
+            SnapshotError::NotStarted(id) => write!(f, "query {id} has not started executing"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Why [`Service::resume`] rejected a snapshot.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The byte buffer is not a valid snapshot (bad magic, unknown
+    /// version, truncation, or corrupt payload).
+    Decode(DecodeError),
+    /// The snapshot references a graph not in this service's catalog.
+    UnknownGraph(String),
+    /// The catalog's graph disagrees with the snapshot: its admitted
+    /// initial-edge list has a different length, so the snapshot's shard
+    /// ranges do not describe this graph.
+    GraphMismatch {
+        /// Admitted-edge count recorded in the snapshot.
+        expected: u64,
+        /// Admitted-edge count of the registered graph under the
+        /// snapshot's plan.
+        actual: u64,
+    },
+    /// Admission failed (queue full / shutting down).
+    Rejected(Rejected),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Decode(e) => write!(f, "invalid snapshot: {e}"),
+            ResumeError::UnknownGraph(name) => write!(f, "snapshot graph {name:?} not registered"),
+            ResumeError::GraphMismatch { expected, actual } => write!(
+                f,
+                "graph mismatch: snapshot has {expected} admitted edges, catalog graph has {actual}"
+            ),
+            ResumeError::Rejected(r) => write!(f, "resume not admitted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<DecodeError> for ResumeError {
+    fn from(e: DecodeError) -> Self {
+        ResumeError::Decode(e)
+    }
+}
+
 /// One query to run.
 ///
 /// Cloning is cheap (the sink is shared behind an `Arc`); it is what
@@ -139,6 +220,9 @@ pub struct QueryRequest {
     /// assignments (`m[u]` = data vertex for pattern vertex `u`),
     /// concurrently from the engine's warps.
     pub sink: Option<Arc<dyn MatchSink + Send + Sync>>,
+    /// Per-query override of [`ServiceConfig::durability`]`.enabled`;
+    /// `None` uses the service default.
+    pub durable: Option<bool>,
 }
 
 impl QueryRequest {
@@ -151,6 +235,7 @@ impl QueryRequest {
             deadline: None,
             collect_limit: None,
             sink: None,
+            durable: None,
         }
     }
 
@@ -175,6 +260,15 @@ impl QueryRequest {
     /// Streams matches to `sink` as they are found.
     pub fn with_sink(mut self, sink: Arc<dyn MatchSink + Send + Sync>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Overrides the service's durable-execution default for this query.
+    /// `with_durable(false)` runs the legacy single-shot path: no
+    /// leases, no snapshot/resume, and a worker panic fails the query
+    /// with [`EngineError::WorkerPanicked`].
+    pub fn with_durable(mut self, durable: bool) -> Self {
+        self.durable = Some(durable);
         self
     }
 }
@@ -272,6 +366,24 @@ pub struct ServiceMetrics {
     /// Replacement workers spawned for panicked ones (≤ `worker_panics`,
     /// bounded by [`ServiceConfig::worker_restart_limit`]).
     pub workers_restarted: u64,
+    /// Queries executed on the durable (leased-shard) path.
+    pub durable_queries: u64,
+    /// Shard leases granted across all durable queries.
+    pub leases_granted: u64,
+    /// Leases reclaimed (expired stalls reaped + panicked shards
+    /// failed).
+    pub leases_reclaimed: u64,
+    /// Zombie acks rejected by the epoch fence (each one a count that
+    /// would otherwise have landed twice).
+    pub leases_fenced: u64,
+    /// Shard tasks whose counts were published (accepted acks).
+    pub tasks_acked: u64,
+    /// Checkpoints taken via [`Service::snapshot`].
+    pub snapshots_taken: u64,
+    /// Total encoded bytes across those checkpoints.
+    pub snapshot_bytes: u64,
+    /// Queries admitted via [`Service::resume`].
+    pub resumes: u64,
     /// Engine counters merged across all completed queries.
     pub engine: RunStats,
     /// Sum of completion latencies (queueing + execution).
@@ -296,6 +408,8 @@ impl ServiceMetrics {
              outcomes: {} completed ({} cancelled), {} deadline-expired, {} failed\n\
              latency: {:.2} ms mean, {:.2} ms max\n\
              faults: {} admission retries, {} worker panics, {} workers restarted\n\
+             durable: {} queries, {} resumes; leases {} granted / {} reclaimed / {} fenced; \
+             {} shards acked; {} snapshots ({} bytes)\n\
              engine kernels: {} merge, {} bsearch, {} gallop\n\
              plan cache: {} hits, {} misses, {} evictions, {} presentation rebuilds",
             self.admitted,
@@ -312,6 +426,14 @@ impl ServiceMetrics {
             self.admission_retries,
             self.worker_panics,
             self.workers_restarted,
+            self.durable_queries,
+            self.resumes,
+            self.leases_granted,
+            self.leases_reclaimed,
+            self.leases_fenced,
+            self.tasks_acked,
+            self.snapshots_taken,
+            self.snapshot_bytes,
             self.engine.warp.merge_kernels,
             self.engine.warp.bsearch_kernels,
             self.engine.warp.gallop_kernels,
@@ -333,6 +455,9 @@ struct Job {
     collect_limit: Option<usize>,
     sink: Option<Arc<dyn MatchSink + Send + Sync>>,
     cancel: CancelFlag,
+    durable: bool,
+    /// Set when this job continues a checkpointed query.
+    resume: Option<QuerySnapshot>,
     submitted: Instant,
     tx: mpsc::Sender<QueryOutcome>,
 }
@@ -358,9 +483,23 @@ struct MetricCounters {
     admission_retries: u64,
     worker_panics: u64,
     workers_restarted: u64,
+    durable_queries: u64,
+    snapshots_taken: u64,
+    snapshot_bytes: u64,
+    resumes: u64,
     engine: RunStats,
     total_latency: Duration,
     max_latency: Duration,
+}
+
+/// Live and recently-completed durable query states. Lease counters of
+/// evicted states fold into `base` so service-lifetime metrics survive
+/// the bounded retention window.
+#[derive(Default)]
+struct DurableRegistry {
+    states: HashMap<u64, Arc<DurableState>>,
+    finished: VecDeque<u64>,
+    base: LeaseStats,
 }
 
 /// Worker handles plus the respawn gate, under one lock so a poisoned
@@ -385,6 +524,17 @@ struct Inner {
     workers: Mutex<WorkerPool>,
     restart_limit: usize,
     next_worker: AtomicUsize,
+    durable_cfg: DurableConfig,
+    durable: Mutex<DurableRegistry>,
+}
+
+/// Durable-registry lock that survives worker panics (same reasoning as
+/// [`lock_metrics`]: no cross-field invariant spans a lock acquisition).
+fn lock_durable(inner: &Inner) -> std::sync::MutexGuard<'_, DurableRegistry> {
+    inner
+        .durable
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Metrics lock that survives worker panics: the counters are
@@ -453,6 +603,8 @@ impl Service {
             }),
             restart_limit: config.worker_restart_limit,
             next_worker: AtomicUsize::new(workers),
+            durable_cfg: config.durability,
+            durable: Mutex::new(DurableRegistry::default()),
         });
         let handles: Vec<_> = (0..workers)
             .map(|i| {
@@ -508,6 +660,7 @@ impl Service {
             *next
         };
         let deadline = request.deadline.or(self.inner.default_deadline);
+        let durable = request.durable.unwrap_or(self.inner.durable_cfg.enabled);
         let job = Job {
             id,
             graph_name: request.graph,
@@ -518,9 +671,17 @@ impl Service {
             collect_limit: request.collect_limit,
             sink: request.sink,
             cancel: cancel.clone(),
+            durable,
+            resume: None,
             submitted: Instant::now(),
             tx,
         };
+        self.enqueue_job(job)?;
+        Ok(QueryHandle { id, cancel, rx })
+    }
+
+    /// Pushes an already-built job through admission control.
+    fn enqueue_job(&self, job: Job) -> Result<(), Rejected> {
         {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
             if q.shutting_down {
@@ -537,7 +698,106 @@ impl Service {
         }
         self.inner.available.notify_one();
         lock_metrics(&self.inner).admitted += 1;
+        Ok(())
+    }
+
+    /// Serializes a running (or recently completed) durable query into a
+    /// versioned byte buffer that [`Service::resume`] — on this service
+    /// or another process entirely — can continue from.
+    ///
+    /// The checkpoint is crash-consistent by construction: shards under
+    /// a live lease are demoted back to unfinished tasks in the image
+    /// (their counts have not been published, so re-executing them is
+    /// exactly-once safe), and the live run is not disturbed. Resuming
+    /// re-runs only unfinished shards and starts the count from the
+    /// published partial sum.
+    pub fn snapshot(&self, query_id: u64) -> Result<Vec<u8>, SnapshotError> {
+        let state = lock_durable(&self.inner).states.get(&query_id).cloned();
+        if let Some(state) = state {
+            let bytes = state.to_snapshot();
+            let mut m = lock_metrics(&self.inner);
+            m.snapshots_taken += 1;
+            m.snapshot_bytes += bytes.len() as u64;
+            return Ok(bytes);
+        }
+        let queued = self
+            .inner
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .jobs
+            .iter()
+            .any(|j| j.id == query_id);
+        Err(if queued {
+            SnapshotError::NotStarted(query_id)
+        } else {
+            SnapshotError::UnknownQuery(query_id)
+        })
+    }
+
+    /// Admits a query that continues from a [`Service::snapshot`] byte
+    /// buffer: already-published shard counts are kept, unfinished
+    /// shards re-execute, and the outcome's count equals what the
+    /// uninterrupted query would have returned.
+    ///
+    /// The snapshot names its graph; the catalog's graph under that name
+    /// must produce the same admitted-edge list length, or the shard
+    /// ranges would index a different edge space
+    /// ([`ResumeError::GraphMismatch`]). Streaming sinks and collect
+    /// limits are not part of the checkpoint; the resumed query counts
+    /// only.
+    pub fn resume(&self, bytes: &[u8]) -> Result<QueryHandle, ResumeError> {
+        let snap = snapshot::decode(bytes)?;
+        let Some(graph) = self.inner.catalog.get(&snap.graph) else {
+            return Err(ResumeError::UnknownGraph(snap.graph));
+        };
+        let plan = self
+            .inner
+            .cache
+            .get_or_build(&snap.graph, &snap.pattern, snap.config.plan);
+        let actual = host_filter_edges(&graph, &plan).len() as u64;
+        if actual != snap.edge_count {
+            return Err(ResumeError::GraphMismatch {
+                expected: snap.edge_count,
+                actual,
+            });
+        }
+        let cancel = CancelFlag::new();
+        let (tx, rx) = mpsc::channel();
+        let id = {
+            let mut next = self.inner.next_id.lock().expect("id poisoned");
+            *next += 1;
+            *next
+        };
+        let job = Job {
+            id,
+            graph_name: snap.graph.clone(),
+            graph,
+            pattern: snap.pattern.clone(),
+            config: snap.config.clone(),
+            deadline: self.inner.default_deadline,
+            collect_limit: None,
+            sink: None,
+            cancel: cancel.clone(),
+            durable: true,
+            resume: Some(snap),
+            submitted: Instant::now(),
+            tx,
+        };
+        self.enqueue_job(job).map_err(ResumeError::Rejected)?;
+        lock_metrics(&self.inner).resumes += 1;
         Ok(QueryHandle { id, cancel, rx })
+    }
+
+    /// Live progress of a durable query (pending/outstanding/acked
+    /// shards, published counts, lease counters, wedge diagnostics);
+    /// `None` for unknown ids, non-durable queries, and queries evicted
+    /// from the completed-query retention window.
+    pub fn progress(&self, query_id: u64) -> Option<QueryProgress> {
+        lock_durable(&self.inner)
+            .states
+            .get(&query_id)
+            .map(|s| s.progress())
     }
 
     /// [`Service::submit`] with bounded retry on transient
@@ -575,6 +835,14 @@ impl Service {
     /// Snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
         let depth = self.inner.queue.lock().expect("queue poisoned").jobs.len();
+        let leases = {
+            let reg = lock_durable(&self.inner);
+            let mut agg = reg.base;
+            for s in reg.states.values() {
+                agg.merge(&s.lease_stats());
+            }
+            agg
+        };
         let m = lock_metrics(&self.inner);
         ServiceMetrics {
             admitted: m.admitted,
@@ -589,6 +857,14 @@ impl Service {
             admission_retries: m.admission_retries,
             worker_panics: m.worker_panics,
             workers_restarted: m.workers_restarted,
+            durable_queries: m.durable_queries,
+            leases_granted: leases.granted,
+            leases_reclaimed: leases.reclaimed,
+            leases_fenced: leases.fenced,
+            tasks_acked: leases.acked,
+            snapshots_taken: m.snapshots_taken,
+            snapshot_bytes: m.snapshot_bytes,
+            resumes: m.resumes,
             engine: m.engine.clone(),
             total_latency: m.total_latency,
             max_latency: m.max_latency,
@@ -697,6 +973,13 @@ fn respawn_replacement(inner: &Arc<Inner>) -> bool {
 }
 
 fn run_job(inner: &Inner, job: &Job) {
+    if job.durable {
+        run_durable_job(inner, job);
+        return;
+    }
+    // On the legacy path the kill point covers the whole query (a
+    // scripted panic here fails it with `WorkerPanicked`); the durable
+    // path fires it per shard instead, where it is a recovered fault.
     crate::chaos_point!("service.worker.run");
     let mut cfg = job.config.clone().with_cancel(job.cancel.clone());
     if let Some(deadline) = job.deadline {
@@ -745,6 +1028,96 @@ fn run_job(inner: &Inner, job: &Job) {
             })
             .collect()
     });
+    finish(inner, job, result, matches);
+}
+
+/// Executes a query on the durable path: shard the admitted edge list
+/// into a lease ledger, run shard workers under the per-query watchdog,
+/// and publish counts through epoch-fenced acks. See [`crate::durable`].
+fn run_durable_job(inner: &Inner, job: &Job) {
+    let start = Instant::now();
+    // Deadline accounting mirrors the legacy path: the engine time
+    // limit and the from-submission deadline combine into one absolute
+    // instant each shard derives its remaining budget from.
+    let mut deadline_at = job.config.time_limit.map(|l| start + l);
+    if let Some(d) = job.deadline {
+        let abs = job.submitted + d;
+        if Instant::now() > abs {
+            finish(inner, job, Err(EngineError::TimeLimit), None);
+            return;
+        }
+        deadline_at = Some(deadline_at.map_or(abs, |x| x.min(abs)));
+    }
+    let plan = inner
+        .cache
+        .get_or_build(&job.graph_name, &job.pattern, job.config.plan);
+    let edges = host_filter_edges(&job.graph, &plan);
+    // The state's stored config is what a snapshot serializes: the
+    // run-scoped cancel token and time limit are not part of the
+    // query's durable identity.
+    let mut durable_config = job.config.clone();
+    durable_config.cancel = None;
+    durable_config.time_limit = None;
+    let state = match &job.resume {
+        Some(snap) => durable::resumed_state(job.id, snap, &inner.durable_cfg),
+        None => durable::fresh_state(
+            job.id,
+            job.graph_name.clone(),
+            job.pattern.clone(),
+            durable_config,
+            &job.graph,
+            &edges,
+            &inner.durable_cfg,
+        ),
+    };
+    lock_durable(inner)
+        .states
+        .insert(job.id, Arc::clone(&state));
+    lock_metrics(inner).durable_queries += 1;
+
+    let collector = job
+        .collect_limit
+        .map(|limit| CollectSink::with_cancel(limit, job.cancel.clone()));
+    let djob = DurableJob {
+        graph: &job.graph,
+        plan: &plan,
+        config: &job.config,
+        edges: &edges,
+        cancel: &job.cancel,
+        deadline: deadline_at,
+        collector: collector.as_ref(),
+        client: job.sink.as_deref().map(|s| s as &dyn MatchSink),
+    };
+    let result = durable::execute(&state, &djob, &inner.durable_cfg, start);
+    let matches = collector.map(|c| {
+        let k = plan.k();
+        c.into_matches()
+            .into_iter()
+            .map(|by_pos| {
+                let mut by_vertex = vec![0u32; k];
+                for (i, &v) in by_pos.iter().enumerate() {
+                    by_vertex[plan.order.order[i]] = v;
+                }
+                by_vertex
+            })
+            .collect()
+    });
+
+    state.done.store(true, Ordering::Relaxed);
+    {
+        // Retain the completed state (bounded) so post-completion
+        // snapshots and progress probes still resolve; fold evicted
+        // ledgers into the lifetime base counters.
+        let mut reg = lock_durable(inner);
+        reg.finished.push_back(job.id);
+        while reg.finished.len() > DURABLE_RETAIN {
+            let evicted = reg.finished.pop_front().expect("non-empty");
+            if let Some(s) = reg.states.remove(&evicted) {
+                let stats = s.lease_stats();
+                reg.base.merge(&stats);
+            }
+        }
+    }
     finish(inner, job, result, matches);
 }
 
@@ -1052,8 +1425,14 @@ mod tests {
         let sink = Arc::new(PanicOnceSink {
             armed: std::sync::atomic::AtomicBool::new(true),
         });
+        // Legacy path opt-out: durable execution would recover this
+        // panic per shard instead of failing the query.
         let h = svc
-            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .submit(
+                QueryRequest::new("k5", Pattern::clique(3))
+                    .with_sink(sink)
+                    .with_durable(false),
+            )
             .unwrap();
         let out = h.wait();
         assert!(matches!(out.result, Err(EngineError::WorkerPanicked)));
@@ -1090,7 +1469,11 @@ mod tests {
             armed: std::sync::atomic::AtomicBool::new(true),
         });
         let h = svc
-            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_sink(sink))
+            .submit(
+                QueryRequest::new("k5", Pattern::clique(3))
+                    .with_sink(sink)
+                    .with_durable(false),
+            )
             .unwrap();
         assert!(matches!(h.wait().result, Err(EngineError::WorkerPanicked)));
         // No restart budget: the panicking thread itself keeps serving.

@@ -1,0 +1,608 @@
+//! The versioned query-snapshot wire format.
+//!
+//! [`Service::snapshot`](crate::Service::snapshot) serializes a durable
+//! query's recoverable state — pattern, engine configuration, unfinished
+//! edge-range shards (outstanding leases demoted back to tasks), the
+//! acked-task set and the accumulated partial count — into a
+//! self-contained byte buffer that
+//! [`Service::resume`](crate::Service::resume) can reconstruct in the
+//! same process or after a full restart.
+//!
+//! The workspace is deliberately dependency-free, so the codec is
+//! hand-rolled: little-endian fixed-width integers, length-prefixed
+//! lists, a magic header and an explicit version number. A decoder
+//! **rejects** unknown versions and trailing garbage instead of
+//! guessing — schema evolution must bump [`SNAPSHOT_VERSION`] and keep
+//! a decode path for the old one. The exact bytes are pinned by a
+//! golden test so accidental format changes are caught in review.
+//!
+//! What is *not* serialized, by design:
+//! - the data graph (snapshots name it; the resuming service must have
+//!   a graph registered under the same name — a mismatch is caught by
+//!   comparing admitted-edge counts);
+//! - deadlines, sinks and collect limits (properties of a *request*,
+//!   not of the partial work; a resumed query gets fresh ones);
+//! - cancellation tokens (a snapshot of a cancelled query resumes
+//!   un-cancelled — that is the point of suspend/resume).
+
+use std::fmt;
+use std::time::Duration;
+
+use tdfs_core::{ArrayCapacity, MatcherConfig, OverflowPolicy, StackConfig, Strategy};
+use tdfs_query::Pattern;
+
+use crate::durable::Shard;
+
+/// Magic bytes opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TDFSSNAP";
+
+/// Current wire-format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// A decoded (or to-be-encoded) durable-query snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySnapshot {
+    /// Catalog name of the data graph.
+    pub graph: String,
+    /// The query pattern.
+    pub pattern: Pattern,
+    /// Engine configuration (without cancel token / time limit).
+    pub config: MatcherConfig,
+    /// Admitted-edge count at snapshot time — the resume-side sanity
+    /// check that the named graph still produces the same edge space.
+    pub edge_count: u64,
+    /// Matches already published by acked tasks.
+    pub matches: u64,
+    /// Embeddings emitted to sinks so far (heartbeat bookkeeping).
+    pub emitted: u64,
+    /// Tasks acked so far (including before earlier resumes).
+    pub tasks_acked: u64,
+    /// How many times this query has been resumed already.
+    pub resumes: u32,
+    /// Ledger id-allocator position.
+    pub next_task_id: u64,
+    /// Ids of acked (published) tasks.
+    pub acked: Vec<u64>,
+    /// Unfinished shards as `(task_id, epoch, shard)` — unclaimed
+    /// pending tasks plus outstanding leases demoted back to tasks.
+    pub pending: Vec<(u64, u32, Shard)>,
+}
+
+/// Why a snapshot buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The version is not one this build can decode.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// A field held an impossible value.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (supported: 1)")
+            }
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---- Writer ----
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+// ---- Reader ----
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Corrupt(what)),
+        }
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Corrupt("non-utf8 string"))
+    }
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+// ---- Config codec ----
+
+/// `None` durations are encoded as `u64::MAX` nanoseconds.
+const NONE_NS: u64 = u64::MAX;
+
+fn opt_duration_ns(d: Option<Duration>) -> u64 {
+    d.map_or(NONE_NS, |d| d.as_nanos().min(NONE_NS as u128 - 1) as u64)
+}
+
+fn ns_opt_duration(ns: u64) -> Option<Duration> {
+    (ns != NONE_NS).then(|| Duration::from_nanos(ns))
+}
+
+fn write_config(w: &mut Writer, cfg: &MatcherConfig) {
+    match cfg.strategy {
+        Strategy::Timeout { tau } => {
+            w.u8(0);
+            w.u64(opt_duration_ns(tau));
+        }
+        Strategy::HalfSteal => w.u8(1),
+        Strategy::NewKernel { fanout_threshold } => {
+            w.u8(2);
+            w.u64(fanout_threshold as u64);
+        }
+        Strategy::Bfs { budget_bytes } => {
+            w.u8(3);
+            w.u64(budget_bytes as u64);
+        }
+        Strategy::Hybrid { budget_bytes, tau } => {
+            w.u8(4);
+            w.u64(budget_bytes as u64);
+            w.u64(opt_duration_ns(tau));
+        }
+    }
+    w.u32(cfg.num_warps as u32);
+    match cfg.stack {
+        StackConfig::Paged {
+            arena_pages,
+            table_len,
+            spill,
+        } => {
+            w.u8(0);
+            w.u64(arena_pages as u64);
+            w.u32(table_len as u32);
+            w.bool(spill);
+        }
+        StackConfig::Array { capacity, policy } => {
+            w.u8(1);
+            match capacity {
+                ArrayCapacity::DMax => w.u8(0),
+                ArrayCapacity::Fixed(n) => {
+                    w.u8(1);
+                    w.u64(n as u64);
+                }
+            }
+            w.u8(match policy {
+                OverflowPolicy::Error => 0,
+                OverflowPolicy::Truncate => 1,
+            });
+        }
+    }
+    w.bool(cfg.plan.symmetry_breaking);
+    w.bool(cfg.plan.intersection_reuse);
+    w.bool(cfg.fused_injectivity);
+    w.bool(cfg.fused_leaf);
+    w.bool(cfg.host_edge_filter);
+    w.bool(cfg.ct_index);
+    w.u64(cfg.chunk_size as u64);
+    w.u64(cfg.queue_capacity as u64);
+}
+
+fn read_config(r: &mut Reader) -> Result<MatcherConfig, DecodeError> {
+    let strategy = match r.u8()? {
+        0 => Strategy::Timeout {
+            tau: ns_opt_duration(r.u64()?),
+        },
+        1 => Strategy::HalfSteal,
+        2 => Strategy::NewKernel {
+            fanout_threshold: r.u64()? as usize,
+        },
+        3 => Strategy::Bfs {
+            budget_bytes: r.u64()? as usize,
+        },
+        4 => {
+            let budget_bytes = r.u64()? as usize;
+            Strategy::Hybrid {
+                budget_bytes,
+                tau: ns_opt_duration(r.u64()?),
+            }
+        }
+        _ => return Err(DecodeError::Corrupt("strategy tag")),
+    };
+    let num_warps = r.u32()? as usize;
+    if num_warps == 0 {
+        return Err(DecodeError::Corrupt("zero warps"));
+    }
+    let stack = match r.u8()? {
+        0 => StackConfig::Paged {
+            arena_pages: r.u64()? as usize,
+            table_len: r.u32()? as usize,
+            spill: r.bool("spill flag")?,
+        },
+        1 => {
+            let capacity = match r.u8()? {
+                0 => ArrayCapacity::DMax,
+                1 => ArrayCapacity::Fixed(r.u64()? as usize),
+                _ => return Err(DecodeError::Corrupt("capacity tag")),
+            };
+            let policy = match r.u8()? {
+                0 => OverflowPolicy::Error,
+                1 => OverflowPolicy::Truncate,
+                _ => return Err(DecodeError::Corrupt("policy tag")),
+            };
+            StackConfig::Array { capacity, policy }
+        }
+        _ => return Err(DecodeError::Corrupt("stack tag")),
+    };
+    let mut cfg = MatcherConfig::tdfs();
+    cfg.strategy = strategy;
+    cfg.num_warps = num_warps;
+    cfg.stack = stack;
+    cfg.plan.symmetry_breaking = r.bool("symmetry flag")?;
+    cfg.plan.intersection_reuse = r.bool("reuse flag")?;
+    cfg.fused_injectivity = r.bool("fused-injectivity flag")?;
+    cfg.fused_leaf = r.bool("fused-leaf flag")?;
+    cfg.host_edge_filter = r.bool("host-filter flag")?;
+    cfg.ct_index = r.bool("ct-index flag")?;
+    cfg.chunk_size = r.u64()? as usize;
+    cfg.queue_capacity = r.u64()? as usize;
+    cfg.time_limit = None;
+    cfg.cancel = None;
+    Ok(cfg)
+}
+
+// ---- Snapshot codec ----
+
+/// Encodes `snap` into the versioned wire format.
+pub fn encode(snap: &QuerySnapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    w.u16(SNAPSHOT_VERSION);
+    w.str(&snap.graph);
+    // Pattern: n, labels, edges.
+    let n = snap.pattern.num_vertices();
+    w.u32(n as u32);
+    for u in 0..n {
+        w.u32(snap.pattern.label(u));
+    }
+    let edges = snap.pattern.edges();
+    w.u32(edges.len() as u32);
+    for (u, v) in edges {
+        w.u8(u as u8);
+        w.u8(v as u8);
+    }
+    write_config(&mut w, &snap.config);
+    w.u64(snap.edge_count);
+    w.u64(snap.matches);
+    w.u64(snap.emitted);
+    w.u64(snap.tasks_acked);
+    w.u32(snap.resumes);
+    w.u64(snap.next_task_id);
+    w.u32(snap.acked.len() as u32);
+    for &id in &snap.acked {
+        w.u64(id);
+    }
+    w.u32(snap.pending.len() as u32);
+    for &(id, epoch, shard) in &snap.pending {
+        w.u64(id);
+        w.u32(epoch);
+        w.u64(shard.start as u64);
+        w.u64(shard.end as u64);
+    }
+    w.buf
+}
+
+/// Decodes a snapshot, rejecting bad magic, unknown versions,
+/// truncation and trailing bytes.
+pub fn decode(bytes: &[u8]) -> Result<QuerySnapshot, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != SNAPSHOT_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let graph = r.str()?;
+    let n = r.u32()? as usize;
+    if !(1..=32).contains(&n) {
+        return Err(DecodeError::Corrupt("pattern size"));
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(r.u32()?);
+    }
+    let num_edges = r.u32()? as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = r.u8()? as usize;
+        let v = r.u8()? as usize;
+        if u >= n || v >= n || u == v {
+            return Err(DecodeError::Corrupt("pattern edge"));
+        }
+        edges.push((u, v));
+    }
+    let pattern = Pattern::from_edges_labeled(n, &edges, labels);
+    let config = read_config(&mut r)?;
+    let edge_count = r.u64()?;
+    let matches = r.u64()?;
+    let emitted = r.u64()?;
+    let tasks_acked = r.u64()?;
+    let resumes = r.u32()?;
+    let next_task_id = r.u64()?;
+    let num_acked = r.u32()? as usize;
+    let mut acked = Vec::with_capacity(num_acked);
+    for _ in 0..num_acked {
+        acked.push(r.u64()?);
+    }
+    let num_pending = r.u32()? as usize;
+    let mut pending = Vec::with_capacity(num_pending);
+    for _ in 0..num_pending {
+        let id = r.u64()?;
+        let epoch = r.u32()?;
+        let start = r.u64()?;
+        let end = r.u64()?;
+        if start > end || end > edge_count {
+            return Err(DecodeError::Corrupt("shard range"));
+        }
+        pending.push((
+            id,
+            epoch,
+            Shard {
+                start: start as u32,
+                end: end as u32,
+            },
+        ));
+    }
+    r.done()?;
+    Ok(QuerySnapshot {
+        graph,
+        pattern,
+        config,
+        edge_count,
+        matches,
+        emitted,
+        tasks_acked,
+        resumes,
+        next_task_id,
+        acked,
+        pending,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QuerySnapshot {
+        QuerySnapshot {
+            graph: "ba".to_owned(),
+            pattern: Pattern::clique(3),
+            config: MatcherConfig::tdfs().with_warps(4),
+            edge_count: 100,
+            matches: 42,
+            emitted: 7,
+            tasks_acked: 3,
+            resumes: 1,
+            next_task_id: 5,
+            acked: vec![0, 2, 4],
+            pending: vec![
+                (1, 0, Shard { start: 20, end: 40 }),
+                (3, 2, Shard { start: 60, end: 80 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let snap = sample();
+        let decoded = decode(&encode(&snap)).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn round_trips_every_preset_config() {
+        for cfg in [
+            MatcherConfig::tdfs(),
+            MatcherConfig::tdfs_array(),
+            MatcherConfig::no_steal(),
+            MatcherConfig::stmatch_like(),
+            MatcherConfig::egsm_like(),
+            MatcherConfig::pbe_like(),
+            MatcherConfig::hybrid(),
+        ] {
+            let snap = QuerySnapshot {
+                config: cfg.clone(),
+                ..sample()
+            };
+            assert_eq!(decode(&encode(&snap)).unwrap().config, cfg);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample());
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 0x63; // version 99
+        bytes[9] = 0x00;
+        assert_eq!(decode(&bytes), Err(DecodeError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated | DecodeError::BadMagic | DecodeError::Corrupt(_)
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode(&sample());
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(DecodeError::Corrupt("trailing bytes")));
+    }
+
+    #[test]
+    fn rejects_out_of_range_shard() {
+        let snap = QuerySnapshot {
+            pending: vec![(
+                1,
+                0,
+                Shard {
+                    start: 90,
+                    end: 200, // past edge_count = 100
+                },
+            )],
+            ..sample()
+        };
+        assert_eq!(
+            decode(&encode(&snap)),
+            Err(DecodeError::Corrupt("shard range"))
+        );
+    }
+
+    /// Pins the exact wire bytes of version 1. If this test fails you
+    /// changed the format: bump [`SNAPSHOT_VERSION`], keep a decoder
+    /// for version 1, and re-pin.
+    #[test]
+    fn golden_wire_format_v1() {
+        let snap = QuerySnapshot {
+            graph: "g".to_owned(),
+            pattern: Pattern::clique(3),
+            config: MatcherConfig::tdfs().with_warps(2),
+            edge_count: 10,
+            matches: 5,
+            emitted: 0,
+            tasks_acked: 1,
+            resumes: 0,
+            next_task_id: 2,
+            acked: vec![0],
+            pending: vec![(1, 1, Shard { start: 4, end: 10 })],
+        };
+        let golden: Vec<u8> = vec![
+            // magic "TDFSSNAP"
+            0x54, 0x44, 0x46, 0x53, 0x53, 0x4e, 0x41, 0x50, //
+            // version 1
+            0x01, 0x00, //
+            // graph name: len 1, "g"
+            0x01, 0x00, 0x00, 0x00, 0x67, //
+            // pattern: n=3, labels [0,0,0]
+            0x03, 0x00, 0x00, 0x00, //
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            // 3 edges: (0,1) (0,2) (1,2)
+            0x03, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x01, 0x02, //
+            // strategy Timeout, tau = 10 ms = 10_000_000 ns
+            0x00, 0x80, 0x96, 0x98, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            // num_warps = 2
+            0x02, 0x00, 0x00, 0x00, //
+            // stack Paged { arena_pages: 8192, table_len: 40, spill: true }
+            0x00, 0x00, 0x20, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x28, 0x00, 0x00, 0x00, 0x01, //
+            // plan: symmetry on, reuse on; fused_injectivity, fused_leaf,
+            // host_edge_filter off, ct_index off
+            0x01, 0x01, 0x01, 0x01, 0x00, 0x00, //
+            // chunk_size = 8, queue_capacity = 16384
+            0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x00, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            // edge_count 10, matches 5, emitted 0, tasks_acked 1
+            0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            // resumes 0, next_task_id 2
+            0x00, 0x00, 0x00, 0x00, //
+            0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            // acked: [0]
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            // pending: [(id 1, epoch 1, shard 4..10)]
+            0x01, 0x00, 0x00, 0x00, //
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x01, 0x00, 0x00, 0x00, //
+            0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+            0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        ];
+        let bytes = encode(&snap);
+        assert_eq!(
+            bytes, golden,
+            "wire format changed — bump SNAPSHOT_VERSION and re-pin"
+        );
+        assert_eq!(decode(&golden).unwrap(), snap);
+    }
+}

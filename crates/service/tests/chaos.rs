@@ -44,8 +44,11 @@ fn injected_worker_crash_fails_query_and_restarts_worker() {
     });
     svc.register_graph("k5", k5());
 
+    // `.with_durable(false)` pins the legacy single-shot path: on the
+    // durable path this same fault point fires per shard and the panic
+    // would be recovered instead of failing the query.
     let out = svc
-        .submit(QueryRequest::new("k5", Pattern::clique(3)))
+        .submit(QueryRequest::new("k5", Pattern::clique(3)).with_durable(false))
         .unwrap()
         .wait();
     assert!(matches!(out.result, Err(EngineError::WorkerPanicked)));
@@ -54,7 +57,7 @@ fn injected_worker_crash_fails_query_and_restarts_worker() {
     // The sole worker was replaced: the next query still runs, on an
     // unscripted pass through the same fault point.
     let out = svc
-        .submit(QueryRequest::new("k5", Pattern::clique(3)))
+        .submit(QueryRequest::new("k5", Pattern::clique(3)).with_durable(false))
         .unwrap()
         .wait();
     assert_eq!(out.result.unwrap().matches, 10);
@@ -91,7 +94,7 @@ fn crash_storm_exhausts_restart_budget_without_losing_the_pool() {
 
     for i in 0..3 {
         let out = svc
-            .submit(QueryRequest::new("k5", Pattern::clique(3)))
+            .submit(QueryRequest::new("k5", Pattern::clique(3)).with_durable(false))
             .unwrap()
             .wait();
         assert!(
@@ -102,7 +105,7 @@ fn crash_storm_exhausts_restart_budget_without_losing_the_pool() {
     // Third panic found the budget spent: no third restart, but the
     // surviving thread keeps draining the queue.
     let out = svc
-        .submit(QueryRequest::new("k5", Pattern::clique(4)))
+        .submit(QueryRequest::new("k5", Pattern::clique(4)).with_durable(false))
         .unwrap()
         .wait();
     assert_eq!(out.result.unwrap().matches, 5);

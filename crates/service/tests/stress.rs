@@ -20,8 +20,7 @@ fn concurrent_clients_get_correct_counts() {
         workers: 3,
         queue_capacity: 128,
         plan_cache_capacity: 16,
-        default_deadline: None,
-        worker_restart_limit: 8,
+        ..ServiceConfig::default()
     }));
     let plain = Arc::new(barabasi_albert(250, 4, 31));
     let labeled = {
@@ -99,8 +98,7 @@ fn saturated_service_rejects_not_blocks() {
         workers: 1,
         queue_capacity: 2,
         plan_cache_capacity: 4,
-        default_deadline: None,
-        worker_restart_limit: 8,
+        ..ServiceConfig::default()
     }));
     // One big graph so each query holds the single worker a while.
     svc.register_graph("ba", Arc::new(barabasi_albert(1500, 10, 34)));
@@ -148,8 +146,7 @@ fn cancellation_is_prompt_and_reported() {
         workers: 1,
         queue_capacity: 8,
         plan_cache_capacity: 4,
-        default_deadline: None,
-        worker_restart_limit: 8,
+        ..ServiceConfig::default()
     });
     // Large dense graph + 5-vertex near-clique: minutes of work uncancelled.
     svc.register_graph("big", Arc::new(barabasi_albert(6000, 24, 35)));

@@ -69,6 +69,12 @@ pub enum Action {
     /// Stall the calling thread by yielding `yields` times before continuing
     /// on the success path. Models a straggler warp without wall-clock sleeps.
     Stall { yields: u32 },
+    /// Sleep the calling thread for `millis` before continuing on the
+    /// success path. Models a stalled-but-alive worker holding a lease past
+    /// its deadline — the zombie in lease-fencing tests, where the stall
+    /// must outlast a wall-clock lease timeout (which `Stall`'s scheduler
+    /// yields cannot guarantee).
+    Sleep { millis: u64 },
 }
 
 struct Entry {
@@ -141,6 +147,10 @@ pub fn fire(name: &'static str) -> Outcome {
             for _ in 0..yields {
                 std::thread::yield_now();
             }
+            Outcome::Pass
+        }
+        Some(Action::Sleep { millis }) => {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
             Outcome::Pass
         }
     }
@@ -344,6 +354,17 @@ mod tests {
             .install();
         assert_eq!(fire("t.stall"), Outcome::Pass);
         assert_eq!(injections("t.stall"), 1);
+    }
+
+    #[test]
+    fn sleep_action_blocks_for_the_duration() {
+        let _guard = ChaosScript::new()
+            .on("t.sleep", Trigger::Always, Action::Sleep { millis: 20 })
+            .install();
+        let t = std::time::Instant::now();
+        assert_eq!(fire("t.sleep"), Outcome::Pass);
+        assert!(t.elapsed() >= std::time::Duration::from_millis(20));
+        assert_eq!(injections("t.sleep"), 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Serving demo: one `tdfs-service` instance, two registered graphs,
-//! concurrent clients running labeled and unlabeled queries, then a
+//! concurrent clients running labeled and unlabeled queries, a
+//! suspend/resume round-trip through a serialized checkpoint, then a
 //! service metrics printout.
 //!
 //! ```sh
@@ -20,7 +21,7 @@ fn main() {
         queue_capacity: 16,
         plan_cache_capacity: 16,
         default_deadline: Some(Duration::from_secs(30)),
-        worker_restart_limit: 8,
+        ..ServiceConfig::default()
     }));
 
     // Tenant graphs: an unlabeled scale-free graph and a labeled one.
@@ -90,6 +91,34 @@ fn main() {
     println!(
         "cancelled query: cancelled={}, partial count {}",
         out.cancelled(),
+        out.result.map(|r| r.matches).unwrap_or(0)
+    );
+
+    // Suspend/resume: checkpoint a running query to bytes, cancel the
+    // original, and resume the image — the resumed query picks up the
+    // already-acked shards' counts and finishes only the remainder. The
+    // byte buffer could as well have crossed a process restart.
+    let handle = svc
+        .submit(
+            QueryRequest::new("social", PatternId(8).pattern())
+                .with_config(MatcherConfig::tdfs().with_warps(2)),
+        )
+        .unwrap();
+    let id = handle.id();
+    let checkpoint = loop {
+        match svc.snapshot(id) {
+            Ok(bytes) => break bytes,
+            // Transient: still queued, or mid-handoff to its worker.
+            Err(_) => std::thread::sleep(Duration::from_micros(200)),
+        }
+    };
+    handle.cancel();
+    let _ = handle.wait();
+    let resumed = svc.resume(&checkpoint).expect("valid checkpoint");
+    let out = resumed.wait();
+    println!(
+        "suspended at {} bytes, resumed to {} matches",
+        checkpoint.len(),
         out.result.map(|r| r.matches).unwrap_or(0)
     );
 

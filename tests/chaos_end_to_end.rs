@@ -56,8 +56,7 @@ fn service_survives_a_combined_chaos_storm() {
         // backpressure, driving the retry path.
         queue_capacity: 2,
         plan_cache_capacity: 8,
-        default_deadline: None,
-        worker_restart_limit: 8,
+        ..ServiceConfig::default()
     }));
     svc.register_graph("ba", g.clone());
 
@@ -79,8 +78,13 @@ fn service_survives_a_combined_chaos_storm() {
             handles.push(s.spawn(move || {
                 let mut outcomes = Vec::new();
                 for _ in 0..PER_CLIENT {
+                    // Legacy path: the durable path recovers this
+                    // storm's scripted crash instead of surfacing
+                    // `WorkerPanicked` (covered by the service crate's
+                    // chaos_durable tests).
                     let req = QueryRequest::new("ba", pattern.clone())
-                        .with_config(MatcherConfig::tdfs().with_warps(2));
+                        .with_config(MatcherConfig::tdfs().with_warps(2))
+                        .with_durable(false);
                     let out = svc
                         .submit_with_retry(req, &policy)
                         .expect("retries absorb transient backpressure")
@@ -142,8 +146,7 @@ fn collect_limit_cancels_cleanly_under_chaos() {
         workers: 2,
         queue_capacity: 8,
         plan_cache_capacity: 4,
-        default_deadline: None,
-        worker_restart_limit: 8,
+        ..ServiceConfig::default()
     });
     svc.register_graph("ba", g);
 
