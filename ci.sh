@@ -38,6 +38,21 @@ else
     echo "==> lease bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
 fi
 
+echo "==> overload job (governor: budget, shedding, brownout)"
+# Focused re-run of the overload suite: the client storm under a tiny
+# memory budget, suspend/resume exactness on every engine, sojourn
+# shedding, the cost gate, and the breaker lifecycle — plus the
+# chaos-scripted phantom-pressure suspension.
+cargo test -p tdfs-service --test overload -q
+cargo test -p tdfs-service --features chaos --test chaos -q
+# Governor-overhead guard (BENCH_overload.json, asserts the unloaded
+# path stays <5% geomean over a stock service); opt-in like the above.
+if [[ "${TDFS_BENCH_GUARD:-0}" == "1" ]]; then
+    cargo bench -p tdfs-bench --bench overload
+else
+    echo "==> overload bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
+fi
+
 # Nightly-only ThreadSanitizer pass over the lock-free queue and the page
 # arena, the two places where a memory-ordering mistake would be silent.
 # Opt in with TDFS_NIGHTLY_TSAN=1 (requires a nightly toolchain with

@@ -1,0 +1,127 @@
+//! Overload-governor overhead guard: a service with every governor
+//! mechanism armed (memory budget + scoped charging, cost gate,
+//! sojourn shedding, circuit breaker, background governor thread)
+//! versus a stock service, on an *unloaded* path where none of the
+//! mechanisms ever trigger. The delta isolates the governor's steady
+//! -state cost: per-page budget charging, admission-time gates, and
+//! breaker bookkeeping. Writes `BENCH_overload.json` and asserts the
+//! geometric-mean overhead stays under 5%.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdfs_bench::harness::{bench_median, JsonReport};
+use tdfs_core::MatcherConfig;
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_query::Pattern;
+use tdfs_service::{
+    BreakerConfig, GovernorConfig, QueryRequest, Service, ServiceConfig, ShedPolicy,
+};
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overload.json");
+
+/// Hard bound on the geometric-mean governed/stock ratio.
+const MAX_OVERHEAD: f64 = 1.05;
+/// Per-workload sanity bound (looser: single medians are noisier).
+const MAX_OVERHEAD_SINGLE: f64 = 1.15;
+
+fn workloads() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("k4", Pattern::clique(4)),
+        (
+            "house",
+            Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
+        ),
+    ]
+}
+
+fn service(governed: bool) -> Service {
+    let governor = if governed {
+        GovernorConfig {
+            // Ample budget: charging is live on every arena page, but
+            // the high-water mark is never reached.
+            memory_budget_pages: Some(1 << 20),
+            shed_policy: ShedPolicy::Sojourn {
+                target: Duration::from_secs(3600),
+            },
+            // Calibrated absurdly fast so no deadline is unmeetable.
+            cost_per_ms: Some(u64::MAX),
+            breaker: BreakerConfig {
+                enabled: true,
+                ..BreakerConfig::default()
+            },
+            ..GovernorConfig::default()
+        }
+    } else {
+        GovernorConfig::default()
+    };
+    Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        plan_cache_capacity: 8,
+        governor,
+        ..ServiceConfig::default()
+    })
+}
+
+fn main() {
+    let g = Arc::new(barabasi_albert(1500, 6, 17));
+    let stock = service(false);
+    let governed = service(true);
+    stock.register_graph("ba", g.clone());
+    governed.register_graph("ba", g);
+    let cfg = MatcherConfig::tdfs().with_warps(4);
+
+    let mut report = JsonReport::new();
+    let mut log_ratio_sum = 0.0;
+    let n = workloads().len() as f64;
+    println!("-- overload_governor_overhead --");
+    for (name, pattern) in workloads() {
+        let run = |svc: &Service| {
+            svc.submit(
+                QueryRequest::new("ba", pattern.clone())
+                    .with_config(cfg.clone())
+                    .with_deadline(Duration::from_secs(3600)),
+            )
+            .unwrap()
+            .wait()
+            .result
+            .unwrap()
+            .matches
+        };
+        // Warm both arms once and check they agree before timing.
+        let (a, b) = (run(&stock), run(&governed));
+        assert_eq!(a, b, "{name}: governed and stock counts must agree");
+
+        let base = bench_median(&format!("overload/{name}/stock"), || run(&stock));
+        let gov = bench_median(&format!("overload/{name}/governed"), || run(&governed));
+        let ratio = gov / base;
+        println!("overload/{name}: overhead {:.2}%", (ratio - 1.0) * 100.0);
+        report.record(&format!("overload/{name}/stock_ns"), base);
+        report.record(&format!("overload/{name}/governed_ns"), gov);
+        report.record(&format!("overload/{name}/overhead_ratio"), ratio);
+        assert!(
+            ratio < MAX_OVERHEAD_SINGLE,
+            "overload/{name}: governed path {ratio:.3}x stock exceeds the \
+             per-workload sanity bound {MAX_OVERHEAD_SINGLE}"
+        );
+        log_ratio_sum += ratio.ln();
+    }
+    let geomean = (log_ratio_sum / n).exp();
+    println!("governor overhead geomean: {:.2}%", (geomean - 1.0) * 100.0);
+    report.record("overload/overhead_geomean", geomean);
+    let m = governed.metrics();
+    assert_eq!(m.suspends, 0, "unloaded path must never suspend");
+    assert_eq!(m.queries_shed, 0, "unloaded path must never shed");
+    assert_eq!(m.rejected_unmeetable + m.rejected_brownout, 0);
+    report
+        .write(REPORT_PATH)
+        .expect("write BENCH_overload.json");
+    assert!(
+        geomean < MAX_OVERHEAD,
+        "governor overhead geomean {geomean:.3} exceeds the {MAX_OVERHEAD} guard"
+    );
+    println!("governor overhead guard: ok (< {MAX_OVERHEAD})");
+    stock.shutdown();
+    governed.shutdown();
+}

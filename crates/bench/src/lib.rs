@@ -179,7 +179,8 @@ impl Report {
             Err(EngineError::TimeLimit) => (None, 0, None, "T"),
             Err(EngineError::Stack(_))
             | Err(EngineError::WorkerPanicked)
-            | Err(EngineError::Wedged) => (None, 0, None, "ERR"),
+            | Err(EngineError::Wedged)
+            | Err(EngineError::Shed) => (None, 0, None, "ERR"),
         };
         self.push(Cell {
             system: system.to_owned(),

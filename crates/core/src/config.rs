@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use tdfs_mem::OverflowPolicy;
+use tdfs_mem::{MemoryBudget, OverflowPolicy};
 use tdfs_query::plan::PlanOptions;
 
 use crate::cancel::CancelFlag;
@@ -131,6 +131,12 @@ pub struct MatcherConfig {
     /// `Ok` with the partial count and [`crate::RunStats::cancelled`]
     /// set. `None` = not cancellable.
     pub cancel: Option<CancelFlag>,
+    /// Cross-run page-accounting handle: when set, the run's paged
+    /// arena charges every page (and heap-spill page-equivalent)
+    /// against it, so an external governor sees this run's memory
+    /// pressure and can bound it. `None` = standalone accounting.
+    /// Compared by identity, like [`cancel`](Self::cancel).
+    pub memory_budget: Option<MemoryBudget>,
 }
 
 impl MatcherConfig {
@@ -156,6 +162,7 @@ impl MatcherConfig {
             queue_capacity: tdfs_gpu::device::DEFAULT_QUEUE_CAPACITY,
             time_limit: None,
             cancel: None,
+            memory_budget: None,
         }
     }
 
@@ -261,6 +268,13 @@ impl MatcherConfig {
     #[inline]
     pub fn cancel_requested(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+    }
+
+    /// Attaches a cross-run memory-budget handle (see
+    /// [`memory_budget`](Self::memory_budget)).
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = Some(budget);
+        self
     }
 
     /// Overrides the warp count.

@@ -51,6 +51,10 @@ pub enum EngineError {
     /// task kept being re-granted past the durable layer's epoch limit.
     /// Raised by the service watchdog, never by the engines.
     Wedged,
+    /// The query was shed by an overload governor (memory pressure,
+    /// sustained queue sojourn, or brownout). Raised by the service
+    /// layer, never by the engines.
+    Shed,
 }
 
 impl std::fmt::Display for EngineError {
@@ -62,6 +66,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Wedged => {
                 write!(f, "query wedged: a task exceeded the lease epoch limit")
             }
+            EngineError::Shed => write!(f, "query shed by the overload governor"),
         }
     }
 }
@@ -275,7 +280,8 @@ pub fn run_on_device_from(
         active_children: AtomicUsize::new(0),
     };
 
-    let factory = StackFactory::resolve(&cfg.stack, g.max_degree());
+    let factory =
+        StackFactory::resolve_budgeted(&cfg.stack, g.max_degree(), cfg.memory_budget.clone());
     let k = plan.k();
 
     let mut stats = RunStats {

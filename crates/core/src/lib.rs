@@ -75,7 +75,7 @@ pub use stats::{RunResult, RunStats};
 // Re-exported so downstream crates (e.g. the service's snapshot codec)
 // can name every part of a `MatcherConfig` without depending on
 // `tdfs-mem` directly.
-pub use tdfs_mem::OverflowPolicy;
+pub use tdfs_mem::{MemoryBudget, OverflowPolicy};
 
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;

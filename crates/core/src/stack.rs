@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, PageArena, PagedLevel};
+use tdfs_mem::{ArrayLevel, LevelStore, MemoryBudget, OverflowPolicy, PageArena, PagedLevel};
 
 use crate::config::{ArrayCapacity, StackConfig};
 
@@ -36,6 +36,15 @@ impl StackFactory {
     /// Resolves a [`StackConfig`] for a graph with maximum degree
     /// `d_max`, allocating the shared arena for paged stacks.
     pub fn resolve(cfg: &StackConfig, d_max: usize) -> Self {
+        Self::resolve_budgeted(cfg, d_max, None)
+    }
+
+    /// Like [`resolve`](Self::resolve), but a paged arena additionally
+    /// charges every page against `budget` (e.g. a per-query scope of a
+    /// service-wide budget): a denied charge behaves exactly like arena
+    /// exhaustion. Ignored for array stacks, whose reservation is fixed
+    /// up front.
+    pub fn resolve_budgeted(cfg: &StackConfig, d_max: usize, budget: Option<MemoryBudget>) -> Self {
         match *cfg {
             StackConfig::Array { capacity, policy } => StackFactory::Array {
                 capacity: match capacity {
@@ -49,7 +58,7 @@ impl StackFactory {
                 table_len,
                 spill,
             } => StackFactory::Paged {
-                arena: Arc::new(PageArena::new(arena_pages)),
+                arena: Arc::new(PageArena::with_budget(arena_pages, budget)),
                 table_len,
                 spill,
             },
@@ -173,6 +182,25 @@ mod tests {
         s2.levels[0].push(2).unwrap();
         assert_eq!(arena.pages_in_use(), 2, "both stacks draw from one arena");
         assert_eq!(s1.page_faults_paged(), 1);
+    }
+
+    #[test]
+    fn resolve_budgeted_charges_scope() {
+        let budget = MemoryBudget::new(64);
+        let f = StackFactory::resolve_budgeted(
+            &StackConfig::Paged {
+                arena_pages: 16,
+                table_len: 4,
+                spill: false,
+            },
+            500,
+            Some(budget.scoped()),
+        );
+        let mut s = WarpStack::new_paged(&f, 3);
+        s.levels[0].push(1).unwrap();
+        assert_eq!(budget.in_use_pages(), 1, "arena page charged upstream");
+        s.levels[0].release();
+        assert_eq!(budget.in_use_pages(), 0);
     }
 
     #[test]

@@ -15,6 +15,115 @@ pub type VertexId = u32;
 /// Vertex label. Unlabeled graphs use label `0` for every vertex.
 pub type Label = u32;
 
+/// Upper bound on vertex ids and label values: both cross the task-queue
+/// / device boundary as `i32`, so anything `>= 2^31` is unrepresentable.
+pub const MAX_VERTEX_ID: u32 = i32::MAX as u32;
+
+/// A violated CSR invariant, reported instead of a panic when building a
+/// graph from untrusted parts ([`CsrGraph::try_from_parts`]) or loading
+/// one from external input ([`crate::io`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// `row_ptr` is empty (must hold `n + 1` offsets).
+    EmptyRowPtr,
+    /// `row_ptr[0]` is not `0`.
+    BadFirstOffset(usize),
+    /// `row_ptr[n]` does not equal `col_idx.len()`.
+    BadLastOffset {
+        /// The offset found at `row_ptr[n]`.
+        got: usize,
+        /// The adjacency length it must equal.
+        arcs: usize,
+    },
+    /// `row_ptr[v] > row_ptr[v + 1]` — offsets must be monotone.
+    NonMonotoneOffsets {
+        /// The vertex whose range is negative.
+        vertex: usize,
+    },
+    /// More vertices than ids representable at the device boundary
+    /// ([`MAX_VERTEX_ID`]).
+    TooManyVertices {
+        /// The vertex count found.
+        got: usize,
+    },
+    /// A neighbor list is not strictly increasing (unsorted or
+    /// duplicated entries).
+    UnsortedAdjacency {
+        /// The vertex whose list is malformed.
+        vertex: usize,
+    },
+    /// A neighbor id is `>= n`.
+    NeighborOutOfRange {
+        /// The vertex whose list contains the bad entry.
+        vertex: usize,
+        /// The out-of-range neighbor id.
+        neighbor: VertexId,
+    },
+    /// A vertex lists itself as a neighbor.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// `u ∈ N(v)` but `v ∉ N(u)` — the adjacency is not symmetric.
+    AsymmetricAdjacency {
+        /// The endpoint with the dangling arc.
+        u: VertexId,
+        /// The endpoint missing the reverse arc.
+        v: VertexId,
+    },
+    /// `labels.len()` is neither `0` nor the vertex count.
+    LabelCountMismatch {
+        /// The vertex count labels must cover.
+        expected: usize,
+        /// The label count found.
+        got: usize,
+    },
+    /// A label value exceeds [`MAX_VERTEX_ID`] (labels also cross the
+    /// device boundary as `i32`).
+    LabelOutOfRange {
+        /// The vertex carrying the bad label.
+        vertex: usize,
+        /// The out-of-range label value.
+        label: Label,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyRowPtr => write!(f, "row_ptr is empty"),
+            GraphError::BadFirstOffset(o) => write!(f, "row_ptr[0] = {o}, expected 0"),
+            GraphError::BadLastOffset { got, arcs } => {
+                write!(f, "row_ptr[n] = {got}, expected col_idx.len() = {arcs}")
+            }
+            GraphError::NonMonotoneOffsets { vertex } => {
+                write!(f, "row_ptr not monotone at vertex {vertex}")
+            }
+            GraphError::TooManyVertices { got } => {
+                write!(f, "{got} vertices exceed the i32 device-id range")
+            }
+            GraphError::UnsortedAdjacency { vertex } => {
+                write!(f, "neighbor list of vertex {vertex} not strictly sorted")
+            }
+            GraphError::NeighborOutOfRange { vertex, neighbor } => {
+                write!(f, "vertex {vertex} lists out-of-range neighbor {neighbor}")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "vertex {vertex} lists itself"),
+            GraphError::AsymmetricAdjacency { u, v } => {
+                write!(f, "arc {u}->{v} has no reverse arc")
+            }
+            GraphError::LabelCountMismatch { expected, got } => {
+                write!(f, "{got} labels for {expected} vertices")
+            }
+            GraphError::LabelOutOfRange { vertex, label } => {
+                write!(f, "label {label} of vertex {vertex} exceeds the i32 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// An immutable undirected graph in CSR form with optional vertex labels.
 ///
 /// Invariants (checked by `debug_assert!` on construction and relied upon
@@ -68,6 +177,83 @@ impl CsrGraph {
             max_degree,
             num_labels,
         }
+    }
+
+    /// Builds a CSR graph from *untrusted* parts, checking every
+    /// invariant [`from_parts`](Self::from_parts) only debug-asserts —
+    /// monotone offsets, sorted in-range adjacency, symmetry, label
+    /// coverage and the `i32` device-id range — and returning a typed
+    /// [`GraphError`] instead of panicking (or silently accepting) on
+    /// malformed input. This is the path all external loaders take.
+    pub fn try_from_parts(
+        row_ptr: Vec<usize>,
+        col_idx: Vec<VertexId>,
+        labels: Vec<Label>,
+    ) -> Result<Self, GraphError> {
+        if row_ptr.is_empty() {
+            return Err(GraphError::EmptyRowPtr);
+        }
+        let first = *row_ptr.first().unwrap();
+        if first != 0 {
+            return Err(GraphError::BadFirstOffset(first));
+        }
+        let last = *row_ptr.last().unwrap();
+        if last != col_idx.len() {
+            return Err(GraphError::BadLastOffset {
+                got: last,
+                arcs: col_idx.len(),
+            });
+        }
+        let n = row_ptr.len() - 1;
+        if n > MAX_VERTEX_ID as usize {
+            return Err(GraphError::TooManyVertices { got: n });
+        }
+        if let Some(v) = row_ptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(GraphError::NonMonotoneOffsets { vertex: v });
+        }
+        if !labels.is_empty() && labels.len() != n {
+            return Err(GraphError::LabelCountMismatch {
+                expected: n,
+                got: labels.len(),
+            });
+        }
+        if let Some((v, &l)) = labels.iter().enumerate().find(|(_, &l)| l > MAX_VERTEX_ID) {
+            return Err(GraphError::LabelOutOfRange {
+                vertex: v,
+                label: l,
+            });
+        }
+        for v in 0..n {
+            let list = &col_idx[row_ptr[v]..row_ptr[v + 1]];
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return Err(GraphError::UnsortedAdjacency { vertex: v });
+            }
+            for &u in list {
+                if u as usize >= n {
+                    return Err(GraphError::NeighborOutOfRange {
+                        vertex: v,
+                        neighbor: u,
+                    });
+                }
+                if u as usize == v {
+                    return Err(GraphError::SelfLoop { vertex: v });
+                }
+            }
+        }
+        // Symmetry: every arc must have its reverse. Per-list binary
+        // search keeps this O(m log d) without extra allocation.
+        for v in 0..n {
+            for &u in &col_idx[row_ptr[v]..row_ptr[v + 1]] {
+                let back = &col_idx[row_ptr[u as usize]..row_ptr[u as usize + 1]];
+                if back.binary_search(&(v as VertexId)).is_err() {
+                    return Err(GraphError::AsymmetricAdjacency {
+                        u: v as VertexId,
+                        v: u,
+                    });
+                }
+            }
+        }
+        Ok(Self::from_parts(row_ptr, col_idx, labels))
     }
 
     /// Number of vertices.

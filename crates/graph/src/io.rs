@@ -9,7 +9,7 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::builder::GraphBuilder;
-use crate::csr::{CsrGraph, Label, VertexId};
+use crate::csr::{CsrGraph, GraphError, Label, VertexId, MAX_VERTEX_ID};
 
 /// Errors produced by graph I/O.
 #[derive(Debug)]
@@ -18,6 +18,8 @@ pub enum IoError {
     Io(io::Error),
     /// Malformed line with its 1-based line number.
     Parse { line: usize, content: String },
+    /// Input parsed but violates a CSR invariant.
+    Invalid(GraphError),
 }
 
 impl std::fmt::Display for IoError {
@@ -27,6 +29,7 @@ impl std::fmt::Display for IoError {
             IoError::Parse { line, content } => {
                 write!(f, "parse error at line {line}: {content:?}")
             }
+            IoError::Invalid(e) => write!(f, "invalid graph: {e}"),
         }
     }
 }
@@ -36,6 +39,12 @@ impl std::error::Error for IoError {}
 impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {
         IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Invalid(e)
     }
 }
 
@@ -49,7 +58,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        // Vertex ids must stay representable at the i32 device boundary
+        // (see `csr::MAX_VERTEX_ID`) — a single huge id would also make
+        // the builder allocate offsets for every id below it.
+        let parse = |tok: Option<&str>| -> Option<VertexId> {
+            tok?.parse().ok().filter(|&v| v <= MAX_VERTEX_ID)
+        };
         match (parse(it.next()), parse(it.next())) {
             (Some(u), Some(v)) => builder.push_edge(u, v),
             _ => {
@@ -100,7 +114,10 @@ pub fn read_labels<R: BufRead>(g: CsrGraph, reader: R) -> Result<CsrGraph, IoErr
         }
         let mut it = trimmed.split_whitespace();
         let v: Option<usize> = it.next().and_then(|t| t.parse().ok());
-        let l: Option<Label> = it.next().and_then(|t| t.parse().ok());
+        let l: Option<Label> = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .filter(|&l| l <= MAX_VERTEX_ID);
         match (v, l) {
             (Some(v), Some(l)) if v < labels.len() => labels[v] = l,
             _ => {
@@ -171,19 +188,17 @@ pub fn read_binary<R: io::Read>(mut r: R) -> Result<CsrGraph, IoError> {
     if n > u32::MAX as usize || arcs > (u32::MAX as usize) * 2 {
         return Err(bad("snapshot header sizes out of range"));
     }
-    let mut row_ptr = Vec::with_capacity(n + 1);
+    // Cap the upfront reservation: a corrupted header claiming billions
+    // of entries must not allocate gigabytes before the (short) payload
+    // reads fail. Growth past the cap goes through normal doubling.
+    const RESERVE_CAP: usize = 1 << 20;
+    let mut row_ptr = Vec::with_capacity((n + 1).min(RESERVE_CAP));
     for _ in 0..=n {
         let mut b = [0u8; 8];
         r.read_exact(&mut b)?;
         row_ptr.push(u64::from_le_bytes(b) as usize);
     }
-    if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&arcs) {
-        return Err(bad("snapshot row_ptr endpoints inconsistent"));
-    }
-    if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-        return Err(bad("snapshot row_ptr not monotone"));
-    }
-    let mut col_idx = Vec::with_capacity(arcs);
+    let mut col_idx = Vec::with_capacity(arcs.min(RESERVE_CAP));
     let mut b4 = [0u8; 4];
     for _ in 0..arcs {
         r.read_exact(&mut b4)?;
@@ -191,30 +206,15 @@ pub fn read_binary<R: io::Read>(mut r: R) -> Result<CsrGraph, IoError> {
     }
     let mut labels = Vec::new();
     if labeled {
-        labels.reserve(n);
+        labels.reserve(n.min(RESERVE_CAP));
         for _ in 0..n {
             r.read_exact(&mut b4)?;
             labels.push(u32::from_le_bytes(b4));
         }
     }
-    // Re-validate adjacency invariants through the builder-equivalent
-    // checks: sorted-per-vertex, in-range, symmetric.
-    for v in 0..n {
-        let list = &col_idx[row_ptr[v]..row_ptr[v + 1]];
-        if !list.windows(2).all(|w| w[0] < w[1]) {
-            return Err(bad("snapshot adjacency not strictly sorted"));
-        }
-        if list.iter().any(|&u| u as usize >= n || u as usize == v) {
-            return Err(bad("snapshot adjacency out of range or self-loop"));
-        }
-    }
-    let g = CsrGraph::from_parts(row_ptr, col_idx, labels);
-    for (u, v) in g.arcs() {
-        if !g.has_edge(v, u) {
-            return Err(bad("snapshot adjacency not symmetric"));
-        }
-    }
-    Ok(g)
+    // Full invariant validation (offsets, sortedness, range, symmetry,
+    // labels) lives in one place for every untrusted source.
+    Ok(CsrGraph::try_from_parts(row_ptr, col_idx, labels)?)
 }
 
 /// Reads a binary CSR snapshot from a file path.

@@ -34,6 +34,6 @@ pub mod stats;
 pub mod transform;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, Label, VertexId};
+pub use csr::{CsrGraph, GraphError, Label, VertexId, MAX_VERTEX_ID};
 pub use datasets::{Dataset, DatasetId};
 pub use stats::GraphStats;

@@ -11,6 +11,8 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
+use crate::budget::MemoryBudget;
+
 /// Page size in 32-bit integers (8 KB, the paper's default).
 pub const PAGE_INTS: usize = 2048;
 /// Page size in bytes.
@@ -38,6 +40,9 @@ pub struct PageArena {
     peak: AtomicU32,
     allocs: AtomicU64,
     failed_allocs: AtomicU64,
+    /// Optional cross-arena accounting: every held page is charged here,
+    /// and a denied charge fails the allocation exactly like exhaustion.
+    budget: Option<MemoryBudget>,
 }
 
 // SAFETY: all shared mutation goes through atomics except page contents,
@@ -49,6 +54,15 @@ unsafe impl Send for PageArena {}
 impl PageArena {
     /// Preallocates an arena of `num_pages` pages.
     pub fn new(num_pages: usize) -> Self {
+        Self::with_budget(num_pages, None)
+    }
+
+    /// Preallocates an arena whose page allocations are additionally
+    /// charged against `budget` (e.g. a per-query scope of a service
+    /// global): a denied charge fails the allocation exactly like arena
+    /// exhaustion, so callers degrade down their existing spill /
+    /// `OutOfPages` paths.
+    pub fn with_budget(num_pages: usize, budget: Option<MemoryBudget>) -> Self {
         assert!(num_pages >= 1 && num_pages < NIL as usize);
         let data = vec![0u32; num_pages * PAGE_INTS].into_boxed_slice();
         let next: Box<[AtomicU32]> = (0..num_pages as u32)
@@ -62,7 +76,13 @@ impl PageArena {
             peak: AtomicU32::new(0),
             allocs: AtomicU64::new(0),
             failed_allocs: AtomicU64::new(0),
+            budget,
         }
+    }
+
+    /// The attached cross-arena budget, if any.
+    pub fn budget(&self) -> Option<&MemoryBudget> {
+        self.budget.as_ref()
     }
 
     /// Arena capacity in pages.
@@ -106,10 +126,19 @@ impl PageArena {
             self.failed_allocs.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        if let Some(budget) = &self.budget {
+            if !budget.try_charge(1) {
+                self.failed_allocs.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         loop {
             let head = self.head.load(Ordering::Acquire);
             let page = head as u32;
             if page == NIL {
+                if let Some(budget) = &self.budget {
+                    budget.release(1);
+                }
                 self.failed_allocs.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -147,6 +176,9 @@ impl PageArena {
                 .is_ok()
             {
                 self.in_use.fetch_sub(1, Ordering::Relaxed);
+                if let Some(budget) = &self.budget {
+                    budget.release(1);
+                }
                 return;
             }
         }

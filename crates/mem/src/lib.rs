@@ -15,6 +15,7 @@
 //!   on-demand page allocation (paper Algorithm 5 / Fig. 6).
 
 pub mod arena;
+pub mod budget;
 pub mod level;
 pub mod paged;
 
@@ -38,5 +39,6 @@ macro_rules! chaos_inject {
 pub(crate) use chaos_inject;
 
 pub use arena::{PageArena, PageId, PAGE_BYTES, PAGE_INTS};
+pub use budget::MemoryBudget;
 pub use level::{ArrayLevel, LevelStore, OverflowPolicy, StackError};
 pub use paged::{PagedLevel, DEFAULT_PAGE_TABLE_LEN};

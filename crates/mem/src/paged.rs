@@ -59,6 +59,10 @@ pub struct PagedLevel {
     spill_events: u64,
     /// Elements written to the spill since creation.
     spilled_total: u64,
+    /// Page-equivalents of the current spill charged to the arena's
+    /// budget (when one is attached), so heap-spill growth shows up as
+    /// memory pressure alongside real arena pages.
+    spill_pages_charged: usize,
 }
 
 const NOT_SPILLING: usize = usize::MAX;
@@ -85,6 +89,30 @@ impl PagedLevel {
             spill: Vec::new(),
             spill_events: 0,
             spilled_total: 0,
+            spill_pages_charged: 0,
+        }
+    }
+
+    /// Charges the spill tail to the arena budget in page-equivalents
+    /// (unchecked: a spill cannot be refused mid-fill, only observed).
+    #[inline]
+    fn sync_spill_charge(&mut self) {
+        let need = self.spill.len().div_ceil(PAGE_INTS);
+        if need > self.spill_pages_charged {
+            if let Some(budget) = self.arena.budget() {
+                budget.charge_unchecked(need - self.spill_pages_charged);
+            }
+            self.spill_pages_charged = need;
+        }
+    }
+
+    /// Returns the spill's budget charge (on clear/release).
+    fn drop_spill_charge(&mut self) {
+        if self.spill_pages_charged > 0 {
+            if let Some(budget) = self.arena.budget() {
+                budget.release(self.spill_pages_charged);
+            }
+            self.spill_pages_charged = 0;
         }
     }
 
@@ -144,6 +172,7 @@ impl PagedLevel {
         self.write_page = NULL_PAGE;
         self.spill_start = NOT_SPILLING;
         self.spill = Vec::new();
+        self.drop_spill_charge();
     }
 
     /// The paper's optional shrink policy: "assume we have n pages in a
@@ -206,6 +235,7 @@ impl LevelStore for PagedLevel {
         // capacity so repeated spills don't reallocate.
         self.spill_start = NOT_SPILLING;
         self.spill.clear();
+        self.drop_spill_charge();
     }
 
     fn push(&mut self, v: u32) -> Result<(), StackError> {
@@ -215,6 +245,7 @@ impl LevelStore for PagedLevel {
             self.spill.push(v);
             self.spilled_total += 1;
             self.len += 1;
+            self.sync_spill_charge();
             return Ok(());
         }
         let pos = self.len;
@@ -243,6 +274,7 @@ impl LevelStore for PagedLevel {
                 self.spill.push(v);
                 self.spilled_total += 1;
                 self.len = pos + 1;
+                self.sync_spill_charge();
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -471,6 +503,36 @@ mod tests {
         l.shrink();
         assert_eq!(l.pages_held(), 2, "n/2 pages freed");
         assert_eq!(l.to_vec().len(), 10);
+    }
+
+    #[test]
+    fn spill_charges_budget_overdraft_and_releases() {
+        use crate::budget::MemoryBudget;
+        let global = MemoryBudget::new(1);
+        let a = Arc::new(PageArena::with_budget(4, Some(global.scoped())));
+        let mut l = PagedLevel::with_table_len(a.clone(), 4).with_spill(true);
+        // 1 page fits the budget; the second page's charge is denied so
+        // the level enters spill and overdrafts page-equivalents.
+        for v in 0..(2 * PAGE_INTS) as u32 {
+            l.push(v).unwrap();
+        }
+        assert!(l.is_spilling());
+        assert_eq!(l.spilled(), PAGE_INTS as u64);
+        assert_eq!(
+            global.in_use_pages(),
+            2,
+            "1 arena page + 1 spill page-equivalent"
+        );
+        assert!(global.pressure() > 1.0, "spill visible as overdraft");
+        // One more entry tips the spill into a second page-equivalent.
+        l.push(0).unwrap();
+        assert_eq!(global.in_use_pages(), 3);
+        l.clear();
+        assert_eq!(global.in_use_pages(), 1, "spill charge dropped on clear");
+        l.release();
+        assert_eq!(global.in_use_pages(), 0);
+        assert_eq!(a.pages_in_use(), 0);
+        assert_eq!(global.peak_pages(), 3);
     }
 
     #[test]

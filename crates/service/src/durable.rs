@@ -54,8 +54,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tdfs_core::{
-    match_plan_on_edges, CancelFlag, CollectSink, EngineError, MatchSink, MatcherConfig, RunResult,
-    RunStats,
+    match_plan_on_edges, CancelFlag, CollectSink, EngineError, MatchSink, MatcherConfig,
+    MemoryBudget, RunResult, RunStats,
 };
 use tdfs_gpu::lease::{AckOutcome, Lease, LeaseStats, LeaseTable};
 use tdfs_graph::CsrGraph;
@@ -196,6 +196,14 @@ pub struct DurableState {
     /// Cancel token of each live lease, keyed by task id — raised on
     /// reclaim (zombie revocation) and on query-level cancel.
     active: Mutex<HashMap<u64, CancelFlag>>,
+    /// Set by the overload governor: shard workers park (lease nothing
+    /// new) while the flag holds; in-flight shards are revoked so their
+    /// arena pages come back. Cleared on resume with a ledger poke.
+    pub(crate) suspended: AtomicBool,
+    /// The query's scope of the service memory budget, when one is
+    /// configured — the governor ranks in-flight queries by its
+    /// `in_use_pages()` to pick a suspension victim.
+    pub(crate) scope: Option<MemoryBudget>,
     pub(crate) done: AtomicBool,
     /// Human-readable diagnostics attached by the watchdog on failure.
     pub(crate) diagnostics: Mutex<Option<String>>,
@@ -231,7 +239,7 @@ impl DurableState {
         }
     }
 
-    fn revoke_all(&self) {
+    pub(crate) fn revoke_all(&self) {
         for flag in self
             .active
             .lock()
@@ -338,6 +346,7 @@ pub(crate) struct DurableJob<'a> {
 /// grinding a hub shard long after the rest drained. Endpoint degree
 /// sum is the first-order work estimate; the shard count still follows
 /// `shard_edges` so recovery granularity is unchanged on average.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fresh_state(
     query_id: u64,
     graph_name: String,
@@ -346,6 +355,7 @@ pub(crate) fn fresh_state(
     graph: &CsrGraph,
     edges: &[(u32, u32)],
     dcfg: &DurableConfig,
+    scope: Option<MemoryBudget>,
 ) -> Arc<DurableState> {
     let ledger = LeaseTable::new(dcfg.lease_timeout);
     let edge_count = edges.len() as u64;
@@ -377,7 +387,7 @@ pub(crate) fn fresh_state(
         }
     }
     Arc::new(state_with(
-        query_id, graph_name, pattern, config, edge_count, ledger, 0, 0, 0, 0,
+        query_id, graph_name, pattern, config, edge_count, ledger, 0, 0, 0, 0, scope,
     ))
 }
 
@@ -386,6 +396,7 @@ pub(crate) fn resumed_state(
     query_id: u64,
     snap: &QuerySnapshot,
     dcfg: &DurableConfig,
+    scope: Option<MemoryBudget>,
 ) -> Arc<DurableState> {
     let ledger = LeaseTable::new(dcfg.lease_timeout);
     for &(id, epoch, shard) in &snap.pending {
@@ -405,6 +416,7 @@ pub(crate) fn resumed_state(
         snap.emitted,
         snap.tasks_acked,
         snap.resumes + 1,
+        scope,
     ))
 }
 
@@ -420,6 +432,7 @@ fn state_with(
     emitted: u64,
     tasks_acked: u64,
     resumes: u32,
+    scope: Option<MemoryBudget>,
 ) -> DurableState {
     DurableState {
         query_id,
@@ -435,6 +448,8 @@ fn state_with(
         run_stats: Mutex::new(RunStats::default()),
         error: Mutex::new(None),
         active: Mutex::new(HashMap::new()),
+        suspended: AtomicBool::new(false),
+        scope,
         done: AtomicBool::new(false),
         diagnostics: Mutex::new(None),
         publish: Mutex::new(()),
@@ -517,6 +532,13 @@ fn shard_worker(state: &Arc<DurableState>, job: &DurableJob<'_>, wid: u32, shard
                 state.record_error(EngineError::TimeLimit);
                 return;
             }
+        }
+        // Suspended by the overload governor: park without leasing so
+        // the paused query holds no arena pages, but keep honoring
+        // cancel / deadline / failure above. Resume pokes the condvar.
+        if state.suspended.load(Ordering::Acquire) {
+            state.ledger.wait_change(Duration::from_millis(1));
+            continue;
         }
         let Some(lease) = state.ledger.lease(wid) else {
             if state.ledger.drained() {

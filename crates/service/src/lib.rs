@@ -61,10 +61,30 @@ macro_rules! chaos_point {
 
 pub(crate) use chaos_point;
 
+/// `chaos_inject!("name")` is `true` when the named fault point should
+/// take its failure path; compile-time `false` without the `chaos`
+/// feature. Used where the fault is a forced *condition* (e.g. the
+/// governor seeing phantom memory pressure) rather than a stall/panic.
+#[cfg(feature = "chaos")]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        ::tdfs_testkit::fault::fire($name) == ::tdfs_testkit::fault::Outcome::Inject
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos_inject {
+    ($name:literal) => {
+        false
+    };
+}
+
+pub(crate) use chaos_inject;
+
 pub mod cache;
 pub mod canon;
 pub mod catalog;
 pub mod durable;
+pub mod governor;
 pub mod service;
 pub mod snapshot;
 
@@ -72,8 +92,11 @@ pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
 pub use catalog::GraphCatalog;
 pub use durable::{DurableConfig, QueryProgress, Shard};
+pub use governor::{
+    estimate_cost, BreakerConfig, BreakerState, GovernorConfig, Priority, ShedPolicy,
+};
 pub use service::{
-    QueryHandle, QueryOutcome, QueryRequest, Rejected, ResumeError, RetryPolicy, Service,
-    ServiceConfig, ServiceMetrics, SnapshotError,
+    PartialResult, QueryHandle, QueryOutcome, QueryRequest, Rejected, ResumeError, RetryPolicy,
+    Service, ServiceConfig, ServiceMetrics, SnapshotError,
 };
 pub use snapshot::{DecodeError, QuerySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

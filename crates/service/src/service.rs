@@ -19,7 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use tdfs_core::{
     host_filter_edges, match_plan_with_sink, CancelFlag, CollectSink, EngineError, MatchSink,
-    MatcherConfig, RunResult, RunStats,
+    MatcherConfig, MemoryBudget, RunResult, RunStats,
 };
 use tdfs_gpu::lease::LeaseStats;
 use tdfs_graph::CsrGraph;
@@ -36,6 +36,7 @@ use tdfs_query::Pattern;
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::catalog::GraphCatalog;
 use crate::durable::{self, DurableConfig, DurableJob, DurableState, QueryProgress};
+use crate::governor::{estimate_cost, Breaker, BreakerState, GovernorConfig, Priority, ShedPolicy};
 use crate::snapshot::{self, DecodeError, QuerySnapshot};
 
 /// Completed durable queries kept registered (snapshot-able and visible
@@ -67,6 +68,11 @@ pub struct ServiceConfig {
     /// runs recover worker panics and stalls per shard — the restart
     /// limit above is the backstop for panics *outside* shard execution.
     pub durability: DurableConfig,
+    /// Overload-governor knobs: global memory budget with
+    /// snapshot-suspension, cost-aware admission, queue shedding, and
+    /// the brownout circuit breaker. Every mechanism is off by default
+    /// (see [`GovernorConfig`]).
+    pub governor: GovernorConfig,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +84,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             worker_restart_limit: 8,
             durability: DurableConfig::default(),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -114,6 +121,18 @@ pub enum Rejected {
     UnknownGraph(String),
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// Cost-aware admission (see [`GovernorConfig::cost_per_ms`])
+    /// estimated the query cannot finish inside its deadline under the
+    /// current load — running it would only burn a worker on a doomed
+    /// query. Raise the deadline or retry off-peak.
+    DeadlineUnmeetable {
+        /// The [`estimate_cost`] value the gate computed.
+        estimated_cost: u64,
+    },
+    /// The circuit breaker is open (brownout): recent outcomes show a
+    /// failure/shed spike, and only [`Priority::High`] work is admitted
+    /// until a recovery probe succeeds.
+    BrownedOut,
 }
 
 impl fmt::Display for Rejected {
@@ -122,6 +141,11 @@ impl fmt::Display for Rejected {
             Rejected::QueueFull => write!(f, "admission queue full"),
             Rejected::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
             Rejected::ShuttingDown => write!(f, "service is shutting down"),
+            Rejected::DeadlineUnmeetable { estimated_cost } => write!(
+                f,
+                "deadline unmeetable under current load (estimated cost {estimated_cost})"
+            ),
+            Rejected::BrownedOut => write!(f, "service is browned out (circuit breaker open)"),
         }
     }
 }
@@ -223,6 +247,9 @@ pub struct QueryRequest {
     /// Per-query override of [`ServiceConfig::durability`]`.enabled`;
     /// `None` uses the service default.
     pub durable: Option<bool>,
+    /// Scheduling priority: under overload the governor sheds `Low`
+    /// work first, and an open circuit breaker admits only `High`.
+    pub priority: Priority,
 }
 
 impl QueryRequest {
@@ -236,6 +263,7 @@ impl QueryRequest {
             collect_limit: None,
             sink: None,
             durable: None,
+            priority: Priority::Normal,
         }
     }
 
@@ -271,6 +299,31 @@ impl QueryRequest {
         self.durable = Some(durable);
         self
     }
+
+    /// Sets the scheduling priority (default [`Priority::Normal`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Exact progress accounting attached to a durable query that ended
+/// early (deadline hit or shed mid-run).
+///
+/// `lower_bound` is the sum of the counts published by **accepted**
+/// shard acks — revoked and unfinished shards never publish, so the
+/// true total is at least `lower_bound`, exactly. It is a verifiable
+/// claim, not an extrapolation: re-running only the unfinished shards
+/// (e.g. by resuming a [`Service::suspend`] checkpoint) and adding
+/// their counts reproduces the full answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialResult {
+    /// Matches published by accepted shard acks before the query ended.
+    pub lower_bound: u64,
+    /// Shards whose counts are included in `lower_bound`.
+    pub shards_done: u64,
+    /// Total shards of the query (done + unfinished).
+    pub shards_total: u64,
 }
 
 /// Final state of a finished query.
@@ -285,6 +338,11 @@ pub struct QueryOutcome {
     /// Collected matches when the request set a `collect_limit`
     /// (pattern-vertex-indexed).
     pub matches: Option<Vec<Vec<u32>>>,
+    /// Exact partial-progress accounting when a durable query ended
+    /// early (`result` is `Err(TimeLimit)` or `Err(Shed)`): the counted
+    /// lower bound and the shard completion ratio. `None` for complete
+    /// queries, non-durable queries, and queries shed before starting.
+    pub partial: Option<PartialResult>,
     /// Submission-to-completion wall time (queueing included).
     pub latency: Duration,
 }
@@ -347,6 +405,10 @@ pub struct ServiceMetrics {
     pub rejected_unknown_graph: u64,
     /// Submissions rejected with [`Rejected::ShuttingDown`].
     pub rejected_shutdown: u64,
+    /// Submissions rejected with [`Rejected::DeadlineUnmeetable`].
+    pub rejected_unmeetable: u64,
+    /// Submissions rejected with [`Rejected::BrownedOut`].
+    pub rejected_brownout: u64,
     /// Queries that finished `Ok` (including cancelled partials).
     pub completed: u64,
     /// Subset of `completed` that stopped on their cancel token.
@@ -355,6 +417,27 @@ pub struct ServiceMetrics {
     pub deadline_expired: u64,
     /// Queries that failed with a non-deadline engine error.
     pub failed: u64,
+    /// Admitted queries shed by the overload governor before or during
+    /// execution ([`EngineError::Shed`] outcomes).
+    pub queries_shed: u64,
+    /// Outcomes that carried a [`PartialResult`] (durable queries ended
+    /// early with an exact counted lower bound).
+    pub partials_served: u64,
+    /// Snapshot-suspensions performed by the memory governor (plus
+    /// manual [`Service::suspend`] calls).
+    pub suspends: u64,
+    /// Circuit-breaker transitions (closed → open → half-open → …).
+    pub breaker_state_changes: u64,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker_state: BreakerState,
+    /// Pages of the service memory budget in use right now (0 when no
+    /// budget is configured).
+    pub budget_in_use_pages: usize,
+    /// High-water mark of `budget_in_use_pages` over the service
+    /// lifetime.
+    pub budget_peak_pages: usize,
+    /// Configured budget capacity (0 when no budget is configured).
+    pub budget_capacity_pages: usize,
     /// Queries waiting in the admission queue right now.
     pub queue_depth: usize,
     /// Resubmissions performed by [`Service::submit_with_retry`] after a
@@ -397,17 +480,20 @@ pub struct ServiceMetrics {
 impl ServiceMetrics {
     /// Human-readable multi-line summary.
     pub fn summary(&self) -> String {
-        let finished = self.completed + self.deadline_expired + self.failed;
+        let finished = self.completed + self.deadline_expired + self.failed + self.queries_shed;
         let mean_ms = if finished > 0 {
             self.total_latency.as_secs_f64() * 1e3 / finished as f64
         } else {
             0.0
         };
         format!(
-            "admission: {} admitted, {} queue-full, {} unknown-graph, {} shutdown; depth {}\n\
-             outcomes: {} completed ({} cancelled), {} deadline-expired, {} failed\n\
+            "admission: {} admitted, {} queue-full, {} unknown-graph, {} shutdown, \
+             {} unmeetable, {} browned-out; depth {}\n\
+             outcomes: {} completed ({} cancelled), {} deadline-expired, {} failed, {} shed\n\
              latency: {:.2} ms mean, {:.2} ms max\n\
              faults: {} admission retries, {} worker panics, {} workers restarted\n\
+             governor: {} suspends, {} partials served, {} breaker changes ({:?}); \
+             budget {}/{} pages (peak {})\n\
              durable: {} queries, {} resumes; leases {} granted / {} reclaimed / {} fenced; \
              {} shards acked; {} snapshots ({} bytes)\n\
              engine kernels: {} merge, {} bsearch, {} gallop\n\
@@ -416,16 +502,26 @@ impl ServiceMetrics {
             self.rejected_queue_full,
             self.rejected_unknown_graph,
             self.rejected_shutdown,
+            self.rejected_unmeetable,
+            self.rejected_brownout,
             self.queue_depth,
             self.completed,
             self.cancelled,
             self.deadline_expired,
             self.failed,
+            self.queries_shed,
             mean_ms,
             self.max_latency.as_secs_f64() * 1e3,
             self.admission_retries,
             self.worker_panics,
             self.workers_restarted,
+            self.suspends,
+            self.partials_served,
+            self.breaker_state_changes,
+            self.breaker_state,
+            self.budget_in_use_pages,
+            self.budget_capacity_pages,
+            self.budget_peak_pages,
             self.durable_queries,
             self.resumes,
             self.leases_granted,
@@ -456,6 +552,12 @@ struct Job {
     sink: Option<Arc<dyn MatchSink + Send + Sync>>,
     cancel: CancelFlag,
     durable: bool,
+    priority: Priority,
+    /// Per-query scope of the service memory budget (when configured):
+    /// attached to the engine config at execution so arena pages are
+    /// charged against the global budget, and readable by the governor
+    /// to rank in-flight queries by footprint.
+    scope: Option<MemoryBudget>,
     /// Set when this job continues a checkpointed query.
     resume: Option<QuerySnapshot>,
     submitted: Instant,
@@ -476,10 +578,16 @@ struct MetricCounters {
     rejected_queue_full: u64,
     rejected_unknown_graph: u64,
     rejected_shutdown: u64,
+    rejected_unmeetable: u64,
+    rejected_brownout: u64,
     completed: u64,
     cancelled: u64,
     deadline_expired: u64,
     failed: u64,
+    queries_shed: u64,
+    partials_served: u64,
+    suspends: u64,
+    breaker_state_changes: u64,
     admission_retries: u64,
     worker_panics: u64,
     workers_restarted: u64,
@@ -526,6 +634,15 @@ struct Inner {
     next_worker: AtomicUsize,
     durable_cfg: DurableConfig,
     durable: Mutex<DurableRegistry>,
+    num_workers: usize,
+    governor_cfg: GovernorConfig,
+    /// The service-wide page budget (set iff
+    /// `governor_cfg.memory_budget_pages` is). Queries charge it through
+    /// per-query [`MemoryBudget::scoped`] children.
+    budget: Option<MemoryBudget>,
+    breaker: Mutex<Breaker>,
+    governor_stop: AtomicBool,
+    governor: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// Durable-registry lock that survives worker panics (same reasoning as
@@ -543,6 +660,14 @@ fn lock_durable(inner: &Inner) -> std::sync::MutexGuard<'_, DurableRegistry> {
 fn lock_metrics(inner: &Inner) -> std::sync::MutexGuard<'_, MetricCounters> {
     inner
         .metrics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Breaker lock, panic-tolerant for the same reason.
+fn lock_breaker(inner: &Inner) -> std::sync::MutexGuard<'_, Breaker> {
+    inner
+        .breaker
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -581,9 +706,13 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts a service with `config.workers` worker threads.
+    /// Starts a service with `config.workers` worker threads (plus the
+    /// background governor thread when any [`GovernorConfig`] mechanism
+    /// is enabled).
     pub fn new(config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
+        let budget = config.governor.memory_budget_pages.map(MemoryBudget::new);
+        let breaker = Breaker::new(config.governor.breaker.clone());
         let inner = Arc::new(Inner {
             catalog: GraphCatalog::new(),
             cache: PlanCache::new(config.plan_cache_capacity),
@@ -605,6 +734,12 @@ impl Service {
             next_worker: AtomicUsize::new(workers),
             durable_cfg: config.durability,
             durable: Mutex::new(DurableRegistry::default()),
+            num_workers: workers,
+            governor_cfg: config.governor,
+            budget,
+            breaker: Mutex::new(breaker),
+            governor_stop: AtomicBool::new(false),
+            governor: Mutex::new(None),
         });
         let handles: Vec<_> = (0..workers)
             .map(|i| {
@@ -621,6 +756,14 @@ impl Service {
             .expect("workers poisoned")
             .handles
             .extend(handles);
+        if inner.governor_cfg.needs_thread() {
+            let arc = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name("tdfs-governor".into())
+                .spawn(move || governor_loop(&arc))
+                .expect("spawn governor");
+            *inner.governor.lock().expect("governor poisoned") = Some(handle);
+        }
         Self { inner }
     }
 
@@ -652,6 +795,42 @@ impl Service {
             lock_metrics(&self.inner).rejected_unknown_graph += 1;
             return Err(Rejected::UnknownGraph(request.graph));
         };
+        // Brownout gate: an open breaker admits only High priority (the
+        // half-open state admits everything — those are the recovery
+        // probes).
+        if self.inner.governor_cfg.breaker.enabled && request.priority < Priority::High {
+            let open = {
+                let mut b = lock_breaker(&self.inner);
+                if b.tick(Instant::now()) {
+                    // Cooldown elapsed right at this submit; count the
+                    // transition and admit the probe.
+                    drop(b);
+                    lock_metrics(&self.inner).breaker_state_changes += 1;
+                    false
+                } else {
+                    b.state() == BreakerState::Open
+                }
+            };
+            if open {
+                lock_metrics(&self.inner).rejected_brownout += 1;
+                return Err(Rejected::BrownedOut);
+            }
+        }
+        let deadline = request.deadline.or(self.inner.default_deadline);
+        // Cost-aware admission: reject a deadline the load-scaled cost
+        // estimate says cannot be met, instead of burning a worker on it.
+        if let (Some(rate), Some(d)) = (self.inner.governor_cfg.cost_per_ms, deadline) {
+            let cost = estimate_cost(&graph, request.pattern.num_vertices());
+            let depth = self.inner.queue.lock().expect("queue poisoned").jobs.len();
+            let load = 1 + (depth / self.inner.num_workers) as u64;
+            let est_ms = (cost / rate.max(1)).saturating_mul(load);
+            if est_ms > d.as_millis() as u64 {
+                lock_metrics(&self.inner).rejected_unmeetable += 1;
+                return Err(Rejected::DeadlineUnmeetable {
+                    estimated_cost: cost,
+                });
+            }
+        }
         let cancel = request.config.cancel.clone().unwrap_or_default();
         let (tx, rx) = mpsc::channel();
         let id = {
@@ -659,7 +838,6 @@ impl Service {
             *next += 1;
             *next
         };
-        let deadline = request.deadline.or(self.inner.default_deadline);
         let durable = request.durable.unwrap_or(self.inner.durable_cfg.enabled);
         let job = Job {
             id,
@@ -672,6 +850,8 @@ impl Service {
             sink: request.sink,
             cancel: cancel.clone(),
             durable,
+            priority: request.priority,
+            scope: self.inner.budget.as_ref().map(MemoryBudget::scoped),
             resume: None,
             submitted: Instant::now(),
             tx,
@@ -735,6 +915,53 @@ impl Service {
         })
     }
 
+    /// Snapshot-suspends a running durable query in place: takes a
+    /// [`Service::snapshot`]-equivalent checkpoint, revokes the query's
+    /// in-flight shard leases (their counts were never published, so
+    /// exactness is preserved), and parks its shard workers so the
+    /// query holds no arena pages. [`Service::unsuspend`] continues it
+    /// from where it stopped; the returned checkpoint additionally
+    /// works with [`Service::resume`] as a recovery artifact.
+    ///
+    /// This is the manual form of what the memory governor does
+    /// automatically above [`GovernorConfig::suspend_high_water`].
+    pub fn suspend(&self, query_id: u64) -> Result<Vec<u8>, SnapshotError> {
+        let state = lock_durable(&self.inner).states.get(&query_id).cloned();
+        let Some(state) = state else {
+            let queued = self
+                .inner
+                .queue
+                .lock()
+                .expect("queue poisoned")
+                .jobs
+                .iter()
+                .any(|j| j.id == query_id);
+            return Err(if queued {
+                SnapshotError::NotStarted(query_id)
+            } else {
+                SnapshotError::UnknownQuery(query_id)
+            });
+        };
+        Ok(suspend_state(&self.inner, &state))
+    }
+
+    /// Clears a [`Service::suspend`]ed (or governor-suspended) query's
+    /// suspension so its shard workers resume leasing. Returns whether
+    /// the query existed and was suspended.
+    pub fn unsuspend(&self, query_id: u64) -> bool {
+        let state = lock_durable(&self.inner).states.get(&query_id).cloned();
+        match state {
+            Some(s) => {
+                let was = s.suspended.swap(false, Ordering::AcqRel);
+                if was {
+                    s.ledger.poke();
+                }
+                was
+            }
+            None => false,
+        }
+    }
+
     /// Admits a query that continues from a [`Service::snapshot`] byte
     /// buffer: already-published shard counts are kept, unfinished
     /// shards re-execute, and the outcome's count equals what the
@@ -780,6 +1007,8 @@ impl Service {
             sink: None,
             cancel: cancel.clone(),
             durable: true,
+            priority: Priority::Normal,
+            scope: self.inner.budget.as_ref().map(MemoryBudget::scoped),
             resume: Some(snap),
             submitted: Instant::now(),
             tx,
@@ -833,6 +1062,15 @@ impl Service {
     }
 
     /// Snapshot of the service counters.
+    ///
+    /// All outcome and governor counters (`completed`, `failed`,
+    /// `queries_shed`, `partials_served`, `suspends`, …) live under one
+    /// mutex and are read in a single acquisition, so the snapshot is
+    /// internally consistent: invariants like *every finished query is
+    /// counted exactly once across completed / deadline-expired /
+    /// failed / shed* hold in every snapshot, even taken mid-storm.
+    /// Queue depth, lease counters, breaker state and budget gauges are
+    /// instantaneous reads of live structures.
     pub fn metrics(&self) -> ServiceMetrics {
         let depth = self.inner.queue.lock().expect("queue poisoned").jobs.len();
         let leases = {
@@ -843,16 +1081,30 @@ impl Service {
             }
             agg
         };
+        let breaker_state = lock_breaker(&self.inner).state();
+        let (in_use, peak, capacity) = self.inner.budget.as_ref().map_or((0, 0, 0), |b| {
+            (b.in_use_pages(), b.peak_pages(), b.capacity_pages())
+        });
         let m = lock_metrics(&self.inner);
         ServiceMetrics {
             admitted: m.admitted,
             rejected_queue_full: m.rejected_queue_full,
             rejected_unknown_graph: m.rejected_unknown_graph,
             rejected_shutdown: m.rejected_shutdown,
+            rejected_unmeetable: m.rejected_unmeetable,
+            rejected_brownout: m.rejected_brownout,
             completed: m.completed,
             cancelled: m.cancelled,
             deadline_expired: m.deadline_expired,
             failed: m.failed,
+            queries_shed: m.queries_shed,
+            partials_served: m.partials_served,
+            suspends: m.suspends,
+            breaker_state_changes: m.breaker_state_changes,
+            breaker_state,
+            budget_in_use_pages: in_use,
+            budget_peak_pages: peak,
+            budget_capacity_pages: capacity,
             queue_depth: depth,
             admission_retries: m.admission_retries,
             worker_panics: m.worker_panics,
@@ -881,6 +1133,24 @@ impl Service {
             q.shutting_down = true;
         }
         self.inner.available.notify_all();
+        // Stop the governor first, then wake every suspended query: a
+        // suspended query's shard workers would otherwise park forever
+        // and the drain below would never join its service worker.
+        self.inner.governor_stop.store(true, Ordering::Release);
+        let governor = self
+            .inner
+            .governor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(h) = governor {
+            let _ = h.join();
+        }
+        for s in lock_durable(&self.inner).states.values() {
+            if s.suspended.swap(false, Ordering::AcqRel) {
+                s.ledger.poke();
+            }
+        }
         // Drain-and-join until the pool is empty: closing the pool first
         // stops further respawns, and any replacement pushed before the
         // close is picked up by a later pass.
@@ -935,7 +1205,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                     // retire this (possibly poisoned) thread and hand the
                     // pool slot to a fresh one.
                     lock_metrics(inner).worker_panics += 1;
-                    finish(inner, &job, Err(EngineError::WorkerPanicked), None);
+                    finish(inner, &job, Err(EngineError::WorkerPanicked), None, None);
                     if respawn_replacement(inner) {
                         return;
                     }
@@ -972,6 +1242,153 @@ fn respawn_replacement(inner: &Arc<Inner>) -> bool {
     true
 }
 
+/// Suspends one durable query: checkpoint first (crash consistency),
+/// then revoke its in-flight shard leases so their pages come back and
+/// its workers park on the suspension flag. Returns the checkpoint.
+fn suspend_state(inner: &Inner, state: &Arc<DurableState>) -> Vec<u8> {
+    state.suspended.store(true, Ordering::Release);
+    let bytes = state.to_snapshot();
+    state.revoke_all();
+    let mut m = lock_metrics(inner);
+    m.suspends += 1;
+    m.snapshots_taken += 1;
+    m.snapshot_bytes += bytes.len() as u64;
+    bytes
+}
+
+/// Mutable state the governor keeps across ticks.
+struct GovernorLocal {
+    /// When the oldest queued query's sojourn first exceeded the CoDel
+    /// target without recovering since; `None` while under target.
+    sojourn_over_since: Option<Instant>,
+}
+
+fn governor_loop(inner: &Arc<Inner>) {
+    let mut local = GovernorLocal {
+        sojourn_over_since: None,
+    };
+    let tick = inner.governor_cfg.tick.max(Duration::from_micros(100));
+    while !inner.governor_stop.load(Ordering::Acquire) {
+        govern_once(inner, &mut local, Instant::now());
+        std::thread::sleep(tick);
+    }
+}
+
+/// One governor tick: shed expired queued queries, apply the sojourn
+/// shed policy, act on memory pressure, advance the breaker cooldown.
+fn govern_once(inner: &Arc<Inner>, local: &mut GovernorLocal, now: Instant) {
+    // (a) Queue aging: a queued query whose deadline already expired can
+    // only ever produce Err(TimeLimit) — fail it now instead of letting
+    // it occupy a worker first. (Workers still check at dequeue, so
+    // this is a latency optimization, not a correctness gate.)
+    let expired: Vec<Job> = {
+        let mut q = inner.queue.lock().expect("queue poisoned");
+        let mut keep = VecDeque::with_capacity(q.jobs.len());
+        let mut out = Vec::new();
+        for j in q.jobs.drain(..) {
+            let dead = j
+                .deadline
+                .is_some_and(|d| now.duration_since(j.submitted) > d);
+            if dead {
+                out.push(j);
+            } else {
+                keep.push_back(j);
+            }
+        }
+        q.jobs = keep;
+        out
+    };
+    for job in &expired {
+        finish(inner, job, Err(EngineError::TimeLimit), None, None);
+    }
+
+    // (b) CoDel-style sojourn shedding: once the oldest queued query has
+    // waited past the target *continuously for at least the target*,
+    // shed the newest Low-priority queued query (one per tick). Newest-
+    // first preserves the work the service has already waited on.
+    if let ShedPolicy::Sojourn { target } = inner.governor_cfg.shed_policy {
+        let victim: Option<Job> = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            let oldest_over = q
+                .jobs
+                .front()
+                .is_some_and(|j| now.duration_since(j.submitted) > target);
+            if !oldest_over {
+                local.sojourn_over_since = None;
+                None
+            } else {
+                let since = *local.sojourn_over_since.get_or_insert(now);
+                if now.duration_since(since) >= target {
+                    q.jobs
+                        .iter()
+                        .rposition(|j| j.priority == Priority::Low)
+                        .and_then(|i| q.jobs.remove(i))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(job) = victim {
+            finish(inner, &job, Err(EngineError::Shed), None, None);
+        }
+    }
+
+    // (c) Memory pressure: above the high water, snapshot-suspend the
+    // heaviest in-flight durable query; at or below the low water,
+    // resume one suspended query per tick.
+    if let Some(budget) = &inner.budget {
+        let mut pressure = budget.pressure();
+        // Fault point: the governor sees saturating pressure regardless
+        // of real occupancy, driving the suspend path deterministically.
+        if crate::chaos_inject!("service.governor.pressure") {
+            pressure = 1.0;
+        }
+        let cfg = &inner.governor_cfg;
+        if pressure >= cfg.suspend_high_water {
+            let heaviest = {
+                let reg = lock_durable(inner);
+                reg.states
+                    .values()
+                    .filter(|s| {
+                        !s.done.load(Ordering::Relaxed) && !s.suspended.load(Ordering::Relaxed)
+                    })
+                    .max_by_key(|s| s.scope.as_ref().map_or(0, MemoryBudget::in_use_pages))
+                    .cloned()
+            };
+            // Suspending a query that holds no pages frees nothing;
+            // only act on one with real footprint.
+            if let Some(state) = heaviest {
+                if state.scope.as_ref().map_or(0, MemoryBudget::in_use_pages) > 0 {
+                    suspend_state(inner, &state);
+                }
+            }
+        } else if pressure <= cfg.resume_low_water {
+            let parked = {
+                let reg = lock_durable(inner);
+                reg.states
+                    .values()
+                    .find(|s| {
+                        !s.done.load(Ordering::Relaxed) && s.suspended.load(Ordering::Relaxed)
+                    })
+                    .cloned()
+            };
+            if let Some(state) = parked {
+                state.suspended.store(false, Ordering::Release);
+                state.ledger.poke();
+            }
+        }
+    }
+
+    // (d) Breaker cooldown: an open breaker half-opens after cooldown
+    // even if no submit arrives to observe it.
+    if inner.governor_cfg.breaker.enabled {
+        let changed = lock_breaker(inner).tick(now);
+        if changed {
+            lock_metrics(inner).breaker_state_changes += 1;
+        }
+    }
+}
+
 fn run_job(inner: &Inner, job: &Job) {
     if job.durable {
         run_durable_job(inner, job);
@@ -982,6 +1399,9 @@ fn run_job(inner: &Inner, job: &Job) {
     // path fires it per shard instead, where it is a recovered fault.
     crate::chaos_point!("service.worker.run");
     let mut cfg = job.config.clone().with_cancel(job.cancel.clone());
+    if job.scope.is_some() {
+        cfg.memory_budget = job.scope.clone();
+    }
     if let Some(deadline) = job.deadline {
         match deadline.checked_sub(job.submitted.elapsed()) {
             Some(remaining) => {
@@ -993,7 +1413,7 @@ fn run_job(inner: &Inner, job: &Job) {
             None => {
                 // Expired while queued: same outcome as an in-run miss,
                 // without paying for planning or execution.
-                finish(inner, job, Err(EngineError::TimeLimit), None);
+                finish(inner, job, Err(EngineError::TimeLimit), None, None);
                 return;
             }
         }
@@ -1028,7 +1448,7 @@ fn run_job(inner: &Inner, job: &Job) {
             })
             .collect()
     });
-    finish(inner, job, result, matches);
+    finish(inner, job, result, matches, None);
 }
 
 /// Executes a query on the durable path: shard the admitted edge list
@@ -1043,7 +1463,7 @@ fn run_durable_job(inner: &Inner, job: &Job) {
     if let Some(d) = job.deadline {
         let abs = job.submitted + d;
         if Instant::now() > abs {
-            finish(inner, job, Err(EngineError::TimeLimit), None);
+            finish(inner, job, Err(EngineError::TimeLimit), None, None);
             return;
         }
         deadline_at = Some(deadline_at.map_or(abs, |x| x.min(abs)));
@@ -1053,13 +1473,14 @@ fn run_durable_job(inner: &Inner, job: &Job) {
         .get_or_build(&job.graph_name, &job.pattern, job.config.plan);
     let edges = host_filter_edges(&job.graph, &plan);
     // The state's stored config is what a snapshot serializes: the
-    // run-scoped cancel token and time limit are not part of the
-    // query's durable identity.
+    // run-scoped cancel token, time limit and budget scope are not part
+    // of the query's durable identity.
     let mut durable_config = job.config.clone();
     durable_config.cancel = None;
     durable_config.time_limit = None;
+    durable_config.memory_budget = None;
     let state = match &job.resume {
-        Some(snap) => durable::resumed_state(job.id, snap, &inner.durable_cfg),
+        Some(snap) => durable::resumed_state(job.id, snap, &inner.durable_cfg, job.scope.clone()),
         None => durable::fresh_state(
             job.id,
             job.graph_name.clone(),
@@ -1068,6 +1489,7 @@ fn run_durable_job(inner: &Inner, job: &Job) {
             &job.graph,
             &edges,
             &inner.durable_cfg,
+            job.scope.clone(),
         ),
     };
     lock_durable(inner)
@@ -1078,10 +1500,16 @@ fn run_durable_job(inner: &Inner, job: &Job) {
     let collector = job
         .collect_limit
         .map(|limit| CollectSink::with_cancel(limit, job.cancel.clone()));
+    // The execution config (unlike the stored one) carries the budget
+    // scope, so every shard's arena pages charge the service budget.
+    let mut exec_config = job.config.clone();
+    if job.scope.is_some() {
+        exec_config.memory_budget = job.scope.clone();
+    }
     let djob = DurableJob {
         graph: &job.graph,
         plan: &plan,
-        config: &job.config,
+        config: &exec_config,
         edges: &edges,
         cancel: &job.cancel,
         deadline: deadline_at,
@@ -1104,6 +1532,20 @@ fn run_durable_job(inner: &Inner, job: &Job) {
     });
 
     state.done.store(true, Ordering::Relaxed);
+    // A durable query that ran out of time (or was shed mid-run) still
+    // has an exact counted lower bound: the sum published by accepted
+    // acks, with the shard completion ratio alongside it. Computed after
+    // `execute` returned, so the ledger is quiescent.
+    let partial = match &result {
+        Err(EngineError::TimeLimit) | Err(EngineError::Shed) => Some(PartialResult {
+            lower_bound: state.matches.load(Ordering::Relaxed),
+            shards_done: state.tasks_acked.load(Ordering::Relaxed),
+            shards_total: state.tasks_acked.load(Ordering::Relaxed)
+                + state.ledger.pending_len() as u64
+                + state.ledger.outstanding_len() as u64,
+        }),
+        _ => None,
+    };
     {
         // Retain the completed state (bounded) so post-completion
         // snapshots and progress probes still resolve; fold evicted
@@ -1118,7 +1560,7 @@ fn run_durable_job(inner: &Inner, job: &Job) {
             }
         }
     }
-    finish(inner, job, result, matches);
+    finish(inner, job, result, matches, partial);
 }
 
 fn finish(
@@ -1126,6 +1568,7 @@ fn finish(
     job: &Job,
     result: Result<RunResult, EngineError>,
     matches: Option<Vec<Vec<u32>>>,
+    partial: Option<PartialResult>,
 ) {
     let latency = job.submitted.elapsed();
     {
@@ -1139,10 +1582,23 @@ fn finish(
                 m.engine.merge(&r.stats);
             }
             Err(EngineError::TimeLimit) => m.deadline_expired += 1,
+            Err(EngineError::Shed) => m.queries_shed += 1,
             Err(_) => m.failed += 1,
+        }
+        if partial.is_some() {
+            m.partials_served += 1;
         }
         m.total_latency += latency;
         m.max_latency = m.max_latency.max(latency);
+    }
+    // Feed the breaker after the metrics lock is released (independent
+    // locks, never held together). Client cancels are not "bad" — only
+    // genuine failures, deadline misses and sheds count toward brownout.
+    if inner.governor_cfg.breaker.enabled {
+        let changed = lock_breaker(inner).record(result.is_err(), Instant::now());
+        if changed {
+            lock_metrics(inner).breaker_state_changes += 1;
+        }
     }
     // The client may have dropped its handle; the outcome is then simply
     // discarded.
@@ -1150,6 +1606,7 @@ fn finish(
         query_id: job.id,
         result,
         matches,
+        partial,
         latency,
     });
 }

@@ -7,11 +7,13 @@
 //! process-global; the guard serializes chaos tests within one binary.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use tdfs_core::EngineError;
+use tdfs_core::{reference_count, EngineError, MatcherConfig};
 use tdfs_graph::GraphBuilder;
+use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
-use tdfs_service::{QueryRequest, Service, ServiceConfig};
+use tdfs_service::{DurableConfig, GovernorConfig, QueryRequest, Service, ServiceConfig};
 use tdfs_testkit::fault::{self, Action, ChaosScript, Trigger};
 
 fn k5() -> Arc<tdfs_graph::CsrGraph> {
@@ -120,5 +122,62 @@ fn crash_storm_exhausts_restart_budget_without_losing_the_pool() {
         s.contains("3 worker panics") && s.contains("2 workers restarted"),
         "summary missing fault counters:\n{s}"
     );
+    svc.shutdown();
+}
+
+/// `service.governor.pressure` forces the governor to see phantom
+/// memory pressure for the first N ticks: the in-flight durable query
+/// is snapshot-suspended even though the real budget is nearly idle,
+/// then resumes on the first honest pressure reading — and still
+/// produces the exact count.
+#[test]
+fn phantom_pressure_suspends_then_resumes_with_exact_count() {
+    let _chaos = ChaosScript::new()
+        .on(
+            "service.governor.pressure",
+            Trigger::FirstN(400),
+            Action::Inject,
+        )
+        .install();
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 8,
+        plan_cache_capacity: 4,
+        durability: DurableConfig {
+            shard_edges: 4,
+            ..DurableConfig::default()
+        },
+        governor: GovernorConfig {
+            // Ample budget: any real pressure reading is ~0, so the
+            // suspension below is attributable only to the fault point.
+            memory_budget_pages: Some(1_000_000),
+            tick: Duration::from_millis(1),
+            ..GovernorConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let g = Arc::new(tdfs_graph::generators::barabasi_albert(800, 6, 13));
+    svc.register_graph("ba", g.clone());
+    let pattern = Pattern::clique(4);
+    let config = MatcherConfig::tdfs().with_warps(2);
+    let want = reference_count(&g, &QueryPlan::build_with(&pattern, config.plan));
+
+    let out = svc
+        .submit(QueryRequest::new("ba", pattern).with_config(config))
+        .unwrap()
+        .wait();
+    assert_eq!(out.result.unwrap().matches, want, "suspension lost counts");
+
+    let m = svc.metrics();
+    assert!(
+        m.suspends >= 1,
+        "phantom pressure never suspended the query"
+    );
+    assert!(m.snapshots_taken >= 1, "suspension must checkpoint first");
+    assert_eq!(
+        m.budget_in_use_pages, 0,
+        "pages leaked across suspend/resume"
+    );
+    assert!(fault::injections("service.governor.pressure") >= 1);
     svc.shutdown();
 }
