@@ -53,6 +53,24 @@ else
     echo "==> overload bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
 fi
 
+echo "==> dynamic job (delta CSR, standing queries, match-delta exactness)"
+# Focused re-run of the batch-dynamic suite: DeltaCsr view/rebuild
+# equivalence properties, incremental standing deltas == full rescans
+# across every engine over randomized mutation schedules, snapshot
+# resume fenced to the graph version, and the chaos storm (midbatch
+# crashes invisible, dropped notifications retried to exactly-once,
+# kill/stall storms over maintenance still exact).
+cargo test -p tdfs-graph --test delta_prop -q
+cargo test -p tdfs-service --test standing -q
+cargo test -p tdfs-service --features chaos --test chaos_standing -q
+# Maintenance-speedup guard (BENCH_delta.json, asserts incremental
+# beats a full rescan >= 5x at 1% churn); opt-in like the above.
+if [[ "${TDFS_BENCH_GUARD:-0}" == "1" ]]; then
+    cargo bench -p tdfs-bench --bench delta
+else
+    echo "==> delta bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
+fi
+
 # Nightly-only ThreadSanitizer pass over the lock-free queue and the page
 # arena, the two places where a memory-ordering mistake would be silent.
 # Opt in with TDFS_NIGHTLY_TSAN=1 (requires a nightly toolchain with

@@ -1,0 +1,136 @@
+//! Batch-dynamic maintenance guard: incremental standing-query deltas
+//! versus a full rescan of the mutated graph, across churn rates, plus
+//! raw `DeltaCsr` apply/compact throughput. Writes `BENCH_delta.json`
+//! and asserts the incremental path wins by >= 5x at <= 1% churn — the
+//! whole point of delta-anchored maintenance is that work scales with
+//! the batch, not the graph.
+
+use std::sync::Arc;
+
+use tdfs_bench::harness::{bench_median, JsonReport};
+use tdfs_core::{reference_count, MatcherConfig};
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_graph::rng::Rng;
+use tdfs_graph::{DeltaCsr, EdgeBatch, GraphView};
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+use tdfs_service::{Service, ServiceConfig, StandingRequest};
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
+
+/// Hard bound: incremental maintenance at <= 1% churn must beat a full
+/// rescan by at least this factor.
+const MIN_SPEEDUP_AT_1PCT: f64 = 5.0;
+
+/// Distinct base edges to toggle per churn level, as a fraction of the
+/// graph's undirected edge count.
+const CHURN: &[(&str, f64)] = &[("0.1pct", 0.001), ("1pct", 0.01), ("5pct", 0.05)];
+
+/// `count` distinct base edges, deterministically sampled.
+fn sample_edges(view: &DeltaCsr, rng: &mut Rng, count: usize) -> Vec<(u32, u32)> {
+    let edges: Vec<(u32, u32)> = view.arcs().filter(|&(u, v)| u < v).collect();
+    let mut picked = Vec::with_capacity(count);
+    let mut used = std::collections::HashSet::new();
+    while picked.len() < count.min(edges.len()) {
+        let e = edges[rng.gen_range(0..edges.len())];
+        if used.insert(e) {
+            picked.push(e);
+        }
+    }
+    picked
+}
+
+fn main() {
+    let base = Arc::new(barabasi_albert(3000, 6, 13));
+    let undirected = base.num_arcs() / 2;
+    let pattern = Pattern::clique(3);
+    let plan = QueryPlan::build_with(&pattern, Default::default());
+
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        plan_cache_capacity: 16,
+        ..ServiceConfig::default()
+    });
+    svc.register_graph("ba", base.clone());
+    svc.register_standing(
+        StandingRequest::new("ba", pattern.clone())
+            .with_config(MatcherConfig::tdfs().with_warps(2)),
+        |_| {},
+    )
+    .unwrap();
+
+    let mut report = JsonReport::new();
+    report.record("delta/graph_vertices", base.num_vertices() as f64);
+    report.record("delta/graph_edges", undirected as f64);
+
+    println!("-- delta maintenance: incremental vs full rescan --");
+    let mut rng = Rng::seed_from_u64(0xBA7C4);
+    let mut speedup_at_1pct = f64::NAN;
+    for &(label, frac) in CHURN {
+        let batch_edges = ((undirected as f64 * frac) as usize).max(1);
+        let toggled = sample_edges(&svc.catalog().get("ba").unwrap(), &mut rng, batch_edges);
+        let fwd = EdgeBatch::deleting(toggled.iter().copied());
+        let bwd = EdgeBatch::inserting(toggled.iter().copied());
+
+        // Incremental arm: one forward + one backward apply restores the
+        // logical graph, so the closure is repeatable; each apply runs
+        // the full standing-maintenance path (anchored enumeration,
+        // dedup, dispatch, notification). Report per-apply cost.
+        let inc_ns = bench_median(&format!("delta/{label}/incremental_pair"), || {
+            svc.apply("ba", &fwd).unwrap();
+            svc.apply("ba", &bwd).unwrap();
+        }) / 2.0;
+
+        // Full-rescan arm: what a non-incremental system pays per batch —
+        // recount the pattern on the committed view.
+        let view = svc.catalog().get("ba").unwrap();
+        let full_ns = bench_median(&format!("delta/{label}/full_rescan"), || {
+            reference_count(&*view, &plan)
+        });
+
+        let speedup = full_ns / inc_ns;
+        println!(
+            "delta/{label}: {batch_edges} edges/batch, incremental {inc_ns:.0} ns, \
+             rescan {full_ns:.0} ns, speedup {speedup:.1}x"
+        );
+        report.record(&format!("delta/{label}/batch_edges"), batch_edges as f64);
+        report.record(&format!("delta/{label}/incremental_ns"), inc_ns);
+        report.record(&format!("delta/{label}/full_rescan_ns"), full_ns);
+        report.record(&format!("delta/{label}/speedup"), speedup);
+        if label == "1pct" {
+            speedup_at_1pct = speedup;
+        }
+    }
+
+    // Raw structural throughput, no service in the loop: cost of the
+    // copy-on-write apply itself, and of folding the overlay back into
+    // a fresh CSR.
+    println!("-- delta structure: apply / compact throughput --");
+    let d0 = DeltaCsr::from_base(base.clone());
+    let toggled = sample_edges(&d0, &mut rng, 256);
+    let batch = EdgeBatch::deleting(toggled.iter().copied());
+    let apply_ns = bench_median("delta/apply_256_edges", || {
+        d0.apply(&batch).unwrap().0.version()
+    });
+    let apply_meps = 256.0 / (apply_ns / 1e9) / 1e6;
+    println!("delta/apply: {apply_meps:.2} M edges/s");
+    report.record("delta/apply_256_edges_ns", apply_ns);
+    report.record("delta/apply_edges_per_sec_m", apply_meps);
+
+    let (dirty, _) = d0.apply(&batch).unwrap();
+    let compact_ns = bench_median("delta/compact_256_dirty", || dirty.compact().version());
+    let compact_meps = undirected as f64 / (compact_ns / 1e9) / 1e6;
+    println!("delta/compact: {compact_meps:.2} M edges/s rebuilt");
+    report.record("delta/compact_256_dirty_ns", compact_ns);
+    report.record("delta/compact_edges_per_sec_m", compact_meps);
+
+    report.write(REPORT_PATH).expect("write BENCH_delta.json");
+    assert!(
+        speedup_at_1pct >= MIN_SPEEDUP_AT_1PCT,
+        "incremental maintenance at 1% churn is only {speedup_at_1pct:.1}x a full \
+         rescan; the {MIN_SPEEDUP_AT_1PCT}x guard failed"
+    );
+    println!("delta maintenance guard: ok (>= {MIN_SPEEDUP_AT_1PCT}x at 1% churn)");
+    svc.shutdown();
+}

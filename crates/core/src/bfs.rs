@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_query::plan::QueryPlan;
 
 use crate::candidates::{candidates_of_each, Workspace};
@@ -26,8 +26,8 @@ use crate::sink::MatchSink;
 use crate::stats::{RunResult, RunStats};
 
 /// Runs the BFS engine.
-pub fn run(
-    g: &CsrGraph,
+pub fn run<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,
@@ -36,8 +36,8 @@ pub fn run(
 }
 
 /// [`run`] with an optional match sink.
-pub fn run_with_sink(
-    g: &CsrGraph,
+pub fn run_with_sink<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,
@@ -49,8 +49,8 @@ pub fn run_with_sink(
 /// [`run_with_sink`] seeded from an explicit pre-admitted edge list
 /// instead of the full arc stream — the durable layer's shard entry
 /// point. The edges must already satisfy [`edge_admitted`].
-pub fn run_on_edges_with_sink(
-    g: &CsrGraph,
+pub fn run_on_edges_with_sink<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,
@@ -60,8 +60,8 @@ pub fn run_on_edges_with_sink(
     run_inner(g, plan, cfg, budget_bytes, sink, Some(edges))
 }
 
-fn run_inner(
-    g: &CsrGraph,
+fn run_inner<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,
@@ -215,8 +215,8 @@ fn run_inner(
 /// target it returns per-partial candidate counts; with one it writes the
 /// extended partials at the given offsets.
 #[allow(clippy::too_many_arguments)]
-fn parallel_pass(
-    g: &CsrGraph,
+fn parallel_pass<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     frontier: &[u32],
@@ -336,8 +336,8 @@ fn split_by_offsets<'a>(
 /// From-scratch Eq. (1) candidates with all predicates applied (BFS keeps
 /// no per-partial stacks, so there is no reuse source). Materializes into
 /// the caller-owned `out`; all scratch lives in the workspace.
-pub(crate) fn candidates_of(
-    g: &CsrGraph,
+pub(crate) fn candidates_of<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     level: usize,
     m: &[u32],

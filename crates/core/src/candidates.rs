@@ -10,7 +10,7 @@
 //! unconditionally sound (DESIGN.md §4).
 
 use tdfs_gpu::warp::WarpOps;
-use tdfs_graph::{CsrGraph, VertexId};
+use tdfs_graph::{GraphView, VertexId};
 use tdfs_mem::{LevelStore, StackError};
 use tdfs_query::plan::QueryPlan;
 
@@ -47,8 +47,8 @@ const CT_INDEX_INDIRECTIONS: u64 = 2;
 /// Consumption-time predicate: label, degree, symmetry constraints and
 /// (when `fused_injectivity`) the not-already-matched check.
 #[inline]
-pub fn accept(
-    g: &CsrGraph,
+pub fn accept<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     level: usize,
     v: VertexId,
@@ -124,8 +124,8 @@ pub fn separate_injectivity_pass<L: LevelStore>(
 /// dispatch, not from this warp's own descent) and the candidates are
 /// computed from scratch instead.
 #[allow(clippy::too_many_arguments)]
-pub fn fill_level<L: LevelStore>(
-    g: &CsrGraph,
+pub fn fill_level<V: GraphView, L: LevelStore>(
+    g: &V,
     plan: &QueryPlan,
     level: usize,
     m: &[u32],
@@ -237,8 +237,8 @@ pub fn fill_level<L: LevelStore>(
 /// `head` is the stack below the leaf (potential reuse sources);
 /// `valid_from` has the same staleness meaning as in [`fill_level`].
 #[allow(clippy::too_many_arguments)]
-pub fn fuse_leaf_level<L: LevelStore, F: FnMut(u32)>(
-    g: &CsrGraph,
+pub fn fuse_leaf_level<V: GraphView, L: LevelStore, F: FnMut(u32)>(
+    g: &V,
     plan: &QueryPlan,
     m: &[u32],
     head: &[L],
@@ -343,8 +343,8 @@ pub fn fuse_leaf_level<L: LevelStore, F: FnMut(u32)>(
 /// survivor handed to `emit` in ascending order. Used by the BFS engine,
 /// which keeps no per-partial stacks (so there is no reuse source) and
 /// consumes candidates immediately.
-pub(crate) fn candidates_of_each<F: FnMut(u32)>(
-    g: &CsrGraph,
+pub(crate) fn candidates_of_each<V: GraphView, F: FnMut(u32)>(
+    g: &V,
     plan: &QueryPlan,
     level: usize,
     m: &[u32],
@@ -388,9 +388,9 @@ pub(crate) fn candidates_of_each<F: FnMut(u32)>(
 /// writes straight into the stack level (the batched cross-page write of
 /// Fig. 6). An empty intermediate short-circuits the remaining folds —
 /// the result can only be empty.
-fn fold_neighbors<L: LevelStore>(
+fn fold_neighbors<V: GraphView, L: LevelStore>(
     dest: &mut L,
-    g: &CsrGraph,
+    g: &V,
     ids: &[u32],
     warp: &mut WarpOps,
     scratch_a: &mut Vec<u32>,
@@ -419,8 +419,8 @@ fn fold_neighbors<L: LevelStore>(
 
 /// [`fold_neighbors`] for the fused leaf: the final intersection applies
 /// `keep` in the lanes and emits survivors instead of pushing them.
-fn fold_neighbors_fused(
-    g: &CsrGraph,
+fn fold_neighbors_fused<V: GraphView>(
+    g: &V,
     ids: &[u32],
     warp: &mut WarpOps,
     scratch_a: &mut Vec<u32>,
@@ -448,7 +448,7 @@ fn fold_neighbors_fused(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdfs_graph::GraphBuilder;
+    use tdfs_graph::{CsrGraph, GraphBuilder};
     use tdfs_mem::{ArrayLevel, OverflowPolicy};
     use tdfs_query::plan::{PlanOptions, QueryPlan};
     use tdfs_query::PatternId;

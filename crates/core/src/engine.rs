@@ -22,7 +22,7 @@ use std::time::Instant;
 use tdfs_gpu::device::Device;
 use tdfs_gpu::queue::{Task, PAD};
 use tdfs_gpu::Clock;
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_mem::{ArrayLevel, LevelStore, PagedLevel, StackError};
 use tdfs_query::plan::QueryPlan;
 
@@ -80,8 +80,8 @@ impl From<StackError> for EngineError {
 }
 
 /// Shared run-wide state visible to every warp.
-struct SharedRun<'a> {
-    g: &'a CsrGraph,
+struct SharedRun<'a, V: GraphView> {
+    g: &'a V,
     plan: &'a QueryPlan,
     cfg: &'a MatcherConfig,
     device: &'a Device,
@@ -107,7 +107,7 @@ struct SharedRun<'a> {
     active_children: AtomicUsize,
 }
 
-impl SharedRun<'_> {
+impl<V: GraphView> SharedRun<'_, V> {
     fn record_error(&self, e: EngineError) {
         let mut guard = self.error.lock().expect("error mutex poisoned");
         guard.get_or_insert(e);
@@ -173,7 +173,7 @@ pub enum InitialSource {
 /// The four edge-filter conditions of §III ("Algorithm Optimizations"),
 /// plus the position-0/1 symmetry constraint when one exists.
 #[inline]
-pub fn edge_admitted(g: &CsrGraph, plan: &QueryPlan, v1: u32, v2: u32) -> bool {
+pub fn edge_admitted<V: GraphView>(g: &V, plan: &QueryPlan, v1: u32, v2: u32) -> bool {
     let l0 = &plan.levels[0];
     let l1 = &plan.levels[1];
     g.degree(v1) >= l0.degree
@@ -193,7 +193,7 @@ pub fn edge_admitted(g: &CsrGraph, plan: &QueryPlan, v1: u32, v2: u32) -> bool {
 
 /// Host-side single-threaded edge filtering (STMatch's preprocessing
 /// step, "it can become a bottleneck on big graphs", §IV-B).
-pub fn host_filter_edges(g: &CsrGraph, plan: &QueryPlan) -> Vec<(u32, u32)> {
+pub fn host_filter_edges<V: GraphView>(g: &V, plan: &QueryPlan) -> Vec<(u32, u32)> {
     g.arcs()
         .filter(|&(u, v)| edge_admitted(g, plan, u, v))
         .collect()
@@ -203,8 +203,8 @@ pub fn host_filter_edges(g: &CsrGraph, plan: &QueryPlan) -> Vec<(u32, u32)> {
 ///
 /// `HalfSteal` and `Bfs` are dispatched by the crate-root `match_plan`
 /// to their own engines.
-pub fn run_on_device(
-    g: &CsrGraph,
+pub fn run_on_device<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -214,8 +214,8 @@ pub fn run_on_device(
 }
 
 /// [`run_on_device`] with an optional match sink.
-pub fn run_on_device_with_sink(
-    g: &CsrGraph,
+pub fn run_on_device_with_sink<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -237,8 +237,8 @@ pub fn run_on_device_with_sink(
 /// Runs the warp engine over an explicit initial-task source (used by
 /// the hybrid BFS→DFS engine to hand over its switch-over frontier).
 #[allow(clippy::too_many_arguments)]
-pub fn run_on_device_from(
-    g: &CsrGraph,
+pub fn run_on_device_from<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -397,8 +397,8 @@ enum Work {
     Chunk(std::ops::Range<usize>),
 }
 
-fn warp_main<'scope, 'env, L: LevelStore + StackMetrics>(
-    shared: &'scope SharedRun<'env>,
+fn warp_main<'scope, 'env, V: GraphView, L: LevelStore + StackMetrics>(
+    shared: &'scope SharedRun<'env, V>,
     factory: &'scope StackFactory,
     mut stack: WarpStack<L>,
     scope: &'scope std::thread::Scope<'scope, 'env>,
@@ -573,8 +573,8 @@ where
 /// Iterative DFS from `start_level` with the timeout and new-kernel
 /// hooks. `m[..start_level]` must already hold the task prefix.
 #[allow(clippy::too_many_arguments)]
-fn dfs<'scope, 'env, L: LevelStore + StackMetrics>(
-    shared: &'scope SharedRun<'env>,
+fn dfs<'scope, 'env, V: GraphView, L: LevelStore + StackMetrics>(
+    shared: &'scope SharedRun<'env, V>,
     factory: &'scope StackFactory,
     stack: &mut WarpStack<L>,
     ws: &mut Workspace,
@@ -735,8 +735,8 @@ where
 /// counting (and emitting) matches without materializing `stack[k-1]`.
 /// `valid_from` carries the same reuse-staleness meaning as in
 /// [`fill_level`].
-fn fused_leaf_task<L: LevelStore>(
-    shared: &SharedRun<'_>,
+fn fused_leaf_task<V: GraphView, L: LevelStore>(
+    shared: &SharedRun<'_, V>,
     levels: &[L],
     ws: &mut Workspace,
     m: &[u32],
@@ -785,8 +785,8 @@ fn fused_leaf_task<L: LevelStore>(
 /// `iters[level]`) as a 3-prefix task — Fig. 5. If `Q_task` fills up,
 /// the offending candidate is put back and `t0` is reset so the caller
 /// resumes in-place execution (Alg. 4 lines 18–20).
-fn decompose_level<L: LevelStore>(
-    shared: &SharedRun<'_>,
+fn decompose_level<V: GraphView, L: LevelStore>(
+    shared: &SharedRun<'_, V>,
     stack: &mut WarpStack<L>,
     m: &[u32],
     level: usize,
@@ -824,8 +824,8 @@ const MAX_CHILD_WARPS: usize = 64;
 /// the measured launch cost the paper criticizes). Returns `false` —
 /// telling the caller to process the level in place — when the child
 /// budget is exhausted or the run has already failed.
-fn launch_child_kernel<'scope, 'env, L: LevelStore + StackMetrics>(
-    shared: &'scope SharedRun<'env>,
+fn launch_child_kernel<'scope, 'env, V: GraphView, L: LevelStore + StackMetrics>(
+    shared: &'scope SharedRun<'env, V>,
     factory: &'scope StackFactory,
     m: &[u32],
     level: usize,

@@ -17,7 +17,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use tdfs_gpu::device::Device;
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_mem::{ArrayLevel, LevelStore, OverflowPolicy, StackError};
 use tdfs_query::plan::QueryPlan;
 
@@ -75,8 +75,8 @@ enum Loot {
 }
 
 /// Runs the half-steal engine on one device.
-pub fn run(
-    g: &CsrGraph,
+pub fn run<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -85,8 +85,8 @@ pub fn run(
 }
 
 /// [`run`] with an optional match sink.
-pub fn run_with_sink(
-    g: &CsrGraph,
+pub fn run_with_sink<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -99,8 +99,8 @@ pub fn run_with_sink(
 /// the full arc stream — the durable layer's shard entry point. The
 /// edges must already satisfy [`edge_admitted`]; no re-filtering
 /// happens (mirrors the `host_edge_filter` path).
-pub fn run_on_edges_with_sink(
-    g: &CsrGraph,
+pub fn run_on_edges_with_sink<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -110,8 +110,8 @@ pub fn run_on_edges_with_sink(
     run_inner(g, plan, cfg, device, sink, Some(edges))
 }
 
-fn run_inner(
-    g: &CsrGraph,
+fn run_inner<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -255,8 +255,8 @@ fn run_inner(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn warp_loop(
-    g: &CsrGraph,
+fn warp_loop<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     device: &Device,
@@ -412,8 +412,8 @@ fn warp_loop(
 /// One DFS step. Returns `Ok(true)` if progress was made, `Ok(false)` if
 /// the warp needs new work.
 #[allow(clippy::too_many_arguments)]
-fn step(
-    g: &CsrGraph,
+fn step<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     s: &mut VictimState,
@@ -502,8 +502,8 @@ fn step(
 /// emits the matches of the full prefix `s.m[..k-1]` without
 /// materializing `levels[k-1]`.
 #[allow(clippy::too_many_arguments)]
-fn fused_leaf_step(
-    g: &CsrGraph,
+fn fused_leaf_step<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     s: &VictimState,

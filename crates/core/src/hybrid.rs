@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_query::plan::QueryPlan;
 
 use crate::bfs::candidates_of;
@@ -29,8 +29,8 @@ use crate::stats::RunResult;
 
 /// Runs the hybrid engine: BFS while the next level fits in
 /// `budget_bytes`, then DFS over the frontier.
-pub fn run(
-    g: &CsrGraph,
+pub fn run<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,
@@ -42,8 +42,8 @@ pub fn run(
 /// [`run`] seeded from an explicit pre-admitted edge list instead of
 /// the full arc stream — the durable layer's shard entry point. The
 /// edges must already satisfy [`edge_admitted`].
-pub fn run_on_edges(
-    g: &CsrGraph,
+pub fn run_on_edges<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,
@@ -53,8 +53,8 @@ pub fn run_on_edges(
     run_inner(g, plan, cfg, budget_bytes, sink, Some(edges))
 }
 
-fn run_inner(
-    g: &CsrGraph,
+fn run_inner<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     budget_bytes: usize,

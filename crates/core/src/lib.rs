@@ -79,14 +79,14 @@ pub use tdfs_mem::{MemoryBudget, OverflowPolicy};
 
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
 
 /// Matches `pattern` against `g` under `cfg`, building the query plan
 /// with the configuration's plan options.
-pub fn match_pattern(
-    g: &CsrGraph,
+pub fn match_pattern<V: GraphView>(
+    g: &V,
     pattern: &Pattern,
     cfg: &MatcherConfig,
 ) -> Result<RunResult, EngineError> {
@@ -96,8 +96,8 @@ pub fn match_pattern(
 
 /// Matches a precompiled `plan` against `g` under `cfg`, dispatching to
 /// the strategy's engine.
-pub fn match_plan(
-    g: &CsrGraph,
+pub fn match_plan<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
 ) -> Result<RunResult, EngineError> {
@@ -106,8 +106,8 @@ pub fn match_plan(
 
 /// [`match_plan`] that additionally streams every match to `sink`
 /// (position-indexed assignments; see [`sink::MatchSink`]).
-pub fn match_plan_with_sink(
-    g: &CsrGraph,
+pub fn match_plan_with_sink<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     sink: Option<&dyn sink::MatchSink>,
@@ -133,8 +133,8 @@ pub fn match_plan_with_sink(
 /// subsets**: running this over a partition of the admitted edge list
 /// and summing yields exactly [`match_plan`]'s count, for every
 /// strategy.
-pub fn match_plan_on_edges(
-    g: &CsrGraph,
+pub fn match_plan_on_edges<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     edges: Vec<(u32, u32)>,
@@ -179,8 +179,8 @@ pub fn match_plan_on_edges(
 /// `cancelled` unset. The early exit reuses the caller's
 /// [`MatcherConfig::cancel`] token when one is attached (so an external
 /// cancel also stops the collection), and a private token otherwise.
-pub fn find_matches(
-    g: &CsrGraph,
+pub fn find_matches<V: GraphView>(
+    g: &V,
     pattern: &Pattern,
     cfg: &MatcherConfig,
     limit: usize,
@@ -214,7 +214,7 @@ fn device_for(cfg: &MatcherConfig) -> Device {
 /// Panics on engine failure (stack exhaustion), which cannot happen with
 /// the default paged configuration unless the arena is undersized for
 /// the graph.
-pub fn count_matches(g: &CsrGraph, pattern: &Pattern) -> u64 {
+pub fn count_matches<V: GraphView>(g: &V, pattern: &Pattern) -> u64 {
     match_pattern(g, pattern, &MatcherConfig::tdfs())
         .expect("default configuration failed")
         .matches

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use tdfs_gpu::device::Device;
 use tdfs_gpu::Clock;
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_query::plan::QueryPlan;
 
 use crate::config::{MatcherConfig, Strategy};
@@ -42,8 +42,8 @@ impl MultiDeviceResult {
 ///
 /// Only the `Timeout` strategy supports multi-device execution (as in
 /// the paper, which scales T-DFS itself).
-pub fn run_multi_device(
-    g: &CsrGraph,
+pub fn run_multi_device<V: GraphView>(
+    g: &V,
     plan: &QueryPlan,
     cfg: &MatcherConfig,
     num_devices: usize,

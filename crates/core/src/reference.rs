@@ -8,12 +8,12 @@
 //! test-sized graphs.
 
 use tdfs_graph::intersect::{intersect_for_each, intersect_merge};
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
 
 /// Counts matches of `pattern` in `g` under `plan` semantics.
-pub fn reference_count(g: &CsrGraph, plan: &QueryPlan) -> u64 {
+pub fn reference_count<V: GraphView>(g: &V, plan: &QueryPlan) -> u64 {
     let k = plan.k();
     let mut m = vec![0u32; k];
     let mut count = 0u64;
@@ -29,13 +29,13 @@ pub fn reference_count(g: &CsrGraph, plan: &QueryPlan) -> u64 {
 }
 
 /// Convenience: build the default plan for `pattern` and count.
-pub fn reference_count_pattern(g: &CsrGraph, pattern: &Pattern) -> u64 {
+pub fn reference_count_pattern<V: GraphView>(g: &V, pattern: &Pattern) -> u64 {
     reference_count(g, &QueryPlan::build(pattern))
 }
 
 /// The consumption-time predicate of Algorithm 1: label, degree,
 /// injectivity, and compiled symmetry constraints.
-fn passes(g: &CsrGraph, plan: &QueryPlan, i: usize, v: u32, m: &[u32]) -> bool {
+fn passes<V: GraphView>(g: &V, plan: &QueryPlan, i: usize, v: u32, m: &[u32]) -> bool {
     let level = &plan.levels[i];
     g.label(v) == level.label
         && g.degree(v) >= level.degree
@@ -44,7 +44,7 @@ fn passes(g: &CsrGraph, plan: &QueryPlan, i: usize, v: u32, m: &[u32]) -> bool {
         && level.less_than.iter().all(|&j| v < m[j])
 }
 
-fn enumerate(g: &CsrGraph, plan: &QueryPlan, m: &mut Vec<u32>, i: usize, count: &mut u64) {
+fn enumerate<V: GraphView>(g: &V, plan: &QueryPlan, m: &mut Vec<u32>, i: usize, count: &mut u64) {
     let k = plan.k();
     let level = &plan.levels[i];
     let backward = &level.backward;
@@ -97,7 +97,7 @@ fn enumerate(g: &CsrGraph, plan: &QueryPlan, m: &mut Vec<u32>, i: usize, count: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdfs_graph::GraphBuilder;
+    use tdfs_graph::{CsrGraph, GraphBuilder};
     use tdfs_query::plan::{PlanOptions, QueryPlan};
     use tdfs_query::PatternId;
 

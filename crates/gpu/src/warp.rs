@@ -23,6 +23,12 @@
 //! groups of ≤ 32, and [`WarpStats`] counts batches, lane probes and
 //! emitted elements, plus one counter per kernel strategy so the
 //! adaptive choice shows up in run stats and service metrics.
+//!
+//! The kernels are agnostic to where their operands come from: any
+//! sorted `&[u32]` slice works, so neighbor lists handed out by a
+//! batch-dynamic `DeltaCsr` view (overlay rows for mutated vertices,
+//! base CSR rows elsewhere) intersect identically to device-resident
+//! CSR rows — the `tests/delta_view.rs` equivalence test pins this down.
 
 /// Number of lanes per warp (CUDA warp size).
 pub const WARP_SIZE: usize = 32;

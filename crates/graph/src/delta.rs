@@ -1,0 +1,705 @@
+//! Batch-dynamic graphs: an immutable CSR base plus per-vertex edge
+//! deltas, monotonically versioned.
+//!
+//! [`DeltaCsr`] is the serving-tier mutation story (ROADMAP item 2,
+//! after "GPU-Accelerated Batch-Dynamic Subgraph Matching"): the graph
+//! in the catalog stays an immutable [`CsrGraph`] base, and a batch of
+//! edge insertions/deletions is *applied* copy-on-write — [`apply`]
+//! returns a **new** `DeltaCsr` at version `v + 1` while every in-flight
+//! query keeps matching against the old value it holds. A touched
+//! vertex's adjacency is materialized as a merged, sorted overlay row,
+//! so the engines (via [`GraphView`]) and the warp intersection kernels
+//! still consume plain sorted `&[u32]` slices; untouched vertices read
+//! straight from the base with no per-edge indirection. Periodic
+//! [`compact`] folds the accumulated deltas into a fresh base.
+//!
+//! Batch semantics are `G' = (G \ D) ∪ I` with self-loops and
+//! duplicates ignored: within one batch, deletes apply before inserts,
+//! so an edge listed in both ends up present. [`apply`] reports the
+//! *effective* batch — `deleted = (D ∩ E(G)) \ I`, `inserted = I \
+//! E(G)` — which is exactly the edge set incremental match maintenance
+//! must seed from (`tdfs-service`'s standing-query registry).
+//!
+//! [`apply`]: DeltaCsr::apply
+//! [`compact`]: DeltaCsr::compact
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::csr::{CsrGraph, GraphError, Label, VertexId};
+use crate::view::GraphView;
+
+/// Monotone graph version: `0` for a freshly wrapped base, `+1` per
+/// applied batch (no-op batches included — a version uniquely names one
+/// `apply` call, which is what notification dedup keys on).
+pub type GraphVersion = u64;
+
+/// A batch of edge mutations to apply atomically.
+///
+/// Endpoint order does not matter (the graph is undirected) and the
+/// batch may freely contain duplicates, self-loops, already-present
+/// inserts and absent deletes — [`DeltaCsr::apply`] normalizes all of
+/// that and reports what actually changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    inserts: Vec<(VertexId, VertexId)>,
+    deletes: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues the undirected edge `{u, v}` for insertion.
+    pub fn insert(mut self, u: VertexId, v: VertexId) -> Self {
+        self.inserts.push((u, v));
+        self
+    }
+
+    /// Queues the undirected edge `{u, v}` for deletion.
+    pub fn delete(mut self, u: VertexId, v: VertexId) -> Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// A batch inserting every listed edge.
+    pub fn inserting<I: IntoIterator<Item = (VertexId, VertexId)>>(edges: I) -> Self {
+        Self {
+            inserts: edges.into_iter().collect(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A batch deleting every listed edge.
+    pub fn deleting<I: IntoIterator<Item = (VertexId, VertexId)>>(edges: I) -> Self {
+        Self {
+            inserts: Vec::new(),
+            deletes: edges.into_iter().collect(),
+        }
+    }
+
+    /// Queued insert edges (unnormalized).
+    pub fn inserts(&self) -> &[(VertexId, VertexId)] {
+        &self.inserts
+    }
+
+    /// Queued delete edges (unnormalized).
+    pub fn deletes(&self) -> &[(VertexId, VertexId)] {
+        &self.deletes
+    }
+
+    /// Whether the batch queues no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// What an [`DeltaCsr::apply`] call actually changed, normalized:
+/// `u < v`, sorted, deduplicated, and *effective* — deletes of absent
+/// edges, inserts of present edges, self-loops and intra-batch
+/// cancellations are filtered out. These are precisely the edges whose
+/// incident matches changed between the two versions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppliedBatch {
+    /// Edges present in the new version and absent from the old.
+    pub inserted: Vec<(VertexId, VertexId)>,
+    /// Edges present in the old version and absent from the new.
+    pub deleted: Vec<(VertexId, VertexId)>,
+}
+
+impl AppliedBatch {
+    /// Whether the batch changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Total effective mutations.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+/// An immutable CSR base plus per-vertex sorted insert/delete deltas,
+/// monotonically versioned. See the module docs for semantics.
+///
+/// The vertex set is fixed by the base (edge churn, not vertex churn, is
+/// the serving workload); labels are inherited from the base unchanged.
+#[derive(Clone)]
+pub struct DeltaCsr {
+    base: Arc<CsrGraph>,
+    version: GraphVersion,
+    /// Cumulative per-vertex inserted neighbors vs the base, sorted.
+    ins: HashMap<VertexId, Vec<VertexId>>,
+    /// Cumulative per-vertex deleted neighbors vs the base, sorted.
+    del: HashMap<VertexId, Vec<VertexId>>,
+    /// Merged adjacency rows for touched vertices (base ∖ del ∪ ins),
+    /// sorted — what [`GraphView::neighbors`] hands to the warp kernels.
+    overlay: HashMap<VertexId, Vec<VertexId>>,
+    /// Row offsets of the *view* (`n + 1` entries), rebuilt per apply;
+    /// empty while the overlay is empty (pure-base fast path).
+    offsets: Vec<usize>,
+    arcs: usize,
+    /// Upper bound on the view's max degree (exact when compact).
+    max_degree: usize,
+}
+
+impl DeltaCsr {
+    /// Wraps an immutable base at version 0 with no deltas.
+    pub fn from_base(base: Arc<CsrGraph>) -> Self {
+        let arcs = base.num_arcs();
+        let max_degree = base.max_degree();
+        Self {
+            base,
+            version: 0,
+            ins: HashMap::new(),
+            del: HashMap::new(),
+            overlay: HashMap::new(),
+            offsets: Vec::new(),
+            arcs,
+            max_degree,
+        }
+    }
+
+    /// The immutable base this view layers its deltas over.
+    pub fn base(&self) -> &Arc<CsrGraph> {
+        &self.base
+    }
+
+    /// Current version (0 = pristine base).
+    pub fn version(&self) -> GraphVersion {
+        self.version
+    }
+
+    /// Whether the view carries no deltas (reads go straight to base).
+    pub fn is_compact(&self) -> bool {
+        self.overlay.is_empty()
+    }
+
+    /// Vertices whose adjacency differs from the base.
+    pub fn touched_vertices(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Neighbors of `v` inserted since the base, sorted.
+    pub fn inserts_at(&self, v: VertexId) -> &[VertexId] {
+        self.ins.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Neighbors of `v` deleted since the base, sorted.
+    pub fn deletes_at(&self, v: VertexId) -> &[VertexId] {
+        self.del.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Approximate heap bytes held by the delta overlay (records, merged
+    /// rows and offsets) — what a serving tier charges against its
+    /// memory budget between compactions.
+    pub fn overlay_bytes(&self) -> usize {
+        let records: usize = self
+            .ins
+            .values()
+            .chain(self.del.values())
+            .chain(self.overlay.values())
+            .map(|v| v.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<usize>())
+            .sum();
+        records + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Number of vertices (fixed by the base).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of undirected edges in the view.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.arcs / 2
+    }
+
+    /// Number of directed arcs in the view.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs
+    }
+
+    /// Upper bound on the view's maximum degree (exact when
+    /// [`is_compact`](Self::is_compact); sufficient for stack-capacity
+    /// sizing either way).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Sorted neighbor list of `v` in the view.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        if self.overlay.is_empty() {
+            return self.base.neighbors(v);
+        }
+        match self.overlay.get(&v) {
+            Some(row) => row,
+            None => self.base.neighbors(v),
+        }
+    }
+
+    /// Degree of `v` in the view.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// O(log d) adjacency test against the view.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Whether the base carries labels.
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.base.is_labeled()
+    }
+
+    /// Label of `v` (labels are immutable across batches).
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.base.label(v)
+    }
+
+    /// Number of distinct labels.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.base.num_labels()
+    }
+
+    /// The `i`-th directed arc of the view in row-major order.
+    pub fn arc(&self, i: usize) -> (VertexId, VertexId) {
+        if self.overlay.is_empty() {
+            return self.base.arc(i);
+        }
+        debug_assert!(i < self.arcs);
+        let u = self.offsets[1..].partition_point(|&end| end <= i);
+        let row = self.neighbors(u as VertexId);
+        (u as VertexId, row[i - self.offsets[u]])
+    }
+
+    /// Applies `batch` copy-on-write: returns the graph at version
+    /// `v + 1` plus the [`AppliedBatch`] of effective changes, leaving
+    /// `self` (and every clone held by in-flight queries) untouched.
+    ///
+    /// Cost is O(touched-vertex adjacency + n) per call — the delta maps
+    /// are cloned, mutated rows re-merged, and the view's row offsets
+    /// rebuilt; the base is never copied.
+    ///
+    /// Errors with [`GraphError::NeighborOutOfRange`] if any endpoint is
+    /// `>= num_vertices()` (the vertex set is fixed by the base).
+    pub fn apply(&self, batch: &EdgeBatch) -> Result<(DeltaCsr, AppliedBatch), GraphError> {
+        let n = self.num_vertices();
+        let normalize =
+            |edges: &[(VertexId, VertexId)]| -> Result<BTreeSet<(VertexId, VertexId)>, GraphError> {
+                let mut set = BTreeSet::new();
+                for &(u, v) in edges {
+                    if u as usize >= n || v as usize >= n {
+                        return Err(GraphError::NeighborOutOfRange {
+                            vertex: u.min(v) as usize,
+                            neighbor: u.max(v),
+                        });
+                    }
+                    if u == v {
+                        continue; // self-loops are ignored, as in GraphBuilder
+                    }
+                    set.insert((u.min(v), u.max(v)));
+                }
+                Ok(set)
+            };
+        let ins_req = normalize(&batch.inserts)?;
+        let del_req = normalize(&batch.deletes)?;
+
+        // Effective sets under `G' = (G \ D) ∪ I`: an edge in both lists
+        // nets out to "present", so it only counts as an insert when it
+        // was absent before.
+        let applied = AppliedBatch {
+            inserted: ins_req
+                .iter()
+                .copied()
+                .filter(|&(u, v)| !self.has_edge(u, v))
+                .collect(),
+            deleted: del_req
+                .iter()
+                .copied()
+                .filter(|&(u, v)| self.has_edge(u, v) && !ins_req.contains(&(u, v)))
+                .collect(),
+        };
+
+        let mut next = self.clone();
+        next.version += 1;
+        let mut touched = BTreeSet::new();
+        for &(u, v) in &applied.deleted {
+            next.record(u, v, false);
+            next.record(v, u, false);
+            touched.insert(u);
+            touched.insert(v);
+        }
+        for &(u, v) in &applied.inserted {
+            next.record(u, v, true);
+            next.record(v, u, true);
+            touched.insert(u);
+            touched.insert(v);
+        }
+        for &v in &touched {
+            next.remerge(v);
+        }
+        next.reindex();
+        Ok((next, applied))
+    }
+
+    /// Records one directed delta `u -> v` into the cumulative per-vertex
+    /// insert/delete lists, cancelling against the opposite list first.
+    fn record(&mut self, u: VertexId, v: VertexId, insert: bool) {
+        let (fwd, bwd) = if insert {
+            (&mut self.ins, &mut self.del)
+        } else {
+            (&mut self.del, &mut self.ins)
+        };
+        if let Some(opp) = bwd.get_mut(&u) {
+            if let Ok(i) = opp.binary_search(&v) {
+                opp.remove(i);
+                if opp.is_empty() {
+                    bwd.remove(&u);
+                }
+                return;
+            }
+        }
+        let list = fwd.entry(u).or_default();
+        if let Err(i) = list.binary_search(&v) {
+            list.insert(i, v);
+        }
+    }
+
+    /// Rebuilds the merged overlay row of `v` (or drops it when the
+    /// vertex's deltas cancelled back to the base).
+    fn remerge(&mut self, v: VertexId) {
+        let ins = self.ins.get(&v).map_or(&[][..], Vec::as_slice);
+        let del = self.del.get(&v).map_or(&[][..], Vec::as_slice);
+        if ins.is_empty() && del.is_empty() {
+            self.overlay.remove(&v);
+            return;
+        }
+        let base = self.base.neighbors(v);
+        let mut row = Vec::with_capacity(base.len() + ins.len() - del.len().min(base.len()));
+        let mut i = 0;
+        for &b in base {
+            if del.binary_search(&b).is_ok() {
+                continue;
+            }
+            while i < ins.len() && ins[i] < b {
+                row.push(ins[i]);
+                i += 1;
+            }
+            row.push(b);
+        }
+        row.extend_from_slice(&ins[i..]);
+        self.overlay.insert(v, row);
+    }
+
+    /// Rebuilds the view row offsets, arc count and degree bound after a
+    /// batch of row re-merges.
+    fn reindex(&mut self) {
+        if self.overlay.is_empty() {
+            self.offsets = Vec::new();
+            self.arcs = self.base.num_arcs();
+            self.max_degree = self.base.max_degree();
+            return;
+        }
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut overlay_max = 0usize;
+        for v in 0..n as VertexId {
+            let d = self.degree(v);
+            if self.overlay.contains_key(&v) {
+                overlay_max = overlay_max.max(d);
+            }
+            offsets.push(offsets[v as usize] + d);
+        }
+        self.arcs = *offsets.last().unwrap();
+        self.offsets = offsets;
+        // Upper bound: untouched rows are bounded by the base's max,
+        // touched rows by the overlay scan. Never shrinks below either.
+        self.max_degree = self.base.max_degree().max(overlay_max);
+    }
+
+    /// Folds every delta into a fresh immutable base, preserving the
+    /// version: the result is the same graph value (same version, same
+    /// adjacency) with [`is_compact`](Self::is_compact) true and base
+    /// read performance restored.
+    pub fn compact(&self) -> DeltaCsr {
+        if self.overlay.is_empty() {
+            return self.clone();
+        }
+        let n = self.num_vertices();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.arcs);
+        row_ptr.push(0);
+        for v in 0..n as VertexId {
+            col_idx.extend_from_slice(self.neighbors(v));
+            row_ptr.push(col_idx.len());
+        }
+        let labels = self.base.parts().2.to_vec();
+        let base = CsrGraph::try_from_parts(row_ptr, col_idx, labels)
+            .expect("delta view upholds the CSR invariants");
+        let mut fresh = DeltaCsr::from_base(Arc::new(base));
+        fresh.version = self.version;
+        fresh
+    }
+}
+
+impl fmt::Debug for DeltaCsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeltaCsr")
+            .field("version", &self.version)
+            .field("vertices", &self.num_vertices())
+            .field("edges", &self.num_edges())
+            .field("touched", &self.overlay.len())
+            .field("compact", &self.is_compact())
+            .finish()
+    }
+}
+
+impl GraphView for DeltaCsr {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        DeltaCsr::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        DeltaCsr::num_edges(self)
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        DeltaCsr::num_arcs(self)
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        DeltaCsr::max_degree(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        DeltaCsr::neighbors(self, v)
+    }
+
+    #[inline]
+    fn is_labeled(&self) -> bool {
+        DeltaCsr::is_labeled(self)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        DeltaCsr::label(self, v)
+    }
+
+    #[inline]
+    fn num_labels(&self) -> usize {
+        DeltaCsr::num_labels(self)
+    }
+
+    #[inline]
+    fn arc(&self, i: usize) -> (VertexId, VertexId) {
+        DeltaCsr::arc(self, i)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        DeltaCsr::degree(self, v)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        DeltaCsr::has_edge(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn square() -> DeltaCsr {
+        // 0-1-2-3-0 cycle.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        DeltaCsr::from_base(Arc::new(g))
+    }
+
+    #[test]
+    fn pristine_base_reads_through() {
+        let d = square();
+        assert_eq!(d.version(), 0);
+        assert!(d.is_compact());
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.neighbors(0), &[1, 3]);
+        assert_eq!(d.arc(0), (0, 1));
+    }
+
+    #[test]
+    fn insert_and_delete_update_the_view() {
+        let d = square();
+        let (d, a) = d
+            .apply(&EdgeBatch::new().insert(0, 2).delete(2, 3))
+            .unwrap();
+        assert_eq!(d.version(), 1);
+        assert_eq!(a.inserted, vec![(0, 2)]);
+        assert_eq!(a.deleted, vec![(2, 3)]);
+        assert_eq!(d.neighbors(0), &[1, 2, 3]);
+        assert_eq!(d.neighbors(2), &[0, 1]);
+        assert_eq!(d.num_edges(), 4);
+        assert!(d.has_edge(0, 2));
+        assert!(!d.has_edge(2, 3));
+        assert_eq!(d.inserts_at(0), &[2]);
+        assert_eq!(d.deletes_at(3), &[2]);
+    }
+
+    #[test]
+    fn apply_is_copy_on_write() {
+        let old = square();
+        let (new, _) = old.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+        assert!(old.has_edge(0, 1), "old version untouched");
+        assert!(!new.has_edge(0, 1));
+        assert_eq!(old.version(), 0);
+        assert_eq!(new.version(), 1);
+    }
+
+    #[test]
+    fn self_loops_duplicates_and_noops_are_filtered() {
+        let d = square();
+        let batch = EdgeBatch::new()
+            .insert(1, 1) // self-loop: ignored
+            .insert(0, 1) // already present: no-op
+            .insert(0, 2)
+            .insert(2, 0) // duplicate (reversed): one effective insert
+            .delete(1, 3) // absent: no-op
+            .delete(3, 3); // self-loop: ignored
+        let (d, a) = d.apply(&batch).unwrap();
+        assert_eq!(a.inserted, vec![(0, 2)]);
+        assert!(a.deleted.is_empty());
+        assert_eq!(d.num_edges(), 5);
+    }
+
+    #[test]
+    fn delete_then_insert_in_one_batch_nets_to_present() {
+        let d = square();
+        let (d, a) = d
+            .apply(&EdgeBatch::new().delete(0, 1).insert(0, 1))
+            .unwrap();
+        assert!(a.is_empty(), "present edge deleted and re-inserted: no-op");
+        assert!(d.has_edge(0, 1));
+        // Absent edge in both lists: net insert.
+        let (d, a) = d
+            .apply(&EdgeBatch::new().delete(0, 2).insert(0, 2))
+            .unwrap();
+        assert_eq!(a.inserted, vec![(0, 2)]);
+        assert!(d.has_edge(0, 2));
+    }
+
+    #[test]
+    fn deltas_cancel_back_to_compact() {
+        let d = square();
+        let (d, _) = d.apply(&EdgeBatch::new().insert(0, 2)).unwrap();
+        assert!(!d.is_compact());
+        let (d, a) = d.apply(&EdgeBatch::new().delete(0, 2)).unwrap();
+        assert_eq!(a.deleted, vec![(0, 2)]);
+        assert!(d.is_compact(), "insert+delete across batches cancels");
+        assert_eq!(d.version(), 2, "version still advances monotonically");
+        assert_eq!(d.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn arc_indexing_matches_iteration_with_overlay() {
+        let d = square();
+        let (d, _) = d
+            .apply(&EdgeBatch::new().insert(0, 2).insert(1, 3).delete(3, 0))
+            .unwrap();
+        let collected: Vec<_> = d.arcs().collect();
+        assert_eq!(collected.len(), d.num_arcs());
+        for (i, &(u, v)) in collected.iter().enumerate() {
+            assert_eq!(d.arc(i), (u, v));
+        }
+        // Row-major and per-row sorted, like CSR.
+        assert!(collected
+            .windows(2)
+            .all(|w| w[0] < w[1] || w[0].0 == w[1].0));
+    }
+
+    #[test]
+    fn compact_preserves_value_and_version() {
+        let d = square();
+        let (d, _) = d
+            .apply(&EdgeBatch::new().insert(0, 2).delete(1, 2))
+            .unwrap();
+        let c = d.compact();
+        assert!(c.is_compact());
+        assert_eq!(c.version(), d.version());
+        assert_eq!(c.num_edges(), d.num_edges());
+        for v in 0..d.num_vertices() as VertexId {
+            assert_eq!(c.neighbors(v), d.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn labels_survive_mutation_and_compaction() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build()
+            .with_labels(vec![0, 1, 0, 1]);
+        let d = DeltaCsr::from_base(Arc::new(g));
+        let (d, _) = d.apply(&EdgeBatch::new().insert(0, 2)).unwrap();
+        assert!(d.is_labeled());
+        assert_eq!(d.label(1), 1);
+        assert_eq!(d.num_labels(), 2);
+        let c = d.compact();
+        assert_eq!(c.label(3), 1);
+        assert_eq!(c.num_labels(), 2);
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_a_typed_error() {
+        let d = square();
+        let err = d.apply(&EdgeBatch::new().insert(0, 9)).unwrap_err();
+        assert!(matches!(err, GraphError::NeighborOutOfRange { .. }));
+    }
+
+    #[test]
+    fn max_degree_stays_an_upper_bound() {
+        let d = square();
+        let (d, _) = d
+            .apply(&EdgeBatch::new().insert(0, 2).insert(1, 3))
+            .unwrap();
+        let true_max = (0..4).map(|v| d.degree(v)).max().unwrap();
+        assert!(d.max_degree() >= true_max);
+        // After deleting around vertex 0 the bound may be stale but must
+        // still dominate every degree.
+        let (d, _) = d
+            .apply(&EdgeBatch::new().delete(0, 1).delete(0, 2).delete(0, 3))
+            .unwrap();
+        let true_max = (0..4).map(|v| d.degree(v)).max().unwrap();
+        assert!(d.max_degree() >= true_max);
+        assert_eq!(d.compact().max_degree(), true_max, "compaction is exact");
+    }
+
+    #[test]
+    fn overlay_bytes_tracks_touched_rows() {
+        let d = square();
+        assert_eq!(d.overlay_bytes(), 0);
+        let (d, _) = d.apply(&EdgeBatch::new().insert(0, 2)).unwrap();
+        assert!(d.overlay_bytes() > 0);
+        assert_eq!(d.compact().overlay_bytes(), 0);
+    }
+}

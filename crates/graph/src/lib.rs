@@ -21,19 +21,29 @@
 //! - [`transform`] — induced subgraphs, connected components and
 //!   degeneracy ordering (standard preprocessing around a matcher);
 //! - [`rng`] — the self-contained deterministic PRNG behind the
-//!   generators (the workspace builds offline with no external crates).
+//!   generators (the workspace builds offline with no external crates);
+//! - [`view`] — the [`GraphView`] trait the matching engines are generic
+//!   over, so they run unmodified on base-or-delta adjacency;
+//! - [`delta`] — [`DeltaCsr`], the batch-dynamic graph: immutable CSR
+//!   base + per-vertex sorted edge deltas, monotonically versioned, with
+//!   copy-on-write [`apply`](DeltaCsr::apply) and periodic
+//!   [`compact`](DeltaCsr::compact).
 
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod generators;
 pub mod intersect;
 pub mod io;
 pub mod rng;
 pub mod stats;
 pub mod transform;
+pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, GraphError, Label, VertexId, MAX_VERTEX_ID};
 pub use datasets::{Dataset, DatasetId};
+pub use delta::{AppliedBatch, DeltaCsr, EdgeBatch, GraphVersion};
 pub use stats::GraphStats;
+pub use view::GraphView;

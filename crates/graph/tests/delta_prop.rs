@@ -1,0 +1,136 @@
+//! Randomized batch-sequence tests for [`DeltaCsr`]: after any schedule
+//! of insert/delete/duplicate/self-edge batches, the delta view must be
+//! indistinguishable (through [`GraphView`]) from a `CsrGraph` rebuilt
+//! from scratch out of the surviving edge set.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use tdfs_graph::rng::Rng;
+use tdfs_graph::{CsrGraph, DeltaCsr, EdgeBatch, GraphBuilder, GraphView};
+
+const CASES: u64 = 48;
+const N: u32 = 40;
+
+/// Model of the graph as a plain edge set, mutated with the same
+/// `G' = (G \ D) ∪ I` semantics the delta CSR promises.
+fn model_apply(model: &mut BTreeSet<(u32, u32)>, batch: &EdgeBatch) {
+    for &(u, v) in batch.deletes() {
+        if u != v {
+            model.remove(&(u.min(v), u.max(v)));
+        }
+    }
+    for &(u, v) in batch.inserts() {
+        if u != v {
+            model.insert((u.min(v), u.max(v)));
+        }
+    }
+}
+
+fn rebuild(model: &BTreeSet<(u32, u32)>) -> CsrGraph {
+    // Pin the vertex count so isolated tail vertices survive the rebuild.
+    GraphBuilder::new()
+        .num_vertices(N as usize)
+        .edges(model.iter().copied())
+        .build()
+}
+
+fn random_batch(rng: &mut Rng) -> EdgeBatch {
+    let mut batch = EdgeBatch::new();
+    for _ in 0..rng.gen_range(0..24) {
+        // Includes self-edges (u == v) and repeats by construction.
+        let u = rng.gen_range_u32(0..N);
+        let v = rng.gen_range_u32(0..N);
+        if rng.gen_range(0..3) == 0 {
+            batch = batch.delete(u, v);
+        } else {
+            batch = batch.insert(u, v);
+        }
+    }
+    // Occasionally re-queue the same edge on both sides of the batch.
+    if rng.gen_range(0..4) == 0 {
+        let u = rng.gen_range_u32(0..N);
+        let v = rng.gen_range_u32(0..N);
+        batch = batch.insert(u, v).delete(u, v).insert(u, v);
+    }
+    batch
+}
+
+fn assert_view_equivalent(d: &DeltaCsr, rebuilt: &CsrGraph) {
+    assert_eq!(d.num_vertices(), rebuilt.num_vertices());
+    assert_eq!(d.num_edges(), rebuilt.num_edges());
+    assert_eq!(d.num_arcs(), rebuilt.num_arcs());
+    let mut true_max = 0;
+    for v in 0..rebuilt.num_vertices() as u32 {
+        assert_eq!(d.neighbors(v), rebuilt.neighbors(v), "vertex {v}");
+        true_max = true_max.max(rebuilt.degree(v));
+    }
+    // max_degree is documented as an upper bound, never an undercount.
+    assert!(d.max_degree() >= true_max);
+    // Arc indexing and iteration agree with the rebuilt CSR stream.
+    for (i, (u, v)) in rebuilt.arcs().enumerate() {
+        assert_eq!(d.arc(i), (u, v), "arc {i}");
+    }
+    assert_eq!(GraphView::arcs(d).count(), rebuilt.num_arcs());
+}
+
+#[test]
+fn delta_view_matches_rebuilt_csr_after_random_schedules() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xDE17A + case);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        // Seed graph: a sparse random start.
+        let seed_batch = random_batch(&mut rng);
+        model_apply(&mut model, &seed_batch);
+        let mut d = DeltaCsr::from_base(Arc::new(rebuild(&model)));
+
+        for step in 0..12 {
+            let batch = random_batch(&mut rng);
+            let (next, applied) = d.apply(&batch).unwrap();
+            // Effective inserts/deletes agree with the model transition.
+            let before = model.clone();
+            model_apply(&mut model, &batch);
+            let inserted: Vec<_> = model.difference(&before).copied().collect();
+            let deleted: Vec<_> = before.difference(&model).copied().collect();
+            assert_eq!(applied.inserted, inserted, "case {case} step {step}");
+            assert_eq!(applied.deleted, deleted, "case {case} step {step}");
+            assert_eq!(next.version(), d.version() + 1);
+            // Snapshot isolation: the pre-apply value is untouched.
+            assert_eq!(d.num_edges(), before.len());
+            d = next;
+            assert_view_equivalent(&d, &rebuild(&model));
+        }
+
+        // Compaction folds to the same value and restores exactness.
+        let compacted = d.compact();
+        assert_eq!(compacted.version(), d.version());
+        assert!(compacted.is_compact());
+        let rebuilt = rebuild(&model);
+        assert_view_equivalent(&compacted, &rebuilt);
+        assert_eq!(compacted.max_degree(), rebuilt.max_degree());
+
+        // Applying on top of a compacted base keeps working.
+        let batch = random_batch(&mut rng);
+        let (after, _) = compacted.apply(&batch).unwrap();
+        model_apply(&mut model, &batch);
+        assert_view_equivalent(&after, &rebuild(&model));
+    }
+}
+
+#[test]
+fn version_is_monotone_even_for_noop_batches() {
+    let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+    let d = DeltaCsr::from_base(Arc::new(g));
+    let (d1, a) = d.apply(&EdgeBatch::new()).unwrap();
+    assert!(a.is_empty());
+    assert_eq!(d1.version(), 1);
+    let (d2, a) = d1
+        .apply(&EdgeBatch::new().insert(0, 1).delete(0, 2))
+        .unwrap();
+    assert!(
+        a.is_empty(),
+        "present insert + absent delete are both no-ops"
+    );
+    assert_eq!(d2.version(), 2);
+    assert!(d2.is_compact());
+}

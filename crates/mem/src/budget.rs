@@ -146,6 +146,33 @@ impl MemoryBudget {
         debug_assert!(prev >= pages, "budget release underflow");
     }
 
+    /// [`try_charge`](Self::try_charge) for a byte-sized resident
+    /// structure: charges `bytes` rounded up to whole page-equivalents
+    /// ([`PAGE_BYTES`](crate::PAGE_BYTES)), so heap-resident overlays —
+    /// the delta-CSR rows of a mutable catalog graph — compete for the
+    /// same device allowance as arena pages.
+    pub fn try_charge_bytes(&self, bytes: usize) -> bool {
+        self.try_charge(Self::pages_for(bytes))
+    }
+
+    /// [`charge_unchecked`](Self::charge_unchecked) in page-equivalents
+    /// of `bytes` (overdraft allowed; see module docs).
+    pub fn charge_bytes_unchecked(&self, bytes: usize) {
+        self.charge_unchecked(Self::pages_for(bytes));
+    }
+
+    /// Releases the page-equivalents previously charged for `bytes`.
+    /// Callers must release the *same byte figure* they charged —
+    /// rounding happens per call, not cumulatively.
+    pub fn release_bytes(&self, bytes: usize) {
+        self.release(Self::pages_for(bytes));
+    }
+
+    /// Page-equivalents for `bytes`, rounded up.
+    pub fn pages_for(bytes: usize) -> usize {
+        bytes.div_ceil(crate::arena::PAGE_BYTES)
+    }
+
     /// Capacity in pages (`usize::MAX` = unlimited).
     pub fn capacity_pages(&self) -> usize {
         self.0.capacity
@@ -249,6 +276,23 @@ mod tests {
         assert!(b.try_charge(usize::MAX / 2));
         assert_eq!(b.pressure(), 0.0);
         b.release(usize::MAX / 2);
+    }
+
+    #[test]
+    fn byte_charges_round_up_to_page_equivalents() {
+        use crate::arena::PAGE_BYTES;
+        let b = MemoryBudget::new(3);
+        assert_eq!(MemoryBudget::pages_for(0), 0);
+        assert_eq!(MemoryBudget::pages_for(1), 1);
+        assert_eq!(MemoryBudget::pages_for(PAGE_BYTES), 1);
+        assert_eq!(MemoryBudget::pages_for(PAGE_BYTES + 1), 2);
+        assert!(b.try_charge_bytes(PAGE_BYTES + 1)); // 2 pages
+        assert!(!b.try_charge_bytes(2 * PAGE_BYTES), "2 + 2 > 3");
+        b.charge_bytes_unchecked(2 * PAGE_BYTES); // overdraft to 4
+        assert_eq!(b.in_use_pages(), 4);
+        b.release_bytes(PAGE_BYTES + 1);
+        b.release_bytes(2 * PAGE_BYTES);
+        assert_eq!(b.in_use_pages(), 0);
     }
 
     #[test]

@@ -68,6 +68,37 @@ pub fn stabilizer(group: &[Permutation], v: usize) -> Vec<Permutation> {
     group.iter().filter(|g| g[v] == v).cloned().collect()
 }
 
+/// One representative per orbit of *undirected* pattern edges under
+/// `Aut(p)`, each returned as `(a, b)` with `a < b` in ascending order.
+///
+/// Two pattern edges in the same orbit enumerate identical match sets
+/// when anchored to the same data edge, so incremental maintenance
+/// seeds one rooted plan per representative (in *both* orientations —
+/// an automorphism may map `{a, b}` onto `{b', a'}` reversed, and a
+/// rooted order distinguishes which endpoint sits at position 0).
+/// Every pattern edge lies in exactly one representative's orbit, so
+/// seeding all representatives over a changed data edge covers every
+/// embedding through that edge exactly once per `Aut`-class.
+pub fn edge_orbit_reps(p: &Pattern) -> Vec<(usize, usize)> {
+    let group = automorphisms(p);
+    let n = p.num_vertices();
+    let mut covered = vec![false; n * n];
+    let mut reps = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !p.has_edge(a, b) || covered[a * n + b] {
+                continue;
+            }
+            reps.push((a, b));
+            for g in &group {
+                let (x, y) = (g[a].min(g[b]), g[a].max(g[b]));
+                covered[x * n + y] = true;
+            }
+        }
+    }
+    reps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +162,64 @@ mod tests {
                 let composed: Vec<usize> = (0..p.num_vertices()).map(|v| a[b[v]]).collect();
                 assert!(auts.contains(&composed));
             }
+        }
+    }
+
+    #[test]
+    fn edge_orbits_of_transitive_patterns_collapse_to_one() {
+        // Cliques and cycles are edge-transitive: a single orbit.
+        assert_eq!(edge_orbit_reps(&crate::Pattern::clique(3)).len(), 1);
+        for id in [2u8, 7, 8] {
+            let p = PatternId(id).pattern();
+            assert_eq!(edge_orbit_reps(&p).len(), 1, "P{id}");
+        }
+    }
+
+    #[test]
+    fn house_pattern_has_four_edge_orbits() {
+        // House (triangle on a square): the roof-apex spokes, the two
+        // "wall" edges, the floor, and the ceiling form 4 orbits.
+        let p = PatternId(3).pattern();
+        assert_eq!(edge_orbit_reps(&p).len(), 4);
+    }
+
+    #[test]
+    fn edge_orbit_reps_cover_every_edge_exactly_once() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            let group = automorphisms(&p);
+            let reps = edge_orbit_reps(&p);
+            let mut seen = std::collections::BTreeMap::new();
+            for &(a, b) in &reps {
+                assert!(p.has_edge(a, b), "{}", id.name());
+                for g in &group {
+                    let key = (g[a].min(g[b]), g[a].max(g[b]));
+                    *seen.entry(key).or_insert(0usize) += 1;
+                }
+            }
+            // Every pattern edge is in the orbit of exactly one rep.
+            for u in 0..p.num_vertices() {
+                for v in (u + 1)..p.num_vertices() {
+                    if p.has_edge(u, v) {
+                        assert!(seen.contains_key(&(u, v)), "{} ({u},{v})", id.name());
+                    }
+                }
+            }
+            // Orbits partition the edge set: rep count × nothing double.
+            let orbits: std::collections::BTreeSet<_> = reps
+                .iter()
+                .map(|&(a, b)| {
+                    let mut o: Vec<_> = group
+                        .iter()
+                        .map(|g| (g[a].min(g[b]), g[a].max(g[b])))
+                        .collect();
+                    o.sort_unstable();
+                    o.dedup();
+                    o
+                })
+                .collect();
+            let total: usize = orbits.iter().map(|o| o.len()).sum();
+            assert_eq!(total, p.num_edges(), "{}", id.name());
         }
     }
 

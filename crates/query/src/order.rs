@@ -76,6 +76,63 @@ impl MatchingOrder {
         }
     }
 
+    /// Computes a matching order rooted at the pattern edge `(a, b)`:
+    /// positions 0 and 1 are forced to `a` and `b`, the rest follow the
+    /// same greedy refinement as [`compute`](Self::compute).
+    ///
+    /// This is the incremental-maintenance order: a changed data edge is
+    /// pinned to the anchor pattern edge, so the engines' edge-seeded
+    /// task path enumerates exactly the matches through that edge.
+    ///
+    /// Panics if the pattern is not connected or `(a, b)` is not one of
+    /// its edges.
+    pub fn compute_rooted(p: &Pattern, a: usize, b: usize) -> Self {
+        assert!(
+            p.is_connected(),
+            "matching order requires a connected pattern"
+        );
+        assert!(
+            p.has_edge(a, b),
+            "rooted order requires a pattern edge, got ({a}, {b})"
+        );
+        let n = p.num_vertices();
+        let mut order = Vec::with_capacity(n);
+        let mut placed = 0u32;
+        order.push(a);
+        placed |= 1 << a;
+        order.push(b);
+        placed |= 1 << b;
+
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&u| placed >> u & 1 == 0)
+                .max_by_key(|&u| {
+                    let bwd = (p.adj_mask(u) & placed).count_ones();
+                    (bwd, p.degree(u), std::cmp::Reverse(u))
+                })
+                .expect("pattern exhausted early");
+            debug_assert!(p.adj_mask(next) & placed != 0);
+            order.push(next);
+            placed |= 1 << next;
+        }
+
+        let mut position = vec![0usize; n];
+        for (i, &u) in order.iter().enumerate() {
+            position[u] = i;
+        }
+        let backward = (0..n)
+            .map(|i| {
+                let u = order[i];
+                (0..i).filter(|&j| p.has_edge(u, order[j])).collect()
+            })
+            .collect();
+        Self {
+            order,
+            position,
+            backward,
+        }
+    }
+
     /// Number of query vertices.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -148,6 +205,40 @@ mod tests {
                 .count();
             assert_eq!(mo.backward[i].len(), expect);
         }
+    }
+
+    #[test]
+    fn rooted_order_pins_the_anchor_edge() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            for a in 0..p.num_vertices() {
+                for b in 0..p.num_vertices() {
+                    if !p.has_edge(a, b) {
+                        continue;
+                    }
+                    let mo = MatchingOrder::compute_rooted(&p, a, b);
+                    assert_eq!(mo.order[0], a, "{}", id.name());
+                    assert_eq!(mo.order[1], b, "{}", id.name());
+                    // Still a permutation with valid backward sets.
+                    let mut sorted = mo.order.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(sorted, (0..p.num_vertices()).collect::<Vec<_>>());
+                    for i in 1..mo.len() {
+                        assert!(!mo.backward[i].is_empty(), "{} pos {i}", id.name());
+                        for &j in &mo.backward[i] {
+                            assert!(p.has_edge(mo.order[i], mo.order[j]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern edge")]
+    fn rooted_rejects_non_edges() {
+        let p = PatternId(3).pattern(); // house: (0,2) is not an edge
+        let _ = MatchingOrder::compute_rooted(&p, 0, 2);
     }
 
     #[test]

@@ -74,7 +74,33 @@ impl QueryPlan {
 
     /// Compiles `pattern` with explicit options.
     pub fn build_with(pattern: &Pattern, options: PlanOptions) -> Self {
-        let order = MatchingOrder::compute(pattern);
+        Self::from_order(pattern, MatchingOrder::compute(pattern), options)
+    }
+
+    /// Compiles a plan whose matching order is rooted at the pattern edge
+    /// `(a, b)` — positions 0 and 1 are `a` and `b`.
+    ///
+    /// Rooted plans drive incremental match maintenance: a changed data
+    /// edge is fed as the sole initial task for positions `(0, 1)`, so
+    /// the engine enumerates exactly the embeddings mapping `(a, b)` onto
+    /// that edge. Symmetry breaking is forced *off* (the caller
+    /// canonicalizes embeddings under `Aut(P)` instead, since a symmetry
+    /// constraint could discard the one orientation that passes through
+    /// the changed edge); `aut_size` is 1 and emissions are raw
+    /// embeddings.
+    pub fn build_rooted(pattern: &Pattern, a: usize, b: usize, options: PlanOptions) -> Self {
+        let options = PlanOptions {
+            symmetry_breaking: false,
+            ..options
+        };
+        Self::from_order(
+            pattern,
+            MatchingOrder::compute_rooted(pattern, a, b),
+            options,
+        )
+    }
+
+    fn from_order(pattern: &Pattern, order: MatchingOrder, options: PlanOptions) -> Self {
         let k = order.len();
         let reuse = if options.intersection_reuse {
             ReusePlan::compute(&order)
@@ -230,6 +256,29 @@ mod tests {
             .map(|l| l.greater_than.len() + l.less_than.len())
             .sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn rooted_plan_pins_anchor_and_disables_symmetry() {
+        for id in PatternId::all() {
+            let p = id.pattern();
+            for &(a, b) in &crate::automorphism::edge_orbit_reps(&p) {
+                for (x, y) in [(a, b), (b, a)] {
+                    let plan = QueryPlan::build_rooted(&p, x, y, PlanOptions::default());
+                    assert_eq!(plan.order.order[0], x, "{}", id.name());
+                    assert_eq!(plan.order.order[1], y, "{}", id.name());
+                    assert_eq!(plan.aut_size, 1);
+                    assert!(!plan.options.symmetry_breaking);
+                    assert!(plan
+                        .levels
+                        .iter()
+                        .all(|l| l.greater_than.is_empty() && l.less_than.is_empty()));
+                    // Position 1 is backward-adjacent to position 0, the
+                    // invariant the edge-seeded task path relies on.
+                    assert_eq!(plan.levels[1].backward, vec![0]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,11 +21,19 @@ use tdfs_query::Pattern;
 
 use crate::canon::PatternKey;
 
-/// Full cache key: graph, canonical pattern, plan options.
+/// Full cache key: graph, graph version, canonical pattern, plan options.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanCacheKey {
     /// Catalog name of the data graph.
     pub graph: String,
+    /// [`GraphVersion`](tdfs_graph::GraphVersion) of the catalog entry
+    /// the plan was built against. Plans are pure in the pattern, but a
+    /// future planner may consult data-graph statistics (degree
+    /// distributions, label frequencies), so entries built against a
+    /// superseded version must never be served for the current one —
+    /// the version in the key discriminates them, and `Service::apply`
+    /// eagerly drops the stale generation.
+    pub version: u64,
     /// Canonical (or raw-fallback) pattern encoding.
     pub pattern: PatternKey,
     /// Plan options, destructured for hashing.
@@ -35,10 +43,11 @@ pub struct PlanCacheKey {
 }
 
 impl PlanCacheKey {
-    /// Builds the key for a (graph, pattern, options) triple.
-    pub fn of(graph: &str, pattern: &Pattern, options: PlanOptions) -> Self {
+    /// Builds the key for a (graph, version, pattern, options) tuple.
+    pub fn of(graph: &str, version: u64, pattern: &Pattern, options: PlanOptions) -> Self {
         Self {
             graph: graph.to_owned(),
+            version,
             pattern: PatternKey::of(pattern),
             symmetry_breaking: options.symmetry_breaking,
             intersection_reuse: options.intersection_reuse,
@@ -104,10 +113,11 @@ impl PlanCache {
     pub fn get_or_build(
         &self,
         graph: &str,
+        version: u64,
         pattern: &Pattern,
         options: PlanOptions,
     ) -> Arc<QueryPlan> {
-        let key = PlanCacheKey::of(graph, pattern, options);
+        let key = PlanCacheKey::of(graph, version, pattern, options);
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         {
             let mut map = self.map.lock().expect("plan cache poisoned");
@@ -154,6 +164,17 @@ impl PlanCache {
             .retain(|k, _| k.graph != graph);
     }
 
+    /// Drops cached plans for `graph` built against a version `<
+    /// current` — the eager half of version discrimination, run by
+    /// `Service::apply` at commit so superseded entries free their
+    /// slots immediately instead of aging out through LRU.
+    pub fn invalidate_graph_below(&self, graph: &str, current: u64) {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .retain(|k, _| k.graph != graph || k.version >= current);
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.map.lock().expect("plan cache poisoned").len()
@@ -187,8 +208,8 @@ mod tests {
     fn hit_after_miss() {
         let c = PlanCache::new(4);
         let p = Pattern::cycle(4);
-        let a = c.get_or_build("g", &p, opts());
-        let b = c.get_or_build("g", &p, opts());
+        let a = c.get_or_build("g", 0, &p, opts());
+        let b = c.get_or_build("g", 0, &p, opts());
         assert!(Arc::ptr_eq(&a, &b));
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -198,10 +219,11 @@ mod tests {
     fn distinct_graphs_and_options_are_distinct_slots() {
         let c = PlanCache::new(8);
         let p = Pattern::cycle(4);
-        c.get_or_build("g1", &p, opts());
-        c.get_or_build("g2", &p, opts());
+        c.get_or_build("g1", 0, &p, opts());
+        c.get_or_build("g2", 0, &p, opts());
         c.get_or_build(
             "g1",
+            0,
             &p,
             PlanOptions {
                 symmetry_breaking: false,
@@ -218,15 +240,15 @@ mod tests {
         let p3 = Pattern::path(3);
         let p4 = Pattern::path(4);
         let p5 = Pattern::path(5);
-        c.get_or_build("g", &p3, opts());
-        c.get_or_build("g", &p4, opts());
-        c.get_or_build("g", &p3, opts()); // touch p3: p4 is now LRU
-        c.get_or_build("g", &p5, opts()); // evicts p4
+        c.get_or_build("g", 0, &p3, opts());
+        c.get_or_build("g", 0, &p4, opts());
+        c.get_or_build("g", 0, &p3, opts()); // touch p3: p4 is now LRU
+        c.get_or_build("g", 0, &p5, opts()); // evicts p4
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 1);
-        c.get_or_build("g", &p3, opts()); // still cached
+        c.get_or_build("g", 0, &p3, opts()); // still cached
         assert_eq!(c.stats().hits, 2);
-        c.get_or_build("g", &p4, opts()); // was evicted: miss
+        c.get_or_build("g", 0, &p4, opts()); // was evicted: miss
         assert_eq!(c.stats().misses, 4);
     }
 
@@ -235,8 +257,8 @@ mod tests {
         let c = PlanCache::new(4);
         let a = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
         let b = Pattern::from_edges(4, &[(2, 3), (3, 0), (0, 1), (1, 2), (3, 1)]);
-        let pa = c.get_or_build("g", &a, opts());
-        let pb = c.get_or_build("g", &b, opts());
+        let pa = c.get_or_build("g", 0, &a, opts());
+        let pb = c.get_or_build("g", 0, &b, opts());
         assert_eq!(pa.pattern, a);
         assert_eq!(pb.pattern, b, "plan must match the requested presentation");
         assert_eq!(c.len(), 1, "isomorphic presentations share one slot");
@@ -244,10 +266,25 @@ mod tests {
     }
 
     #[test]
+    fn versions_are_distinct_slots_and_stale_ones_invalidate() {
+        let c = PlanCache::new(8);
+        let p = Pattern::cycle(4);
+        let v0 = c.get_or_build("g", 0, &p, opts());
+        let v1 = c.get_or_build("g", 1, &p, opts());
+        assert!(!Arc::ptr_eq(&v0, &v1), "versions never share an entry");
+        assert_eq!(c.len(), 2);
+        c.get_or_build("other", 0, &p, opts());
+        c.invalidate_graph_below("g", 1);
+        assert_eq!(c.len(), 2, "only g@0 dropped; g@1 and other@0 stay");
+        let v1_again = c.get_or_build("g", 1, &p, opts());
+        assert!(Arc::ptr_eq(&v1, &v1_again));
+    }
+
+    #[test]
     fn invalidate_graph_clears_only_that_graph() {
         let c = PlanCache::new(8);
-        c.get_or_build("a", &Pattern::cycle(3), opts());
-        c.get_or_build("b", &Pattern::cycle(3), opts());
+        c.get_or_build("a", 0, &Pattern::cycle(3), opts());
+        c.get_or_build("b", 0, &Pattern::cycle(3), opts());
         c.invalidate_graph("a");
         assert_eq!(c.len(), 1);
     }

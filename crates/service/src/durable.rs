@@ -58,7 +58,7 @@ use tdfs_core::{
     MemoryBudget, RunResult, RunStats,
 };
 use tdfs_gpu::lease::{AckOutcome, Lease, LeaseStats, LeaseTable};
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
 
@@ -177,6 +177,9 @@ pub struct QueryProgress {
 pub struct DurableState {
     pub(crate) query_id: u64,
     pub(crate) graph_name: String,
+    /// Catalog graph version the shards were carved against (shard
+    /// ranges index that version's admitted-edge space).
+    pub(crate) graph_version: u64,
     pub(crate) pattern: Pattern,
     /// Engine configuration as serialized (no cancel / time limit).
     pub(crate) config: MatcherConfig,
@@ -282,6 +285,7 @@ impl DurableState {
         let cp = self.ledger.checkpoint();
         snapshot::encode(&QuerySnapshot {
             graph: self.graph_name.clone(),
+            graph_version: self.graph_version,
             pattern: self.pattern.clone(),
             config: self.config.clone(),
             edge_count: self.edge_count,
@@ -319,8 +323,8 @@ impl MatchSink for ShardBuffer {
 
 /// Everything a durable run needs from the job, borrowed for the scope
 /// of the worker threads.
-pub(crate) struct DurableJob<'a> {
-    pub graph: &'a CsrGraph,
+pub(crate) struct DurableJob<'a, V: GraphView> {
+    pub graph: &'a V,
     pub plan: &'a QueryPlan,
     /// Base engine configuration (cancel token *not* attached — shards
     /// get private tokens).
@@ -347,12 +351,13 @@ pub(crate) struct DurableJob<'a> {
 /// sum is the first-order work estimate; the shard count still follows
 /// `shard_edges` so recovery granularity is unchanged on average.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn fresh_state(
+pub(crate) fn fresh_state<V: GraphView>(
     query_id: u64,
     graph_name: String,
+    graph_version: u64,
     pattern: Pattern,
     config: MatcherConfig,
-    graph: &CsrGraph,
+    graph: &V,
     edges: &[(u32, u32)],
     dcfg: &DurableConfig,
     scope: Option<MemoryBudget>,
@@ -387,7 +392,18 @@ pub(crate) fn fresh_state(
         }
     }
     Arc::new(state_with(
-        query_id, graph_name, pattern, config, edge_count, ledger, 0, 0, 0, 0, scope,
+        query_id,
+        graph_name,
+        graph_version,
+        pattern,
+        config,
+        edge_count,
+        ledger,
+        0,
+        0,
+        0,
+        0,
+        scope,
     ))
 }
 
@@ -408,6 +424,7 @@ pub(crate) fn resumed_state(
     Arc::new(state_with(
         query_id,
         snap.graph.clone(),
+        snap.graph_version,
         snap.pattern.clone(),
         snap.config.clone(),
         snap.edge_count,
@@ -424,6 +441,7 @@ pub(crate) fn resumed_state(
 fn state_with(
     query_id: u64,
     graph_name: String,
+    graph_version: u64,
     pattern: Pattern,
     config: MatcherConfig,
     edge_count: u64,
@@ -437,6 +455,7 @@ fn state_with(
     DurableState {
         query_id,
         graph_name,
+        graph_version,
         pattern,
         config,
         edge_count,
@@ -460,9 +479,9 @@ fn state_with(
 /// the watchdog on the calling thread, and returns the assembled
 /// result. The caller (the service worker) owns admission bookkeeping
 /// and outcome delivery.
-pub(crate) fn execute(
+pub(crate) fn execute<V: GraphView>(
     state: &Arc<DurableState>,
-    job: &DurableJob<'_>,
+    job: &DurableJob<'_, V>,
     dcfg: &DurableConfig,
     start: Instant,
 ) -> Result<RunResult, EngineError> {
@@ -522,7 +541,12 @@ pub(crate) fn execute(
     })
 }
 
-fn shard_worker(state: &Arc<DurableState>, job: &DurableJob<'_>, wid: u32, shard_warps: usize) {
+fn shard_worker<V: GraphView>(
+    state: &Arc<DurableState>,
+    job: &DurableJob<'_, V>,
+    wid: u32,
+    shard_warps: usize,
+) {
     loop {
         if state.failed() || job.cancel.is_cancelled() {
             return;
@@ -551,9 +575,9 @@ fn shard_worker(state: &Arc<DurableState>, job: &DurableJob<'_>, wid: u32, shard
     }
 }
 
-fn run_shard(
+fn run_shard<V: GraphView>(
     state: &Arc<DurableState>,
-    job: &DurableJob<'_>,
+    job: &DurableJob<'_, V>,
     lease: &Lease<Shard>,
     shard_warps: usize,
 ) {
@@ -655,7 +679,11 @@ fn run_shard(
     }
 }
 
-fn flush_emissions(state: &DurableState, job: &DurableJob<'_>, buffer: &ShardBuffer) {
+fn flush_emissions<V: GraphView>(
+    state: &DurableState,
+    job: &DurableJob<'_, V>,
+    buffer: &ShardBuffer,
+) {
     let rows = std::mem::take(
         &mut *buffer
             .rows
@@ -684,9 +712,9 @@ fn flush_emissions(state: &DurableState, job: &DurableJob<'_>, buffer: &ShardBuf
 /// the shard workers execute. Each tick: propagate cancellation, reap
 /// expired leases (straggler decomposition + zombie revocation), and
 /// check the wedge bound.
-fn watchdog(
+fn watchdog<V: GraphView>(
     state: &Arc<DurableState>,
-    job: &DurableJob<'_>,
+    job: &DurableJob<'_, V>,
     dcfg: &DurableConfig,
     live: &AtomicUsize,
 ) {

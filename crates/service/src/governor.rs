@@ -40,7 +40,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use tdfs_graph::CsrGraph;
+use tdfs_graph::GraphView;
 
 /// Scheduling priority of a query. Under overload the governor sheds
 /// `Low` work first and an open circuit breaker admits only `High`.
@@ -264,7 +264,7 @@ impl GovernorConfig {
 /// per-vertex work. Saturating; the absolute scale is meaningless — it
 /// only has to *order* queries and track a per-host
 /// [`GovernorConfig::cost_per_ms`] calibration.
-pub fn estimate_cost(graph: &CsrGraph, k: usize) -> u64 {
+pub fn estimate_cost<V: GraphView + ?Sized>(graph: &V, k: usize) -> u64 {
     let arcs = graph.num_arcs() as u64;
     if arcs == 0 || k < 2 {
         return k as u64;

@@ -87,6 +87,7 @@ pub mod durable;
 pub mod governor;
 pub mod service;
 pub mod snapshot;
+pub mod standing;
 
 pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
@@ -96,7 +97,8 @@ pub use governor::{
     estimate_cost, BreakerConfig, BreakerState, GovernorConfig, Priority, ShedPolicy,
 };
 pub use service::{
-    PartialResult, QueryHandle, QueryOutcome, QueryRequest, Rejected, ResumeError, RetryPolicy,
-    Service, ServiceConfig, ServiceMetrics, SnapshotError,
+    ApplyError, ApplyReport, PartialResult, QueryHandle, QueryOutcome, QueryRequest, Rejected,
+    ResumeError, RetryPolicy, Service, ServiceConfig, ServiceMetrics, SnapshotError,
 };
 pub use snapshot::{DecodeError, QuerySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use standing::{MatchDelta, StandingRequest};

@@ -25,12 +25,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tdfs_core::engine::edge_admitted;
 use tdfs_core::{
-    host_filter_edges, match_plan_with_sink, CancelFlag, CollectSink, EngineError, MatchSink,
-    MatcherConfig, MemoryBudget, RunResult, RunStats,
+    host_filter_edges, match_plan_on_edges, match_plan_with_sink, CancelFlag, CollectSink,
+    EngineError, MatchSink, MatcherConfig, MemoryBudget, RunResult, RunStats,
 };
 use tdfs_gpu::lease::LeaseStats;
-use tdfs_graph::CsrGraph;
+use tdfs_graph::{CsrGraph, DeltaCsr, EdgeBatch, GraphError};
+use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
 
 use crate::cache::{PlanCache, PlanCacheStats};
@@ -38,6 +40,9 @@ use crate::catalog::GraphCatalog;
 use crate::durable::{self, DurableConfig, DurableJob, DurableState, QueryProgress};
 use crate::governor::{estimate_cost, Breaker, BreakerState, GovernorConfig, Priority, ShedPolicy};
 use crate::snapshot::{self, DecodeError, QuerySnapshot};
+use crate::standing::{
+    oriented_seeds, DedupSink, MatchDelta, NotifyFn, StandingQuery, StandingRequest,
+};
 
 /// Completed durable queries kept registered (snapshot-able and visible
 /// to [`Service::progress`]) before their lease counters are folded into
@@ -194,6 +199,19 @@ pub enum ResumeError {
         /// snapshot's plan.
         actual: u64,
     },
+    /// The catalog's graph is at a different [`tdfs_graph::GraphVersion`]
+    /// than the one the snapshot was taken against. The snapshot's shard
+    /// ranges index that exact version's admitted-edge space, and a
+    /// batch may reorder or resize it even when the total edge count
+    /// happens to agree — resuming would silently skip or double-count
+    /// edges. Re-run the query instead (or restore the graph to the
+    /// snapshot's version first).
+    GraphVersionMismatch {
+        /// Graph version recorded in the snapshot.
+        expected: u64,
+        /// Current version of the registered graph.
+        actual: u64,
+    },
     /// Admission failed (queue full / shutting down).
     Rejected(Rejected),
 }
@@ -207,6 +225,10 @@ impl fmt::Display for ResumeError {
                 f,
                 "graph mismatch: snapshot has {expected} admitted edges, catalog graph has {actual}"
             ),
+            ResumeError::GraphVersionMismatch { expected, actual } => write!(
+                f,
+                "graph version mismatch: snapshot taken at version {expected}, catalog graph is at {actual}"
+            ),
             ResumeError::Rejected(r) => write!(f, "resume not admitted: {r}"),
         }
     }
@@ -218,6 +240,59 @@ impl From<DecodeError> for ResumeError {
     fn from(e: DecodeError) -> Self {
         ResumeError::Decode(e)
     }
+}
+
+/// Why [`Service::apply`] (or [`Service::compact_graph`]) failed.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// No graph with this name is registered in the catalog.
+    UnknownGraph(String),
+    /// The batch references vertices outside the graph
+    /// ([`tdfs_graph::GraphError`]); nothing was changed.
+    Graph(GraphError),
+    /// The catalog entry was replaced or unregistered while the batch
+    /// was being prepared (e.g. a concurrent `register_graph` under the
+    /// same name); nothing was changed. Re-fetch and retry if the new
+    /// entry is still the intended target.
+    Conflict(String),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
+            ApplyError::Graph(e) => write!(f, "invalid batch: {e}"),
+            ApplyError::Conflict(name) => {
+                write!(
+                    f,
+                    "graph {name:?} was concurrently replaced; batch not applied"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<GraphError> for ApplyError {
+    fn from(e: GraphError) -> Self {
+        ApplyError::Graph(e)
+    }
+}
+
+/// What [`Service::apply`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Catalog name of the mutated graph.
+    pub graph: String,
+    /// The version the graph reached.
+    pub version: u64,
+    /// Effectively inserted edges (absent before, present after).
+    pub inserted: usize,
+    /// Effectively deleted edges (present before, absent after).
+    pub deleted: usize,
+    /// Standing-query deltas delivered for this batch.
+    pub notifications: usize,
 }
 
 /// One query to run.
@@ -467,6 +542,21 @@ pub struct ServiceMetrics {
     pub snapshot_bytes: u64,
     /// Queries admitted via [`Service::resume`].
     pub resumes: u64,
+    /// Edge batches committed via [`Service::apply`].
+    pub batches_applied: u64,
+    /// Standing-query deltas delivered (one per standing query per
+    /// applied batch).
+    pub standing_notifications: u64,
+    /// Delta deliveries retried after a drop (fault point
+    /// `service.notify.drop`); the version fence keeps the redeliveries
+    /// exactly-once.
+    pub notify_retries: u64,
+    /// Maintenance passes dispatched by [`Service::apply`] (one per
+    /// standing query × batch side × rooted plan).
+    pub maintenance_jobs: u64,
+    /// Maintenance passes that ran on the applying thread because queue
+    /// dispatch was rejected or the queued job failed/was shed.
+    pub maintenance_inline_fallbacks: u64,
     /// Engine counters merged across all completed queries.
     pub engine: RunStats,
     /// Sum of completion latencies (queueing + execution).
@@ -496,6 +586,8 @@ impl ServiceMetrics {
              budget {}/{} pages (peak {})\n\
              durable: {} queries, {} resumes; leases {} granted / {} reclaimed / {} fenced; \
              {} shards acked; {} snapshots ({} bytes)\n\
+             dynamic: {} batches applied, {} standing notifications ({} retried), \
+             {} maintenance jobs ({} inline fallbacks)\n\
              engine kernels: {} merge, {} bsearch, {} gallop\n\
              plan cache: {} hits, {} misses, {} evictions, {} presentation rebuilds",
             self.admitted,
@@ -530,6 +622,11 @@ impl ServiceMetrics {
             self.tasks_acked,
             self.snapshots_taken,
             self.snapshot_bytes,
+            self.batches_applied,
+            self.standing_notifications,
+            self.notify_retries,
+            self.maintenance_jobs,
+            self.maintenance_inline_fallbacks,
             self.engine.warp.merge_kernels,
             self.engine.warp.bsearch_kernels,
             self.engine.warp.gallop_kernels,
@@ -544,7 +641,11 @@ impl ServiceMetrics {
 struct Job {
     id: u64,
     graph_name: String,
-    graph: Arc<CsrGraph>,
+    /// The exact graph *view* this job enumerates. Client queries get
+    /// the catalog entry at submission; maintenance jobs may carry a
+    /// not-yet-published successor view (insert-side counting runs
+    /// before `Service::apply` commits).
+    graph: Arc<DeltaCsr>,
     pattern: Pattern,
     config: MatcherConfig,
     deadline: Option<Duration>,
@@ -553,6 +654,15 @@ struct Job {
     cancel: CancelFlag,
     durable: bool,
     priority: Priority,
+    /// Pre-compiled plan override. Maintenance jobs carry their rooted
+    /// (anchor-pinned, symmetry-free) plans, which must bypass the
+    /// cache — a rooted plan is not what `get_or_build` would compile
+    /// for the pattern.
+    plan: Option<Arc<QueryPlan>>,
+    /// When set, the run enumerates only from these directed seed edges
+    /// (filtered by plan admission) instead of the graph's full
+    /// admitted-edge list — the delta-edge-anchored maintenance sweep.
+    seed_edges: Option<Vec<(u32, u32)>>,
     /// Per-query scope of the service memory budget (when configured):
     /// attached to the engine config at execution so arena pages are
     /// charged against the global budget, and readable by the governor
@@ -595,6 +705,11 @@ struct MetricCounters {
     snapshots_taken: u64,
     snapshot_bytes: u64,
     resumes: u64,
+    batches_applied: u64,
+    standing_notifications: u64,
+    notify_retries: u64,
+    maintenance_jobs: u64,
+    maintenance_inline_fallbacks: u64,
     engine: RunStats,
     total_latency: Duration,
     max_latency: Duration,
@@ -643,6 +758,34 @@ struct Inner {
     breaker: Mutex<Breaker>,
     governor_stop: AtomicBool,
     governor: Mutex<Option<JoinHandle<()>>>,
+    /// Registered standing queries by id.
+    standing: Mutex<HashMap<u64, Arc<StandingQuery>>>,
+    next_standing: Mutex<u64>,
+    /// Serializes [`Service::apply`]/[`Service::compact_graph`] commits:
+    /// version succession per service is linear, so standing deltas
+    /// compose (`count` telescopes across batches) and the catalog swap
+    /// can only lose to an external `register_graph` race, never to
+    /// another apply.
+    apply_lock: Mutex<()>,
+}
+
+/// Apply lock that survives a `graph.apply.midbatch` panic: the aborted
+/// apply changed nothing observable, so the next apply proceeds from
+/// clean state.
+fn lock_apply(inner: &Inner) -> std::sync::MutexGuard<'_, ()> {
+    inner
+        .apply_lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Standing-registry lock, panic-tolerant for the same reason as
+/// [`lock_metrics`].
+fn lock_standing(inner: &Inner) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<StandingQuery>>> {
+    inner
+        .standing
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Durable-registry lock that survives worker panics (same reasoning as
@@ -740,6 +883,9 @@ impl Service {
             breaker: Mutex::new(breaker),
             governor_stop: AtomicBool::new(false),
             governor: Mutex::new(None),
+            standing: Mutex::new(HashMap::new()),
+            next_standing: Mutex::new(0),
+            apply_lock: Mutex::new(()),
         });
         let handles: Vec<_> = (0..workers)
             .map(|i| {
@@ -772,18 +918,21 @@ impl Service {
         &self.inner.catalog
     }
 
-    /// Registers `graph` under `name` (convenience for
-    /// `catalog().register`).
+    /// Registers an immutable `graph` under `name` as the version-0
+    /// view of a batch-dynamic entry (convenience for
+    /// `catalog().register_base`). Mutate it with [`Service::apply`].
     pub fn register_graph(&self, name: impl Into<String>, graph: Arc<CsrGraph>) {
-        self.inner.catalog.register(name, graph);
+        self.inner.catalog.register_base(name, graph);
     }
 
-    /// Unregisters `name` and drops its cached plans. In-flight queries
-    /// against the graph finish on their own `Arc`.
-    pub fn unregister_graph(&self, name: &str) -> Option<Arc<CsrGraph>> {
+    /// Unregisters `name`, drops its cached plans and its standing
+    /// queries. In-flight queries against the graph finish on their own
+    /// `Arc`.
+    pub fn unregister_graph(&self, name: &str) -> Option<Arc<DeltaCsr>> {
         let g = self.inner.catalog.unregister(name);
         if g.is_some() {
             self.inner.cache.invalidate_graph(name);
+            lock_standing(&self.inner).retain(|_, sq| sq.graph != name);
         }
         g
     }
@@ -820,7 +969,7 @@ impl Service {
         // Cost-aware admission: reject a deadline the load-scaled cost
         // estimate says cannot be met, instead of burning a worker on it.
         if let (Some(rate), Some(d)) = (self.inner.governor_cfg.cost_per_ms, deadline) {
-            let cost = estimate_cost(&graph, request.pattern.num_vertices());
+            let cost = estimate_cost(&*graph, request.pattern.num_vertices());
             let depth = self.inner.queue.lock().expect("queue poisoned").jobs.len();
             let load = 1 + (depth / self.inner.num_workers) as u64;
             let est_ms = (cost / rate.max(1)).saturating_mul(load);
@@ -851,28 +1000,34 @@ impl Service {
             cancel: cancel.clone(),
             durable,
             priority: request.priority,
+            plan: None,
+            seed_edges: None,
             scope: self.inner.budget.as_ref().map(MemoryBudget::scoped),
             resume: None,
             submitted: Instant::now(),
             tx,
         };
-        self.enqueue_job(job)?;
+        self.enqueue_job(job).map_err(|(_, r)| r)?;
         Ok(QueryHandle { id, cancel, rx })
     }
 
-    /// Pushes an already-built job through admission control.
-    fn enqueue_job(&self, job: Job) -> Result<(), Rejected> {
+    /// Pushes an already-built job through admission control. A
+    /// rejection hands the job back so internal callers (maintenance
+    /// dispatch) can retry or fall back inline — returning the job by
+    /// value is the point, so the large `Err` variant is deliberate.
+    #[allow(clippy::result_large_err)]
+    fn enqueue_job(&self, job: Job) -> Result<(), (Job, Rejected)> {
         {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
             if q.shutting_down {
                 drop(q);
                 lock_metrics(&self.inner).rejected_shutdown += 1;
-                return Err(Rejected::ShuttingDown);
+                return Err((job, Rejected::ShuttingDown));
             }
             if q.jobs.len() >= self.inner.queue_capacity {
                 drop(q);
                 lock_metrics(&self.inner).rejected_queue_full += 1;
-                return Err(Rejected::QueueFull);
+                return Err((job, Rejected::QueueFull));
             }
             q.jobs.push_back(job);
         }
@@ -978,11 +1133,23 @@ impl Service {
         let Some(graph) = self.inner.catalog.get(&snap.graph) else {
             return Err(ResumeError::UnknownGraph(snap.graph));
         };
-        let plan = self
-            .inner
-            .cache
-            .get_or_build(&snap.graph, &snap.pattern, snap.config.plan);
-        let actual = host_filter_edges(&graph, &plan).len() as u64;
+        // Version gate first: the shard ranges index the admitted-edge
+        // space of the exact graph version the snapshot was taken
+        // against, and a later batch can reorder that space even when
+        // the edge *count* below happens to agree.
+        if graph.version() != snap.graph_version {
+            return Err(ResumeError::GraphVersionMismatch {
+                expected: snap.graph_version,
+                actual: graph.version(),
+            });
+        }
+        let plan = self.inner.cache.get_or_build(
+            &snap.graph,
+            graph.version(),
+            &snap.pattern,
+            snap.config.plan,
+        );
+        let actual = host_filter_edges(&*graph, &plan).len() as u64;
         if actual != snap.edge_count {
             return Err(ResumeError::GraphMismatch {
                 expected: snap.edge_count,
@@ -1008,14 +1175,275 @@ impl Service {
             cancel: cancel.clone(),
             durable: true,
             priority: Priority::Normal,
+            plan: None,
+            seed_edges: None,
             scope: self.inner.budget.as_ref().map(MemoryBudget::scoped),
             resume: Some(snap),
             submitted: Instant::now(),
             tx,
         };
-        self.enqueue_job(job).map_err(ResumeError::Rejected)?;
+        self.enqueue_job(job)
+            .map_err(|(_, r)| ResumeError::Rejected(r))?;
         lock_metrics(&self.inner).resumes += 1;
         Ok(QueryHandle { id, cancel, rx })
+    }
+
+    /// Registers a standing query: `callback` receives one exact
+    /// [`MatchDelta`] per batch subsequently committed to the watched
+    /// graph by [`Service::apply`]. Returns the subscription id for
+    /// [`Service::unregister_standing`].
+    ///
+    /// Deltas are computed incrementally — only matches through changed
+    /// edges are enumerated (see [`crate::standing`]) — and delivered
+    /// synchronously from the applying thread, after commit, in version
+    /// order, exactly once per version. The callback must not call back
+    /// into [`Service::apply`] (it runs under the apply lock) and
+    /// should return quickly; offload heavy reactions to a channel.
+    pub fn register_standing<F>(
+        &self,
+        request: StandingRequest,
+        callback: F,
+    ) -> Result<u64, Rejected>
+    where
+        F: Fn(&MatchDelta) + Send + Sync + 'static,
+    {
+        let Some(graph) = self.inner.catalog.get(&request.graph) else {
+            lock_metrics(&self.inner).rejected_unknown_graph += 1;
+            return Err(Rejected::UnknownGraph(request.graph));
+        };
+        let sq = Arc::new(StandingQuery::build(
+            request,
+            Arc::new(callback) as Arc<NotifyFn>,
+            graph.version(),
+        ));
+        let id = {
+            let mut next = self
+                .inner
+                .next_standing
+                .lock()
+                .expect("standing id poisoned");
+            *next += 1;
+            *next
+        };
+        lock_standing(&self.inner).insert(id, sq);
+        Ok(id)
+    }
+
+    /// Removes a standing query; returns whether it existed. An apply
+    /// already in flight may still deliver one last delta.
+    pub fn unregister_standing(&self, id: u64) -> bool {
+        lock_standing(&self.inner).remove(&id).is_some()
+    }
+
+    /// Applies an edge batch to the named graph: builds the successor
+    /// [`DeltaCsr`] view, computes every standing query's exact match
+    /// delta (deletions against the pre-batch view, insertions against
+    /// the not-yet-published successor), then atomically commits —
+    /// catalog swap, stale plan-cache generation dropped, overlay
+    /// memory re-charged — and notifies subscribers.
+    ///
+    /// The batch is all-or-nothing: a failure (or a crash at the
+    /// `graph.apply.midbatch` fault point, which fires *after* the
+    /// deltas are computed and *before* the commit) leaves the catalog,
+    /// cache, budget and subscribers exactly as they were. In-flight
+    /// queries keep enumerating the view they started on.
+    pub fn apply(&self, name: &str, batch: &EdgeBatch) -> Result<ApplyReport, ApplyError> {
+        let _guard = lock_apply(&self.inner);
+        let Some(pre) = self.inner.catalog.get(name) else {
+            return Err(ApplyError::UnknownGraph(name.to_owned()));
+        };
+        let (next, applied) = pre.apply(batch)?;
+        let next = Arc::new(next);
+        let version = next.version();
+        // Incremental maintenance, pre-commit. The removed side counts
+        // on the still-published pre view; the added side counts on the
+        // successor no client can reach yet.
+        let standing: Vec<Arc<StandingQuery>> = lock_standing(&self.inner)
+            .values()
+            .filter(|sq| sq.graph == name)
+            .cloned()
+            .collect();
+        let mut deltas: Vec<(Arc<StandingQuery>, MatchDelta)> = Vec::with_capacity(standing.len());
+        for sq in standing {
+            let (removed, removed_embeddings) = self.maintain(&sq, &pre, &applied.deleted);
+            let (added, added_embeddings) = self.maintain(&sq, &next, &applied.inserted);
+            let delta = MatchDelta {
+                graph: name.to_owned(),
+                version,
+                added,
+                removed,
+                added_embeddings,
+                removed_embeddings,
+            };
+            deltas.push((sq, delta));
+        }
+        // Kill point between compute and commit: a panic here must be
+        // invisible — nothing below has run, nothing above published.
+        crate::chaos_point!("graph.apply.midbatch");
+        if !self.inner.catalog.swap(name, &pre, next.clone()) {
+            return Err(ApplyError::Conflict(name.to_owned()));
+        }
+        self.inner.cache.invalidate_graph_below(name, version);
+        if let Some(b) = &self.inner.budget {
+            // Overlay re-charge is unchecked: the rows already reside,
+            // so growth must become *visible* pressure (the governor's
+            // job), not a refusable allocation. Charge before release
+            // so a concurrent pressure read never under-counts.
+            b.charge_bytes_unchecked(next.overlay_bytes());
+            b.release_bytes(pre.overlay_bytes());
+        }
+        lock_metrics(&self.inner).batches_applied += 1;
+        // Delivery is at-least-once per attempt (`service.notify.drop`
+        // models a lost notification; the loop redelivers) fenced to
+        // exactly-once per version by `last_version`.
+        let mut notifications = 0usize;
+        for (sq, delta) in &deltas {
+            if sq.last_version.load(Ordering::Acquire) >= version {
+                continue;
+            }
+            loop {
+                if crate::chaos_inject!("service.notify.drop") {
+                    lock_metrics(&self.inner).notify_retries += 1;
+                    continue;
+                }
+                (sq.callback)(delta);
+                break;
+            }
+            sq.last_version.store(version, Ordering::Release);
+            notifications += 1;
+        }
+        lock_metrics(&self.inner).standing_notifications += notifications as u64;
+        Ok(ApplyReport {
+            graph: name.to_owned(),
+            version,
+            inserted: applied.inserted.len(),
+            deleted: applied.deleted.len(),
+            notifications,
+        })
+    }
+
+    /// Rebuilds the named graph's overlay into a fresh compact base
+    /// (see [`DeltaCsr::compact`]) and swaps it in. The version does
+    /// **not** change — compaction is representation-only — so cached
+    /// plans stay valid and standing queries see no delta. Returns the
+    /// (unchanged) version.
+    pub fn compact_graph(&self, name: &str) -> Result<u64, ApplyError> {
+        let _guard = lock_apply(&self.inner);
+        let Some(pre) = self.inner.catalog.get(name) else {
+            return Err(ApplyError::UnknownGraph(name.to_owned()));
+        };
+        if pre.is_compact() {
+            return Ok(pre.version());
+        }
+        let next = Arc::new(pre.compact());
+        if !self.inner.catalog.swap(name, &pre, next.clone()) {
+            return Err(ApplyError::Conflict(name.to_owned()));
+        }
+        if let Some(b) = &self.inner.budget {
+            debug_assert_eq!(next.overlay_bytes(), 0);
+            b.release_bytes(pre.overlay_bytes());
+        }
+        Ok(next.version())
+    }
+
+    /// One side of a standing query's delta: the number (and optionally
+    /// embeddings) of `sq.pattern` matches in `view` through at least
+    /// one `changed` edge. Runs one anchored pass per rooted plan, all
+    /// feeding one canonicalizing dedup sink.
+    fn maintain(
+        &self,
+        sq: &Arc<StandingQuery>,
+        view: &Arc<DeltaCsr>,
+        changed: &[(u32, u32)],
+    ) -> (u64, Option<Vec<Vec<u32>>>) {
+        let sink = Arc::new(DedupSink::new(sq.aut.clone(), sq.report_embeddings));
+        if changed.is_empty() {
+            return sink.take();
+        }
+        let seeds = oriented_seeds(changed);
+        for plan in &sq.plans {
+            self.maintenance_pass(sq, view, plan, &seeds, &sink);
+        }
+        sink.take()
+    }
+
+    /// Runs one (rooted plan × seed list) maintenance pass: dispatched
+    /// through the normal admission queue as a durable Low-priority job
+    /// — so maintenance rides the lease/straggler/governor machinery
+    /// and yields to client work — with a bounded-retry, then-inline
+    /// fallback. The dedup sink is idempotent, so "queued attempt shed
+    /// mid-run, then full inline re-run" still counts exactly.
+    fn maintenance_pass(
+        &self,
+        sq: &Arc<StandingQuery>,
+        view: &Arc<DeltaCsr>,
+        plan: &Arc<QueryPlan>,
+        seeds: &[(u32, u32)],
+        sink: &Arc<DedupSink>,
+    ) {
+        const DISPATCH_RETRIES: usize = 3;
+        lock_metrics(&self.inner).maintenance_jobs += 1;
+        let (tx, rx) = mpsc::channel();
+        let id = {
+            let mut next = self.inner.next_id.lock().expect("id poisoned");
+            *next += 1;
+            *next
+        };
+        let mut job = Some(Job {
+            id,
+            graph_name: sq.graph.clone(),
+            graph: view.clone(),
+            pattern: sq.pattern.clone(),
+            config: sq.config.clone(),
+            deadline: None,
+            collect_limit: None,
+            sink: Some(sink.clone() as Arc<dyn MatchSink + Send + Sync>),
+            cancel: CancelFlag::new(),
+            durable: true,
+            priority: Priority::Low,
+            plan: Some(plan.clone()),
+            seed_edges: Some(seeds.to_vec()),
+            scope: self.inner.budget.as_ref().map(MemoryBudget::scoped),
+            resume: None,
+            submitted: Instant::now(),
+            tx,
+        });
+        let mut backoff = Duration::from_micros(200);
+        for _ in 0..=DISPATCH_RETRIES {
+            match self.enqueue_job(job.take().expect("job present until admitted")) {
+                Ok(()) => break,
+                Err((j, Rejected::QueueFull)) => {
+                    job = Some(j);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err((j, _)) => {
+                    // Shutdown (or any final rejection): run inline.
+                    job = Some(j);
+                    break;
+                }
+            }
+        }
+        let admitted = job.is_none();
+        drop(job); // a never-admitted job still holds its result sender
+        let completed = admitted && matches!(rx.recv(), Ok(out) if out.result.is_ok());
+        if !completed {
+            // Inline fallback on the applying thread. The queued
+            // attempt (if any) may have emitted partially before being
+            // shed; the idempotent sink absorbs the overlap.
+            lock_metrics(&self.inner).maintenance_inline_fallbacks += 1;
+            let admitted_seeds: Vec<(u32, u32)> = seeds
+                .iter()
+                .copied()
+                .filter(|&(u, v)| edge_admitted(&**view, plan, u, v))
+                .collect();
+            let remap = ServiceSink {
+                collect: None,
+                client: Some(sink.as_ref() as &dyn MatchSink),
+                order: &plan.order.order,
+            };
+            let _ = match_plan_on_edges(&**view, plan, &sq.config, admitted_seeds, Some(&remap));
+        }
     }
 
     /// Live progress of a durable query (pending/outstanding/acked
@@ -1117,6 +1545,11 @@ impl Service {
             snapshots_taken: m.snapshots_taken,
             snapshot_bytes: m.snapshot_bytes,
             resumes: m.resumes,
+            batches_applied: m.batches_applied,
+            standing_notifications: m.standing_notifications,
+            notify_retries: m.notify_retries,
+            maintenance_jobs: m.maintenance_jobs,
+            maintenance_inline_fallbacks: m.maintenance_inline_fallbacks,
             engine: m.engine.clone(),
             total_latency: m.total_latency,
             max_latency: m.max_latency,
@@ -1389,6 +1822,34 @@ fn govern_once(inner: &Arc<Inner>, local: &mut GovernorLocal, now: Instant) {
     }
 }
 
+/// The plan a job runs: its pre-compiled override (maintenance jobs
+/// carry rooted plans the cache must not serve) or the cache's plan for
+/// (graph, version, pattern, options).
+fn job_plan(inner: &Inner, job: &Job, cfg: &MatcherConfig) -> Arc<QueryPlan> {
+    match &job.plan {
+        Some(p) => p.clone(),
+        None => {
+            inner
+                .cache
+                .get_or_build(&job.graph_name, job.graph.version(), &job.pattern, cfg.plan)
+        }
+    }
+}
+
+/// A maintenance job's seed edges, filtered by the plan's first-two-
+/// level admission predicate — the same gate `host_filter_edges`
+/// applies to a full scan, so the engines only ever see admissible
+/// initial tasks.
+fn admitted_seeds(job: &Job, plan: &QueryPlan) -> Vec<(u32, u32)> {
+    job.seed_edges
+        .as_deref()
+        .unwrap_or(&[])
+        .iter()
+        .copied()
+        .filter(|&(u, v)| edge_admitted(&*job.graph, plan, u, v))
+        .collect()
+}
+
 fn run_job(inner: &Inner, job: &Job) {
     if job.durable {
         run_durable_job(inner, job);
@@ -1418,9 +1879,7 @@ fn run_job(inner: &Inner, job: &Job) {
             }
         }
     }
-    let plan = inner
-        .cache
-        .get_or_build(&job.graph_name, &job.pattern, cfg.plan);
+    let plan = job_plan(inner, job, &cfg);
     let collector = job
         .collect_limit
         .map(|limit| CollectSink::with_cancel(limit, job.cancel.clone()));
@@ -1434,7 +1893,13 @@ fn run_job(inner: &Inner, job: &Job) {
     } else {
         None
     };
-    let result = match_plan_with_sink(&job.graph, &plan, &cfg, sink_opt);
+    let result = match &job.seed_edges {
+        Some(_) => {
+            let seeds = admitted_seeds(job, &plan);
+            match_plan_on_edges(&*job.graph, &plan, &cfg, seeds, sink_opt)
+        }
+        None => match_plan_with_sink(&*job.graph, &plan, &cfg, sink_opt),
+    };
     let matches = collector.map(|c| {
         let k = plan.k();
         c.into_matches()
@@ -1468,10 +1933,11 @@ fn run_durable_job(inner: &Inner, job: &Job) {
         }
         deadline_at = Some(deadline_at.map_or(abs, |x| x.min(abs)));
     }
-    let plan = inner
-        .cache
-        .get_or_build(&job.graph_name, &job.pattern, job.config.plan);
-    let edges = host_filter_edges(&job.graph, &plan);
+    let plan = job_plan(inner, job, &job.config);
+    let edges = match &job.seed_edges {
+        Some(_) => admitted_seeds(job, &plan),
+        None => host_filter_edges(&*job.graph, &plan),
+    };
     // The state's stored config is what a snapshot serializes: the
     // run-scoped cancel token, time limit and budget scope are not part
     // of the query's durable identity.
@@ -1484,9 +1950,10 @@ fn run_durable_job(inner: &Inner, job: &Job) {
         None => durable::fresh_state(
             job.id,
             job.graph_name.clone(),
+            job.graph.version(),
             job.pattern.clone(),
             durable_config,
-            &job.graph,
+            &*job.graph,
             &edges,
             &inner.durable_cfg,
             job.scope.clone(),
@@ -1645,7 +2112,7 @@ mod tests {
         let g = Arc::new(barabasi_albert(100, 3, 1));
         svc.register_graph("ba", g.clone());
         let p = PatternId(1).pattern();
-        let want = reference_count(&g, &QueryPlan::build_with(&p, Default::default()));
+        let want = reference_count(&*g, &QueryPlan::build_with(&p, Default::default()));
         let h = svc.submit(QueryRequest::new("ba", p)).unwrap();
         let out = h.wait();
         assert_eq!(out.result.unwrap().matches, want);

@@ -36,14 +36,22 @@ use crate::durable::Shard;
 /// Magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TDFSSNAP";
 
-/// Current wire-format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current wire-format version. Version 2 added `graph_version` (the
+/// batch-dynamic catalog version the shards were carved against);
+/// version-1 buffers still decode, with `graph_version = 0`.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// A decoded (or to-be-encoded) durable-query snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuerySnapshot {
     /// Catalog name of the data graph.
     pub graph: String,
+    /// Catalog [`GraphVersion`](tdfs_graph::GraphVersion) the query was
+    /// running against. Shard ranges index the admitted-edge space of
+    /// *this* version; resuming against any other version is refused
+    /// (`ResumeError::GraphVersionMismatch`) because the same range
+    /// would cover different edges.
+    pub graph_version: u64,
     /// The query pattern.
     pub pattern: Pattern,
     /// Engine configuration (without cancel token / time limit).
@@ -86,7 +94,7 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::BadMagic => write!(f, "not a snapshot: bad magic"),
             DecodeError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (supported: 1)")
+                write!(f, "unsupported snapshot version {v} (supported: 1-2)")
             }
             DecodeError::Truncated => write!(f, "snapshot truncated"),
             DecodeError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
@@ -322,6 +330,7 @@ pub fn encode(snap: &QuerySnapshot) -> Vec<u8> {
     w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
     w.u16(SNAPSHOT_VERSION);
     w.str(&snap.graph);
+    w.u64(snap.graph_version);
     // Pattern: n, labels, edges.
     let n = snap.pattern.num_vertices();
     w.u32(n as u32);
@@ -363,10 +372,13 @@ pub fn decode(bytes: &[u8]) -> Result<QuerySnapshot, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = r.u16()?;
-    if version != SNAPSHOT_VERSION {
+    if !(1..=SNAPSHOT_VERSION).contains(&version) {
         return Err(DecodeError::UnsupportedVersion(version));
     }
     let graph = r.str()?;
+    // Version 1 predates the batch-dynamic catalog: every graph was
+    // immutable, i.e. pinned at version 0.
+    let graph_version = if version >= 2 { r.u64()? } else { 0 };
     let n = r.u32()? as usize;
     if !(1..=32).contains(&n) {
         return Err(DecodeError::Corrupt("pattern size"));
@@ -420,6 +432,7 @@ pub fn decode(bytes: &[u8]) -> Result<QuerySnapshot, DecodeError> {
     r.done()?;
     Ok(QuerySnapshot {
         graph,
+        graph_version,
         pattern,
         config,
         edge_count,
@@ -440,6 +453,7 @@ mod tests {
     fn sample() -> QuerySnapshot {
         QuerySnapshot {
             graph: "ba".to_owned(),
+            graph_version: 9,
             pattern: Pattern::clique(3),
             config: MatcherConfig::tdfs().with_warps(4),
             edge_count: 100,
@@ -538,13 +552,10 @@ mod tests {
         );
     }
 
-    /// Pins the exact wire bytes of version 1. If this test fails you
-    /// changed the format: bump [`SNAPSHOT_VERSION`], keep a decoder
-    /// for version 1, and re-pin.
-    #[test]
-    fn golden_wire_format_v1() {
-        let snap = QuerySnapshot {
+    fn golden_snap(graph_version: u64) -> QuerySnapshot {
+        QuerySnapshot {
             graph: "g".to_owned(),
+            graph_version,
             pattern: Pattern::clique(3),
             config: MatcherConfig::tdfs().with_warps(2),
             edge_count: 10,
@@ -555,14 +566,13 @@ mod tests {
             next_task_id: 2,
             acked: vec![0],
             pending: vec![(1, 1, Shard { start: 4, end: 10 })],
-        };
-        let golden: Vec<u8> = vec![
-            // magic "TDFSSNAP"
-            0x54, 0x44, 0x46, 0x53, 0x53, 0x4e, 0x41, 0x50, //
-            // version 1
-            0x01, 0x00, //
-            // graph name: len 1, "g"
-            0x01, 0x00, 0x00, 0x00, 0x67, //
+        }
+    }
+
+    /// The body shared by both golden buffers: everything after the
+    /// graph-version point (pattern onward).
+    fn golden_tail() -> Vec<u8> {
+        vec![
             // pattern: n=3, labels [0,0,0]
             0x03, 0x00, 0x00, 0x00, //
             0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
@@ -597,7 +607,42 @@ mod tests {
             0x01, 0x00, 0x00, 0x00, //
             0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
             0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        ]
+    }
+
+    /// Version-1 buffers (no graph-version field) must keep decoding
+    /// forever, resolving to `graph_version = 0`.
+    #[test]
+    fn golden_wire_format_v1_still_decodes() {
+        let mut golden: Vec<u8> = vec![
+            // magic "TDFSSNAP"
+            0x54, 0x44, 0x46, 0x53, 0x53, 0x4e, 0x41, 0x50, //
+            // version 1
+            0x01, 0x00, //
+            // graph name: len 1, "g"
+            0x01, 0x00, 0x00, 0x00, 0x67, //
         ];
+        golden.extend_from_slice(&golden_tail());
+        assert_eq!(decode(&golden).unwrap(), golden_snap(0));
+    }
+
+    /// Pins the exact wire bytes of version 2. If this test fails you
+    /// changed the format: bump [`SNAPSHOT_VERSION`], keep a decoder
+    /// for versions 1 and 2, and re-pin.
+    #[test]
+    fn golden_wire_format_v2() {
+        let snap = golden_snap(3);
+        let mut golden: Vec<u8> = vec![
+            // magic "TDFSSNAP"
+            0x54, 0x44, 0x46, 0x53, 0x53, 0x4e, 0x41, 0x50, //
+            // version 2
+            0x02, 0x00, //
+            // graph name: len 1, "g"
+            0x01, 0x00, 0x00, 0x00, 0x67, //
+            // graph_version 3
+            0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        ];
+        golden.extend_from_slice(&golden_tail());
         let bytes = encode(&snap);
         assert_eq!(
             bytes, golden,

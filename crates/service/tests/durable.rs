@@ -105,6 +105,7 @@ fn resume_from_mid_query_snapshot_matches_uninterrupted_count() {
                     .matches;
             let snap = QuerySnapshot {
                 graph: "ba".into(),
+                graph_version: 0,
                 pattern: pattern.clone(),
                 config: config.clone(),
                 edge_count: edges.len() as u64,
