@@ -71,6 +71,27 @@ else
     echo "==> delta bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
 fi
 
+echo "==> simd job (AVX2 lane kernels, scalar oracle differential)"
+# The simd feature compiles the AVX2 lane kernels next to the scalar
+# ones; runtime dispatch picks per-process. Tier-1 tests above run
+# without it, so this job cannot change their outcome. The same test
+# binaries then re-run with TDFS_NO_SIMD=1, which forces the scalar
+# fallback inside a feature-compiled build — proving the dispatch seam
+# itself, not just the two kernel sets.
+cargo clippy --workspace --all-targets --features simd -- -D warnings
+cargo test --workspace --features simd -q
+echo "==> simd job: scalar fallback (TDFS_NO_SIMD=1 on the simd build)"
+TDFS_NO_SIMD=1 cargo test -p tdfs-gpu -p tdfs-core --features simd -q
+# Speedup guard (BENCH_intersect.json, asserts the vector lanes hold a
+# >= 1.5x geomean over scalar on the 1:1 and 1:32 shapes and never
+# regress modeled bytes-touched); timing-sensitive, so opt-in — and it
+# only bites when the feature is compiled in and AVX2 is present.
+if [[ "${TDFS_BENCH_GUARD:-0}" == "1" ]]; then
+    TDFS_BENCH_GUARD=1 cargo bench -p tdfs-bench --features simd --bench micro
+else
+    echo "==> simd bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
+fi
+
 # Nightly-only ThreadSanitizer pass over the lock-free queue and the page
 # arena, the two places where a memory-ordering mistake would be silent.
 # Opt in with TDFS_NIGHTLY_TSAN=1 (requires a nightly toolchain with

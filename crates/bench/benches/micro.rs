@@ -97,8 +97,15 @@ fn bench_adaptive_intersection(report: &mut JsonReport) {
     // (middle band), gallop (1:1024) — on both probe-locality shapes.
     // The pinned-bsearch column is the pre-adaptive fixed kernel the
     // selection has to beat on the skewed shapes.
+    //
+    // Each cell reports three axes: `_ns` (scalar lanes, the oracle),
+    // `_simd_ns` (AVX2 lanes, when compiled + available), and
+    // `_bytes_per_match` (the deterministic memory-traffic model, which
+    // must be identical on both paths — asserted below).
+    let simd_on = tdfs_gpu::simd::available();
     type PairFn = fn(usize, usize) -> (Vec<u32>, Vec<u32>);
     let shapes: [(&str, PairFn); 2] = [("spread", spread_pair), ("clustered", clustered_pair)];
+    let mut guard_speedups: Vec<f64> = Vec::new();
     for (ratio, a_len, b_len) in [
         ("1:1", 4096, 4096),
         ("1:32", 512, 16384),
@@ -113,17 +120,76 @@ fn bench_adaptive_intersection(report: &mut JsonReport) {
                 ("gallop", Some(IntersectKind::Gallop)),
             ];
             for (kname, kind) in kinds {
-                let mut w = WarpOps::new();
-                let median = bench_median(&format!("intersect/{ratio}/{shape}/{kname}"), || {
+                let run = |w: &mut WarpOps| {
                     let mut n = 0u32;
                     match kind {
                         None => w.intersect(&a, &b, |_| n += 1),
                         Some(k) => w.intersect_with(k, &a, &b, |_| n += 1),
                     }
                     n
+                };
+                // Scalar lanes (pinned off so `_ns` stays the oracle
+                // baseline whatever features the binary carries).
+                let mut w = WarpOps::with_simd(false);
+                let median = bench_median(&format!("intersect/{ratio}/{shape}/{kname}"), || {
+                    run(&mut w)
                 });
                 report.record(&format!("intersect/{ratio}/{shape}/{kname}_ns"), median);
+
+                // Memory-traffic axis: modeled bytes per emitted match,
+                // from one clean stats run.
+                let mut ws = WarpOps::with_simd(false);
+                let matched = run(&mut ws) as u64;
+                let scalar_bytes = ws.stats.bytes_touched;
+                report.record(
+                    &format!("intersect/{ratio}/{shape}/{kname}_bytes_per_match"),
+                    scalar_bytes as f64 / matched.max(1) as f64,
+                );
+
+                if simd_on {
+                    let mut wv = WarpOps::with_simd(true);
+                    let simd_median =
+                        bench_median(&format!("intersect/{ratio}/{shape}/{kname}_simd"), || {
+                            run(&mut wv)
+                        });
+                    report.record(
+                        &format!("intersect/{ratio}/{shape}/{kname}_simd_ns"),
+                        simd_median,
+                    );
+                    // Bytes-touched must never regress on the vector
+                    // path — the model makes the two paths bit-equal,
+                    // so any drift is a kernel accounting bug.
+                    let mut wvs = WarpOps::with_simd(true);
+                    let simd_matched = run(&mut wvs) as u64;
+                    assert_eq!(simd_matched, matched, "{ratio}/{shape}/{kname} output");
+                    assert_eq!(
+                        wvs.stats.bytes_touched, scalar_bytes,
+                        "{ratio}/{shape}/{kname}: SIMD path regressed bytes-touched"
+                    );
+                    if kname == "adaptive" && ratio != "1:1024" {
+                        guard_speedups.push(median / simd_median);
+                    }
+                }
             }
+        }
+    }
+    if simd_on {
+        // CI guard: the vector lanes must hold a ≥ 1.5× geomean over
+        // the scalar oracle on the 1:1 and 1:32 adaptive cells (both
+        // shapes). Enforced only under TDFS_BENCH_GUARD=1, like the
+        // other bench guards, and only when the feature is compiled in
+        // (`simd_on` implies it).
+        let geomean = (guard_speedups.iter().map(|s| s.ln()).sum::<f64>()
+            / guard_speedups.len() as f64)
+            .exp();
+        report.record("intersect/simd_speedup_geomean", geomean);
+        println!("simd speedup geomean (1:1, 1:32): {geomean:.2}x");
+        if std::env::var_os("TDFS_BENCH_GUARD").is_some() {
+            assert!(
+                geomean >= 1.5,
+                "SIMD guard: geomean speedup {geomean:.2}x < 1.5x over scalar \
+                 on the 1:1 and 1:32 shapes"
+            );
         }
     }
 }

@@ -237,12 +237,19 @@ fn parallel_pass<V: GraphView>(
                 for (widx, counts_chunk) in counts.chunks_mut(chunk).enumerate() {
                     let batch = batch.clone();
                     scope.spawn(move || {
-                        let mut ws = Workspace::new();
+                        let mut ws = Workspace::with_simd(cfg.simd);
                         let mut cands = Vec::new();
                         let mut full = vec![0u32; stride + 1];
                         for (i, slot) in counts_chunk.iter_mut().enumerate() {
                             let p = batch.start + widx * chunk + i;
                             let m = &frontier[p * stride..(p + 1) * stride];
+                            // Locality: warm the next partial's newest
+                            // vertex row while this one is expanded.
+                            if (p + 2) * stride <= frontier.len() {
+                                tdfs_gpu::simd::prefetch_read(
+                                    g.neighbors(frontier[(p + 2) * stride - 1]),
+                                );
+                            }
                             if cfg.fused_leaf {
                                 // Fused counting pass: candidates are
                                 // counted (and, at the output level,
@@ -283,7 +290,7 @@ fn parallel_pass<V: GraphView>(
                 for (widx, out_chunk) in out_chunks.into_iter().enumerate() {
                     let batch = batch.clone();
                     scope.spawn(move || {
-                        let mut ws = Workspace::new();
+                        let mut ws = Workspace::with_simd(cfg.simd);
                         let mut cands = Vec::new();
                         let mut cursor = 0usize;
                         let lo = widx * chunk;
@@ -291,6 +298,11 @@ fn parallel_pass<V: GraphView>(
                         for i in lo..hi {
                             let p = batch.start + i;
                             let m = &frontier[p * stride..(p + 1) * stride];
+                            if (p + 2) * stride <= frontier.len() {
+                                tdfs_gpu::simd::prefetch_read(
+                                    g.neighbors(frontier[(p + 2) * stride - 1]),
+                                );
+                            }
                             candidates_of(g, plan, level, m, &mut ws, &mut cands);
                             for &v in &cands {
                                 out_chunk[cursor..cursor + stride].copy_from_slice(m);

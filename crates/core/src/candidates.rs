@@ -37,6 +37,15 @@ impl Workspace {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Creates an empty workspace with the warp's kernel path pinned
+    /// (engines pass `MatcherConfig::simd` here so one knob governs
+    /// every intersection a run issues).
+    pub fn with_simd(simd: bool) -> Self {
+        let mut ws = Self::default();
+        ws.warp.set_simd(simd);
+        ws
+    }
 }
 
 /// Extra memory indirections the EGSM CT-index model charges per

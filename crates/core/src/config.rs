@@ -137,6 +137,13 @@ pub struct MatcherConfig {
     /// pressure and can bound it. `None` = standalone accounting.
     /// Compared by identity, like [`cancel`](Self::cancel).
     pub memory_budget: Option<MemoryBudget>,
+    /// Run intersections on the AVX2 vector lane kernels when the
+    /// binary was built with the `simd` feature and the host supports
+    /// them (`tdfs_gpu::simd::available`). The kernels are bit-identical
+    /// to the scalar lanes in output *and* stats, so this knob trades
+    /// nothing but speed; `false` pins the scalar oracle path
+    /// (A-B benchmarking, differential tests).
+    pub simd: bool,
 }
 
 impl MatcherConfig {
@@ -163,6 +170,7 @@ impl MatcherConfig {
             time_limit: None,
             cancel: None,
             memory_budget: None,
+            simd: true,
         }
     }
 
@@ -287,6 +295,12 @@ impl MatcherConfig {
     /// Toggles leaf-level fusion (ablation / A-B benchmarking).
     pub fn with_fused_leaf(mut self, fused: bool) -> Self {
         self.fused_leaf = fused;
+        self
+    }
+
+    /// Toggles the vector lane kernels (see [`simd`](Self::simd)).
+    pub fn with_simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
         self
     }
 }

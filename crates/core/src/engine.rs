@@ -406,7 +406,7 @@ fn warp_main<'scope, 'env, V: GraphView, L: LevelStore + StackMetrics>(
 where
     StackFactory: MakeStack<L>,
 {
-    let mut ws = Workspace::new();
+    let mut ws = Workspace::with_simd(shared.cfg.simd);
     let mut m = vec![0u32; shared.plan.k()];
     let mut local_matches = 0u64;
     let mut edges_admitted = 0u64;
@@ -658,6 +658,17 @@ where
                 continue;
             }
             m[level] = v;
+            // Locality: while v's subtree is processed, pull the next
+            // sibling candidate's adjacency row toward the cache — it
+            // is the very next Eq. (1) operand this level will read.
+            // No-op without the `simd` feature.
+            if stack.iters[level] < stack.levels[level].len() {
+                tdfs_gpu::simd::prefetch_read(
+                    shared
+                        .g
+                        .neighbors(stack.levels[level].get(stack.iters[level])),
+                );
+            }
             if level + 1 == k {
                 *local_matches += 1;
                 shared.emit(&m[..k]);
@@ -863,7 +874,7 @@ where
         scope.spawn(move || {
             // The launch cost: a brand-new stack allocation per child.
             let mut stack: WarpStack<L> = factory.make_stack(k);
-            let mut ws = Workspace::new();
+            let mut ws = Workspace::with_simd(shared.cfg.simd);
             let mut m = vec![0u32; k];
             m[..prefix.len()].copy_from_slice(&prefix);
             let mut local = 0u64;

@@ -274,7 +274,7 @@ fn warp_loop<V: GraphView>(
     steal_forbidden: &[bool],
     sink: Option<&dyn MatchSink>,
 ) -> tdfs_gpu::warp::WarpStats {
-    let mut ws = Workspace::new();
+    let mut ws = Workspace::with_simd(cfg.simd);
     let mut local_matches = 0u64;
     let num_warps = cfg.num_warps;
     let mut registered_idle = false;
@@ -461,6 +461,11 @@ fn step<V: GraphView>(
             return Ok(true);
         }
         s.m[level] = v;
+        // Locality: warm the next sibling candidate's adjacency row
+        // while v's subtree runs (no-op without the `simd` feature).
+        if s.iters[level] < s.levels[level].len() {
+            tdfs_gpu::simd::prefetch_read(g.neighbors(s.levels[level].get(s.iters[level])));
+        }
         if level + 1 == k {
             *local_matches += 1;
             if let Some(sink) = sink {

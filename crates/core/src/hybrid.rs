@@ -85,7 +85,7 @@ fn run_inner<V: GraphView>(
     }
     let mut stride = 2usize;
     let mut bfs_levels = 0u64;
-    let mut ws = Workspace::new();
+    let mut ws = Workspace::with_simd(cfg.simd);
 
     while stride < k {
         // Cancellation during the BFS phase: fall through to the DFS
@@ -126,6 +126,11 @@ fn run_inner<V: GraphView>(
         let mut cands = Vec::new();
         for p in 0..num_partials {
             let m = &frontier[p * stride..(p + 1) * stride];
+            // Locality: warm the next partial's newest vertex row while
+            // this one's candidates are intersected.
+            if p + 1 < num_partials {
+                tdfs_gpu::simd::prefetch_read(g.neighbors(frontier[(p + 2) * stride - 1]));
+            }
             candidates_of(g, plan, level, m, &mut ws, &mut cands);
             for &v in &cands {
                 next.extend_from_slice(m);

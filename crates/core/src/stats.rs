@@ -142,6 +142,11 @@ impl RunStats {
             self.warp.merge_kernels, self.warp.bsearch_kernels, self.warp.gallop_kernels
         ));
         line(format!(
+            "warp traffic: {:.3} MB touched ({} indirections)",
+            self.warp.bytes_touched as f64 / (1 << 20) as f64,
+            self.warp.extra_indirections
+        ));
+        line(format!(
             "work: makespan {:.2} M units, total {:.2} M units",
             self.warp_makespan as f64 / 1e6,
             self.warp_work_total as f64 / 1e6

@@ -340,6 +340,64 @@ fn fused_leaf_flag_preserves_counts_across_engines() {
 }
 
 #[test]
+fn simd_flag_preserves_counts_and_warp_stats_across_engines() {
+    // All five engine presets must produce identical match counts AND
+    // identical warp counters with the vector lanes on (default) and
+    // pinned off — with leaf fusion in both positions, since the fused
+    // leaf is the heaviest intersect_filtered user. Without the `simd`
+    // feature both runs take the scalar path and the comparison is
+    // trivially green, so this test runs in every CI job.
+    //
+    // Timeout decomposition fires on wall-clock time and re-expands
+    // tasks (extra intersections), which would make the stats
+    // comparison depend on machine load — so the timeout-family presets
+    // run with `tau = None` here; everything else about them is stock.
+    type Preset = fn() -> MatcherConfig;
+    let presets: [(&str, Preset); 5] = [
+        ("tdfs", MatcherConfig::no_steal),
+        ("stmatch", MatcherConfig::stmatch_like),
+        ("egsm", MatcherConfig::egsm_like),
+        ("pbe", MatcherConfig::pbe_like),
+        ("hybrid", || {
+            let mut c = MatcherConfig::hybrid();
+            if let Strategy::Hybrid { tau, .. } = &mut c.strategy {
+                *tau = None;
+            }
+            c
+        }),
+    ];
+    let (gname, g) = &small_graphs()[0];
+    for id in [1u8, 5] {
+        for (pname, mk) in presets {
+            for fused in [true, false] {
+                let p = PatternId(id).pattern();
+                let base = || mk().with_warps(2).with_fused_leaf(fused);
+                let simd = match_pattern(g, &p, &base()).unwrap();
+                let scalar = match_pattern(g, &p, &base().with_simd(false)).unwrap();
+                let tag = format!("{pname} P{id} fused={fused} on {gname}");
+                assert_eq!(simd.matches, scalar.matches, "{tag}");
+                assert_eq!(
+                    simd.matches,
+                    expected(g, PatternId(id), base().plan),
+                    "{tag}"
+                );
+                assert_eq!(simd.stats.warp, scalar.stats.warp, "{tag} warp stats");
+            }
+        }
+    }
+    // The labeled graph too (label predicates ride the fused ballot).
+    let (gname, g) = &small_graphs()[2];
+    for id in [13u8, 19] {
+        let p = PatternId(id).pattern();
+        let cfg = MatcherConfig::no_steal().with_warps(2);
+        let simd = match_pattern(g, &p, &cfg).unwrap();
+        let scalar = match_pattern(g, &p, &cfg.clone().with_simd(false)).unwrap();
+        assert_eq!(simd.matches, scalar.matches, "tdfs P{id} on {gname}");
+        assert_eq!(simd.stats.warp, scalar.stats.warp, "tdfs P{id} on {gname}");
+    }
+}
+
+#[test]
 fn fused_leaf_reduces_emitted_elements_on_clique_counting() {
     // Clique counting is leaf-dominated: with fusion the deepest-level
     // candidates are consumed inside the lanes (symmetry constraints

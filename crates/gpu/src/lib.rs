@@ -18,12 +18,15 @@
 //!   ballot compaction, per-warp statistics;
 //! - [`device`] — device configuration, chunked edge cursor, multi-device
 //!   round-robin partitioning;
+//! - [`simd`] — host AVX2 vector lanes for the warp kernels (behind the
+//!   `simd` feature), software prefetch, dispatch telemetry;
 //! - [`clock`] — the timeout clock (real or mocked for tests).
 
 pub mod clock;
 pub mod device;
 pub mod lease;
 pub mod queue;
+pub mod simd;
 pub mod warp;
 
 /// `chaos_inject!("name")` evaluates to `true` when the named fault point
@@ -65,6 +68,9 @@ pub(crate) use {chaos_inject, chaos_point};
 
 pub use clock::Clock;
 pub use device::{Device, DeviceGroup};
-pub use lease::{AckOutcome, Lease, LeaseCheckpoint, LeaseStats, LeaseTable, LeasedQueue};
+pub use lease::{
+    AckOutcome, Lease, LeaseCheckpoint, LeaseStats, LeaseTable, LeasedQueue, AFFINITY_WINDOW,
+};
 pub use queue::{DequeueOp, EnqueueOp, OpStep, Task, TaskQueue, SPIN_LIMIT};
+pub use simd::DispatchCounts;
 pub use warp::{select_kind, IntersectKind, WarpOps, WarpStats, WARP_SIZE};

@@ -24,6 +24,13 @@
 //! emitted elements, plus one counter per kernel strategy so the
 //! adaptive choice shows up in run stats and service metrics.
 //!
+//! Each kernel has two implementations sharing one batch driver
+//! ([`batch_loop`]): the scalar lanes in this module (the differential
+//! oracle) and the AVX2 vector lanes in [`crate::simd`] (behind the
+//! `simd` feature, selected per warp at runtime). Both charge the same
+//! deterministic memory-traffic model ([`WarpStats::bytes_touched`]),
+//! so stats are bit-identical across paths.
+//!
 //! The kernels are agnostic to where their operands come from: any
 //! sorted `&[u32]` slice works, so neighbor lists handed out by a
 //! batch-dynamic `DeltaCsr` view (overlay rows for mutated vertices,
@@ -110,6 +117,14 @@ pub struct WarpStats {
     pub bsearch_kernels: u64,
     /// Intersections executed with the galloping lane kernel.
     pub gallop_kernels: u64,
+    /// Modeled operand bytes dereferenced by the lane kernels: 4 bytes
+    /// per `u32` the kernel reads from `A` or `B` (per [`batch_bytes`]'s
+    /// per-strategy probe counts) plus 8 per extra indirection. This is
+    /// a *deterministic cost model*, not a hardware counter — both the
+    /// scalar and SIMD paths charge it from the same formula over
+    /// (strategy, lanes, |B|, cursor advance), so it is bit-identical
+    /// across paths and comparable across runs.
+    pub bytes_touched: u64,
 }
 
 impl WarpStats {
@@ -144,14 +159,76 @@ impl WarpStats {
         self.merge_kernels += other.merge_kernels;
         self.bsearch_kernels += other.bsearch_kernels;
         self.gallop_kernels += other.gallop_kernels;
+        self.bytes_touched += other.bytes_touched;
     }
 }
 
+/// ⌈log2 n⌉ for `n ≥ 1` (`0` for `n ≤ 1`).
+#[inline]
+fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - u64::from((n - 1).leading_zeros())
+    }
+}
+
+/// Probes a branchless binary search makes over a window of `n`
+/// elements: the window halves ⌈log2 n⌉ times plus one final equality
+/// probe. Data-independent by design — the traffic model must charge
+/// the same bytes no matter where a lane's element lands.
+#[inline]
+fn bsearch_probes(n: usize) -> u64 {
+    ceil_log2(n as u64) + 1
+}
+
+/// Memory-traffic model for one ≤ 32-lane intersection batch: operand
+/// bytes the strategy dereferences, as a deterministic function of
+/// (strategy, lane count, `|B|`, cursor advance).
+///
+/// - every lane reads its own `A` element: `4·lanes`;
+/// - **merge** walks the shared cursor `cursor_delta` sequential `B`
+///   slots plus one compare at the cursor per lane;
+/// - **binary search** probes `⌈log2 |B|⌉ + 1` random `B` slots per
+///   lane;
+/// - **gallop** brackets each lane's window from the rolling cursor in
+///   `~2·log2(gap)` probes plus the final compare, with `gap` the
+///   average per-lane cursor advance this batch.
+///
+/// Both kernel paths charge through this one function, so
+/// [`WarpStats::bytes_touched`] cannot diverge between them.
+#[inline]
+fn batch_bytes(kind: IntersectKind, lanes: usize, b_len: usize, cursor_delta: usize) -> u64 {
+    let lanes = lanes as u64;
+    let b_bytes = match kind {
+        IntersectKind::Merge => 4 * (cursor_delta as u64 + lanes),
+        IntersectKind::BinarySearch => 4 * lanes * bsearch_probes(b_len),
+        IntersectKind::Gallop => {
+            let gap = cursor_delta as u64 / lanes.max(1);
+            4 * lanes * (2 * ceil_log2(gap + 2) + 1)
+        }
+    };
+    4 * lanes + b_bytes
+}
+
 /// Warp execution context: lane-batched kernels plus statistics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WarpOps {
     /// Operation counters for this warp.
     pub stats: WarpStats,
+    /// Whether this warp runs the AVX2 lane kernels. Defaults to
+    /// [`crate::simd::available`]; can be pinned off per warp so the
+    /// differential suite runs both paths in one process.
+    simd: bool,
+}
+
+impl Default for WarpOps {
+    fn default() -> Self {
+        Self {
+            stats: WarpStats::default(),
+            simd: crate::simd::available(),
+        }
+    }
 }
 
 /// Lane membership test for one intersection: a stateful closure so the
@@ -207,12 +284,97 @@ impl<'b> LaneProbe<'b> {
             }
         }
     }
+
+    /// Survivor ballot for one ≤ 32-lane batch plus the cursor advance
+    /// it caused — the scalar counterpart of `SimdProbe::ballot`, so
+    /// both paths feed [`batch_loop`] through the same interface.
+    #[inline]
+    fn ballot(&mut self, batch: &[u32]) -> (u32, usize) {
+        let start = self.cursor;
+        let mut ballot = 0u32;
+        for (lane, &x) in batch.iter().enumerate() {
+            if self.contains(x) {
+                ballot |= 1 << lane;
+            }
+        }
+        (ballot, self.cursor - start)
+    }
+}
+
+/// The shared batch driver both kernel paths run through: chunks `A`
+/// into 32-lane batches, obtains each batch's survivor ballot from the
+/// prober, applies the fused `keep` predicate to surviving lanes in
+/// lane order, and emits the remaining lanes in lane order. All
+/// accounting — `batches`, `elements_probed`, `elements_emitted`,
+/// `bytes_touched` — lives here, so scalar and SIMD probers produce
+/// identical [`WarpStats`] by construction whenever their ballots and
+/// cursor deltas agree.
+fn batch_loop<B, K, E>(
+    stats: &mut WarpStats,
+    kind: IntersectKind,
+    b_len: usize,
+    a: &[u32],
+    mut ballot_of: B,
+    mut keep: K,
+    mut emit: E,
+) where
+    B: FnMut(&[u32]) -> (u32, usize),
+    K: FnMut(u32) -> bool,
+    E: FnMut(u32),
+{
+    for batch in a.chunks(WARP_SIZE) {
+        stats.batches += 1;
+        stats.elements_probed += batch.len() as u64;
+        let (mut ballot, cursor_delta) = ballot_of(batch);
+        stats.bytes_touched += batch_bytes(kind, batch.len(), b_len, cursor_delta);
+        // Fused predicate: lanes whose element is in `B` evaluate `keep`
+        // in lane order and drop out of the ballot on rejection.
+        let mut bits = ballot;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if !keep(batch[lane]) {
+                ballot &= !(1u32 << lane);
+            }
+        }
+        // Compacted write: exclusive prefix of the ballot assigns
+        // consecutive output positions (the Fig.-6 style batched
+        // write of ≤ 32 elements).
+        let mut bits = ballot;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            emit(batch[lane]);
+            stats.elements_emitted += 1;
+        }
+    }
 }
 
 impl WarpOps {
-    /// Creates a fresh warp context.
+    /// Creates a fresh warp context; the kernel path follows
+    /// [`crate::simd::available`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a warp context with the kernel path pinned: `true`
+    /// requests the AVX2 lanes (still subject to
+    /// [`crate::simd::available`]), `false` forces the scalar oracle.
+    pub fn with_simd(enabled: bool) -> Self {
+        let mut w = Self::new();
+        w.set_simd(enabled);
+        w
+    }
+
+    /// Re-pins the kernel path (ANDed with [`crate::simd::available`],
+    /// so enabling is a no-op without the feature/hardware).
+    pub fn set_simd(&mut self, enabled: bool) {
+        self.simd = enabled && crate::simd::available();
+    }
+
+    /// Whether intersections on this warp take the AVX2 path.
+    pub fn simd_active(&self) -> bool {
+        self.simd
     }
 
     #[inline]
@@ -237,7 +399,14 @@ impl WarpOps {
     ///
     /// `emit` receives each surviving element exactly once, in ascending
     /// order (batches preserve `A`'s order).
+    ///
+    /// Empty operands short-circuit *before* kernel selection: no
+    /// intersection is issued and no per-strategy counter moves, so the
+    /// counters only ever describe batches that did lane work.
     pub fn intersect<F: FnMut(u32)>(&mut self, a: &[u32], b: &[u32], emit: F) {
+        if a.is_empty() || b.is_empty() {
+            return;
+        }
         self.intersect_with(select_kind(a.len(), b.len()), a, b, emit);
     }
 
@@ -248,31 +417,9 @@ impl WarpOps {
         kind: IntersectKind,
         a: &[u32],
         b: &[u32],
-        mut emit: F,
+        emit: F,
     ) {
-        self.charge_kernel(kind);
-        let mut probe = LaneProbe::new(kind, b);
-        for batch in a.chunks(WARP_SIZE) {
-            self.stats.batches += 1;
-            self.stats.elements_probed += batch.len() as u64;
-            // Ballot: bit i set iff lane i's element survives.
-            let mut ballot = 0u32;
-            for (lane, &x) in batch.iter().enumerate() {
-                if probe.contains(x) {
-                    ballot |= 1 << lane;
-                }
-            }
-            // Compacted write: exclusive prefix of the ballot assigns
-            // consecutive output positions (the Fig.-6 style batched
-            // write of ≤ 32 elements).
-            let mut bits = ballot;
-            while bits != 0 {
-                let lane = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                emit(batch[lane]);
-                self.stats.elements_emitted += 1;
-            }
-        }
+        self.intersect_filtered_with(kind, a, b, |_| true, emit);
     }
 
     /// Intersection of a list with `B` under a per-element predicate that
@@ -285,40 +432,57 @@ impl WarpOps {
         P: FnMut(u32) -> bool,
         F: FnMut(u32),
     {
+        if a.is_empty() || b.is_empty() {
+            return;
+        }
         self.intersect_filtered_with(select_kind(a.len(), b.len()), a, b, keep, emit);
     }
 
     /// [`WarpOps::intersect_filtered`] with an explicit lane kernel.
+    /// This is the one real entry point: the other three delegate here,
+    /// so the empty-operand short-circuit, the dispatch decision and
+    /// the shared [`batch_loop`] accounting hold for every intersection
+    /// a warp issues.
     pub fn intersect_filtered_with<P, F>(
         &mut self,
         kind: IntersectKind,
         a: &[u32],
         b: &[u32],
-        mut keep: P,
-        mut emit: F,
+        keep: P,
+        emit: F,
     ) where
         P: FnMut(u32) -> bool,
         F: FnMut(u32),
     {
-        self.charge_kernel(kind);
-        let mut probe = LaneProbe::new(kind, b);
-        for batch in a.chunks(WARP_SIZE) {
-            self.stats.batches += 1;
-            self.stats.elements_probed += batch.len() as u64;
-            let mut ballot = 0u32;
-            for (lane, &x) in batch.iter().enumerate() {
-                if probe.contains(x) && keep(x) {
-                    ballot |= 1 << lane;
-                }
-            }
-            let mut bits = ballot;
-            while bits != 0 {
-                let lane = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                emit(batch[lane]);
-                self.stats.elements_emitted += 1;
-            }
+        if a.is_empty() || b.is_empty() {
+            return;
         }
+        self.charge_kernel(kind);
+        crate::simd::note_dispatch(self.simd);
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if self.simd {
+            let mut probe = crate::simd::lanes::SimdProbe::new(kind, b);
+            batch_loop(
+                &mut self.stats,
+                kind,
+                b.len(),
+                a,
+                |batch| probe.ballot(batch),
+                keep,
+                emit,
+            );
+            return;
+        }
+        let mut probe = LaneProbe::new(kind, b);
+        batch_loop(
+            &mut self.stats,
+            kind,
+            b.len(),
+            a,
+            |batch| probe.ballot(batch),
+            keep,
+            emit,
+        );
     }
 
     /// Lane-batched filter without intersection (e.g. copying a reused
@@ -331,6 +495,8 @@ impl WarpOps {
         for batch in a.chunks(WARP_SIZE) {
             self.stats.batches += 1;
             self.stats.elements_probed += batch.len() as u64;
+            // A pure filter reads each lane's element once.
+            self.stats.bytes_touched += 4 * batch.len() as u64;
             let mut ballot = 0u32;
             for (lane, &x) in batch.iter().enumerate() {
                 if keep(x) {
@@ -347,10 +513,12 @@ impl WarpOps {
         }
     }
 
-    /// Charges `n` extra memory indirections (CT-index modeling).
+    /// Charges `n` extra memory indirections (CT-index modeling); each
+    /// is one pointer-sized dereference in the traffic model.
     #[inline]
     pub fn charge_indirections(&mut self, n: u64) {
         self.stats.extra_indirections += n;
+        self.stats.bytes_touched += 8 * n;
     }
 }
 
@@ -479,6 +647,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_operands_charge_nothing() {
+        // The short-circuit fires before kernel selection: no
+        // intersection, no per-strategy counter, no batches — on the
+        // adaptive and the pinned entry points alike.
+        let mut w = WarpOps::new();
+        w.intersect(&[], &[1, 2, 3], |_| unreachable!());
+        w.intersect(&[1, 2, 3], &[], |_| unreachable!());
+        w.intersect_filtered(&[], &[1, 2], |_| true, |_| unreachable!());
+        for kind in KINDS {
+            w.intersect_with(kind, &[], &[1, 2], |_| unreachable!());
+            w.intersect_filtered_with(kind, &[1], &[], |_| true, |_| unreachable!());
+        }
+        assert_eq!(w.stats, WarpStats::default());
+    }
+
+    #[test]
+    fn bytes_touched_is_charged_per_strategy() {
+        let a: Vec<u32> = (0..64).map(|x| x * 7).collect();
+        let b: Vec<u32> = (0..4096).collect();
+        for kind in KINDS {
+            let mut w = WarpOps::new();
+            w.intersect_with(kind, &a, &b, |_| {});
+            // Every strategy reads at least its A lanes (4 bytes each).
+            assert!(w.stats.bytes_touched >= 4 * a.len() as u64, "{kind:?}");
+        }
+        // The pure filter charges A-side bytes only.
+        let mut w = WarpOps::new();
+        w.filter(&a, |_| true, |_| {});
+        assert_eq!(w.stats.bytes_touched, 4 * a.len() as u64);
+        // Indirections are pointer-sized.
+        w.charge_indirections(3);
+        assert_eq!(w.stats.bytes_touched, 4 * a.len() as u64 + 24);
+    }
+
+    #[test]
+    fn simd_flag_respects_availability() {
+        let w = WarpOps::with_simd(true);
+        assert_eq!(w.simd_active(), crate::simd::available());
+        let w = WarpOps::with_simd(false);
+        assert!(!w.simd_active());
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_and_scalar_paths_agree_exactly() {
+        if !crate::simd::available() {
+            return; // non-AVX2 host or TDFS_NO_SIMD: nothing to compare
+        }
+        let a: Vec<u32> = (0..300).map(|x| x * 3).collect();
+        let b: Vec<u32> = (0..2000).map(|x| x * 2).collect();
+        for kind in KINDS {
+            let mut scalar = WarpOps::with_simd(false);
+            let mut simd = WarpOps::with_simd(true);
+            let mut out_scalar = Vec::new();
+            let mut out_simd = Vec::new();
+            scalar.intersect_with(kind, &a, &b, |x| out_scalar.push(x));
+            simd.intersect_with(kind, &a, &b, |x| out_simd.push(x));
+            assert_eq!(out_scalar, out_simd, "{kind:?}");
+            assert_eq!(scalar.stats, simd.stats, "{kind:?}");
+        }
+    }
+
+    #[test]
     fn gallop_cursor_survives_batch_boundaries() {
         // 40 elements of A spread across a huge B: the rolling cursor
         // must stay correct across the 32-lane batch boundary.
@@ -500,6 +731,7 @@ mod tests {
             merge_kernels: 6,
             bsearch_kernels: 7,
             gallop_kernels: 8,
+            bytes_touched: 9,
         };
         a.merge(&a.clone());
         assert_eq!(a.intersections, 2);
@@ -507,5 +739,29 @@ mod tests {
         assert_eq!(a.merge_kernels, 12);
         assert_eq!(a.bsearch_kernels, 14);
         assert_eq!(a.gallop_kernels, 16);
+        assert_eq!(a.bytes_touched, 18);
+    }
+
+    #[test]
+    fn traffic_model_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(bsearch_probes(1), 1);
+        assert_eq!(bsearch_probes(4096), 13);
+        // Merge traffic is linear in the cursor walk; bsearch is
+        // logarithmic in |B| and independent of the walk.
+        assert_eq!(
+            batch_bytes(IntersectKind::Merge, 32, 4096, 100),
+            4 * 32 + 4 * (100 + 32)
+        );
+        assert_eq!(
+            batch_bytes(IntersectKind::BinarySearch, 32, 4096, 0),
+            4 * 32 + 4 * 32 * 13
+        );
+        // Gallop with zero advance still pays the bracketing probes.
+        assert!(batch_bytes(IntersectKind::Gallop, 32, 1 << 20, 0) > 4 * 32);
     }
 }

@@ -129,11 +129,19 @@ fn all_kernels_agree_with_scalar_on_all_shapes() {
             let mut got = Vec::new();
             w.intersect_with(kind, &a, &b, |x| got.push(x));
             assert_eq!(got, expect, "{kind:?} shape {}", case % 4);
+            if a.is_empty() || b.is_empty() {
+                // Empty operands short-circuit before any lane work.
+                assert_eq!(w.stats.batches, 0);
+                assert_eq!(w.stats.elements_probed, 0);
+                assert_eq!(w.stats.intersections, 0);
+                continue;
+            }
             // The batch accounting is strategy-independent by design:
             // every kernel walks the same 32-lane chunks of A.
             assert_eq!(w.stats.elements_probed, a.len() as u64);
             assert_eq!(w.stats.elements_emitted, expect.len() as u64);
             assert_eq!(w.stats.batches, a.chunks(32).count() as u64);
+            assert!(w.stats.bytes_touched >= 4 * a.len() as u64);
         }
     }
 }
@@ -149,6 +157,15 @@ fn adaptive_dispatch_matches_scalar_and_charges_selected_kernel() {
         let mut expect = Vec::new();
         tdfs_graph::intersect::intersect_merge(&a, &b, &mut expect);
         assert_eq!(got, expect);
+        if a.is_empty() || b.is_empty() {
+            // No-op intersections are not charged to any strategy.
+            assert_eq!(w.stats.intersections, 0);
+            assert_eq!(
+                w.stats.merge_kernels + w.stats.bsearch_kernels + w.stats.gallop_kernels,
+                0
+            );
+            continue;
+        }
         let charged = match select_kind(a.len(), b.len()) {
             IntersectKind::Merge => w.stats.merge_kernels,
             IntersectKind::BinarySearch => w.stats.bsearch_kernels,
@@ -177,6 +194,84 @@ fn filtered_kernels_agree_with_filtered_scalar() {
             let mut got = Vec::new();
             w.intersect_filtered_with(kind, &a, &b, |x| x % modulus == 0, |x| got.push(x));
             assert_eq!(got, expect, "{kind:?} mod {modulus}");
+        }
+    }
+}
+
+/// SIMD ⇄ scalar differential oracle: on every strategy and every
+/// operand shape, the AVX2 path must emit the same elements in the same
+/// order as the scalar path *and* produce a bit-identical `WarpStats`
+/// (batches, probes, emissions, per-strategy counters, bytes model).
+/// Without the `simd` feature (or on a non-AVX2 host) both warps take
+/// the scalar path and the comparison is trivially green, so the test
+/// is safe in every CI job.
+#[test]
+fn simd_path_matches_scalar_oracle_on_all_shapes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51D0 + case);
+        let (a, b) = random_shaped_pair(&mut rng, case);
+        for kind in KINDS {
+            let mut scalar = WarpOps::with_simd(false);
+            let mut simd = WarpOps::with_simd(true);
+            let mut out_scalar = Vec::new();
+            let mut out_simd = Vec::new();
+            scalar.intersect_with(kind, &a, &b, |x| out_scalar.push(x));
+            simd.intersect_with(kind, &a, &b, |x| out_simd.push(x));
+            assert_eq!(out_scalar, out_simd, "{kind:?} shape {}", case % 4);
+            assert_eq!(scalar.stats, simd.stats, "{kind:?} shape {}", case % 4);
+        }
+        // Adaptive dispatch too: same kernel choice, same everything.
+        let mut scalar = WarpOps::with_simd(false);
+        let mut simd = WarpOps::with_simd(true);
+        let mut out_scalar = Vec::new();
+        let mut out_simd = Vec::new();
+        scalar.intersect(&a, &b, |x| out_scalar.push(x));
+        simd.intersect(&a, &b, |x| out_simd.push(x));
+        assert_eq!(out_scalar, out_simd);
+        assert_eq!(scalar.stats, simd.stats);
+    }
+}
+
+/// The fused-predicate entry point through the same differential lens:
+/// the `keep` closure must see the same surviving elements in the same
+/// order on both paths (it can be stateful, so call order is part of
+/// the contract).
+#[test]
+fn simd_filtered_path_matches_scalar_oracle() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51D1 + case);
+        let (a, b) = random_shaped_pair(&mut rng, case);
+        let modulus = rng.gen_range_u32(1..7);
+        for kind in KINDS {
+            let mut scalar = WarpOps::with_simd(false);
+            let mut simd = WarpOps::with_simd(true);
+            let mut seen_scalar = Vec::new();
+            let mut seen_simd = Vec::new();
+            let mut out_scalar = Vec::new();
+            let mut out_simd = Vec::new();
+            scalar.intersect_filtered_with(
+                kind,
+                &a,
+                &b,
+                |x| {
+                    seen_scalar.push(x);
+                    x % modulus == 0
+                },
+                |x| out_scalar.push(x),
+            );
+            simd.intersect_filtered_with(
+                kind,
+                &a,
+                &b,
+                |x| {
+                    seen_simd.push(x);
+                    x % modulus == 0
+                },
+                |x| out_simd.push(x),
+            );
+            assert_eq!(out_scalar, out_simd, "{kind:?} mod {modulus}");
+            assert_eq!(seen_scalar, seen_simd, "{kind:?} keep-call order");
+            assert_eq!(scalar.stats, simd.stats, "{kind:?} mod {modulus}");
         }
     }
 }

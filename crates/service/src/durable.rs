@@ -564,7 +564,19 @@ fn shard_worker<V: GraphView>(
             state.ledger.wait_change(Duration::from_millis(1));
             continue;
         }
-        let Some(lease) = state.ledger.lease(wid) else {
+        // Cache-conscious grant: shards whose first root edge's source
+        // row lives in the same page-sized window as this worker's
+        // previous shard are preferred within the lease table's bounded
+        // window — the degree-weighted shard cuts put neighboring (and
+        // thus page-sharing) edges in adjacent shards, so the match is
+        // common and keeps candidate pages hot per worker.
+        let locality = |s: &Shard| {
+            job.edges
+                .get(s.start as usize)
+                .map(|&(u, _)| tdfs_mem::locality_key(job.graph.neighbors(u)))
+                .unwrap_or(u64::MAX)
+        };
+        let Some(lease) = state.ledger.lease_with_affinity(wid, locality) else {
             if state.ledger.drained() {
                 return;
             }

@@ -557,6 +557,14 @@ pub struct ServiceMetrics {
     /// Maintenance passes that ran on the applying thread because queue
     /// dispatch was rejected or the queued job failed/was shed.
     pub maintenance_inline_fallbacks: u64,
+    /// Shard leases granted to the worker whose cache already held the
+    /// shard's candidate page (cache-conscious task ordering).
+    pub lease_affinity_hits: u64,
+    /// Intersections executed on the AVX2 vector lane path, process
+    /// lifetime (from `tdfs_gpu::simd::dispatch_counts`).
+    pub simd_intersections: u64,
+    /// Intersections executed on the scalar lane path, process lifetime.
+    pub scalar_intersections: u64,
     /// Engine counters merged across all completed queries.
     pub engine: RunStats,
     /// Sum of completion latencies (queueing + execution).
@@ -589,6 +597,8 @@ impl ServiceMetrics {
              dynamic: {} batches applied, {} standing notifications ({} retried), \
              {} maintenance jobs ({} inline fallbacks)\n\
              engine kernels: {} merge, {} bsearch, {} gallop\n\
+             engine traffic: {:.3} MB touched; dispatch {} simd / {} scalar; \
+             {} affinity lease hits\n\
              plan cache: {} hits, {} misses, {} evictions, {} presentation rebuilds",
             self.admitted,
             self.rejected_queue_full,
@@ -630,6 +640,10 @@ impl ServiceMetrics {
             self.engine.warp.merge_kernels,
             self.engine.warp.bsearch_kernels,
             self.engine.warp.gallop_kernels,
+            self.engine.warp.bytes_touched as f64 / (1 << 20) as f64,
+            self.simd_intersections,
+            self.scalar_intersections,
+            self.lease_affinity_hits,
             self.plan_cache.hits,
             self.plan_cache.misses,
             self.plan_cache.evictions,
@@ -1510,6 +1524,7 @@ impl Service {
             agg
         };
         let breaker_state = lock_breaker(&self.inner).state();
+        let dispatch = tdfs_gpu::simd::dispatch_counts();
         let (in_use, peak, capacity) = self.inner.budget.as_ref().map_or((0, 0, 0), |b| {
             (b.in_use_pages(), b.peak_pages(), b.capacity_pages())
         });
@@ -1541,6 +1556,9 @@ impl Service {
             leases_granted: leases.granted,
             leases_reclaimed: leases.reclaimed,
             leases_fenced: leases.fenced,
+            lease_affinity_hits: leases.affinity_hits,
+            simd_intersections: dispatch.simd,
+            scalar_intersections: dispatch.scalar,
             tasks_acked: leases.acked,
             snapshots_taken: m.snapshots_taken,
             snapshot_bytes: m.snapshot_bytes,

@@ -122,6 +122,21 @@ fn main() {
         out.result.map(|r| r.matches).unwrap_or(0)
     );
 
-    println!("\n-- service metrics --\n{}", svc.metrics().summary());
+    let m = svc.metrics();
+    println!("\n-- service metrics --\n{}", m.summary());
+    // The traffic/dispatch axes explicitly: modeled bytes the lane
+    // kernels touched, how often the AVX2 path was taken (zero without
+    // `--features simd` or on non-AVX2 hosts), and how many shard
+    // leases landed on a worker already holding the shard's page.
+    println!(
+        "warp bytes touched: {} ({:.3} MB)",
+        m.engine.warp.bytes_touched,
+        m.engine.warp.bytes_touched as f64 / (1 << 20) as f64
+    );
+    println!(
+        "intersect dispatch: {} simd / {} scalar",
+        m.simd_intersections, m.scalar_intersections
+    );
+    println!("lease affinity hits: {}", m.lease_affinity_hits);
     svc.shutdown();
 }
