@@ -71,6 +71,29 @@ else
     echo "==> delta bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
 fi
 
+echo "==> storage job (TDFSGRPH container, mmap reader, disk catalog)"
+# Focused re-run of the big-graph storage tier: golden wire-format
+# bytes (byte-for-byte pinned, CRCs included), the corruption matrix
+# (every byte-flip class maps to a typed error, never a silently wrong
+# graph), CsrGraph <-> container <-> mmap and delta-over-mmap property
+# suites, and the service restart-resume suite — mmap'd graphs 10x the
+# memory budget exact on every engine, reopen at the same GraphVersion
+# with overlays intact, persisted suspended queries resumed to the
+# uninterrupted count — plus the torn-sidecar-write chaos cut.
+cargo test -p tdfs-graph --test container_golden -q
+cargo test -p tdfs-graph --test container_corrupt -q
+cargo test -p tdfs-graph --test container_prop -q
+cargo test -p tdfs-service --test storage -q
+cargo test -p tdfs-service --features chaos --test chaos_storage -q
+# Storage guard (BENCH_storage.json, asserts the CRC-verified mmap open
+# is >= 10x a text re-parse and warm mapped queries stay < 15% over the
+# heap CSR); timing-sensitive, so opt-in like the other bench guards.
+if [[ "${TDFS_BENCH_GUARD:-0}" == "1" ]]; then
+    cargo bench -p tdfs-bench --bench storage
+else
+    echo "==> storage bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
+fi
+
 echo "==> simd job (AVX2 lane kernels, scalar oracle differential)"
 # The simd feature compiles the AVX2 lane kernels next to the scalar
 # ones; runtime dispatch picks per-process. Tier-1 tests above run

@@ -64,6 +64,7 @@ pub mod reference;
 pub mod sink;
 pub mod stack;
 pub mod stats;
+pub mod storage;
 
 pub use cancel::CancelFlag;
 pub use config::{ArrayCapacity, MatcherConfig, StackConfig, Strategy};
@@ -72,6 +73,7 @@ pub use multi::{run_multi_device, MultiDeviceResult};
 pub use reference::{reference_count, reference_count_pattern};
 pub use sink::{CollectSink, FnSink, MatchSink};
 pub use stats::{RunResult, RunStats};
+pub use storage::{budgeted_map_options, open_budgeted, BudgetCharge};
 // Re-exported so downstream crates (e.g. the service's snapshot codec)
 // can name every part of a `MatcherConfig` without depending on
 // `tdfs-mem` directly.

@@ -1,0 +1,1078 @@
+//! `TDFSGRPH` — the on-disk graph container format.
+//!
+//! A container is a single file holding one CSR graph in a form an
+//! [`MmapGraph`](crate::mapped::MmapGraph) can serve *without* loading
+//! the adjacency into memory: the row-offset array is stored raw (u64
+//! little-endian, read in place through the mapping) while the adjacency
+//! is cut into segments of roughly [`ContainerOptions::seg_target_arcs`]
+//! arcs, each varint/delta-coded (sorted rows compress to near-minimal
+//! deltas, the same packing GSI uses for GPU-friendly CSR) and protected
+//! by its own CRC32 so corruption is localized and typed, never a silent
+//! wrong graph.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "TDFSGRPH"
+//! 8       2     format version (= 1)
+//! 10      2     flags (bit 0: labels section present)
+//! 12      4     segment count
+//! 16      8     num_vertices
+//! 24      8     num_arcs
+//! 32      8     max_degree
+//! 40      8     num_labels
+//! 48      4     seg_target_arcs (writer knob, informational)
+//! 52      4     offsets section CRC32
+//! 56      4     segment directory CRC32
+//! 60      4     labels section CRC32 (0 when unlabeled)
+//! 64      8     adjacency section byte length
+//! 72      8     reserved (= 0)
+//! 80      4     header CRC32 (over bytes 0..80)
+//! 84      4     pad (= 0)
+//! 88      32×S  segment directory: first_vertex u32, byte_len u32,
+//!               first_arc u64, byte_off u64, crc u32, pad u32
+//! …       8×(n+1)  row offsets (raw u64)
+//! …       adj_bytes  varint/delta adjacency, then zero-pad to 8
+//! …       4×n   labels (raw u32; only when flag bit 0)
+//! EOF — the file length must match exactly.
+//! ```
+//!
+//! Each adjacency row is encoded as `varint(first)` then
+//! `varint(next - prev)` for the remaining neighbors (strictly sorted
+//! rows make every delta ≥ 1, so a zero delta is a decode error).
+//! Segment `s` covers vertices `[first_vertex[s], first_vertex[s+1])`
+//! and decodes to exactly `first_arc[s+1] - first_arc[s]` arcs.
+//!
+//! [`write_container`] streams any [`GraphView`] — heap CSR, a delta
+//! view mid-compaction, or another mapping — in two passes (degrees for
+//! segmentation, then encoding), so compaction of an out-of-budget graph
+//! never materializes a heap copy.
+
+use std::fs::File;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::csr::{GraphError, VertexId, MAX_VERTEX_ID};
+use crate::view::GraphView;
+
+/// Magic prefix of a container file.
+pub const CONTAINER_MAGIC: &[u8; 8] = b"TDFSGRPH";
+
+/// Current container format version.
+pub const CONTAINER_VERSION: u16 = 1;
+
+/// Fixed header length in bytes (including the trailing pad).
+pub const HEADER_LEN: usize = 88;
+
+/// Bytes per segment-directory entry.
+pub const SEG_DIR_ENTRY_LEN: usize = 32;
+
+/// Flag bit: the container carries a labels section.
+pub const FLAG_LABELED: u16 = 1;
+
+/// Default adjacency arcs per segment (~16 KiB decoded): small enough
+/// that a working set of a few segments stays inside a tight
+/// `MemoryBudget`, large enough that varint decode amortizes.
+pub const DEFAULT_SEG_ARCS: usize = 4096;
+
+/// Writer knobs.
+#[derive(Debug, Clone)]
+pub struct ContainerOptions {
+    /// Target decoded arcs per adjacency segment. A single row larger
+    /// than the target still becomes one (oversized) segment — segment
+    /// boundaries are always row boundaries.
+    pub seg_target_arcs: usize,
+}
+
+impl Default for ContainerOptions {
+    fn default() -> Self {
+        Self {
+            seg_target_arcs: DEFAULT_SEG_ARCS,
+        }
+    }
+}
+
+/// Typed failures opening or validating a container. Every corruption a
+/// byte flip can produce maps to one of these — the reader never panics
+/// on untrusted input and never yields a silently wrong graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Underlying filesystem error (stringified: `io::Error` is neither
+    /// `Clone` nor `PartialEq`, and tests compare these).
+    Io(String),
+    /// File shorter than the fixed header.
+    TooSmall { len: u64 },
+    /// Not a container at all.
+    BadMagic([u8; 8]),
+    /// A future (or bogus) format version.
+    UnsupportedVersion(u16),
+    /// Unknown flag bits set.
+    UnsupportedFlags(u16),
+    /// Header CRC passed but a field is semantically impossible.
+    HeaderInvalid { field: &'static str },
+    /// A whole-section checksum mismatch.
+    ChecksumMismatch {
+        section: &'static str,
+        stored: u32,
+        computed: u32,
+    },
+    /// One adjacency segment's checksum mismatch.
+    SegmentChecksum {
+        segment: u32,
+        stored: u32,
+        computed: u32,
+    },
+    /// File length disagrees with the section table.
+    SizeMismatch { expected: u64, actual: u64 },
+    /// A segment-directory entry is inconsistent.
+    SegmentDir { segment: u32, reason: &'static str },
+    /// The row-offset array violates CSR shape.
+    Offsets { vertex: usize, reason: &'static str },
+    /// A segment's payload decodes to an invalid adjacency row.
+    Decode { segment: u32, reason: &'static str },
+    /// A label value is out of range.
+    Labels { vertex: usize, reason: &'static str },
+    /// Decoded parts failed full CSR validation (exhaustive verify).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Io(e) => write!(f, "io error: {e}"),
+            ContainerError::TooSmall { len } => {
+                write!(f, "file too small for a container header ({len} bytes)")
+            }
+            ContainerError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ContainerError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            ContainerError::UnsupportedFlags(x) => write!(f, "unsupported flags {x:#06x}"),
+            ContainerError::HeaderInvalid { field } => write!(f, "invalid header field {field}"),
+            ContainerError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            ContainerError::SegmentChecksum {
+                segment,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "segment {segment} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            ContainerError::SizeMismatch { expected, actual } => {
+                write!(f, "file length {actual}, section table implies {expected}")
+            }
+            ContainerError::SegmentDir { segment, reason } => {
+                write!(f, "segment directory entry {segment}: {reason}")
+            }
+            ContainerError::Offsets { vertex, reason } => {
+                write!(f, "row offsets at vertex {vertex}: {reason}")
+            }
+            ContainerError::Decode { segment, reason } => {
+                write!(f, "segment {segment} payload: {reason}")
+            }
+            ContainerError::Labels { vertex, reason } => {
+                write!(f, "label of vertex {vertex}: {reason}")
+            }
+            ContainerError::Invalid(e) => write!(f, "decoded graph invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+impl From<io::Error> for ContainerError {
+    fn from(e: io::Error) -> Self {
+        ContainerError::Io(e.to_string())
+    }
+}
+
+impl From<GraphError> for ContainerError {
+    fn from(e: GraphError) -> Self {
+        ContainerError::Invalid(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) — table-driven,
+// hand-rolled because the workspace links no external crates.
+// ---------------------------------------------------------------------
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    // Slice-by-8 helper tables: t[j][b] is the CRC of byte b followed by
+    // j zero bytes, so eight table lookups fold eight input bytes at
+    // once. Identical polynomial and bit order — the produced CRC32 is
+    // byte-for-byte the same as the one-byte-at-a-time loop (the golden
+    // wire-format tests pin that).
+    let mut j = 1usize;
+    while j < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+/// Incremental CRC32: feed `bytes` into running state `state` (start
+/// from [`CRC_INIT`], finish with [`crc_finish`]).
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Folds `bytes` into a running CRC32 state (slice-by-8).
+pub fn crc_update(mut state: u32, bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().unwrap()) ^ state;
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        state = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = t[0][((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// Finalizes a running CRC32 state.
+pub fn crc_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc_finish(crc_update(CRC_INIT, bytes))
+}
+
+// ---------------------------------------------------------------------
+// Varints (LEB128, u32)
+// ---------------------------------------------------------------------
+
+/// Appends `x` as an LEB128 varint (1–5 bytes).
+pub fn put_varint(buf: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        buf.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    buf.push(x as u8);
+}
+
+/// Reads an LEB128 varint at `*pos`, advancing it. `None` on truncation
+/// or a value overflowing u32.
+#[inline]
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    // Delta-coded adjacency is overwhelmingly single-byte; keep that
+    // case branch-light and leave the multi-byte tail out of line.
+    let &b = bytes.get(*pos)?;
+    if b < 0x80 {
+        *pos += 1;
+        return Some(b as u32);
+    }
+    get_varint_multi(bytes, pos)
+}
+
+#[cold]
+fn get_varint_multi(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut x: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        let low = (b & 0x7F) as u32;
+        if shift == 28 && low > 0x0F {
+            return None; // fifth byte may only carry 4 bits
+        }
+        if shift > 28 {
+            return None;
+        }
+        x |= low << shift;
+        if b & 0x80 == 0 {
+            return Some(x);
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsed metadata
+// ---------------------------------------------------------------------
+
+/// Parsed, validated header counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerHeader {
+    pub num_vertices: usize,
+    pub num_arcs: usize,
+    pub max_degree: usize,
+    pub num_labels: usize,
+    pub labeled: bool,
+    pub seg_count: usize,
+    pub seg_target_arcs: u32,
+    pub adj_bytes: usize,
+    pub offsets_crc: u32,
+    pub seg_dir_crc: u32,
+    pub labels_crc: u32,
+}
+
+/// One parsed segment-directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegMeta {
+    /// First vertex whose row lives in this segment.
+    pub first_vertex: VertexId,
+    /// First arc index (== `offsets[first_vertex]`).
+    pub first_arc: u64,
+    /// Payload offset inside the adjacency section.
+    pub byte_off: u64,
+    /// Payload length in bytes.
+    pub byte_len: u32,
+    /// CRC32 of the payload.
+    pub crc: u32,
+}
+
+fn u16_at(b: &[u8], o: usize) -> u16 {
+    u16::from_le_bytes(b[o..o + 2].try_into().unwrap())
+}
+
+fn u32_at(b: &[u8], o: usize) -> u32 {
+    u32::from_le_bytes(b[o..o + 4].try_into().unwrap())
+}
+
+fn u64_at(b: &[u8], o: usize) -> u64 {
+    u64::from_le_bytes(b[o..o + 8].try_into().unwrap())
+}
+
+fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+/// Byte offsets of the variable sections, derived from a header.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionLayout {
+    pub seg_dir: usize,
+    pub offsets: usize,
+    pub adj: usize,
+    pub labels: usize,
+    pub total: usize,
+}
+
+impl ContainerHeader {
+    /// Section offsets implied by the counts.
+    pub fn layout(&self) -> SectionLayout {
+        let seg_dir = HEADER_LEN;
+        let offsets = seg_dir + self.seg_count * SEG_DIR_ENTRY_LEN;
+        let adj = offsets + (self.num_vertices + 1) * 8;
+        let labels = align8(adj + self.adj_bytes);
+        let total = if self.labeled {
+            labels + self.num_vertices * 4
+        } else {
+            labels
+        };
+        SectionLayout {
+            seg_dir,
+            offsets,
+            adj,
+            labels,
+            total,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing & validation (shared by the mmap reader and the heap reader)
+// ---------------------------------------------------------------------
+
+/// Parses and validates the fixed header of `data` (a whole mapped or
+/// heap-resident file). Checks magic, version, flags, header CRC, field
+/// sanity and that the section table matches `data.len()` exactly.
+pub fn parse_header(data: &[u8]) -> Result<ContainerHeader, ContainerError> {
+    if data.len() < HEADER_LEN {
+        return Err(ContainerError::TooSmall {
+            len: data.len() as u64,
+        });
+    }
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&data[0..8]);
+    if &magic != CONTAINER_MAGIC {
+        return Err(ContainerError::BadMagic(magic));
+    }
+    let stored = u32_at(data, 80);
+    let computed = crc32(&data[0..80]);
+    if stored != computed {
+        return Err(ContainerError::ChecksumMismatch {
+            section: "header",
+            stored,
+            computed,
+        });
+    }
+    let version = u16_at(data, 8);
+    if version != CONTAINER_VERSION {
+        return Err(ContainerError::UnsupportedVersion(version));
+    }
+    let flags = u16_at(data, 10);
+    if flags & !FLAG_LABELED != 0 {
+        return Err(ContainerError::UnsupportedFlags(flags));
+    }
+    let labeled = flags & FLAG_LABELED != 0;
+    let seg_count = u32_at(data, 12) as usize;
+    let num_vertices = u64_at(data, 16);
+    let num_arcs = u64_at(data, 24);
+    let max_degree = u64_at(data, 32);
+    let num_labels = u64_at(data, 40);
+    let adj_bytes = u64_at(data, 64);
+    if u64_at(data, 72) != 0 {
+        return Err(ContainerError::HeaderInvalid { field: "reserved" });
+    }
+    if u32_at(data, 84) != 0 {
+        return Err(ContainerError::HeaderInvalid { field: "pad" });
+    }
+    if num_vertices > MAX_VERTEX_ID as u64 + 1 {
+        return Err(ContainerError::HeaderInvalid {
+            field: "num_vertices",
+        });
+    }
+    let n = num_vertices as usize;
+    if !num_arcs.is_multiple_of(2) {
+        return Err(ContainerError::HeaderInvalid { field: "num_arcs" });
+    }
+    // Each vertex has < n neighbors, so arcs < n².
+    if num_arcs > (n as u64).saturating_mul(n as u64) {
+        return Err(ContainerError::HeaderInvalid { field: "num_arcs" });
+    }
+    if max_degree > n as u64 {
+        return Err(ContainerError::HeaderInvalid {
+            field: "max_degree",
+        });
+    }
+    if num_labels > MAX_VERTEX_ID as u64 + 1 {
+        return Err(ContainerError::HeaderInvalid {
+            field: "num_labels",
+        });
+    }
+    if (num_arcs == 0) != (seg_count == 0) {
+        return Err(ContainerError::HeaderInvalid { field: "seg_count" });
+    }
+    // A segment decodes at least one arc, so there can't be more
+    // segments than arcs; also bounds the directory allocation.
+    if seg_count as u64 > num_arcs {
+        return Err(ContainerError::HeaderInvalid { field: "seg_count" });
+    }
+    // Each arc takes at least one payload byte and at most five.
+    if adj_bytes < num_arcs || adj_bytes > num_arcs.saturating_mul(5) {
+        return Err(ContainerError::HeaderInvalid { field: "adj_bytes" });
+    }
+    let header = ContainerHeader {
+        num_vertices: n,
+        num_arcs: num_arcs as usize,
+        max_degree: max_degree as usize,
+        num_labels: num_labels as usize,
+        labeled,
+        seg_count,
+        seg_target_arcs: u32_at(data, 48),
+        adj_bytes: adj_bytes as usize,
+        offsets_crc: u32_at(data, 52),
+        seg_dir_crc: u32_at(data, 56),
+        labels_crc: u32_at(data, 60),
+    };
+    let expected = header.layout().total as u64;
+    if expected != data.len() as u64 {
+        return Err(ContainerError::SizeMismatch {
+            expected,
+            actual: data.len() as u64,
+        });
+    }
+    Ok(header)
+}
+
+/// Parses and validates the segment directory and the row-offset
+/// section (CRCs, monotonicity, cross-consistency). Returns the parsed
+/// directory; offsets stay in place for mapped access.
+pub fn parse_sections(data: &[u8], h: &ContainerHeader) -> Result<Vec<SegMeta>, ContainerError> {
+    let lay = h.layout();
+    let dir_bytes = &data[lay.seg_dir..lay.offsets];
+    let computed = crc32(dir_bytes);
+    if computed != h.seg_dir_crc {
+        return Err(ContainerError::ChecksumMismatch {
+            section: "segment directory",
+            stored: h.seg_dir_crc,
+            computed,
+        });
+    }
+    let off_bytes = &data[lay.offsets..lay.adj];
+    let computed = crc32(off_bytes);
+    if computed != h.offsets_crc {
+        return Err(ContainerError::ChecksumMismatch {
+            section: "row offsets",
+            stored: h.offsets_crc,
+            computed,
+        });
+    }
+    if h.labeled {
+        let lab_bytes = &data[lay.labels..lay.total];
+        let computed = crc32(lab_bytes);
+        if computed != h.labels_crc {
+            return Err(ContainerError::ChecksumMismatch {
+                section: "labels",
+                stored: h.labels_crc,
+                computed,
+            });
+        }
+    }
+    // Row offsets: zero-based, monotone, bounded by max_degree, ending
+    // exactly at num_arcs.
+    let off = |v: usize| u64_at(off_bytes, v * 8);
+    if off(0) != 0 {
+        return Err(ContainerError::Offsets {
+            vertex: 0,
+            reason: "first offset nonzero",
+        });
+    }
+    for v in 0..h.num_vertices {
+        let (a, b) = (off(v), off(v + 1));
+        if b < a {
+            return Err(ContainerError::Offsets {
+                vertex: v,
+                reason: "offsets not monotone",
+            });
+        }
+        if b - a > h.max_degree as u64 {
+            return Err(ContainerError::Offsets {
+                vertex: v,
+                reason: "degree exceeds max_degree",
+            });
+        }
+    }
+    if off(h.num_vertices) != h.num_arcs as u64 {
+        return Err(ContainerError::Offsets {
+            vertex: h.num_vertices,
+            reason: "last offset != num_arcs",
+        });
+    }
+    // Segment directory: entries dense and ordered; boundaries agree
+    // with the offsets; payloads tile the adjacency section exactly.
+    let mut segs = Vec::with_capacity(h.seg_count);
+    let mut next_byte = 0u64;
+    for s in 0..h.seg_count {
+        let e = lay.seg_dir + s * SEG_DIR_ENTRY_LEN;
+        let first_vertex = u32_at(data, e);
+        let byte_len = u32_at(data, e + 4);
+        let first_arc = u64_at(data, e + 8);
+        let byte_off = u64_at(data, e + 16);
+        let crc = u32_at(data, e + 24);
+        if u32_at(data, e + 28) != 0 {
+            return Err(ContainerError::SegmentDir {
+                segment: s as u32,
+                reason: "pad nonzero",
+            });
+        }
+        if (first_vertex as usize) >= h.num_vertices {
+            return Err(ContainerError::SegmentDir {
+                segment: s as u32,
+                reason: "first_vertex out of range",
+            });
+        }
+        if s == 0 && first_vertex != 0 {
+            return Err(ContainerError::SegmentDir {
+                segment: 0,
+                reason: "first segment does not start at vertex 0",
+            });
+        }
+        if let Some(prev) = segs.last() {
+            let prev: &SegMeta = prev;
+            if first_vertex <= prev.first_vertex {
+                return Err(ContainerError::SegmentDir {
+                    segment: s as u32,
+                    reason: "first_vertex not increasing",
+                });
+            }
+            if first_arc <= prev.first_arc {
+                return Err(ContainerError::SegmentDir {
+                    segment: s as u32,
+                    reason: "first_arc not increasing",
+                });
+            }
+        } else if first_arc != 0 {
+            return Err(ContainerError::SegmentDir {
+                segment: 0,
+                reason: "first segment does not start at arc 0",
+            });
+        }
+        if first_arc != off(first_vertex as usize) {
+            return Err(ContainerError::SegmentDir {
+                segment: s as u32,
+                reason: "first_arc disagrees with row offsets",
+            });
+        }
+        if byte_off != next_byte {
+            return Err(ContainerError::SegmentDir {
+                segment: s as u32,
+                reason: "payloads not dense",
+            });
+        }
+        if byte_len == 0 {
+            return Err(ContainerError::SegmentDir {
+                segment: s as u32,
+                reason: "empty payload",
+            });
+        }
+        next_byte += byte_len as u64;
+        segs.push(SegMeta {
+            first_vertex,
+            first_arc,
+            byte_off,
+            byte_len,
+            crc,
+        });
+    }
+    if next_byte != h.adj_bytes as u64 {
+        return Err(ContainerError::SegmentDir {
+            segment: h.seg_count.saturating_sub(1) as u32,
+            reason: "payloads do not cover the adjacency section",
+        });
+    }
+    // Adjacency padding must be zero (a flipped pad byte is corruption
+    // too, even though no decoder reads it).
+    for (i, &b) in data[lay.adj + h.adj_bytes..lay.labels].iter().enumerate() {
+        if b != 0 {
+            return Err(ContainerError::Decode {
+                segment: h.seg_count.saturating_sub(1) as u32,
+                reason: if i < 8 {
+                    "nonzero section padding"
+                } else {
+                    "padding overrun"
+                },
+            });
+        }
+    }
+    Ok(segs)
+}
+
+/// Verifies one segment's payload CRC against its directory entry.
+pub fn verify_segment_crc(
+    data: &[u8],
+    h: &ContainerHeader,
+    segs: &[SegMeta],
+    s: usize,
+) -> Result<(), ContainerError> {
+    let lay = h.layout();
+    let m = &segs[s];
+    let payload =
+        &data[lay.adj + m.byte_off as usize..lay.adj + (m.byte_off + m.byte_len as u64) as usize];
+    let computed = crc32(payload);
+    if computed != m.crc {
+        return Err(ContainerError::SegmentChecksum {
+            segment: s as u32,
+            stored: m.crc,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Shared decode/validate walk over segment `s`: every row checked for
+/// strict sortedness, range, self-loops, offset-consistent lengths and
+/// exact payload consumption, each neighbor handed to `sink`.
+/// Monomorphized per sink so the validation-only caller compiles to a
+/// pure scan with no stores.
+#[inline]
+fn walk_segment(
+    data: &[u8],
+    h: &ContainerHeader,
+    segs: &[SegMeta],
+    s: usize,
+    mut sink: impl FnMut(VertexId),
+) -> Result<usize, ContainerError> {
+    let lay = h.layout();
+    let m = &segs[s];
+    let end_vertex = segs
+        .get(s + 1)
+        .map_or(h.num_vertices, |nx| nx.first_vertex as usize);
+    let payload =
+        &data[lay.adj + m.byte_off as usize..lay.adj + (m.byte_off + m.byte_len as u64) as usize];
+    let bad = |reason: &'static str| ContainerError::Decode {
+        segment: s as u32,
+        reason,
+    };
+    let off_bytes = &data[lay.offsets..lay.adj];
+    let off = |v: usize| u64_at(off_bytes, v * 8);
+    let mut pos = 0usize;
+    let mut emitted = 0usize;
+    let n = h.num_vertices as u64;
+    for v in m.first_vertex as usize..end_vertex {
+        let deg = (off(v + 1) - off(v)) as usize;
+        if deg == 0 {
+            continue;
+        }
+        let mut prev = get_varint(payload, &mut pos).ok_or_else(|| bad("truncated varint"))?;
+        if prev as u64 >= n {
+            return Err(bad("neighbor out of range"));
+        }
+        if prev as usize == v {
+            return Err(bad("self-loop"));
+        }
+        sink(prev);
+        for _ in 1..deg {
+            let d = get_varint(payload, &mut pos).ok_or_else(|| bad("truncated varint"))?;
+            if d == 0 {
+                return Err(bad("zero delta (row not strictly sorted)"));
+            }
+            let next = (prev as u64) + d as u64;
+            if next >= n {
+                return Err(bad("neighbor out of range"));
+            }
+            if next as usize == v {
+                return Err(bad("self-loop"));
+            }
+            prev = next as u32;
+            sink(prev);
+        }
+        emitted += deg;
+    }
+    if pos != payload.len() {
+        return Err(bad("trailing payload bytes"));
+    }
+    Ok(emitted)
+}
+
+/// Count of arcs segment `s` must decode to, per the directory.
+fn seg_arc_count(h: &ContainerHeader, segs: &[SegMeta], s: usize) -> usize {
+    let end_arc = segs.get(s + 1).map_or(h.num_arcs as u64, |nx| nx.first_arc);
+    (end_arc - segs[s].first_arc) as usize
+}
+
+/// Decodes segment `s` into sorted neighbor values, validating every
+/// row: strictly increasing, in `[0, n)`, no self-loops, row lengths
+/// matching the offsets, payload consumed exactly.
+pub fn decode_segment(
+    data: &[u8],
+    h: &ContainerHeader,
+    segs: &[SegMeta],
+    s: usize,
+) -> Result<Vec<VertexId>, ContainerError> {
+    let count = seg_arc_count(h, segs, s);
+    let mut vals = Vec::with_capacity(count);
+    walk_segment(data, h, segs, s, |x| vals.push(x))?;
+    if vals.len() != count {
+        return Err(ContainerError::Decode {
+            segment: s as u32,
+            reason: "decoded arc count disagrees with directory",
+        });
+    }
+    Ok(vals)
+}
+
+/// Validation-only [`decode_segment`]: the same walk and the same
+/// errors, but nothing is materialized — this is what `Verify::Full`
+/// runs at open time, where the decoded values would be thrown away.
+pub fn validate_segment(
+    data: &[u8],
+    h: &ContainerHeader,
+    segs: &[SegMeta],
+    s: usize,
+) -> Result<(), ContainerError> {
+    let emitted = walk_segment(data, h, segs, s, |_| ())?;
+    if emitted != seg_arc_count(h, segs, s) {
+        return Err(ContainerError::Decode {
+            segment: s as u32,
+            reason: "decoded arc count disagrees with directory",
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Streams `g` into `w` as a `TDFSGRPH` container. Two passes over the
+/// view (segmentation from degrees, then row encoding); memory use is
+/// one segment's encode buffer plus the directory. Returns the total
+/// bytes written.
+pub fn write_container<V: GraphView, W: Write + Seek>(
+    g: &V,
+    w: &mut W,
+    opts: &ContainerOptions,
+) -> Result<u64, ContainerError> {
+    let n = g.num_vertices();
+    let arcs = g.num_arcs();
+    let labeled = g.is_labeled();
+    let target = opts.seg_target_arcs.max(1);
+
+    // Pass 1: segment boundaries (closed at >= target arcs, always on a
+    // row boundary) and the row-offset section.
+    let mut boundaries: Vec<VertexId> = Vec::new();
+    let mut acc = 0usize;
+    if arcs > 0 {
+        boundaries.push(0);
+        for v in 0..n as VertexId {
+            let d = g.degree(v);
+            if acc >= target {
+                boundaries.push(v);
+                acc = 0;
+            }
+            acc += d;
+        }
+        // A tail of zero-degree vertices can leave a boundary past the
+        // last arc-bearing row; such a segment would be empty. Drop it.
+        while let Some(&b) = boundaries.last() {
+            if boundaries.len() > 1
+                && (b as usize..n)
+                    .map(|v| g.degree(v as VertexId))
+                    .sum::<usize>()
+                    == 0
+            {
+                boundaries.pop();
+            } else {
+                break;
+            }
+        }
+    }
+    let seg_count = boundaries.len();
+    if seg_count > u32::MAX as usize {
+        return Err(ContainerError::Io("too many segments".into()));
+    }
+
+    w.seek(SeekFrom::Start(0))?;
+    w.write_all(&vec![0u8; HEADER_LEN + seg_count * SEG_DIR_ENTRY_LEN])?;
+
+    // Row offsets, CRC'd as written.
+    let mut off_crc = CRC_INIT;
+    let mut running = 0u64;
+    {
+        let b = running.to_le_bytes();
+        off_crc = crc_update(off_crc, &b);
+        w.write_all(&b)?;
+    }
+    for v in 0..n as VertexId {
+        running += g.degree(v) as u64;
+        let b = running.to_le_bytes();
+        off_crc = crc_update(off_crc, &b);
+        w.write_all(&b)?;
+    }
+    debug_assert_eq!(running, arcs as u64);
+
+    // Adjacency segments.
+    let mut dir: Vec<SegMeta> = Vec::with_capacity(seg_count);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut adj_bytes = 0u64;
+    let mut first_arc = 0u64;
+    for (s, &start) in boundaries.iter().enumerate() {
+        let end = boundaries.get(s + 1).map_or(n, |&b| b as usize);
+        buf.clear();
+        let mut seg_arcs = 0u64;
+        for v in start as usize..end {
+            let row = g.neighbors(v as VertexId);
+            seg_arcs += row.len() as u64;
+            let mut prev: Option<VertexId> = None;
+            for &x in row {
+                match prev {
+                    None => put_varint(&mut buf, x),
+                    Some(p) => put_varint(&mut buf, x - p),
+                }
+                prev = Some(x);
+            }
+        }
+        if buf.len() > u32::MAX as usize {
+            return Err(ContainerError::Io("segment payload exceeds 4 GiB".into()));
+        }
+        dir.push(SegMeta {
+            first_vertex: start,
+            first_arc,
+            byte_off: adj_bytes,
+            byte_len: buf.len() as u32,
+            crc: crc32(&buf),
+        });
+        w.write_all(&buf)?;
+        adj_bytes += buf.len() as u64;
+        first_arc += seg_arcs;
+    }
+    debug_assert_eq!(first_arc, arcs as u64);
+    let pad = align8(adj_bytes as usize) - adj_bytes as usize;
+    w.write_all(&[0u8; 8][..pad])?;
+
+    // Labels.
+    let mut lab_crc_state = CRC_INIT;
+    if labeled {
+        for v in 0..n as VertexId {
+            let b = g.label(v).to_le_bytes();
+            lab_crc_state = crc_update(lab_crc_state, &b);
+            w.write_all(&b)?;
+        }
+    }
+    let labels_crc = if labeled {
+        crc_finish(lab_crc_state)
+    } else {
+        0
+    };
+    let total = w.stream_position()?;
+
+    // Directory bytes (also CRC'd as a whole).
+    let mut dir_bytes = Vec::with_capacity(seg_count * SEG_DIR_ENTRY_LEN);
+    for m in &dir {
+        dir_bytes.extend_from_slice(&m.first_vertex.to_le_bytes());
+        dir_bytes.extend_from_slice(&m.byte_len.to_le_bytes());
+        dir_bytes.extend_from_slice(&m.first_arc.to_le_bytes());
+        dir_bytes.extend_from_slice(&m.byte_off.to_le_bytes());
+        dir_bytes.extend_from_slice(&m.crc.to_le_bytes());
+        dir_bytes.extend_from_slice(&0u32.to_le_bytes());
+    }
+
+    // Header.
+    let mut head = Vec::with_capacity(HEADER_LEN);
+    head.extend_from_slice(CONTAINER_MAGIC);
+    head.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+    head.extend_from_slice(&(if labeled { FLAG_LABELED } else { 0u16 }).to_le_bytes());
+    head.extend_from_slice(&(seg_count as u32).to_le_bytes());
+    head.extend_from_slice(&(n as u64).to_le_bytes());
+    head.extend_from_slice(&(arcs as u64).to_le_bytes());
+    head.extend_from_slice(&(g.max_degree() as u64).to_le_bytes());
+    head.extend_from_slice(&(g.num_labels() as u64).to_le_bytes());
+    head.extend_from_slice(&(target as u32).to_le_bytes());
+    head.extend_from_slice(&crc_finish(off_crc).to_le_bytes());
+    head.extend_from_slice(&crc32(&dir_bytes).to_le_bytes());
+    head.extend_from_slice(&labels_crc.to_le_bytes());
+    head.extend_from_slice(&adj_bytes.to_le_bytes());
+    head.extend_from_slice(&0u64.to_le_bytes()); // reserved
+    let hcrc = crc32(&head);
+    head.extend_from_slice(&hcrc.to_le_bytes());
+    head.extend_from_slice(&0u32.to_le_bytes()); // pad
+    debug_assert_eq!(head.len(), HEADER_LEN);
+
+    w.seek(SeekFrom::Start(0))?;
+    w.write_all(&head)?;
+    w.write_all(&dir_bytes)?;
+    w.seek(SeekFrom::Start(total))?;
+    w.flush()?;
+    Ok(total)
+}
+
+/// Writes `g` to `path` as a container (creating or truncating it).
+/// Prefer writing to a temp path and renaming for crash atomicity — the
+/// service's disk catalog does.
+pub fn write_container_file<V: GraphView>(
+    g: &V,
+    path: impl AsRef<Path>,
+) -> Result<u64, ContainerError> {
+    write_container_file_with(g, path, &ContainerOptions::default())
+}
+
+/// [`write_container_file`] with explicit options.
+pub fn write_container_file_with<V: GraphView>(
+    g: &V,
+    path: impl AsRef<Path>,
+    opts: &ContainerOptions,
+) -> Result<u64, ContainerError> {
+    let mut f = File::create(path)?;
+    let total = write_container(g, &mut f, opts)?;
+    f.sync_all()?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_roundtrip_and_bounds() {
+        let mut buf = Vec::new();
+        for x in [0u32, 1, 127, 128, 300, 1 << 20, u32::MAX] {
+            buf.clear();
+            put_varint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(x));
+            assert_eq!(pos, buf.len());
+        }
+        // Truncated and overlong encodings are rejected.
+        assert_eq!(get_varint(&[0x80], &mut 0), None);
+        assert_eq!(get_varint(&[0xFF, 0xFF, 0xFF, 0xFF, 0x1F], &mut 0), None);
+    }
+
+    #[test]
+    fn writer_layout_is_self_consistent() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+            .labels(vec![1, 0, 2, 0, 1])
+            .build();
+        let mut cur = std::io::Cursor::new(Vec::new());
+        let total =
+            write_container(&g, &mut cur, &ContainerOptions { seg_target_arcs: 3 }).unwrap();
+        let data = cur.into_inner();
+        assert_eq!(total as usize, data.len());
+        let h = parse_header(&data).unwrap();
+        assert_eq!(h.num_vertices, 5);
+        assert_eq!(h.num_arcs, 10);
+        assert!(h.labeled);
+        assert!(h.seg_count >= 2, "target 3 arcs must split 10 arcs");
+        let segs = parse_sections(&data, &h).unwrap();
+        let mut all = Vec::new();
+        for s in 0..segs.len() {
+            verify_segment_crc(&data, &h, &segs, s).unwrap();
+            all.extend(decode_segment(&data, &h, &segs, s).unwrap());
+        }
+        let flat: Vec<u32> = (0..5u32).flat_map(|v| g.neighbors(v).to_vec()).collect();
+        assert_eq!(all, flat);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new().num_vertices(4).build();
+        let mut cur = std::io::Cursor::new(Vec::new());
+        write_container(&g, &mut cur, &ContainerOptions::default()).unwrap();
+        let data = cur.into_inner();
+        let h = parse_header(&data).unwrap();
+        assert_eq!(h.seg_count, 0);
+        assert_eq!(h.num_arcs, 0);
+        assert!(parse_sections(&data, &h).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_degree_tail_does_not_create_empty_segment() {
+        let g = GraphBuilder::new()
+            .num_vertices(100)
+            .edges([(0, 1), (1, 2)])
+            .build();
+        let mut cur = std::io::Cursor::new(Vec::new());
+        write_container(&g, &mut cur, &ContainerOptions { seg_target_arcs: 1 }).unwrap();
+        let data = cur.into_inner();
+        let h = parse_header(&data).unwrap();
+        let segs = parse_sections(&data, &h).unwrap();
+        assert!(segs.iter().all(|m| m.byte_len > 0));
+    }
+}

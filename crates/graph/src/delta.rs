@@ -28,7 +28,144 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::csr::{CsrGraph, GraphError, Label, VertexId};
+use crate::mapped::{MmapGraph, PinScope};
 use crate::view::GraphView;
+
+/// The immutable adjacency a [`DeltaCsr`] layers its overlay over:
+/// either a heap [`CsrGraph`] or a disk-resident [`MmapGraph`] served
+/// from a `TDFSGRPH` container. Engines never see the distinction —
+/// both read through [`GraphView`] — but the storage tier does: a
+/// mapped base keeps the catalog's resident footprint at
+/// `O(overlay + decode cache)` instead of `O(graph)`.
+#[derive(Clone, Debug)]
+pub enum GraphBase {
+    /// Fully heap-resident CSR.
+    Heap(Arc<CsrGraph>),
+    /// Mmap'd container with an on-demand decode cache.
+    Mapped(Arc<MmapGraph>),
+}
+
+impl GraphBase {
+    /// The heap CSR, when this base is heap-resident.
+    pub fn as_heap(&self) -> Option<&Arc<CsrGraph>> {
+        match self {
+            GraphBase::Heap(g) => Some(g),
+            GraphBase::Mapped(_) => None,
+        }
+    }
+
+    /// The mapped container, when this base is disk-resident.
+    pub fn as_mapped(&self) -> Option<&Arc<MmapGraph>> {
+        match self {
+            GraphBase::Heap(_) => None,
+            GraphBase::Mapped(m) => Some(m),
+        }
+    }
+
+    /// Copies out the label array (empty when unlabeled) — what
+    /// compaction feeds to the rebuilt base.
+    pub fn labels_vec(&self) -> Vec<Label> {
+        match self {
+            GraphBase::Heap(g) => g.parts().2.to_vec(),
+            GraphBase::Mapped(m) => {
+                if m.is_labeled() {
+                    (0..m.num_vertices() as VertexId)
+                        .map(|v| m.label(v))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Opens a cache-reclamation pin scope when the base is mapped (see
+    /// [`MmapGraph::pin_scope`]); `None` for heap bases, whose neighbor
+    /// slices are unconditionally stable.
+    pub fn pin_scope(&self) -> Option<PinScope> {
+        match self {
+            GraphBase::Heap(_) => None,
+            GraphBase::Mapped(m) => Some(m.pin_scope()),
+        }
+    }
+}
+
+impl GraphView for GraphBase {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        match self {
+            GraphBase::Heap(g) => g.num_vertices(),
+            GraphBase::Mapped(m) => m.num_vertices(),
+        }
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        match self {
+            GraphBase::Heap(g) => g.num_edges(),
+            GraphBase::Mapped(m) => GraphView::num_edges(&**m),
+        }
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        match self {
+            GraphBase::Heap(g) => g.num_arcs(),
+            GraphBase::Mapped(m) => GraphView::num_arcs(&**m),
+        }
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        match self {
+            GraphBase::Heap(g) => g.max_degree(),
+            GraphBase::Mapped(m) => GraphView::max_degree(&**m),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self {
+            GraphBase::Heap(g) => g.neighbors(v),
+            GraphBase::Mapped(m) => GraphView::neighbors(&**m, v),
+        }
+    }
+
+    #[inline]
+    fn is_labeled(&self) -> bool {
+        match self {
+            GraphBase::Heap(g) => g.is_labeled(),
+            GraphBase::Mapped(m) => GraphView::is_labeled(&**m),
+        }
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        match self {
+            GraphBase::Heap(g) => g.label(v),
+            GraphBase::Mapped(m) => GraphView::label(&**m, v),
+        }
+    }
+
+    #[inline]
+    fn num_labels(&self) -> usize {
+        match self {
+            GraphBase::Heap(g) => g.num_labels(),
+            GraphBase::Mapped(m) => GraphView::num_labels(&**m),
+        }
+    }
+
+    #[inline]
+    fn arc(&self, i: usize) -> (VertexId, VertexId) {
+        match self {
+            GraphBase::Heap(g) => g.arc(i),
+            GraphBase::Mapped(m) => GraphView::arc(&**m, i),
+        }
+    }
+}
+
+/// A normalized undirected edge list (`u < v`, sorted, deduplicated).
+pub type EdgeList = Vec<(VertexId, VertexId)>;
 
 /// Monotone graph version: `0` for a freshly wrapped base, `+1` per
 /// applied batch (no-op batches included — a version uniquely names one
@@ -129,7 +266,7 @@ impl AppliedBatch {
 /// the serving workload); labels are inherited from the base unchanged.
 #[derive(Clone)]
 pub struct DeltaCsr {
-    base: Arc<CsrGraph>,
+    base: GraphBase,
     version: GraphVersion,
     /// Cumulative per-vertex inserted neighbors vs the base, sorted.
     ins: HashMap<VertexId, Vec<VertexId>>,
@@ -147,10 +284,20 @@ pub struct DeltaCsr {
 }
 
 impl DeltaCsr {
-    /// Wraps an immutable base at version 0 with no deltas.
+    /// Wraps an immutable heap base at version 0 with no deltas.
     pub fn from_base(base: Arc<CsrGraph>) -> Self {
-        let arcs = base.num_arcs();
-        let max_degree = base.max_degree();
+        Self::from_graph_base(GraphBase::Heap(base))
+    }
+
+    /// Wraps a disk-resident container base at version 0 with no deltas.
+    pub fn from_mapped(base: Arc<MmapGraph>) -> Self {
+        Self::from_graph_base(GraphBase::Mapped(base))
+    }
+
+    /// Wraps either kind of base at version 0 with no deltas.
+    pub fn from_graph_base(base: GraphBase) -> Self {
+        let arcs = GraphView::num_arcs(&base);
+        let max_degree = GraphView::max_degree(&base);
         Self {
             base,
             version: 0,
@@ -163,9 +310,85 @@ impl DeltaCsr {
         }
     }
 
+    /// Wraps `base` compact but already at `version` — how the disk
+    /// catalog rehydrates a graph whose deltas were folded into the
+    /// container before shutdown.
+    pub fn at_version(base: GraphBase, version: GraphVersion) -> Self {
+        let mut d = Self::from_graph_base(base);
+        d.version = version;
+        d
+    }
+
+    /// Rebuilds a delta view over `base` from a persisted cumulative
+    /// overlay: `inserts`/`deletes` are the effective edge sets vs the
+    /// base (disjoint, as [`overlay_edges`](Self::overlay_edges)
+    /// produces them), and the result reads identically to the
+    /// `DeltaCsr` they were captured from, at `version`.
+    ///
+    /// Errors with [`GraphError::NeighborOutOfRange`] if an endpoint
+    /// exceeds the base's vertex set — a persisted overlay that does not
+    /// match its container must be rejected, not trusted.
+    pub fn with_overlay(
+        base: GraphBase,
+        version: GraphVersion,
+        inserts: &[(VertexId, VertexId)],
+        deletes: &[(VertexId, VertexId)],
+    ) -> Result<DeltaCsr, GraphError> {
+        let mut d = Self::from_graph_base(base);
+        let n = d.num_vertices();
+        let mut touched = BTreeSet::new();
+        for (edges, insert) in [(deletes, false), (inserts, true)] {
+            for &(u, v) in edges {
+                if u as usize >= n || v as usize >= n {
+                    return Err(GraphError::NeighborOutOfRange {
+                        vertex: u.min(v) as usize,
+                        neighbor: u.max(v),
+                    });
+                }
+                if u == v {
+                    continue;
+                }
+                d.record(u, v, insert);
+                d.record(v, u, insert);
+                touched.insert(u);
+                touched.insert(v);
+            }
+        }
+        for &v in &touched {
+            d.remerge(v);
+        }
+        d.reindex();
+        d.version = version;
+        Ok(d)
+    }
+
+    /// The cumulative effective overlay vs the base as normalized
+    /// (`u < v`, sorted, deduplicated) edge lists `(inserted, deleted)`
+    /// — what the disk catalog persists so
+    /// [`with_overlay`](Self::with_overlay) can rebuild this view.
+    pub fn overlay_edges(&self) -> (EdgeList, EdgeList) {
+        let collect = |map: &HashMap<VertexId, Vec<VertexId>>| {
+            let mut edges: EdgeList = map
+                .iter()
+                .flat_map(|(&u, ws)| ws.iter().filter(move |&&w| u < w).map(move |&w| (u, w)))
+                .collect();
+            edges.sort_unstable();
+            edges
+        };
+        (collect(&self.ins), collect(&self.del))
+    }
+
     /// The immutable base this view layers its deltas over.
-    pub fn base(&self) -> &Arc<CsrGraph> {
+    pub fn base(&self) -> &GraphBase {
         &self.base
+    }
+
+    /// Opens a decode-cache pin scope when the base is disk-resident
+    /// (see [`GraphBase::pin_scope`]). Callers that hold neighbor
+    /// slices across calls — an engine run, a batch apply — keep the
+    /// scope alive for the duration.
+    pub fn pin_scope(&self) -> Option<PinScope> {
+        self.base.pin_scope()
     }
 
     /// Current version (0 = pristine base).
@@ -448,7 +671,7 @@ impl DeltaCsr {
             col_idx.extend_from_slice(self.neighbors(v));
             row_ptr.push(col_idx.len());
         }
-        let labels = self.base.parts().2.to_vec();
+        let labels = self.base.labels_vec();
         let base = CsrGraph::try_from_parts(row_ptr, col_idx, labels)
             .expect("delta view upholds the CSR invariants");
         let mut fresh = DeltaCsr::from_base(Arc::new(base));

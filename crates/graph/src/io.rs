@@ -326,11 +326,13 @@ mod tests {
 
     #[test]
     fn binary_file_roundtrip() {
+        // Hermetic tempdir: a fixed path here raced concurrent test
+        // processes (the snapshot flake the storage PR audit found).
+        let dir = tdfs_testkit::TempDir::new("tdfs-io-roundtrip").unwrap();
         let g = GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2)]).build();
-        let path = std::env::temp_dir().join("tdfs_test_snapshot.bin");
+        let path = dir.join("snapshot.bin");
         write_binary_file(&g, &path).unwrap();
         let g2 = read_binary_file(&path).unwrap();
-        let _ = std::fs::remove_file(&path);
         assert_eq!(g, g2);
     }
 }

@@ -27,23 +27,36 @@
 //! - [`delta`] — [`DeltaCsr`], the batch-dynamic graph: immutable CSR
 //!   base + per-vertex sorted edge deltas, monotonically versioned, with
 //!   copy-on-write [`apply`](DeltaCsr::apply) and periodic
-//!   [`compact`](DeltaCsr::compact).
+//!   [`compact`](DeltaCsr::compact);
+//! - [`container`] — the `TDFSGRPH` binary container format (versioned
+//!   header, varint/delta-coded adjacency segments, per-segment CRC32):
+//!   the on-disk tier for graphs that dwarf RAM;
+//! - [`mapped`] — [`MmapGraph`], the mmap-backed container reader: a
+//!   [`GraphView`] over a disk-resident graph with a budget-charged,
+//!   epoch-reclaimed decode cache.
 
 pub mod builder;
+pub mod container;
 pub mod csr;
 pub mod datasets;
 pub mod delta;
 pub mod generators;
 pub mod intersect;
 pub mod io;
+pub mod mapped;
 pub mod rng;
 pub mod stats;
 pub mod transform;
 pub mod view;
 
 pub use builder::GraphBuilder;
+pub use container::{
+    write_container, write_container_file, write_container_file_with, ContainerError,
+    ContainerOptions,
+};
 pub use csr::{CsrGraph, GraphError, Label, VertexId, MAX_VERTEX_ID};
 pub use datasets::{Dataset, DatasetId};
-pub use delta::{AppliedBatch, DeltaCsr, EdgeBatch, GraphVersion};
+pub use delta::{AppliedBatch, DeltaCsr, EdgeBatch, GraphBase, GraphVersion};
+pub use mapped::{CacheCharge, CacheStats, MapOptions, MmapGraph, PinScope, Verify};
 pub use stats::GraphStats;
 pub use view::GraphView;

@@ -1,0 +1,173 @@
+//! Property tests for the `TDFSGRPH` round trip: for randomized and
+//! RMAT graphs, a `CsrGraph` written to a container and re-opened as an
+//! [`MmapGraph`] must be observationally identical through
+//! [`GraphView`] — degrees, adjacency rows, labels, arc indexing — and
+//! the warp-kernel ground-truth intersections over mapped rows must
+//! match the heap rows exactly. Runs under tiny decode caches too, so
+//! eviction and re-decode churn is part of the property.
+
+use std::io::Write as _;
+
+use tdfs_graph::generators::{random_labels, rmat};
+use tdfs_graph::intersect::{intersect_count, intersect_merge};
+use tdfs_graph::rng::Rng;
+use tdfs_graph::{
+    write_container, ContainerOptions, CsrGraph, GraphBuilder, GraphView, MapOptions, MmapGraph,
+    Verify,
+};
+
+const CASES: u64 = 32;
+
+fn random_graph(rng: &mut Rng) -> CsrGraph {
+    let n = rng.gen_range(2..60) as u32;
+    let edges: Vec<(u32, u32)> = (0..rng.gen_range(0..200))
+        .map(|_| (rng.gen_range_u32(0..n), rng.gen_range_u32(0..n)))
+        .collect();
+    let mut b = GraphBuilder::new().num_vertices(n as usize).edges(edges);
+    if rng.gen_bool() {
+        b = b.labels(random_labels(
+            n as usize,
+            1 + rng.gen_range(0..6),
+            rng.gen_range(0..999) as u64,
+        ));
+    }
+    b.build()
+}
+
+fn roundtrip(
+    g: &CsrGraph,
+    seg_target: usize,
+    opts: &MapOptions,
+) -> (MmapGraph, tdfs_testkit::TempDir) {
+    let dir = tdfs_testkit::TempDir::new("tdfs-cprop").unwrap();
+    let mut cur = std::io::Cursor::new(Vec::new());
+    write_container(
+        g,
+        &mut cur,
+        &ContainerOptions {
+            seg_target_arcs: seg_target,
+        },
+    )
+    .unwrap();
+    let path = dir.join("g.tdfsgrph");
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(&cur.into_inner())
+        .unwrap();
+    (MmapGraph::open_with(&path, opts).unwrap(), dir)
+}
+
+fn assert_equivalent(m: &MmapGraph, g: &CsrGraph) {
+    assert_eq!(m.num_vertices(), g.num_vertices());
+    assert_eq!(GraphView::num_edges(m), g.num_edges());
+    assert_eq!(GraphView::num_arcs(m), g.num_arcs());
+    assert_eq!(GraphView::max_degree(m), g.max_degree());
+    assert_eq!(GraphView::is_labeled(m), g.is_labeled());
+    assert_eq!(GraphView::num_labels(m), g.num_labels());
+    let _scope = m.pin_scope();
+    for v in 0..g.num_vertices() as u32 {
+        assert_eq!(GraphView::degree(m, v), g.degree(v));
+        assert_eq!(GraphView::neighbors(m, v), g.neighbors(v), "row {v}");
+        assert_eq!(GraphView::label(m, v), g.label(v));
+    }
+    for i in 0..g.num_arcs() {
+        assert_eq!(GraphView::arc(m, i), g.arc(i), "arc {i}");
+    }
+}
+
+#[test]
+fn randomized_roundtrip_is_observationally_identical() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6A_9F00 + case);
+        let g = random_graph(&mut rng);
+        let seg_target = 1 + rng.gen_range(0..9);
+        // Cycle verification level and heap fallback across cases.
+        let opts = MapOptions {
+            verify: if case % 2 == 0 {
+                Verify::Full
+            } else {
+                Verify::Checksums
+            },
+            force_heap: case % 3 == 0,
+            ..Default::default()
+        };
+        let (m, _dir) = roundtrip(&g, seg_target, &opts);
+        assert_equivalent(&m, &g);
+        assert_eq!(m.to_csr().unwrap(), g, "full decode reproduces the source");
+    }
+}
+
+#[test]
+fn rmat_roundtrip_with_tiny_cache_and_evictions() {
+    let g = rmat(10, 8, [0.57, 0.19, 0.19, 0.05], 42);
+    let (m, _dir) = roundtrip(
+        &g,
+        512,
+        &MapOptions {
+            // A few KB: far below the decoded adjacency, forcing heavy
+            // eviction/re-decode churn during the scan.
+            cache_bytes: Some(4096),
+            ..Default::default()
+        },
+    );
+    {
+        let _scope = m.pin_scope();
+        // Two full passes: the second revisits segments the first pass
+        // already evicted, so re-decode after eviction is exercised too.
+        for _ in 0..2 {
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(GraphView::neighbors(&m, v), g.neighbors(v), "row {v}");
+            }
+        }
+    }
+    let stats = m.cache_stats();
+    assert!(stats.evictions > 0, "tiny cache must evict on an RMAT scan");
+    assert!(
+        stats.decodes > m.num_segments() as u64,
+        "segments re-decode after eviction"
+    );
+}
+
+#[test]
+fn intersections_over_mapped_rows_match_heap() {
+    // The warp kernels' ground truth: pairwise row intersections must be
+    // bit-identical between heap and mapped adjacency.
+    let g = rmat(8, 8, [0.45, 0.22, 0.22, 0.11], 7);
+    let (m, _dir) = roundtrip(&g, 256, &MapOptions::default());
+    let _scope = m.pin_scope();
+    let mut rng = Rng::seed_from_u64(0x1A7E);
+    let n = g.num_vertices() as u32;
+    let (mut out_heap, mut out_map) = (Vec::new(), Vec::new());
+    for _ in 0..500 {
+        let (u, v) = (rng.gen_range_u32(0..n), rng.gen_range_u32(0..n));
+        let (hu, hv) = (g.neighbors(u), g.neighbors(v));
+        let (mu, mv) = (GraphView::neighbors(&m, u), GraphView::neighbors(&m, v));
+        out_heap.clear();
+        out_map.clear();
+        intersect_merge(hu, hv, &mut out_heap);
+        intersect_merge(mu, mv, &mut out_map);
+        assert_eq!(out_heap, out_map, "intersection ({u},{v})");
+        assert_eq!(intersect_count(mu, mv), out_heap.len());
+    }
+}
+
+#[test]
+fn labeled_rmat_roundtrip() {
+    let g = rmat(8, 6, [0.5, 0.2, 0.2, 0.1], 11);
+    let labels = random_labels(g.num_vertices(), 4, 13);
+    let g = g.with_labels(labels);
+    let (m, _dir) = roundtrip(&g, 300, &MapOptions::default());
+    assert_equivalent(&m, &g);
+}
+
+#[test]
+fn empty_and_edgeless_graphs_roundtrip() {
+    for g in [
+        GraphBuilder::new().build(),
+        GraphBuilder::new().num_vertices(17).build(),
+    ] {
+        let (m, _dir) = roundtrip(&g, 64, &MapOptions::default());
+        assert_equivalent(&m, &g);
+        assert_eq!(m.num_segments(), 0);
+    }
+}

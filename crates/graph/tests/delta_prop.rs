@@ -134,3 +134,115 @@ fn version_is_monotone_even_for_noop_batches() {
     assert_eq!(d2.version(), 2);
     assert!(d2.is_compact());
 }
+
+// ---------------------------------------------------------------------
+// Storage-tier extension: the same batch schedules over a disk-resident
+// (mmap'd container) base must be indistinguishable from the heap base,
+// and a persisted cumulative overlay must rebuild the identical view.
+// ---------------------------------------------------------------------
+
+/// Writes `g` into a container inside `dir` and reopens it mapped.
+fn map_graph(dir: &tdfs_testkit::TempDir, g: &CsrGraph, tag: &str) -> Arc<tdfs_graph::MmapGraph> {
+    let path = dir.join(format!("{tag}.tdfsgrph"));
+    tdfs_graph::write_container_file(g, &path).unwrap();
+    Arc::new(tdfs_graph::MmapGraph::open(&path).unwrap())
+}
+
+#[test]
+fn delta_over_mmap_matches_delta_over_heap() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-delta-mmap").unwrap();
+    for case in 0..CASES / 2 {
+        let mut rng = Rng::seed_from_u64(0x3A_D15C + case);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        model_apply(&mut model, &random_batch(&mut rng));
+        let base = rebuild(&model);
+        let mapped = map_graph(&dir, &base, &format!("case{case}"));
+
+        let mut heap = DeltaCsr::from_base(Arc::new(base));
+        let mut disk = DeltaCsr::from_mapped(mapped);
+        assert!(disk.base().as_mapped().is_some());
+        let _scope = disk.pin_scope().expect("mapped base offers a pin scope");
+
+        for step in 0..8 {
+            let batch = random_batch(&mut rng);
+            let (h, ha) = heap.apply(&batch).unwrap();
+            let (m, ma) = disk.apply(&batch).unwrap();
+            assert_eq!(ha, ma, "case {case} step {step}: applied batches agree");
+            assert_eq!(h.version(), m.version());
+            model_apply(&mut model, &batch);
+            let rebuilt = rebuild(&model);
+            assert_view_equivalent(&m, &rebuilt);
+            for v in 0..rebuilt.num_vertices() as u32 {
+                assert_eq!(h.neighbors(v), m.neighbors(v));
+            }
+            (heap, disk) = (h, m);
+        }
+
+        // Compaction folds the mapped base + overlay into a heap CSR
+        // with the same value and version.
+        let compacted = disk.compact();
+        assert!(compacted.is_compact());
+        assert_eq!(compacted.version(), disk.version());
+        assert_view_equivalent(&compacted, &rebuild(&model));
+    }
+}
+
+#[test]
+fn overlay_edges_roundtrip_rebuilds_the_identical_view() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-delta-overlay").unwrap();
+    for case in 0..CASES / 2 {
+        let mut rng = Rng::seed_from_u64(0x0E_D6E5 + case);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        model_apply(&mut model, &random_batch(&mut rng));
+        let base = rebuild(&model);
+        let mapped = map_graph(&dir, &base, &format!("ovl{case}"));
+
+        let mut d = DeltaCsr::from_mapped(Arc::clone(&mapped));
+        for _ in 0..6 {
+            d = d.apply(&random_batch(&mut rng)).unwrap().0;
+        }
+
+        // Persist: cumulative effective overlay + version; rebuild over
+        // a fresh handle to the same container.
+        let (ins, del) = d.overlay_edges();
+        assert!(ins.windows(2).all(|w| w[0] < w[1]), "normalized + sorted");
+        assert!(del.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            ins.iter().all(|e| !del.contains(e)),
+            "effective sets are disjoint"
+        );
+        let restored = DeltaCsr::with_overlay(
+            tdfs_graph::GraphBase::Mapped(mapped),
+            d.version(),
+            &ins,
+            &del,
+        )
+        .unwrap();
+        assert_eq!(restored.version(), d.version());
+        for v in 0..d.num_vertices() as u32 {
+            assert_eq!(
+                restored.neighbors(v),
+                d.neighbors(v),
+                "case {case} vertex {v}"
+            );
+        }
+        assert_eq!(restored.overlay_edges(), (ins, del), "re-persist is stable");
+
+        // A compact view persists empty overlays and at_version restores it.
+        let (ci, cd) = d.compact().overlay_edges();
+        assert!(ci.is_empty() && cd.is_empty());
+        let heap_base = tdfs_graph::GraphBase::Heap(Arc::new(rebuild(&model)));
+        assert_eq!(DeltaCsr::at_version(heap_base, 9).version(), 9);
+
+        // A corrupt persisted overlay (endpoint past the base) must be
+        // rejected, not trusted.
+        let n = d.num_vertices() as u32;
+        let bad = DeltaCsr::with_overlay(
+            tdfs_graph::GraphBase::Heap(Arc::new(rebuild(&model))),
+            1,
+            &[(0, n + 3)],
+            &[],
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -201,6 +201,39 @@ impl MemoryBudget {
         }
         self.in_use_pages() as f64 / self.0.capacity as f64
     }
+
+    /// Charges `bytes` unchecked (overdraft allowed) and returns an RAII
+    /// guard that releases the same byte figure on drop — the leak-proof
+    /// way to account a resident structure whose lifetime is a scope
+    /// (the storage tier's decoded-segment cache charges this way).
+    pub fn byte_guard(&self, bytes: usize) -> ByteCharge {
+        self.charge_bytes_unchecked(bytes);
+        ByteCharge {
+            budget: self.clone(),
+            bytes,
+        }
+    }
+}
+
+/// RAII byte charge against a [`MemoryBudget`]: releases on drop. See
+/// [`MemoryBudget::byte_guard`].
+#[derive(Debug)]
+pub struct ByteCharge {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl ByteCharge {
+    /// The byte figure charged.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for ByteCharge {
+    fn drop(&mut self) {
+        self.budget.release_bytes(self.bytes);
+    }
 }
 
 /// Identity comparison, like `CancelFlag`: handles are equal iff they
@@ -292,6 +325,23 @@ mod tests {
         assert_eq!(b.in_use_pages(), 4);
         b.release_bytes(PAGE_BYTES + 1);
         b.release_bytes(2 * PAGE_BYTES);
+        assert_eq!(b.in_use_pages(), 0);
+    }
+
+    #[test]
+    fn byte_guard_releases_on_drop() {
+        use crate::arena::PAGE_BYTES;
+        let b = MemoryBudget::new(2);
+        {
+            let g = b.byte_guard(PAGE_BYTES + 1);
+            assert_eq!(g.bytes(), PAGE_BYTES + 1);
+            assert_eq!(b.in_use_pages(), 2);
+            // Overdraft: the guard charges unchecked past capacity.
+            let _g2 = b.byte_guard(3 * PAGE_BYTES);
+            assert_eq!(b.in_use_pages(), 5);
+            drop(g);
+            assert_eq!(b.in_use_pages(), 3);
+        }
         assert_eq!(b.in_use_pages(), 0);
     }
 

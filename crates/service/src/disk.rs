@@ -1,0 +1,480 @@
+//! The on-disk catalog: a service state directory that survives
+//! restarts.
+//!
+//! Layout under one root directory:
+//!
+//! ```text
+//! <root>/MANIFEST               # TDFSCATL: registered graph names
+//! <root>/graphs/<name>.tdfsgrph # TDFSGRPH container (immutable base)
+//! <root>/graphs/<name>.delta    # TDFSDELT: version + cumulative overlay
+//! <root>/snapshots/<id>.tdfssnap# suspended-query checkpoints
+//! <root>/tmp/                   # staging for atomic writes
+//! ```
+//!
+//! **Crash consistency.** Every file is written via *tmp + atomic
+//! rename*: bytes go to a staging file under `tmp/`, the file is
+//! `sync_all`'d, then renamed into place. A crash mid-write (modeled by
+//! the `catalog.write.midfile` fault point, which fires between the two
+//! halves of the payload) therefore leaves only garbage under `tmp/` —
+//! cleared on the next [`DiskCatalog::open`] — and never a torn
+//! `MANIFEST`, container, delta or snapshot. Readers double-check
+//! anyway: every format here carries magic + CRC32 (or, for snapshots,
+//! the TDFSSNAP codec's own validation), so a torn file that somehow
+//! reached its final name is a typed error, not a wrong graph.
+//!
+//! The delta sidecar (`TDFSDELT`) persists a [`DeltaCsr`]'s *cumulative*
+//! effective overlay — normalized `u < v` insert/delete edge lists vs
+//! the immutable container base — plus the [`GraphVersion`], so a
+//! restarted service rebuilds the exact same view
+//! ([`DeltaCsr::with_overlay`]) at the exact same version. Compaction
+//! rewrites the container and shrinks the sidecar to an empty overlay
+//! that still records the version.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use tdfs_graph::container::crc32;
+use tdfs_graph::{ContainerError, GraphVersion, VertexId};
+
+/// Magic prefix of the `MANIFEST` file.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"TDFSCATL";
+/// Magic prefix of a `.delta` overlay sidecar.
+pub const DELTA_MAGIC: &[u8; 8] = b"TDFSDELT";
+/// On-disk format version of both (bumped together).
+pub const DISK_VERSION: u16 = 1;
+
+/// Why a storage operation failed. All typed — a corrupt or torn file
+/// surfaces as an error, never a panic or a silently wrong catalog.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(String),
+    /// The graph name cannot be used as a file name (empty, too long,
+    /// or containing characters outside `[A-Za-z0-9._-]`).
+    BadName(String),
+    /// `MANIFEST` is missing, torn, or fails its checksum.
+    Manifest(&'static str),
+    /// A graph container failed to open/verify.
+    Container(ContainerError),
+    /// A `.delta` overlay sidecar is torn or inconsistent.
+    Delta { graph: String, reason: &'static str },
+    /// The persisted overlay does not fit its container base.
+    Overlay(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o: {e}"),
+            StorageError::BadName(n) => write!(f, "graph name {n:?} is not storable"),
+            StorageError::Manifest(r) => write!(f, "catalog manifest: {r}"),
+            StorageError::Container(e) => write!(f, "graph container: {e}"),
+            StorageError::Delta { graph, reason } => {
+                write!(f, "delta sidecar for {graph:?}: {reason}")
+            }
+            StorageError::Overlay(e) => write!(f, "persisted overlay rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+impl From<ContainerError> for StorageError {
+    fn from(e: ContainerError) -> Self {
+        StorageError::Container(e)
+    }
+}
+
+/// A persisted overlay sidecar, decoded.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PersistedDelta {
+    /// The catalog version the graph was at.
+    pub version: GraphVersion,
+    /// Cumulative effective inserts vs the container base (`u < v`).
+    pub inserts: Vec<(VertexId, VertexId)>,
+    /// Cumulative effective deletes vs the container base (`u < v`).
+    pub deletes: Vec<(VertexId, VertexId)>,
+}
+
+/// Handle to a service state directory (see the module docs).
+#[derive(Debug)]
+pub struct DiskCatalog {
+    root: PathBuf,
+}
+
+/// `name` must be safe to embed in a file name.
+pub fn validate_name(name: &str) -> Result<(), StorageError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(StorageError::BadName(name.to_owned()))
+    }
+}
+
+impl DiskCatalog {
+    /// Opens `root` as a state directory, creating the layout (and an
+    /// empty `MANIFEST`) if absent, and clearing any staging leftovers
+    /// from a previous crash.
+    pub fn open(root: impl Into<PathBuf>) -> Result<DiskCatalog, StorageError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("graphs"))?;
+        fs::create_dir_all(root.join("snapshots"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        let cat = DiskCatalog { root };
+        // Torn staging files from a crash mid-write are garbage by
+        // design; make sure they can never shadow real state.
+        for entry in fs::read_dir(cat.root.join("tmp"))? {
+            let _ = fs::remove_file(entry?.path());
+        }
+        if !cat.manifest_path().exists() {
+            cat.write_manifest(&[])?;
+        }
+        Ok(cat)
+    }
+
+    /// The state directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("MANIFEST")
+    }
+
+    /// Path of the container for graph `name`.
+    pub fn graph_path(&self, name: &str) -> PathBuf {
+        self.root.join("graphs").join(format!("{name}.tdfsgrph"))
+    }
+
+    /// Path of the overlay sidecar for graph `name`.
+    pub fn delta_path(&self, name: &str) -> PathBuf {
+        self.root.join("graphs").join(format!("{name}.delta"))
+    }
+
+    /// Path of the snapshot checkpoint for suspended query `id`.
+    pub fn snapshot_path(&self, id: u64) -> PathBuf {
+        self.root.join("snapshots").join(format!("{id}.tdfssnap"))
+    }
+
+    /// Writes `bytes` to `final_path` atomically: staging file under
+    /// `tmp/`, fsync, rename into place. The `catalog.write.midfile`
+    /// fault point fires with half the payload written — a panic there
+    /// models the torn-write crash the rename protocol makes invisible.
+    pub fn write_atomic(&self, final_path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        let file_name = final_path
+            .file_name()
+            .ok_or(StorageError::Manifest("atomic write without a file name"))?;
+        let tmp = self.root.join("tmp").join(file_name);
+        {
+            let mut f = File::create(&tmp)?;
+            let mid = bytes.len() / 2;
+            f.write_all(&bytes[..mid])?;
+            crate::chaos_point!("catalog.write.midfile");
+            f.write_all(&bytes[mid..])?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, final_path)?;
+        Ok(())
+    }
+
+    // -- manifest ------------------------------------------------------
+
+    /// Replaces the manifest with `names` (atomic).
+    pub fn write_manifest(&self, names: &[String]) -> Result<(), StorageError> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.extend_from_slice(&DISK_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(names.len() as u32).to_le_bytes());
+        for name in names {
+            validate_name(name)?;
+            buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        self.write_atomic(&self.manifest_path(), &buf)
+    }
+
+    /// Reads the registered graph names back (sorted as written).
+    pub fn read_manifest(&self) -> Result<Vec<String>, StorageError> {
+        let mut bytes = Vec::new();
+        File::open(self.manifest_path())
+            .map_err(|_| StorageError::Manifest("missing"))?
+            .read_to_end(&mut bytes)?;
+        if bytes.len() < MANIFEST_MAGIC.len() + 2 + 4 + 4 {
+            return Err(StorageError::Manifest("truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(StorageError::Manifest("checksum mismatch"));
+        }
+        if &body[..8] != MANIFEST_MAGIC {
+            return Err(StorageError::Manifest("bad magic"));
+        }
+        if u16::from_le_bytes(body[8..10].try_into().unwrap()) != DISK_VERSION {
+            return Err(StorageError::Manifest("unsupported version"));
+        }
+        let count = u32::from_le_bytes(body[10..14].try_into().unwrap()) as usize;
+        let mut names = Vec::with_capacity(count.min(1024));
+        let mut at = 14;
+        for _ in 0..count {
+            if at + 2 > body.len() {
+                return Err(StorageError::Manifest("truncated name table"));
+            }
+            let len = u16::from_le_bytes(body[at..at + 2].try_into().unwrap()) as usize;
+            at += 2;
+            if at + len > body.len() {
+                return Err(StorageError::Manifest("truncated name"));
+            }
+            let name = std::str::from_utf8(&body[at..at + len])
+                .map_err(|_| StorageError::Manifest("non-utf8 name"))?
+                .to_owned();
+            validate_name(&name).map_err(|_| StorageError::Manifest("unstorable name"))?;
+            at += len;
+            names.push(name);
+        }
+        if at != body.len() {
+            return Err(StorageError::Manifest("trailing bytes"));
+        }
+        Ok(names)
+    }
+
+    // -- delta sidecar -------------------------------------------------
+
+    /// Persists `delta` for graph `name` (atomic). Written on every
+    /// committed batch; an empty overlay still records the version.
+    pub fn write_delta(&self, name: &str, delta: &PersistedDelta) -> Result<(), StorageError> {
+        validate_name(name)?;
+        let mut buf = Vec::with_capacity(34 + 8 * (delta.inserts.len() + delta.deletes.len()));
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.extend_from_slice(&DISK_VERSION.to_le_bytes());
+        buf.extend_from_slice(&delta.version.to_le_bytes());
+        buf.extend_from_slice(&(delta.inserts.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(delta.deletes.len() as u64).to_le_bytes());
+        for &(u, v) in delta.inserts.iter().chain(delta.deletes.iter()) {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        self.write_atomic(&self.delta_path(name), &buf)
+    }
+
+    /// Reads graph `name`'s sidecar; `Ok(None)` when absent (a graph
+    /// persisted at version 0 and never mutated).
+    pub fn read_delta(&self, name: &str) -> Result<Option<PersistedDelta>, StorageError> {
+        let path = self.delta_path(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let err = |reason| StorageError::Delta {
+            graph: name.to_owned(),
+            reason,
+        };
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < 8 + 2 + 8 + 8 + 8 + 4 {
+            return Err(err("truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(err("checksum mismatch"));
+        }
+        if &body[..8] != DELTA_MAGIC {
+            return Err(err("bad magic"));
+        }
+        if u16::from_le_bytes(body[8..10].try_into().unwrap()) != DISK_VERSION {
+            return Err(err("unsupported version"));
+        }
+        let version = u64::from_le_bytes(body[10..18].try_into().unwrap());
+        let n_ins = u64::from_le_bytes(body[18..26].try_into().unwrap()) as usize;
+        let n_del = u64::from_le_bytes(body[26..34].try_into().unwrap()) as usize;
+        let expect = 34 + 8 * (n_ins + n_del);
+        if body.len() != expect {
+            return Err(err("length disagrees with edge counts"));
+        }
+        let read_pairs = |start: usize, count: usize| -> Vec<(VertexId, VertexId)> {
+            (0..count)
+                .map(|i| {
+                    let at = start + i * 8;
+                    (
+                        u32::from_le_bytes(body[at..at + 4].try_into().unwrap()),
+                        u32::from_le_bytes(body[at + 4..at + 8].try_into().unwrap()),
+                    )
+                })
+                .collect()
+        };
+        let inserts = read_pairs(34, n_ins);
+        let deletes = read_pairs(34 + 8 * n_ins, n_del);
+        for &(u, v) in inserts.iter().chain(deletes.iter()) {
+            if u >= v {
+                return Err(err("unnormalized edge (expected u < v)"));
+            }
+        }
+        Ok(Some(PersistedDelta {
+            version,
+            inserts,
+            deletes,
+        }))
+    }
+
+    // -- snapshots -----------------------------------------------------
+
+    /// Persists a suspended query's snapshot bytes under `id` (atomic).
+    pub fn write_snapshot(&self, id: u64, bytes: &[u8]) -> Result<(), StorageError> {
+        self.write_atomic(&self.snapshot_path(id), bytes)
+    }
+
+    /// Removes a persisted snapshot (consumed on successful resume).
+    pub fn remove_snapshot(&self, id: u64) -> Result<(), StorageError> {
+        match fs::remove_file(self.snapshot_path(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// All persisted snapshots as `(id, bytes)`, sorted by id. Unreadable
+    /// entries (non-numeric names, i/o races) are skipped — snapshot
+    /// *content* validation happens in the TDFSSNAP decoder at resume.
+    pub fn read_snapshots(&self) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("snapshots"))? {
+            let path = entry?.path();
+            let Some(id) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".tdfssnap"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let mut bytes = Vec::new();
+            if File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .is_ok()
+            {
+                out.push((id, bytes));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> (tdfs_testkit::TempDir, DiskCatalog) {
+        let dir = tdfs_testkit::TempDir::new("tdfs-disk").unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        (dir, cat)
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let (_dir, cat) = catalog();
+        assert_eq!(cat.read_manifest().unwrap(), Vec::<String>::new());
+        let names = vec!["alpha".to_owned(), "g2.v1".to_owned(), "x-y_z".to_owned()];
+        cat.write_manifest(&names).unwrap();
+        assert_eq!(cat.read_manifest().unwrap(), names);
+        assert!(matches!(
+            cat.write_manifest(&["bad/name".to_owned()]),
+            Err(StorageError::BadName(_))
+        ));
+        assert!(validate_name(".hidden").is_err());
+        assert!(validate_name("").is_err());
+        assert!(validate_name(&"x".repeat(200)).is_err());
+    }
+
+    #[test]
+    fn torn_manifest_is_a_typed_error() {
+        let (_dir, cat) = catalog();
+        cat.write_manifest(&["g".to_owned()]).unwrap();
+        let path = cat.root().join("MANIFEST");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 6;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            cat.read_manifest(),
+            Err(StorageError::Manifest("checksum mismatch"))
+        ));
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(cat.read_manifest().is_err());
+    }
+
+    #[test]
+    fn delta_sidecar_roundtrip() {
+        let (_dir, cat) = catalog();
+        assert_eq!(cat.read_delta("g").unwrap(), None);
+        let delta = PersistedDelta {
+            version: 7,
+            inserts: vec![(0, 3), (1, 2)],
+            deletes: vec![(2, 9)],
+        };
+        cat.write_delta("g", &delta).unwrap();
+        assert_eq!(cat.read_delta("g").unwrap(), Some(delta));
+        // Empty overlay still records the version (compact graph).
+        let compacted = PersistedDelta {
+            version: 9,
+            ..Default::default()
+        };
+        cat.write_delta("g", &compacted).unwrap();
+        assert_eq!(cat.read_delta("g").unwrap(), Some(compacted));
+        // Corruption: flip a payload byte.
+        let path = cat.delta_path("g");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            cat.read_delta("g"),
+            Err(StorageError::Delta { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_and_consume() {
+        let (_dir, cat) = catalog();
+        assert!(cat.read_snapshots().unwrap().is_empty());
+        cat.write_snapshot(3, b"ccc").unwrap();
+        cat.write_snapshot(1, b"a").unwrap();
+        let snaps = cat.read_snapshots().unwrap();
+        assert_eq!(
+            snaps,
+            vec![(1, b"a".to_vec()), (3, b"ccc".to_vec())],
+            "sorted by id"
+        );
+        cat.remove_snapshot(1).unwrap();
+        cat.remove_snapshot(1).unwrap(); // idempotent
+        assert_eq!(cat.read_snapshots().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reopen_clears_staging_leftovers() {
+        let (dir, cat) = catalog();
+        std::fs::write(cat.root().join("tmp").join("MANIFEST"), b"torn garbage").unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        assert!(std::fs::read_dir(cat.root().join("tmp"))
+            .unwrap()
+            .next()
+            .is_none());
+        assert_eq!(cat.read_manifest().unwrap(), Vec::<String>::new());
+    }
+}

@@ -83,6 +83,7 @@ pub(crate) use chaos_inject;
 pub mod cache;
 pub mod canon;
 pub mod catalog;
+pub mod disk;
 pub mod durable;
 pub mod governor;
 pub mod service;
@@ -92,6 +93,7 @@ pub mod standing;
 pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
 pub use catalog::GraphCatalog;
+pub use disk::{DiskCatalog, PersistedDelta, StorageError};
 pub use durable::{DurableConfig, QueryProgress, Shard};
 pub use governor::{
     estimate_cost, BreakerConfig, BreakerState, GovernorConfig, Priority, ShedPolicy,

@@ -25,18 +25,25 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tdfs_core::budgeted_map_options;
 use tdfs_core::engine::edge_admitted;
 use tdfs_core::{
     host_filter_edges, match_plan_on_edges, match_plan_with_sink, CancelFlag, CollectSink,
     EngineError, MatchSink, MatcherConfig, MemoryBudget, RunResult, RunStats,
 };
 use tdfs_gpu::lease::LeaseStats;
-use tdfs_graph::{CsrGraph, DeltaCsr, EdgeBatch, GraphError};
+use tdfs_graph::mapped::DEFAULT_CACHE_BYTES;
+use tdfs_graph::{
+    write_container, ContainerOptions, CsrGraph, DeltaCsr, EdgeBatch, GraphBase, GraphError,
+    MapOptions, MmapGraph,
+};
+use tdfs_mem::PAGE_BYTES;
 use tdfs_query::plan::QueryPlan;
 use tdfs_query::Pattern;
 
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::catalog::GraphCatalog;
+use crate::disk::{self, DiskCatalog, PersistedDelta, StorageError};
 use crate::durable::{self, DurableConfig, DurableJob, DurableState, QueryProgress};
 use crate::governor::{estimate_cost, Breaker, BreakerState, GovernorConfig, Priority, ShedPolicy};
 use crate::snapshot::{self, DecodeError, QuerySnapshot};
@@ -168,6 +175,11 @@ pub enum SnapshotError {
     /// execution state yet. Retry once it starts (or cancel it — an
     /// unstarted query has nothing worth checkpointing).
     NotStarted(u64),
+    /// [`Service::suspend_to_disk`] could not persist the checkpoint
+    /// (no state directory, or the write failed). The query *is*
+    /// suspended in memory; retry the persist or use
+    /// [`Service::unsuspend`].
+    Storage(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -175,6 +187,7 @@ impl fmt::Display for SnapshotError {
         match self {
             SnapshotError::UnknownQuery(id) => write!(f, "no durable query with id {id}"),
             SnapshotError::NotStarted(id) => write!(f, "query {id} has not started executing"),
+            SnapshotError::Storage(e) => write!(f, "checkpoint not persisted: {e}"),
         }
     }
 }
@@ -255,6 +268,13 @@ pub enum ApplyError {
     /// same name); nothing was changed. Re-fetch and retry if the new
     /// entry is still the intended target.
     Conflict(String),
+    /// The in-memory commit succeeded but persisting to the state
+    /// directory failed: the catalog serves the new version, the disk
+    /// still holds the previous one. A later successful
+    /// [`Service::apply`]/[`Service::compact_graph`] (the sidecar is
+    /// cumulative) or a retry heals it; a restart before then reopens
+    /// at the last persisted version.
+    Storage(StorageError),
 }
 
 impl fmt::Display for ApplyError {
@@ -268,6 +288,9 @@ impl fmt::Display for ApplyError {
                     "graph {name:?} was concurrently replaced; batch not applied"
                 )
             }
+            ApplyError::Storage(e) => {
+                write!(f, "committed in memory but not persisted: {e}")
+            }
         }
     }
 }
@@ -277,6 +300,12 @@ impl std::error::Error for ApplyError {}
 impl From<GraphError> for ApplyError {
     fn from(e: GraphError) -> Self {
         ApplyError::Graph(e)
+    }
+}
+
+impl From<StorageError> for ApplyError {
+    fn from(e: StorageError) -> Self {
+        ApplyError::Storage(e)
     }
 }
 
@@ -781,6 +810,30 @@ struct Inner {
     /// can only lose to an external `register_graph` race, never to
     /// another apply.
     apply_lock: Mutex<()>,
+    /// On-disk state directory (present iff the service was started
+    /// with [`Service::open`]). Graph/sidecar writes are serialized by
+    /// `apply_lock`; snapshot writes are per-file atomic.
+    disk: Option<DiskState>,
+}
+
+/// The persistence half of [`Inner`]: the state directory plus the set
+/// of catalog names that live in it (graphs registered with
+/// [`Service::register_graph_persistent`] or reloaded by
+/// [`Service::open`] — plain [`Service::register_graph`] entries stay
+/// memory-only even on a disk-backed service).
+struct DiskState {
+    catalog: DiskCatalog,
+    names: Mutex<Vec<String>>,
+}
+
+impl DiskState {
+    fn is_persistent(&self, name: &str) -> bool {
+        self.names
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .any(|n| n == name)
+    }
 }
 
 /// Apply lock that survives a `graph.apply.midbatch` panic: the aborted
@@ -862,11 +915,31 @@ pub struct Service {
     inner: Arc<Inner>,
 }
 
+/// What [`Service::open`] restored from a state directory.
+pub struct OpenedService {
+    /// The running service, with every persisted graph re-registered at
+    /// its last persisted version (mmap-backed, decode cache charged
+    /// against the memory budget when one is configured).
+    pub service: Service,
+    /// Handles for suspended queries that were re-admitted; each runs to
+    /// the exact count the uninterrupted original would have produced.
+    /// Their snapshot files were consumed (deleted) on admission.
+    pub resumed: Vec<QueryHandle>,
+    /// Snapshots that could not be resumed (graph gone, version moved,
+    /// queue full, torn file), keyed by persisted query id. Their files
+    /// are kept on disk for inspection or a later [`Service::resume`].
+    pub failed: Vec<(u64, ResumeError)>,
+}
+
 impl Service {
     /// Starts a service with `config.workers` worker threads (plus the
     /// background governor thread when any [`GovernorConfig`] mechanism
     /// is enabled).
     pub fn new(config: ServiceConfig) -> Self {
+        Self::with_disk(config, None)
+    }
+
+    fn with_disk(config: ServiceConfig, disk: Option<DiskState>) -> Self {
         let workers = config.workers.max(1);
         let budget = config.governor.memory_budget_pages.map(MemoryBudget::new);
         let breaker = Breaker::new(config.governor.breaker.clone());
@@ -900,6 +973,7 @@ impl Service {
             standing: Mutex::new(HashMap::new()),
             next_standing: Mutex::new(0),
             apply_lock: Mutex::new(()),
+            disk,
         });
         let handles: Vec<_> = (0..workers)
             .map(|i| {
@@ -927,6 +1001,86 @@ impl Service {
         Self { inner }
     }
 
+    /// Opens (or creates) a service state directory and restores its
+    /// contents: every graph in the on-disk catalog is re-registered
+    /// from its `TDFSGRPH` container — mmap-resident, adjacency decoded
+    /// on demand into a budget-charged cache, never fully materialized —
+    /// with its persisted delta overlay rebuilt on top so the view is at
+    /// the exact [`tdfs_graph::GraphVersion`] it had before the restart.
+    /// Every persisted suspended-query snapshot is then re-admitted
+    /// through [`Service::resume`].
+    ///
+    /// The directory is the one [`Service::register_graph_persistent`],
+    /// [`Service::apply`] (sidecar updates), [`Service::compact_graph`]
+    /// (container rewrites) and [`Service::suspend_to_disk`] write into.
+    pub fn open(
+        dir: impl Into<std::path::PathBuf>,
+        config: ServiceConfig,
+    ) -> Result<OpenedService, StorageError> {
+        let catalog = DiskCatalog::open(dir)?;
+        let names = catalog.read_manifest()?;
+        let service = Self::with_disk(
+            config,
+            Some(DiskState {
+                catalog,
+                names: Mutex::new(names.clone()),
+            }),
+        );
+        let disk = service.inner.disk.as_ref().expect("just installed");
+        for name in &names {
+            let view = service.load_persistent(disk, name)?;
+            service.inner.catalog.register(name.clone(), Arc::new(view));
+        }
+        let mut resumed = Vec::new();
+        let mut failed = Vec::new();
+        for (id, bytes) in disk.catalog.read_snapshots()? {
+            match service.resume(&bytes) {
+                Ok(handle) => {
+                    disk.catalog.remove_snapshot(id)?;
+                    resumed.push(handle);
+                }
+                Err(e) => failed.push((id, e)),
+            }
+        }
+        Ok(OpenedService {
+            service,
+            resumed,
+            failed,
+        })
+    }
+
+    /// Map options for opening containers: decode-cache residency is
+    /// charged against the service budget when one is configured, with
+    /// the cache capacity never exceeding the budget itself.
+    fn mapped_options(&self) -> MapOptions {
+        match &self.inner.budget {
+            Some(budget) => {
+                let budget_bytes = self
+                    .inner
+                    .governor_cfg
+                    .memory_budget_pages
+                    .map_or(usize::MAX, |p| p.saturating_mul(PAGE_BYTES));
+                budgeted_map_options(budget, DEFAULT_CACHE_BYTES.min(budget_bytes))
+            }
+            None => MapOptions::default(),
+        }
+    }
+
+    /// Rehydrates one persisted graph: container mapped, sidecar overlay
+    /// replayed on top (see [`DeltaCsr::with_overlay`]).
+    fn load_persistent(&self, disk: &DiskState, name: &str) -> Result<DeltaCsr, StorageError> {
+        let mapped = MmapGraph::open_with(disk.catalog.graph_path(name), &self.mapped_options())?;
+        let base = GraphBase::Mapped(Arc::new(mapped));
+        match disk.catalog.read_delta(name)? {
+            None => Ok(DeltaCsr::from_graph_base(base)),
+            Some(d) if d.inserts.is_empty() && d.deletes.is_empty() => {
+                Ok(DeltaCsr::at_version(base, d.version))
+            }
+            Some(d) => DeltaCsr::with_overlay(base, d.version, &d.inserts, &d.deletes)
+                .map_err(|e| StorageError::Overlay(format!("{name}: {e}"))),
+        }
+    }
+
     /// The graph catalog (register/unregister data graphs here).
     pub fn catalog(&self) -> &GraphCatalog {
         &self.inner.catalog
@@ -937,6 +1091,53 @@ impl Service {
     /// `catalog().register_base`). Mutate it with [`Service::apply`].
     pub fn register_graph(&self, name: impl Into<String>, graph: Arc<CsrGraph>) {
         self.inner.catalog.register_base(name, graph);
+    }
+
+    /// Registers `graph` under `name` *and* persists it to the state
+    /// directory: the graph is written as a `TDFSGRPH` container, then
+    /// the catalog serves the **mapped** container — the heap copy is
+    /// dropped, adjacency decodes on demand — so a graph far larger than
+    /// the memory budget stays queryable. Subsequent [`Service::apply`]
+    /// batches persist their cumulative overlay to the sidecar, and a
+    /// later [`Service::open`] restores the graph at its final version.
+    ///
+    /// Requires a service started with [`Service::open`].
+    pub fn register_graph_persistent(
+        &self,
+        name: impl Into<String>,
+        graph: Arc<CsrGraph>,
+    ) -> Result<(), StorageError> {
+        let name = name.into();
+        let Some(disk) = &self.inner.disk else {
+            return Err(StorageError::Io(
+                "service has no state directory (use Service::open)".into(),
+            ));
+        };
+        disk::validate_name(&name)?;
+        // Under the apply lock: the container, sidecar and manifest must
+        // not interleave with a concurrent apply/compact on this name.
+        let _guard = lock_apply(&self.inner);
+        let mut cur = std::io::Cursor::new(Vec::new());
+        write_container(&*graph, &mut cur, &ContainerOptions::default())?;
+        let path = disk.catalog.graph_path(&name);
+        disk.catalog.write_atomic(&path, &cur.into_inner())?;
+        let mapped = MmapGraph::open_with(&path, &self.mapped_options())?;
+        let view = DeltaCsr::from_mapped(Arc::new(mapped));
+        disk.catalog
+            .write_delta(&name, &PersistedDelta::default())?;
+        {
+            let mut names = disk
+                .names
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !names.contains(&name) {
+                names.push(name.clone());
+                names.sort_unstable();
+                disk.catalog.write_manifest(&names)?;
+            }
+        }
+        self.inner.catalog.register(name, Arc::new(view));
+        Ok(())
     }
 
     /// Unregisters `name`, drops its cached plans and its standing
@@ -1114,6 +1315,24 @@ impl Service {
         Ok(suspend_state(&self.inner, &state))
     }
 
+    /// [`Service::suspend`] plus persistence: the checkpoint is written
+    /// to the state directory under the query id, so a subsequent
+    /// [`Service::open`] of the same directory re-admits the query and
+    /// runs it to the exact count the uninterrupted original would have
+    /// produced. The file is consumed on successful resume.
+    pub fn suspend_to_disk(&self, query_id: u64) -> Result<Vec<u8>, SnapshotError> {
+        let Some(disk) = &self.inner.disk else {
+            return Err(SnapshotError::Storage(
+                "service has no state directory (use Service::open)".into(),
+            ));
+        };
+        let bytes = self.suspend(query_id)?;
+        disk.catalog
+            .write_snapshot(query_id, &bytes)
+            .map_err(|e| SnapshotError::Storage(e.to_string()))?;
+        Ok(bytes)
+    }
+
     /// Clears a [`Service::suspend`]ed (or governor-suspended) query's
     /// suspension so its shard workers resume leasing. Returns whether
     /// the query existed and was suspended.
@@ -1163,7 +1382,10 @@ impl Service {
             &snap.pattern,
             snap.config.plan,
         );
-        let actual = host_filter_edges(&*graph, &plan).len() as u64;
+        let actual = {
+            let _scope = graph.pin_scope();
+            host_filter_edges(&*graph, &plan).len() as u64
+        };
         if actual != snap.edge_count {
             return Err(ResumeError::GraphMismatch {
                 expected: snap.edge_count,
@@ -1266,6 +1488,11 @@ impl Service {
         let Some(pre) = self.inner.catalog.get(name) else {
             return Err(ApplyError::UnknownGraph(name.to_owned()));
         };
+        // Disk-resident base: pin the decode cache for the whole apply —
+        // row merges, maintenance passes and overlay capture all hold
+        // neighbor slices (`next` shares the same base, so one scope
+        // covers both views).
+        let _scope = pre.pin_scope();
         let (next, applied) = pre.apply(batch)?;
         let next = Arc::new(next);
         let version = next.version();
@@ -1327,6 +1554,22 @@ impl Service {
             notifications += 1;
         }
         lock_metrics(&self.inner).standing_notifications += notifications as u64;
+        // Persist the cumulative overlay *after* the commit: the batch
+        // is already live in memory either way, and the sidecar write is
+        // atomic (tmp + rename), so a crash at any point leaves disk at
+        // some prefix version — never a torn file. A write failure
+        // surfaces as [`ApplyError::Storage`] with the commit intact.
+        if let Some(disk) = self.inner.disk.as_ref().filter(|d| d.is_persistent(name)) {
+            let (inserts, deletes) = next.overlay_edges();
+            disk.catalog.write_delta(
+                name,
+                &PersistedDelta {
+                    version,
+                    inserts,
+                    deletes,
+                },
+            )?;
+        }
         Ok(ApplyReport {
             graph: name.to_owned(),
             version,
@@ -1349,7 +1592,36 @@ impl Service {
         if pre.is_compact() {
             return Ok(pre.version());
         }
-        let next = Arc::new(pre.compact());
+        let next = match self.inner.disk.as_ref().filter(|d| d.is_persistent(name)) {
+            Some(disk) => {
+                // Persistent graph: stream the compacted container
+                // straight off the live view — `write_container` walks
+                // `GraphView` rows, so the merged base+overlay adjacency
+                // goes to disk without ever materializing a heap CSR —
+                // then serve the *new* container, mapped, with an empty
+                // sidecar that still records the version.
+                let _scope = pre.pin_scope();
+                let mut cur = std::io::Cursor::new(Vec::new());
+                write_container(&*pre, &mut cur, &ContainerOptions::default())
+                    .map_err(StorageError::from)?;
+                let path = disk.catalog.graph_path(name);
+                disk.catalog.write_atomic(&path, &cur.into_inner())?;
+                let mapped = MmapGraph::open_with(&path, &self.mapped_options())
+                    .map_err(StorageError::from)?;
+                disk.catalog.write_delta(
+                    name,
+                    &PersistedDelta {
+                        version: pre.version(),
+                        ..Default::default()
+                    },
+                )?;
+                Arc::new(DeltaCsr::at_version(
+                    GraphBase::Mapped(Arc::new(mapped)),
+                    pre.version(),
+                ))
+            }
+            None => Arc::new(pre.compact()),
+        };
         if !self.inner.catalog.swap(name, &pre, next.clone()) {
             return Err(ApplyError::Conflict(name.to_owned()));
         }
@@ -1869,6 +2141,11 @@ fn admitted_seeds(job: &Job, plan: &QueryPlan) -> Vec<(u32, u32)> {
 }
 
 fn run_job(inner: &Inner, job: &Job) {
+    // Disk-resident graph: pin the decode cache for the whole run — the
+    // engines hold neighbor slices across deep DFS descents, and the
+    // scope lets concurrent eviction reclaim *other* queries' segments
+    // without invalidating this one's.
+    let _scope = job.graph.pin_scope();
     if job.durable {
         run_durable_job(inner, job);
         return;

@@ -1,0 +1,130 @@
+//! Storage-tier chaos tests (requires `--features chaos`): a crash at
+//! the `catalog.write.midfile` fault point — half the payload written
+//! to the staging file, nothing renamed — must be invisible to the next
+//! open: the state directory still holds the previous consistent
+//! version, nothing is torn, and a retry persists cleanly.
+//!
+//! Every test holds a `ChaosGuard`: the fault-point registry is
+//! process-global, so chaos tests serialize within one binary.
+
+use std::sync::Arc;
+
+use tdfs_core::reference_count;
+use tdfs_graph::generators::rmat;
+use tdfs_graph::{DeltaCsr, EdgeBatch, GraphView};
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+use tdfs_service::{ApplyError, DiskCatalog, Service, ServiceConfig};
+use tdfs_testkit::fault::{self, Action, ChaosScript, Trigger};
+
+/// Exact count over a catalog view, under the decode-cache pin scope a
+/// disk-resident graph's reader contract requires.
+fn exact(view: &DeltaCsr, plan: &QueryPlan) -> u64 {
+    let _scope = view.pin_scope();
+    reference_count(view, plan)
+}
+
+fn service_on(dir: &std::path::Path) -> Service {
+    Service::open(
+        dir,
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            plan_cache_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap()
+    .service
+}
+
+/// Crash mid-file while persisting an apply's delta sidecar: the
+/// in-memory commit stands (documented [`ApplyError::Storage`]
+/// semantics don't even apply — the write never returns), and a restart
+/// reopens the graph at the **previous** persisted version with its
+/// bytes intact, torn staging garbage cleared. Re-applying the batch on
+/// the reopened service then lands and persists.
+#[test]
+fn torn_sidecar_write_is_invisible_after_restart() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-chaos-storage").unwrap();
+    let g = Arc::new(rmat(8, 6, [0.5, 0.2, 0.2, 0.1], 19));
+    let pattern = Pattern::clique(3);
+    let plan = QueryPlan::build_with(&pattern, Default::default());
+    let batch = EdgeBatch::new().insert(0, 9).insert(1, 7).delete(0, 1);
+
+    // Persist the graph cleanly, then arm the kill for the *next*
+    // catalog write (the apply's sidecar update).
+    let svc = service_on(dir.path());
+    svc.register_graph_persistent("g", g.clone()).unwrap();
+    let v0_count = exact(&svc.catalog().get("g").unwrap(), &plan);
+
+    let _chaos = ChaosScript::new()
+        .on(
+            "catalog.write.midfile",
+            Trigger::Nth(1),
+            Action::Panic("injected torn write"),
+        )
+        .install();
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = svc.apply("g", &batch);
+    }));
+    assert!(crashed.is_err(), "the scripted mid-file panic must fire");
+    assert_eq!(fault::injections("catalog.write.midfile"), 1);
+    // Memory committed before the persist attempt…
+    let live = svc.catalog().get("g").unwrap();
+    assert_eq!(live.version(), 1, "the in-memory commit stands");
+    let v1_count = exact(&live, &plan);
+    drop(live);
+    drop(svc);
+
+    // …but disk never saw a torn byte: the staging file is garbage (and
+    // cleared on open), the sidecar still decodes to version 0.
+    let disk = DiskCatalog::open(dir.path()).unwrap();
+    let sidecar = disk.read_delta("g").unwrap().expect("sidecar present");
+    assert_eq!(sidecar.version, 0, "torn write must not reach the sidecar");
+    assert!(sidecar.inserts.is_empty() && sidecar.deletes.is_empty());
+    drop(disk);
+
+    let svc = service_on(dir.path());
+    let view = svc.catalog().get("g").unwrap();
+    assert_eq!(view.version(), 0, "restart reopens the pre-crash version");
+    assert_eq!(exact(&view, &plan), v0_count);
+    assert_eq!(view.num_edges(), g.num_edges());
+    drop(view);
+
+    // The retry persists cleanly and a second restart keeps it.
+    svc.apply("g", &batch).unwrap();
+    assert_eq!(svc.catalog().get("g").unwrap().version(), 1);
+    drop(svc);
+    let svc = service_on(dir.path());
+    let view = svc.catalog().get("g").unwrap();
+    assert_eq!(view.version(), 1);
+    assert_eq!(
+        exact(&view, &plan),
+        v1_count,
+        "re-applied batch must reproduce the crashed apply's view"
+    );
+}
+
+/// A storage failure *returned* (not crashed) from the persist step
+/// surfaces as [`ApplyError::Storage`] with the in-memory commit
+/// intact: here the sidecar write fails because the graphs directory
+/// was removed out from under the service.
+#[test]
+fn failed_persist_reports_storage_error_with_the_commit_intact() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-chaos-storage-err").unwrap();
+    let g = Arc::new(rmat(7, 5, [0.5, 0.2, 0.2, 0.1], 23));
+    let svc = service_on(dir.path());
+    svc.register_graph_persistent("g", g).unwrap();
+    std::fs::remove_dir_all(dir.path().join("graphs")).unwrap();
+    std::fs::remove_dir_all(dir.path().join("tmp")).unwrap();
+    let err = svc
+        .apply("g", &EdgeBatch::new().insert(0, 5))
+        .expect_err("persist into a removed directory must fail");
+    assert!(matches!(err, ApplyError::Storage(_)), "got {err:?}");
+    assert_eq!(
+        svc.catalog().get("g").unwrap().version(),
+        1,
+        "memory commits even when the disk write fails"
+    );
+}

@@ -1,0 +1,383 @@
+//! Big-graph storage-tier integration tests: the service running on
+//! disk-resident (`TDFSGRPH` mmap) graphs whose decoded adjacency is
+//! ≥10× the configured memory budget must count exactly on every
+//! engine, survive a restart at the same [`tdfs_graph::GraphVersion`]
+//! with its delta overlay intact, resume persisted suspended queries to
+//! the uninterrupted count, and compact by streaming a new container
+//! without ever materializing the graph on the heap.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdfs_core::{host_filter_edges, match_plan_on_edges, reference_count, MatcherConfig};
+use tdfs_graph::generators::rmat;
+use tdfs_graph::rng::Rng;
+use tdfs_graph::{CsrGraph, DeltaCsr, EdgeBatch, GraphBase, GraphView};
+use tdfs_mem::PAGE_BYTES;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+use tdfs_service::snapshot::{self, QuerySnapshot};
+use tdfs_service::{
+    DiskCatalog, DurableConfig, GovernorConfig, QueryRequest, Service, ServiceConfig, Shard,
+};
+
+/// Service-wide page budget for these tests: 3 pages (24 KB), far below
+/// every graph used, so the decode cache must evict constantly.
+const BUDGET_PAGES: usize = 3;
+
+fn engines() -> Vec<(&'static str, MatcherConfig)> {
+    vec![
+        ("tdfs", MatcherConfig::tdfs().with_warps(2)),
+        ("no_steal", MatcherConfig::no_steal().with_warps(2)),
+        ("stmatch", MatcherConfig::stmatch_like().with_warps(2)),
+        ("egsm", MatcherConfig::egsm_like().with_warps(2)),
+        ("pbe", MatcherConfig::pbe_like().with_warps(2)),
+    ]
+}
+
+fn storage_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        plan_cache_capacity: 16,
+        durability: DurableConfig {
+            shard_edges: 64,
+            ..DurableConfig::default()
+        },
+        governor: GovernorConfig {
+            memory_budget_pages: Some(BUDGET_PAGES),
+            // The budget here is an accounting ceiling for the decode
+            // cache, not an execution gate: with the graph permanently
+            // larger than the budget, the auto-suspend water mark would
+            // otherwise park every durable query forever.
+            suspend_high_water: f64::INFINITY,
+            ..GovernorConfig::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn big_graph() -> CsrGraph {
+    rmat(12, 10, [0.57, 0.19, 0.19, 0.05], 97)
+}
+
+/// Exact count over a catalog view, under the decode-cache pin scope a
+/// disk-resident graph's reader contract requires (heap views return
+/// `None` and the guard is free).
+fn exact(view: &DeltaCsr, plan: &QueryPlan) -> u64 {
+    let _scope = view.pin_scope();
+    reference_count(view, plan)
+}
+
+/// The headline acceptance test: an RMAT graph whose decoded adjacency
+/// is ≥10× the service memory budget, registered persistently (served
+/// off the mmap'd container through the budget-charged decode cache),
+/// counts exactly on all five engines.
+#[test]
+fn mmap_graph_ten_times_the_budget_counts_exactly_on_every_engine() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-storage-big").unwrap();
+    let g = Arc::new(big_graph());
+    assert!(
+        g.num_arcs() * 4 >= 10 * BUDGET_PAGES * PAGE_BYTES,
+        "graph must dwarf the budget: {} adjacency bytes vs {} budget",
+        g.num_arcs() * 4,
+        BUDGET_PAGES * PAGE_BYTES
+    );
+    let opened = Service::open(dir.path(), storage_config()).unwrap();
+    let svc = opened.service;
+    svc.register_graph_persistent("g", g.clone()).unwrap();
+
+    // The catalog serves the *mapped* container, not the heap graph.
+    let view = svc.catalog().get("g").unwrap();
+    assert!(
+        matches!(view.base(), GraphBase::Mapped(_)),
+        "persistent graph must be disk-resident"
+    );
+    drop(view);
+
+    let mut checked = Vec::new();
+    for (pname, pattern) in [("k3", Pattern::clique(3))] {
+        for (ename, config) in engines() {
+            let want = reference_count(&*g, &QueryPlan::build_with(&pattern, config.plan));
+            let out = svc
+                .submit(QueryRequest::new("g", pattern.clone()).with_config(config))
+                .unwrap()
+                .wait();
+            let r = out.result.expect("query over mmap graph failed");
+            assert_eq!(r.matches, want, "{ename}/{pname}: wrong count over mmap");
+            checked.push(ename);
+        }
+    }
+    // One heavier pattern on the default engine for depth coverage.
+    let k4 = Pattern::clique(4);
+    let config = MatcherConfig::tdfs().with_warps(2);
+    let want = reference_count(&*g, &QueryPlan::build_with(&k4, config.plan));
+    let out = svc
+        .submit(QueryRequest::new("g", k4).with_config(config))
+        .unwrap()
+        .wait();
+    assert_eq!(out.result.unwrap().matches, want, "tdfs/k4 over mmap");
+    assert_eq!(checked.len(), 5);
+}
+
+fn random_batch(n: u32, rng: &mut Rng, ins: usize, del: usize) -> EdgeBatch {
+    let mut batch = EdgeBatch::new();
+    for _ in 0..ins {
+        batch = batch.insert(rng.gen_range_u32(0..n), rng.gen_range_u32(0..n));
+    }
+    for _ in 0..del {
+        batch = batch.delete(rng.gen_range_u32(0..n), rng.gen_range_u32(0..n));
+    }
+    batch
+}
+
+/// Apply a batch sequence to a persistent (mmap-based) graph and to an
+/// in-memory twin in the same service; restart; the reopened graph must
+/// be at the same version with the same exact counts as the twin.
+#[test]
+fn restart_reopens_the_graph_at_the_same_version_with_the_overlay_intact() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-storage-restart").unwrap();
+    let g = Arc::new(rmat(9, 8, [0.45, 0.22, 0.22, 0.11], 31));
+    let n = g.num_vertices() as u32;
+    let pattern = Pattern::clique(3);
+    let plan = QueryPlan::build_with(&pattern, Default::default());
+
+    let (version, want) = {
+        let opened = Service::open(dir.path(), storage_config()).unwrap();
+        let svc = opened.service;
+        svc.register_graph_persistent("g", g.clone()).unwrap();
+        svc.register_graph("twin", g.clone());
+        let mut rng = Rng::seed_from_u64(0xD15C0);
+        for _ in 0..6 {
+            let batch = random_batch(n, &mut rng, 40, 10);
+            let a = svc.apply("g", &batch).unwrap();
+            let b = svc.apply("twin", &batch).unwrap();
+            assert_eq!((a.inserted, a.deleted), (b.inserted, b.deleted));
+        }
+        let disk_view = svc.catalog().get("g").unwrap();
+        let twin_view = svc.catalog().get("twin").unwrap();
+        assert_eq!(disk_view.version(), 6);
+        let want = exact(&twin_view, &plan);
+        assert_eq!(
+            exact(&disk_view, &plan),
+            want,
+            "overlay-over-mmap disagrees with overlay-over-heap"
+        );
+        (disk_view.version(), want)
+    }; // service drops: workers join, state stays on disk
+
+    let opened = Service::open(dir.path(), storage_config()).unwrap();
+    assert!(opened.failed.is_empty());
+    let svc = opened.service;
+    let view = svc.catalog().get("g").expect("graph survives restart");
+    assert_eq!(view.version(), version, "restart lost the version");
+    assert!(matches!(view.base(), GraphBase::Mapped(_)));
+    assert_eq!(exact(&view, &plan), want, "restart changed the match count");
+    // And the restored graph still executes through the service.
+    let out = svc.submit(QueryRequest::new("g", pattern)).unwrap().wait();
+    assert_eq!(out.result.unwrap().matches, want);
+}
+
+/// Restart-resume across every engine: a suspended query persisted to
+/// the state directory (here: hand-built mid-query checkpoints, the
+/// deterministic stand-in for a crash after `suspend_to_disk`) is
+/// re-admitted by `Service::open` and runs to the exact uninterrupted
+/// count. Snapshot files are consumed on successful admission.
+#[test]
+fn restart_resumes_persisted_suspended_queries_on_every_engine() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-storage-resume").unwrap();
+    let g = Arc::new(rmat(9, 8, [0.5, 0.2, 0.2, 0.1], 53));
+    let pattern = Pattern::clique(3);
+
+    let mut wants = Vec::new();
+    {
+        let opened = Service::open(dir.path(), storage_config()).unwrap();
+        let svc = opened.service;
+        svc.register_graph_persistent("g", g.clone()).unwrap();
+        // Persist one mid-query checkpoint per engine, as if each had
+        // been suspended to disk moments before a crash: first third of
+        // the shard space acked with its exact partial count, the rest
+        // pending.
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        for (i, (_, config)) in engines().into_iter().enumerate() {
+            let plan = QueryPlan::build_with(&pattern, config.plan);
+            let want = reference_count(&*g, &plan);
+            let edges = host_filter_edges(&*g, &plan);
+            let split = edges.len() / 3;
+            let head = match_plan_on_edges(&*g, &plan, &config, edges[..split].to_vec(), None)
+                .unwrap()
+                .matches;
+            let snap = QuerySnapshot {
+                graph: "g".into(),
+                graph_version: 0,
+                pattern: pattern.clone(),
+                config,
+                edge_count: edges.len() as u64,
+                matches: head,
+                emitted: 0,
+                tasks_acked: 1,
+                resumes: 0,
+                next_task_id: 2,
+                acked: vec![0],
+                pending: vec![(
+                    1,
+                    0,
+                    Shard {
+                        start: split as u32,
+                        end: edges.len() as u32,
+                    },
+                )],
+            };
+            disk.write_snapshot(i as u64 + 1, &snapshot::encode(&snap))
+                .unwrap();
+            wants.push(want);
+        }
+    }
+
+    let opened = Service::open(dir.path(), storage_config()).unwrap();
+    assert!(
+        opened.failed.is_empty(),
+        "no snapshot may fail to resume: {:?}",
+        opened.failed
+    );
+    assert_eq!(opened.resumed.len(), 5, "one resumed query per engine");
+    for (i, handle) in opened.resumed.into_iter().enumerate() {
+        let out = handle.wait();
+        let r = out.result.expect("resumed run failed");
+        assert_eq!(
+            r.matches, wants[i],
+            "engine #{i}: resumed count differs from the uninterrupted run"
+        );
+    }
+    // Consumed on admission: a third open has nothing left to resume.
+    drop(opened.service);
+    let reopened = Service::open(dir.path(), storage_config()).unwrap();
+    assert!(reopened.resumed.is_empty(), "snapshots must be consumed");
+    assert_eq!(svc_metrics_resumes(&reopened.service), 0);
+}
+
+fn svc_metrics_resumes(svc: &Service) -> u64 {
+    svc.metrics().resumes
+}
+
+/// The live path: `suspend_to_disk` checkpoints a running query into
+/// the state directory; after a restart the query is re-admitted and
+/// lands on the exact count.
+#[test]
+fn suspend_to_disk_survives_a_restart() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-storage-suspend").unwrap();
+    let g = Arc::new(rmat(10, 10, [0.57, 0.19, 0.19, 0.05], 71));
+    let pattern = Pattern::clique(4);
+    let config = MatcherConfig::tdfs().with_warps(2);
+    let want = reference_count(&*g, &QueryPlan::build_with(&pattern, config.plan));
+
+    {
+        let opened = Service::open(dir.path(), storage_config()).unwrap();
+        let svc = opened.service;
+        svc.register_graph_persistent("g", g.clone()).unwrap();
+        let h = svc
+            .submit(QueryRequest::new("g", pattern.clone()).with_config(config))
+            .unwrap();
+        // `NotStarted`/`UnknownQuery` are transient while the query sits
+        // in the queue; persist the first checkpoint that materializes.
+        let id = h.id();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match svc.suspend_to_disk(id) {
+                Ok(_) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => panic!("suspend_to_disk failed: {e}"),
+            }
+        }
+        // Let the original finish (exactly) so shutdown can drain; the
+        // persisted checkpoint stays on disk regardless.
+        assert!(svc.unsuspend(id));
+        assert_eq!(h.wait().result.unwrap().matches, want);
+    }
+
+    let opened = Service::open(dir.path(), storage_config()).unwrap();
+    assert!(opened.failed.is_empty(), "{:?}", opened.failed);
+    assert_eq!(opened.resumed.len(), 1);
+    let out = opened.resumed.into_iter().next().unwrap().wait();
+    assert_eq!(
+        out.result.unwrap().matches,
+        want,
+        "resumed-after-restart count differs from the uninterrupted run"
+    );
+}
+
+/// Compaction of a persistent graph streams a fresh container straight
+/// from the live view (never a heap CSR), keeps the version, and the
+/// compacted container is what a restart reopens.
+#[test]
+fn compaction_streams_a_new_container_and_survives_restart() {
+    let dir = tdfs_testkit::TempDir::new("tdfs-storage-compact").unwrap();
+    let g = Arc::new(rmat(9, 8, [0.45, 0.22, 0.22, 0.11], 83));
+    let n = g.num_vertices() as u32;
+    let pattern = Pattern::clique(3);
+    let plan = QueryPlan::build_with(&pattern, Default::default());
+
+    let (version, want) = {
+        let opened = Service::open(dir.path(), storage_config()).unwrap();
+        let svc = opened.service;
+        svc.register_graph_persistent("g", g.clone()).unwrap();
+        let mut rng = Rng::seed_from_u64(0xC04);
+        for _ in 0..4 {
+            svc.apply("g", &random_batch(n, &mut rng, 30, 8)).unwrap();
+        }
+        let pre = svc.catalog().get("g").unwrap();
+        assert!(!pre.is_compact(), "batches must leave an overlay");
+        let want = exact(&pre, &plan);
+        let version = svc.compact_graph("g").unwrap();
+        assert_eq!(
+            version,
+            pre.version(),
+            "compaction must not change the version"
+        );
+        drop(pre);
+
+        let post = svc.catalog().get("g").unwrap();
+        assert!(post.is_compact(), "compaction must fold the overlay");
+        assert!(
+            matches!(post.base(), GraphBase::Mapped(_)),
+            "compacted persistent graph must still be disk-resident"
+        );
+        assert_eq!(exact(&post, &plan), want);
+        (version, want)
+    };
+
+    let opened = Service::open(dir.path(), storage_config()).unwrap();
+    let view = opened.service.catalog().get("g").unwrap();
+    assert_eq!(view.version(), version);
+    assert!(
+        view.is_compact(),
+        "restart must reopen the compacted container"
+    );
+    assert_eq!(exact(&view, &plan), want);
+}
+
+/// `register_graph_persistent` without a state directory, and storage
+/// name validation, both fail typed.
+#[test]
+fn persistence_requires_a_state_directory_and_a_storable_name() {
+    let svc = Service::new(storage_config());
+    let g = Arc::new(rmat(5, 4, [0.5, 0.2, 0.2, 0.1], 1));
+    assert!(svc.register_graph_persistent("g", g.clone()).is_err());
+
+    let dir = tdfs_testkit::TempDir::new("tdfs-storage-names").unwrap();
+    let opened = Service::open(dir.path(), storage_config()).unwrap();
+    assert!(opened
+        .service
+        .register_graph_persistent("../escape", g.clone())
+        .is_err());
+    assert!(opened
+        .service
+        .register_graph_persistent("ok-name", g)
+        .is_ok());
+    // DeltaCsr twin registered in memory only: applying to it does not
+    // touch the manifest.
+    let disk = DiskCatalog::open(dir.path()).unwrap();
+    assert_eq!(disk.read_manifest().unwrap(), vec!["ok-name".to_owned()]);
+}

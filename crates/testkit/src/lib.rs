@@ -16,6 +16,8 @@
 //!   sweeps over all schedule prefixes of a bounded length.
 //! * [`model`] — shadow models (reference implementations) for property
 //!   tests, currently the page-arena allocation model.
+//! * [`tmp`] — a hand-rolled [`TempDir`] (the workspace has no external
+//!   `tempfile` crate) so on-disk storage tests stay hermetic.
 //!
 //! This crate deliberately depends only on `tdfs-graph` (for the seeded
 //! SplitMix64 RNG); the runtime crates depend on *it* optionally, so there is
@@ -24,6 +26,8 @@
 pub mod fault;
 pub mod model;
 pub mod sched;
+pub mod tmp;
 
 pub use fault::{Action, ChaosGuard, ChaosScript, Outcome, Trigger};
 pub use sched::{run_schedule, sweep_schedules, RunOutcome, Step, System};
+pub use tmp::TempDir;

@@ -1,0 +1,95 @@
+//! Hand-rolled hermetic temp directories for storage tests.
+//!
+//! The workspace builds offline with no external crates, so there is no
+//! `tempfile`; this is the minimal slice of it the storage tests need: a
+//! process-unique directory under `std::env::temp_dir()` that is
+//! recursively removed on drop. Uniqueness comes from the process id, a
+//! monotonic in-process counter and the creation race being retried —
+//! two tests (or two concurrent `cargo test` processes) can never
+//! observe each other's files, which is exactly the tempdir/ordering
+//! hermeticity the tier-1 suite needs.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{fs, io};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory removed (recursively, best-effort) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `$TMPDIR/<prefix>-<pid>-<nanos>-<seq>`, retrying on the
+    /// (astronomically unlikely) collision.
+    pub fn new(prefix: &str) -> io::Result<TempDir> {
+        let pid = std::process::id();
+        for _ in 0..16 {
+            let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.subsec_nanos());
+            let path = std::env::temp_dir().join(format!("{prefix}-{pid}-{nanos}-{seq}"));
+            match fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "could not create a unique temp directory",
+        ))
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, rel: impl AsRef<Path>) -> PathBuf {
+        self.path.join(rel)
+    }
+
+    /// Consumes the guard without deleting the directory (debugging aid).
+    pub fn keep(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("tdfs-tmp-test").unwrap();
+        let b = TempDir::new("tdfs-tmp-test").unwrap();
+        assert_ne!(a.path(), b.path());
+        fs::write(a.join("f"), b"x").unwrap();
+        let pa = a.path().to_path_buf();
+        drop(a);
+        assert!(!pa.exists(), "dropped TempDir removes its tree");
+        assert!(b.path().exists());
+    }
+
+    #[test]
+    fn keep_disarms_cleanup() {
+        let d = TempDir::new("tdfs-tmp-keep").unwrap();
+        let p = d.keep();
+        assert!(p.exists());
+        fs::remove_dir_all(p).unwrap();
+    }
+}
