@@ -94,6 +94,25 @@ else
     echo "==> storage bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
 fi
 
+echo "==> cluster job (replicated shards, snapshot failover, network chaos)"
+# Focused re-run of the multi-node tier: the fault-free protocol suite
+# (ship/adopt/grant/ack over loopback TCP, exactness vs the in-process
+# reference, graceful retire), then the chaos suite — kill -9 of a node
+# mid-query failing over via snapshot shipping to the exact count, a
+# partitioned node fenced by the lease epoch so its late ack lands
+# exactly once, frame drop/duplicate storms absorbed by the seq cache,
+# and the seeded sweep over every engine x K3/K4/house x kill/partition.
+cargo test -p tdfs-cluster --test cluster -q
+cargo test -p tdfs-cluster --features chaos --test chaos_cluster -q
+# Distributed-overhead guard (BENCH_cluster.json, asserts a 1-node
+# cluster stays <10% geomean over the same query in-process);
+# timing-sensitive, so opt-in like the other bench guards.
+if [[ "${TDFS_BENCH_GUARD:-0}" == "1" ]]; then
+    cargo bench -p tdfs-bench --bench cluster
+else
+    echo "==> cluster bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
+fi
+
 echo "==> simd job (AVX2 lane kernels, scalar oracle differential)"
 # The simd feature compiles the AVX2 lane kernels next to the scalar
 # ones; runtime dispatch picks per-process. Tier-1 tests above run

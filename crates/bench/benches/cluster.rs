@@ -1,0 +1,126 @@
+//! Distributed-overhead guard: a 1-node cluster (coordinator + node
+//! over loopback TCP — snapshot ship, polling, grants, wire acks)
+//! versus the same durable query in-process. The node's service is
+//! configured identically to the local arm, so the delta isolates the
+//! cluster layer: the wire protocol, the poll cadence, and the
+//! coordinator's remote ledger. Writes `BENCH_cluster.json` and asserts
+//! the geometric-mean overhead stays under 10%.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdfs_bench::harness::{bench_median, JsonReport};
+use tdfs_cluster::{ClusterConfig, Coordinator, NodeConfig, NodeHandle};
+use tdfs_core::MatcherConfig;
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_query::Pattern;
+use tdfs_service::{QueryRequest, Service, ServiceConfig};
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+
+/// Hard bound on the geometric-mean cluster/local ratio.
+const MAX_OVERHEAD: f64 = 1.10;
+/// Per-workload sanity bound (looser: single medians are noisier).
+const MAX_OVERHEAD_SINGLE: f64 = 1.25;
+
+fn workloads() -> Vec<(&'static str, Pattern)> {
+    vec![("k4", Pattern::clique(4)), ("k5", Pattern::clique(5))]
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 8,
+        plan_cache_capacity: 8,
+        ..ServiceConfig::default()
+    }
+}
+
+fn main() {
+    // Large enough that one query runs for tens of milliseconds: the
+    // cluster's fixed per-query latency (snapshot ship plus one or two
+    // 1 ms poll cycles) must amortize, as it would on real workloads.
+    let g = Arc::new(barabasi_albert(12000, 8, 17));
+    let cfg = MatcherConfig::tdfs().with_warps(4);
+
+    // Local arm: the durable in-process path.
+    let svc = Service::new(service_config());
+    svc.register_graph("ba", g.clone());
+
+    // Cluster arm: one coordinator, one node, same service config. The
+    // container ships once at node join, before any measurement.
+    let dir = tdfs_testkit::TempDir::new("tdfs-bench-cluster").unwrap();
+    let coord = Coordinator::bind(
+        "127.0.0.1:0",
+        ClusterConfig {
+            // No faults in a bench: a lease reaped mid-run would fence
+            // the node's honest ack and re-execute the shard, measuring
+            // recovery instead of overhead.
+            lease_timeout: Duration::from_secs(300),
+            wait_millis: 1,
+            watchdog_interval: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(20),
+            // Wide shards: each granted shard runs as a full service
+            // sub-query on the node, so per-shard fixed cost amortizes
+            // over more edges than the in-process default.
+            shard_edges: 16384,
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("bind coordinator");
+    coord.register_graph("ba", 0, g).unwrap();
+    let _node = NodeHandle::spawn(NodeConfig {
+        service: service_config(),
+        ..NodeConfig::new(coord.addr().to_string(), 1, dir.path())
+    });
+
+    let mut report = JsonReport::new();
+    let mut log_ratio_sum = 0.0;
+    let n = workloads().len() as f64;
+    println!("-- cluster_overhead --");
+    for (name, pattern) in workloads() {
+        let local = || {
+            svc.submit(QueryRequest::new("ba", pattern.clone()).with_config(cfg.clone()))
+                .unwrap()
+                .wait()
+                .result
+                .unwrap()
+                .matches
+        };
+        let remote = || {
+            coord
+                .start_query("ba", pattern.clone(), cfg.clone())
+                .unwrap()
+                .wait(Duration::from_secs(120))
+                .unwrap()
+        };
+        // Warm both arms (ships the container/snapshot the first time)
+        // and pin exactness before timing anything.
+        let (a, b) = (local(), remote());
+        assert_eq!(a, b, "{name}: cluster and local counts must agree");
+
+        let local_ns = bench_median(&format!("cluster/{name}/local"), local);
+        let remote_ns = bench_median(&format!("cluster/{name}/cluster"), remote);
+        let ratio = remote_ns / local_ns;
+        println!("cluster/{name}: overhead {:.2}%", (ratio - 1.0) * 100.0);
+        report.record(&format!("cluster/{name}/local_ns"), local_ns);
+        report.record(&format!("cluster/{name}/cluster_ns"), remote_ns);
+        report.record(&format!("cluster/{name}/overhead_ratio"), ratio);
+        assert!(
+            ratio < MAX_OVERHEAD_SINGLE,
+            "cluster/{name}: distributed path {ratio:.3}x local exceeds the \
+             per-workload sanity bound {MAX_OVERHEAD_SINGLE}"
+        );
+        log_ratio_sum += ratio.ln();
+    }
+    let geomean = (log_ratio_sum / n).exp();
+    println!("cluster overhead geomean: {:.2}%", (geomean - 1.0) * 100.0);
+    report.record("cluster/overhead_geomean", geomean);
+    report.write(REPORT_PATH).expect("write BENCH_cluster.json");
+    assert!(
+        geomean < MAX_OVERHEAD,
+        "cluster overhead geomean {geomean:.3} exceeds the {MAX_OVERHEAD} guard"
+    );
+    println!("cluster overhead guard: ok (< {MAX_OVERHEAD})");
+    svc.shutdown();
+}

@@ -1,0 +1,253 @@
+//! Fault-free cluster integration tests: exact counts on 1- and 3-node
+//! clusters across every engine and pattern, snapshot-shipped mid-query
+//! joins, wire-level dedup and corruption handling, and edge cases.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdfs_cluster::{ClusterConfig, ClusterError, Coordinator, NodeConfig, NodeHandle};
+use tdfs_core::{reference_count, MatcherConfig};
+use tdfs_graph::generators::barabasi_albert;
+use tdfs_graph::GraphBuilder;
+use tdfs_query::plan::QueryPlan;
+use tdfs_query::Pattern;
+use tdfs_service::ServiceConfig;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn test_config() -> ClusterConfig {
+    ClusterConfig {
+        lease_timeout: Duration::from_millis(400),
+        shard_edges: 32,
+        grant_batch: 4,
+        wait_millis: 1,
+        watchdog_interval: Duration::from_millis(5),
+        read_timeout: Duration::from_millis(20),
+        ..ClusterConfig::default()
+    }
+}
+
+fn node_config(coord: &Coordinator, node_id: u64, dir: &std::path::Path) -> NodeConfig {
+    NodeConfig {
+        service: ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            plan_cache_capacity: 16,
+            ..ServiceConfig::default()
+        },
+        ..NodeConfig::new(coord.addr().to_string(), node_id, dir)
+    }
+}
+
+fn engines() -> Vec<(&'static str, MatcherConfig)> {
+    vec![
+        ("tdfs", MatcherConfig::tdfs().with_warps(2)),
+        ("no_steal", MatcherConfig::no_steal().with_warps(2)),
+        ("stmatch", MatcherConfig::stmatch_like().with_warps(2)),
+        ("egsm", MatcherConfig::egsm_like().with_warps(2)),
+        ("pbe", MatcherConfig::pbe_like().with_warps(2)),
+    ]
+}
+
+fn patterns() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("k3", Pattern::clique(3)),
+        ("k4", Pattern::clique(4)),
+        (
+            "house",
+            Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
+        ),
+    ]
+}
+
+#[test]
+fn single_node_cluster_computes_the_exact_count() {
+    let dir = tempdir("single");
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let g = Arc::new(barabasi_albert(300, 4, 11));
+    coord.register_graph("ba", 0, g.clone()).unwrap();
+    let _node = NodeHandle::spawn(node_config(&coord, 1, &dir));
+
+    let pattern = Pattern::clique(4);
+    let cfg = MatcherConfig::tdfs().with_warps(2);
+    let want = reference_count(&g, &QueryPlan::build_with(&pattern, cfg.plan));
+    let handle = coord.start_query("ba", pattern, cfg).unwrap();
+    assert_eq!(handle.wait(WAIT).unwrap(), want);
+
+    let m = coord.metrics();
+    assert_eq!(m.nodes_seen, 1);
+    assert_eq!(m.graphs_shipped, 1, "the container shipped exactly once");
+    assert!(m.snapshots_shipped >= 1, "the node joined via snapshot");
+    assert!(m.grants > 0);
+    assert!(m.acks_accepted > 0);
+    assert_eq!(m.acks_fenced, 0, "no zombies without faults");
+}
+
+#[test]
+fn three_nodes_share_every_engine_and_pattern_exactly() {
+    let dir = tempdir("three");
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let g = Arc::new(barabasi_albert(250, 4, 9));
+    coord.register_graph("ba", 0, g.clone()).unwrap();
+    let nodes: Vec<NodeHandle> = (1..=3)
+        .map(|id| NodeHandle::spawn(node_config(&coord, id, &dir)))
+        .collect();
+
+    for (pname, pattern) in patterns() {
+        for (ename, cfg) in engines() {
+            let want = reference_count(&g, &QueryPlan::build_with(&pattern, cfg.plan));
+            let handle = coord.start_query("ba", pattern.clone(), cfg).unwrap();
+            let got = handle
+                .wait(WAIT)
+                .unwrap_or_else(|e| panic!("{ename}/{pname}: {e}"));
+            assert_eq!(got, want, "{ename}/{pname}: distributed count diverged");
+        }
+    }
+    let m = coord.metrics();
+    assert_eq!(m.nodes_seen, 3);
+    assert_eq!(m.graphs_shipped, 3, "one container per node");
+    // Every node executed at least one shard over the 15 queries.
+    let worked = nodes
+        .iter()
+        .filter(|n| {
+            n.stats()
+                .shards_executed
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        })
+        .count();
+    assert_eq!(worked, 3, "all three nodes contributed shards");
+}
+
+#[test]
+fn node_joining_mid_query_resumes_from_a_shipped_snapshot() {
+    let dir = tempdir("midjoin");
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let g = Arc::new(barabasi_albert(300, 4, 13));
+    coord.register_graph("ba", 0, g.clone()).unwrap();
+
+    // Start the query into an empty cluster: all shards sit pending.
+    let pattern = Pattern::clique(3);
+    let cfg = MatcherConfig::hybrid().with_warps(2);
+    let want = reference_count(&g, &QueryPlan::build_with(&pattern, cfg.plan));
+    let handle = coord.start_query("ba", pattern, cfg).unwrap();
+    assert!(
+        matches!(
+            handle.wait(Duration::from_millis(50)),
+            Err(ClusterError::TimedOut)
+        ),
+        "no nodes yet: the query cannot finish"
+    );
+
+    // A node booted *after* the query began is a late joiner: it gets
+    // the container, then a mid-query TDFSSNAP checkpoint, then grants.
+    let node = NodeHandle::spawn(node_config(&coord, 7, &dir));
+    assert_eq!(handle.wait(WAIT).unwrap(), want);
+    let m = coord.metrics();
+    assert!(m.snapshots_shipped >= 1);
+    assert_eq!(
+        node.stats()
+            .queries_refused
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+}
+
+#[test]
+fn empty_edge_space_finishes_without_any_node() {
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let mut b = GraphBuilder::new();
+    b.push_edge(0, 1); // a single edge holds no triangle
+    coord
+        .register_graph("tiny", 0, Arc::new(b.build()))
+        .unwrap();
+    let handle = coord
+        .start_query("tiny", Pattern::clique(3), MatcherConfig::tdfs())
+        .unwrap();
+    // K3 admits no initial edge on a 1-edge graph: exact zero, no nodes.
+    assert_eq!(handle.wait(Duration::from_secs(5)).unwrap(), 0);
+    assert!(handle.is_done());
+}
+
+#[test]
+fn unknown_graph_is_a_typed_error() {
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    assert!(matches!(
+        coord.start_query("nope", Pattern::clique(3), MatcherConfig::tdfs()),
+        Err(ClusterError::UnknownGraph(_))
+    ));
+}
+
+#[test]
+fn duplicate_request_is_answered_from_the_dedup_cache() {
+    use tdfs_cluster::{Conn, Message};
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let stream = std::net::TcpStream::connect(coord.addr()).unwrap();
+    let mut conn = Conn::new(stream, None, Duration::from_secs(2));
+    // The same (seq, Hello) twice — as a retransmission after a lost
+    // reply would send it. Both get a reply; the second from cache.
+    conn.send(1, &Message::Hello { node_id: 9 }).unwrap();
+    let (s1, r1) = conn.recv().unwrap();
+    conn.send(1, &Message::Hello { node_id: 9 }).unwrap();
+    let (s2, r2) = conn.recv().unwrap();
+    assert_eq!((s1, s2), (1, 1));
+    assert!(matches!(r1, Message::Ok));
+    assert!(matches!(r2, Message::Ok));
+    assert_eq!(coord.metrics().replies_resent, 1);
+    assert_eq!(coord.metrics().nodes_seen, 1, "duplicate not re-executed");
+}
+
+#[test]
+fn corrupt_frame_severs_the_connection() {
+    use tdfs_cluster::{Conn, Message, RpcError};
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let stream = std::net::TcpStream::connect(coord.addr()).unwrap();
+    let mut conn = Conn::new(stream, None, Duration::from_secs(2));
+    // A frame whose payload does not match its CRC: the coordinator
+    // must drop the connection rather than guess at the bytes.
+    let mut framed = tdfs_cluster::wire::frame(&tdfs_cluster::wire::encode_payload(
+        1,
+        &Message::Hello { node_id: 1 },
+    ));
+    let last = framed.len() - 1;
+    framed[last] ^= 0xFF;
+    conn.send_raw(&framed).unwrap();
+    match conn.recv() {
+        Err(RpcError::Severed) => {}
+        other => panic!("expected severed connection, got {other:?}"),
+    }
+    assert_eq!(coord.metrics().nodes_seen, 0, "corrupt hello never landed");
+}
+
+#[test]
+fn graceful_stop_sends_bye_and_cluster_survives() {
+    let dir = tempdir("stop");
+    let coord = Coordinator::bind("127.0.0.1:0", test_config()).unwrap();
+    let g = Arc::new(barabasi_albert(200, 3, 5));
+    coord.register_graph("ba", 0, g.clone()).unwrap();
+    let mut a = NodeHandle::spawn(node_config(&coord, 1, &dir));
+    let b = NodeHandle::spawn(node_config(&coord, 2, &dir));
+
+    let pattern = Pattern::clique(3);
+    let cfg = MatcherConfig::tdfs().with_warps(2);
+    let want = reference_count(&g, &QueryPlan::build_with(&pattern, cfg.plan));
+    let h1 = coord
+        .start_query("ba", pattern.clone(), cfg.clone())
+        .unwrap();
+    assert_eq!(h1.wait(WAIT).unwrap(), want);
+
+    a.stop();
+    assert!(!a.is_alive());
+    assert!(b.is_alive());
+
+    // The remaining node carries the next query alone.
+    let h2 = coord.start_query("ba", pattern, cfg).unwrap();
+    assert_eq!(h2.wait(WAIT).unwrap(), want);
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tdfs-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}

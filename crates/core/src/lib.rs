@@ -61,6 +61,7 @@ pub mod half_steal;
 pub mod hybrid;
 pub mod multi;
 pub mod reference;
+pub mod retry;
 pub mod sink;
 pub mod stack;
 pub mod stats;
@@ -71,6 +72,7 @@ pub use config::{ArrayCapacity, MatcherConfig, StackConfig, Strategy};
 pub use engine::{host_filter_edges, EngineError};
 pub use multi::{run_multi_device, MultiDeviceResult};
 pub use reference::{reference_count, reference_count_pattern};
+pub use retry::{retry, Backoff, BackoffPolicy, Retry};
 pub use sink::{CollectSink, FnSink, MatchSink};
 pub use stats::{RunResult, RunStats};
 pub use storage::{budgeted_map_options, open_budgeted, BudgetCharge};

@@ -228,6 +228,23 @@ impl<T: Clone> LeaseTable<T> {
         Some(self.grant_locked(&mut inner, p, worker_id))
     }
 
+    /// Grants up to `max` leases on the oldest pending tasks in one lock
+    /// acquisition — the remote-worker grant path, where each lease
+    /// otherwise costs a network round trip. FIFO order and per-lease
+    /// deadlines are identical to `max` individual [`LeaseTable::lease`]
+    /// calls; an empty vec means nothing is pending.
+    pub fn lease_batch(&self, worker_id: u32, max: usize) -> Vec<Lease<T>> {
+        let mut inner = self.lock();
+        let mut out = Vec::with_capacity(max.min(inner.pending.len()));
+        while out.len() < max {
+            let Some(p) = inner.pending.pop_front() else {
+                break;
+            };
+            out.push(self.grant_locked(&mut inner, p, worker_id));
+        }
+        out
+    }
+
     /// Cache-conscious grant: prefers — within the first
     /// [`AFFINITY_WINDOW`] pending tasks — a task whose locality key
     /// (`key_of`, e.g. the arena page of its candidate rows) matches
@@ -652,6 +669,32 @@ mod tests {
         assert_eq!(t.ack(&b), AckOutcome::Accepted);
         assert!(t.drained());
         assert!(!t.fail(&lease, NO_SPLIT), "stale fail is a no-op");
+    }
+
+    #[test]
+    fn lease_batch_grants_fifo_and_acks_like_single_leases() {
+        let t = LeaseTable::new(Duration::from_secs(60));
+        for v in [10u32, 20, 30] {
+            t.submit(v);
+        }
+        let batch = t.lease_batch(5, 2);
+        assert_eq!(
+            batch.iter().map(|l| l.task).collect::<Vec<_>>(),
+            vec![10, 20],
+            "batch grants oldest-first"
+        );
+        assert!(batch.iter().all(|l| l.worker_id == 5));
+        assert_eq!(t.pending_len(), 1);
+        assert_eq!(t.outstanding_len(), 2);
+        // Remainder grants (batch larger than pending) and empty batches.
+        let rest = t.lease_batch(6, 8);
+        assert_eq!(rest.len(), 1);
+        assert!(t.lease_batch(6, 8).is_empty());
+        for l in batch.iter().chain(rest.iter()) {
+            assert_eq!(t.ack(l), AckOutcome::Accepted);
+        }
+        assert!(t.drained());
+        assert_eq!(t.stats().granted, 3);
     }
 
     #[test]

@@ -809,6 +809,85 @@ pub fn validate_segment(
     Ok(())
 }
 
+/// Parallelism below which [`verify_segments`] stays serial: thread spawn
+/// overhead dwarfs CRC time on tiny containers.
+const PARALLEL_VERIFY_MIN_SEGS: usize = 16;
+
+/// Verifies every segment's payload CRC — and, with `full`, decodes and
+/// validates every adjacency row — fanning the segments out across
+/// `threads` OS threads (`0` = one per available core, capped at 8).
+///
+/// Segments are independent by construction (each entry carries its own
+/// byte range and CRC), so the scan parallelizes without coordination;
+/// workers stride over the directory and bail early once any of them
+/// finds corruption. The reported error is deterministic regardless of
+/// thread interleaving: the error for the **smallest** corrupt segment
+/// index wins, so a multi-corruption file yields the same
+/// [`ContainerError`] serial verification would.
+pub fn verify_segments(
+    data: &[u8],
+    h: &ContainerHeader,
+    segs: &[SegMeta],
+    full: bool,
+    threads: usize,
+) -> Result<(), ContainerError> {
+    let check = |s: usize| -> Result<(), ContainerError> {
+        verify_segment_crc(data, h, segs, s)?;
+        if full {
+            validate_segment(data, h, segs, s)?;
+        }
+        Ok(())
+    };
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+    } else {
+        threads
+    };
+    let threads = threads.min(segs.len().max(1));
+    if threads <= 1 || segs.len() < PARALLEL_VERIFY_MIN_SEGS {
+        for s in 0..segs.len() {
+            check(s)?;
+        }
+        return Ok(());
+    }
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    let corrupt = AtomicBool::new(false);
+    // (segment index, error) of the smallest corrupt segment seen so far.
+    let first_err: Mutex<Option<(usize, ContainerError)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let corrupt = &corrupt;
+            let first_err = &first_err;
+            scope.spawn(move || {
+                let mut s = t;
+                while s < segs.len() {
+                    if corrupt.load(Ordering::Relaxed) {
+                        // Someone already failed; only segments *below*
+                        // the recorded index can still change the answer.
+                        let guard = first_err.lock().unwrap();
+                        if guard.as_ref().is_some_and(|(idx, _)| s > *idx) {
+                            return;
+                        }
+                    }
+                    if let Err(e) = check(s) {
+                        corrupt.store(true, Ordering::Relaxed);
+                        let mut guard = first_err.lock().unwrap();
+                        if guard.as_ref().is_none_or(|(idx, _)| s < *idx) {
+                            *guard = Some((s, e));
+                        }
+                    }
+                    s += threads;
+                }
+            });
+        }
+    });
+    match first_err.into_inner().unwrap() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------

@@ -159,6 +159,96 @@ fn truncation_and_extension_are_rejected() {
     ));
 }
 
+/// Builds a container with enough segments to engage the parallel
+/// open-time verification path (≥ 16 segments).
+fn many_segment_container() -> Vec<u8> {
+    let g = tdfs_graph::generators::barabasi_albert(600, 4, 11);
+    let mut cur = std::io::Cursor::new(Vec::new());
+    // ~4800 arcs / 64 per segment ≈ 75 segments.
+    write_container(
+        &g,
+        &mut cur,
+        &ContainerOptions {
+            seg_target_arcs: 64,
+        },
+    )
+    .unwrap();
+    cur.into_inner()
+}
+
+fn open_bytes_threads(
+    bytes: &[u8],
+    verify: Verify,
+    verify_threads: usize,
+) -> Result<MmapGraph, ContainerError> {
+    let dir = tdfs_testkit::TempDir::new("tdfs-parverify").unwrap();
+    let path = dir.join("c.tdfsgrph");
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(bytes)
+        .unwrap();
+    MmapGraph::open_with(
+        &path,
+        &MapOptions {
+            verify,
+            verify_threads,
+            ..Default::default()
+        },
+    )
+}
+
+/// The parallel verification pass must accept exactly what the serial
+/// pass accepts and serve an identical graph.
+#[test]
+fn parallel_verify_accepts_pristine_and_matches_serial() {
+    let bytes = many_segment_container();
+    let serial = open_bytes_threads(&bytes, Verify::Full, 1).expect("serial open");
+    let parallel = open_bytes_threads(&bytes, Verify::Full, 4).expect("parallel open");
+    assert_eq!(serial.num_vertices(), parallel.num_vertices());
+    assert_eq!(serial.num_arcs(), parallel.num_arcs());
+    let _pin_a = serial.pin_scope();
+    let _pin_b = parallel.pin_scope();
+    for v in 0..serial.num_vertices() as u32 {
+        assert_eq!(serial.neighbors(v), parallel.neighbors(v), "row {v}");
+    }
+}
+
+/// Corruption anywhere in the adjacency section must yield the *same*
+/// typed error under parallel verification as under serial — including
+/// when several segments are corrupt at once (smallest index wins, so
+/// the report cannot depend on thread interleaving).
+#[test]
+fn parallel_verify_reports_deterministic_typed_errors() {
+    let bytes = many_segment_container();
+    let header = tdfs_graph::container::parse_header(&bytes).unwrap();
+    let segs = tdfs_graph::container::parse_sections(&bytes, &header).unwrap();
+    assert!(segs.len() >= 16, "need many segments, got {}", segs.len());
+    let adj = header.layout().adj;
+    let mut rng = Rng::seed_from_u64(0x9A11E1);
+    for verify in [Verify::Full, Verify::Checksums] {
+        // Single corrupt segment, swept across the directory.
+        for case in 0..24 {
+            let s = (case * 7 + 3) % segs.len();
+            let m = &segs[s];
+            let mut bad = bytes.clone();
+            let i = adj + m.byte_off as usize + rng.gen_range(0..m.byte_len as usize);
+            bad[i] ^= 1 << rng.gen_range(0..8);
+            let serial = open_bytes_threads(&bad, verify, 1).unwrap_err();
+            let parallel = open_bytes_threads(&bad, verify, 4).unwrap_err();
+            assert_eq!(serial, parallel, "case {case} segment {s} ({verify:?})");
+        }
+        // Multiple corrupt segments: the smallest index's error wins.
+        let mut bad = bytes.clone();
+        for s in [segs.len() - 1, 2, segs.len() / 2] {
+            let m = &segs[s];
+            bad[adj + m.byte_off as usize] ^= 0x40;
+        }
+        let serial = open_bytes_threads(&bad, verify, 1).unwrap_err();
+        let parallel = open_bytes_threads(&bad, verify, 4).unwrap_err();
+        assert_eq!(serial, parallel, "multi-corruption ({verify:?})");
+    }
+}
+
 /// Randomized cross-section corruption sweep: arbitrary multi-byte
 /// scribbles anywhere must never panic and never produce a graph that
 /// differs from the original silently (opening may only succeed if the

@@ -123,8 +123,10 @@ impl Shard {
         self.end - self.start
     }
 
-    /// Straggler decomposition: halve when possible.
-    fn split(&self) -> Vec<Shard> {
+    /// Straggler decomposition: halve when possible. Public so the
+    /// cluster coordinator reaps its remote ledger with the exact
+    /// in-process policy.
+    pub fn split(&self) -> Vec<Shard> {
         if self.len() > 1 {
             let mid = self.start + self.len() / 2;
             vec![
@@ -364,32 +366,8 @@ pub(crate) fn fresh_state<V: GraphView>(
 ) -> Arc<DurableState> {
     let ledger = LeaseTable::new(dcfg.lease_timeout);
     let edge_count = edges.len() as u64;
-    let shards = edge_count.div_ceil(dcfg.shard_edges.max(1) as u64);
-    if shards > 0 {
-        let weight = |&(u, v): &(u32, u32)| (graph.degree(u) + graph.degree(v)) as u64 + 1;
-        let total: u64 = edges.iter().map(weight).sum();
-        let mut acc = 0u64;
-        let mut cut = 0u64;
-        let mut start = 0usize;
-        for (i, e) in edges.iter().enumerate() {
-            acc += weight(e);
-            // Cut once this shard holds its proportional share of the
-            // total weight (saturating at one edge per shard).
-            if acc.saturating_mul(shards) >= (cut + 1) * total && i + 1 > start {
-                ledger.submit(Shard {
-                    start: start as u32,
-                    end: (i + 1) as u32,
-                });
-                start = i + 1;
-                cut += 1;
-            }
-        }
-        if start < edges.len() {
-            ledger.submit(Shard {
-                start: start as u32,
-                end: edges.len() as u32,
-            });
-        }
+    for shard in shard_cuts(graph, edges, dcfg.shard_edges) {
+        ledger.submit(shard);
     }
     Arc::new(state_with(
         query_id,
@@ -405,6 +383,50 @@ pub(crate) fn fresh_state<V: GraphView>(
         0,
         scope,
     ))
+}
+
+/// Cuts an admitted edge list into degree-weighted [`Shard`]s of
+/// roughly `shard_edges` edges each.
+///
+/// Shard boundaries equalize *estimated work*, not edge count: a walk
+/// rooted at a hub edge is far heavier than one rooted at the fringe.
+/// Endpoint degree sum is the first-order work estimate; the shard
+/// count still follows `shard_edges`, so recovery granularity is
+/// unchanged on average. This is the single cutting policy for both the
+/// in-process durable path ([`fresh_state`]) and the cluster
+/// coordinator partitioning a query across nodes — identical cuts mean
+/// a shipped snapshot's shard ranges mean the same thing everywhere.
+pub fn shard_cuts<V: GraphView>(graph: &V, edges: &[(u32, u32)], shard_edges: usize) -> Vec<Shard> {
+    let shards = (edges.len() as u64).div_ceil(shard_edges.max(1) as u64);
+    let mut out = Vec::new();
+    if shards == 0 {
+        return out;
+    }
+    let weight = |&(u, v): &(u32, u32)| (graph.degree(u) + graph.degree(v)) as u64 + 1;
+    let total: u64 = edges.iter().map(weight).sum();
+    let mut acc = 0u64;
+    let mut cut = 0u64;
+    let mut start = 0usize;
+    for (i, e) in edges.iter().enumerate() {
+        acc += weight(e);
+        // Cut once this shard holds its proportional share of the
+        // total weight (saturating at one edge per shard).
+        if acc.saturating_mul(shards) >= (cut + 1) * total && i + 1 > start {
+            out.push(Shard {
+                start: start as u32,
+                end: (i + 1) as u32,
+            });
+            start = i + 1;
+            cut += 1;
+        }
+    }
+    if start < edges.len() {
+        out.push(Shard {
+            start: start as u32,
+            end: edges.len() as u32,
+        });
+    }
+    out
 }
 
 /// Rebuilds the shared state from a decoded snapshot.

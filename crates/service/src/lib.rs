@@ -94,7 +94,7 @@ pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
 pub use catalog::GraphCatalog;
 pub use disk::{DiskCatalog, PersistedDelta, StorageError};
-pub use durable::{DurableConfig, QueryProgress, Shard};
+pub use durable::{shard_cuts, DurableConfig, QueryProgress, Shard};
 pub use governor::{
     estimate_cost, BreakerConfig, BreakerState, GovernorConfig, Priority, ShedPolicy,
 };

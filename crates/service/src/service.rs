@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use tdfs_core::budgeted_map_options;
 use tdfs_core::engine::edge_admitted;
+use tdfs_core::retry::{retry, BackoffPolicy, Retry};
 use tdfs_core::{
     host_filter_edges, match_plan_on_edges, match_plan_with_sink, CancelFlag, CollectSink,
     EngineError, MatchSink, MatcherConfig, MemoryBudget, RunResult, RunStats,
@@ -104,6 +105,11 @@ impl Default for ServiceConfig {
 /// Bounded retry-with-backoff for [`Service::submit_with_retry`]:
 /// transient [`Rejected::QueueFull`] backpressure is retried after an
 /// exponentially growing sleep; every other rejection is final.
+///
+/// Kept as the service's public knob shape; execution delegates to the
+/// shared [`tdfs_core::retry`] utility (jittered truncated exponential
+/// backoff), the same machinery behind standing-query notify delivery,
+/// maintenance dispatch, and the cluster transport's RPCs.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Retries after the initial attempt (0 = plain `submit`).
@@ -354,6 +360,13 @@ pub struct QueryRequest {
     /// Scheduling priority: under overload the governor sheds `Low`
     /// work first, and an open circuit breaker admits only `High`.
     pub priority: Priority,
+    /// Restrict the search to matches rooted at these initial edges
+    /// (`None` = the full graph). Counts over disjoint seed subsets are
+    /// additive (see [`tdfs_core::match_plan_on_edges`]), which is what
+    /// lets a cluster node run one coordinator-granted shard of a query
+    /// as an ordinary service submission. Edges not admitted by the
+    /// plan's filter are skipped.
+    pub seed_edges: Option<Vec<(u32, u32)>>,
 }
 
 impl QueryRequest {
@@ -368,6 +381,7 @@ impl QueryRequest {
             sink: None,
             durable: None,
             priority: Priority::Normal,
+            seed_edges: None,
         }
     }
 
@@ -407,6 +421,13 @@ impl QueryRequest {
     /// Sets the scheduling priority (default [`Priority::Normal`]).
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Roots the search at exactly these initial edges (a shard of the
+    /// admitted edge list) instead of the whole graph.
+    pub fn with_seed_edges(mut self, edges: Vec<(u32, u32)>) -> Self {
+        self.seed_edges = Some(edges);
         self
     }
 }
@@ -1216,7 +1237,7 @@ impl Service {
             durable,
             priority: request.priority,
             plan: None,
-            seed_edges: None,
+            seed_edges: request.seed_edges,
             scope: self.inner.budget.as_ref().map(MemoryBudget::scoped),
             resume: None,
             submitted: Instant::now(),
@@ -1542,14 +1563,21 @@ impl Service {
             if sq.last_version.load(Ordering::Acquire) >= version {
                 continue;
             }
-            loop {
-                if crate::chaos_inject!("service.notify.drop") {
-                    lock_metrics(&self.inner).notify_retries += 1;
-                    continue;
-                }
-                (sq.callback)(delta);
-                break;
-            }
+            let delivered: Result<(), ()> = retry(
+                &BackoffPolicy::unbounded(Duration::ZERO, Duration::ZERO),
+                |attempt| {
+                    if attempt > 0 {
+                        lock_metrics(&self.inner).notify_retries += 1;
+                    }
+                    if crate::chaos_inject!("service.notify.drop") {
+                        Retry::Again(())
+                    } else {
+                        (sq.callback)(delta);
+                        Retry::Done(())
+                    }
+                },
+            );
+            debug_assert!(delivered.is_ok(), "unbounded retry cannot exhaust");
             sq.last_version.store(version, Ordering::Release);
             notifications += 1;
         }
@@ -1694,22 +1722,25 @@ impl Service {
             submitted: Instant::now(),
             tx,
         });
-        let mut backoff = Duration::from_micros(200);
-        for _ in 0..=DISPATCH_RETRIES {
+        let dispatch_policy = BackoffPolicy::new(
+            DISPATCH_RETRIES as u32,
+            Duration::from_micros(200),
+            Duration::from_millis(2),
+        );
+        let _ = retry(&dispatch_policy, |_| {
             match self.enqueue_job(job.take().expect("job present until admitted")) {
-                Ok(()) => break,
+                Ok(()) => Retry::Done(()),
                 Err((j, Rejected::QueueFull)) => {
                     job = Some(j);
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
+                    Retry::Again(())
                 }
                 Err((j, _)) => {
                     // Shutdown (or any final rejection): run inline.
                     job = Some(j);
-                    break;
+                    Retry::Fatal(())
                 }
             }
-        }
+        });
         let admitted = job.is_none();
         drop(job); // a never-admitted job still holds its result sender
         let completed = admitted && matches!(rx.recv(), Ok(out) if out.result.is_ok());
@@ -1760,19 +1791,21 @@ impl Service {
         request: QueryRequest,
         policy: &RetryPolicy,
     ) -> Result<QueryHandle, Rejected> {
-        let mut backoff = policy.initial_backoff.min(policy.max_backoff);
-        let mut attempt = 0u32;
-        loop {
-            match self.submit(request.clone()) {
-                Err(Rejected::QueueFull) if attempt < policy.max_retries => {
-                    attempt += 1;
-                    lock_metrics(&self.inner).admission_retries += 1;
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2).min(policy.max_backoff);
-                }
-                other => return other,
+        let backoff = BackoffPolicy::new(
+            policy.max_retries,
+            policy.initial_backoff.min(policy.max_backoff),
+            policy.max_backoff,
+        );
+        retry(&backoff, |attempt| {
+            if attempt > 0 {
+                lock_metrics(&self.inner).admission_retries += 1;
             }
-        }
+            match self.submit(request.clone()) {
+                Ok(handle) => Retry::Done(handle),
+                Err(Rejected::QueueFull) => Retry::Again(Rejected::QueueFull),
+                Err(other) => Retry::Fatal(other),
+            }
+        })
     }
 
     /// Snapshot of the service counters.

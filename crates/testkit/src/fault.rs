@@ -8,9 +8,12 @@
 //! `chaos` cargo feature off those hooks compile to nothing. With it on, each
 //! hook consults the global registry in this module: a test installs a
 //! [`ChaosScript`] describing *when* each named point should fire
-//! (always, the Nth hit, every Nth hit, with probability p, or on an explicit
-//! schedule of hit indices) and *what* should happen (inject the failure
-//! path, panic, or stall by yielding).
+//! (always, the Nth hit, every Nth hit, a hit range, with probability p, or
+//! on an explicit schedule of hit indices) and *what* should happen (inject
+//! the failure path, panic, stall, or — at network points — drop, duplicate,
+//! delay, or kill). Points may be *keyed* ([`fire_keyed`]): a cluster frame
+//! point reports the node id it belongs to, so a script can fault exactly one
+//! node ([`ChaosScript::on_keyed`]) while its peers run clean.
 //!
 //! The registry is process-global because fault points are reached from deep
 //! inside the engines where threading a handle through every call would
@@ -42,6 +45,10 @@ pub enum Trigger {
     Probability(f64),
     /// Fire exactly on the listed 1-based hit indices.
     Schedule(Vec<u64>),
+    /// Fire on every hit in the inclusive 1-based range `[from, to]`. Models
+    /// a fault window — e.g. a network partition that heals — without
+    /// enumerating every index the way [`Trigger::Schedule`] would.
+    Range { from: u64, to: u64 },
 }
 
 impl Trigger {
@@ -54,6 +61,7 @@ impl Trigger {
             Trigger::EveryNth(n) => *n != 0 && hit.is_multiple_of(*n),
             Trigger::Probability(p) => rng.gen_f64() < *p,
             Trigger::Schedule(hits) => hits.contains(&hit),
+            Trigger::Range { from, to } => hit >= *from && hit <= *to,
         }
     }
 }
@@ -75,9 +83,27 @@ pub enum Action {
     /// must outlast a wall-clock lease timeout (which `Stall`'s scheduler
     /// yields cannot guarantee).
     Sleep { millis: u64 },
+    /// Network: the frame in flight is silently discarded. The call site
+    /// pretends the send succeeded (or the receive never happened) so the
+    /// peer's retry/timeout machinery has to recover.
+    Drop,
+    /// Network: the frame is delivered twice. Exercises sequence-number
+    /// dedup and the epoch fences behind it.
+    Duplicate,
+    /// Network: sleep `millis`, then deliver normally. Distinct from
+    /// [`Action::Sleep`] only in intent — a slow link rather than a stalled
+    /// worker — so chaos scripts read as network scripts.
+    Delay { millis: u64 },
+    /// Process death at a named point: the call site must abandon all
+    /// in-flight work *without* acking, flushing, or cleaning up — the
+    /// testkit's model of `kill -9`.
+    Kill,
 }
 
 struct Entry {
+    /// `None` scripts the point for every key (wildcard); `Some(k)` scripts
+    /// it only for hits reporting key `k` (e.g. one cluster node's id).
+    key: Option<u64>,
     trigger: Trigger,
     action: Action,
     hits: AtomicU64,
@@ -87,7 +113,10 @@ struct Entry {
 
 #[derive(Default)]
 struct Registry {
-    entries: HashMap<&'static str, Entry>,
+    /// Per point name, the keyed entries (at most one per key, wildcard
+    /// included). Small vectors — scripts list a handful of keys at most —
+    /// so linear scans beat a nested map.
+    entries: HashMap<&'static str, Vec<Entry>>,
     /// Hit counters for points that were reached but have no script entry.
     /// Lets tests assert coverage ("the point was compiled in and reached")
     /// without scripting it.
@@ -112,17 +141,42 @@ pub enum Outcome {
     Pass,
     /// Take the failure path.
     Inject,
+    /// Network: discard the frame and pretend nothing happened.
+    Drop,
+    /// Network: deliver the frame twice.
+    Duplicate,
+    /// Die here: abandon all in-flight work without acking or cleanup.
+    Kill,
 }
 
 /// Record a hit on `name` and return what the call site should do.
 ///
 /// This is the single entry point used by the `chaos_inject!` / `chaos_point!`
 /// macros in the runtime crates. `Action::Panic` panics from here;
-/// `Action::Stall` yields from here and then reports [`Outcome::Pass`].
+/// `Action::Stall`/`Action::Sleep`/`Action::Delay` block from here and then
+/// report [`Outcome::Pass`].
 pub fn fire(name: &'static str) -> Outcome {
+    fire_impl(name, None)
+}
+
+/// Like [`fire`], but the call site reports a key (e.g. a cluster node id).
+///
+/// Lookup prefers an entry scripted for exactly this key, then falls back to
+/// the wildcard entry installed by [`ChaosScript::on`]; hits land on whichever
+/// entry matched (or the unscripted counter if neither exists).
+pub fn fire_keyed(name: &'static str, key: u64) -> Outcome {
+    fire_impl(name, Some(key))
+}
+
+fn fire_impl(name: &'static str, key: Option<u64>) -> Outcome {
     let decision = {
         let mut reg = lock_registry();
-        match reg.entries.get(name) {
+        let entry = reg.entries.get(name).and_then(|entries| {
+            // Exact key match wins; a wildcard entry catches the rest.
+            key.and_then(|k| entries.iter().find(|e| e.key == Some(k)))
+                .or_else(|| entries.iter().find(|e| e.key.is_none()))
+        });
+        match entry {
             Some(entry) => {
                 let hit = entry.hits.fetch_add(1, Ordering::Relaxed) + 1;
                 let mut rng = entry.rng.lock().unwrap_or_else(PoisonError::into_inner);
@@ -149,28 +203,49 @@ pub fn fire(name: &'static str) -> Outcome {
             }
             Outcome::Pass
         }
-        Some(Action::Sleep { millis }) => {
+        Some(Action::Sleep { millis }) | Some(Action::Delay { millis }) => {
             std::thread::sleep(std::time::Duration::from_millis(millis));
             Outcome::Pass
         }
+        Some(Action::Drop) => Outcome::Drop,
+        Some(Action::Duplicate) => Outcome::Duplicate,
+        Some(Action::Kill) => Outcome::Kill,
     }
 }
 
-/// Total times `name` was reached (scripted or not) since the last reset.
+/// Total times `name` was reached (scripted or not, summed over all keys)
+/// since the last reset.
 pub fn hits(name: &str) -> u64 {
     let reg = lock_registry();
-    if let Some(entry) = reg.entries.get(name) {
-        entry.hits.load(Ordering::Relaxed)
+    if let Some(entries) = reg.entries.get(name) {
+        entries.iter().map(|e| e.hits.load(Ordering::Relaxed)).sum()
     } else {
         reg.unscripted_hits.get(name).copied().unwrap_or(0)
     }
 }
 
-/// Times `name`'s action actually fired since the last reset.
+/// Times `name`'s action actually fired (summed over all keys) since the
+/// last reset.
 pub fn injections(name: &str) -> u64 {
     let reg = lock_registry();
     reg.entries
         .get(name)
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|e| e.fired.load(Ordering::Relaxed))
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Times the entry scripted for exactly `key` on `name` fired. Wildcard
+/// entries are reported under [`injections`], not here.
+pub fn injections_keyed(name: &str, key: u64) -> u64 {
+    let reg = lock_registry();
+    reg.entries
+        .get(name)
+        .and_then(|entries| entries.iter().find(|e| e.key == Some(key)))
         .map(|e| e.fired.load(Ordering::Relaxed))
         .unwrap_or(0)
 }
@@ -195,7 +270,7 @@ fn clear() {
 /// ```
 #[derive(Default)]
 pub struct ChaosScript {
-    points: Vec<(&'static str, Trigger, Action)>,
+    points: Vec<(&'static str, Option<u64>, Trigger, Action)>,
     seed: u64,
 }
 
@@ -207,10 +282,25 @@ impl ChaosScript {
         }
     }
 
-    /// Add a scripted point. Later entries for the same name replace earlier
-    /// ones at install time.
+    /// Add a scripted point matching every key (wildcard). Later entries for
+    /// the same name+key replace earlier ones at install time.
     pub fn on(mut self, name: &'static str, trigger: Trigger, action: Action) -> Self {
-        self.points.push((name, trigger, action));
+        self.points.push((name, None, trigger, action));
+        self
+    }
+
+    /// Add a scripted point that only matches hits reporting `key` via
+    /// [`fire_keyed`] — e.g. fault exactly one cluster node while its peers
+    /// run clean. Keyed and wildcard entries coexist on one name; exact key
+    /// wins at fire time.
+    pub fn on_keyed(
+        mut self,
+        name: &'static str,
+        key: u64,
+        trigger: Trigger,
+        action: Action,
+    ) -> Self {
+        self.points.push((name, Some(key), trigger, action));
         self
     }
 
@@ -231,21 +321,24 @@ impl ChaosScript {
         let serial = chaos_serial_lock();
         clear();
         let mut reg = lock_registry();
-        for (i, (name, trigger, action)) in self.points.into_iter().enumerate() {
-            reg.entries.insert(
-                name,
-                Entry {
-                    trigger,
-                    action,
-                    hits: AtomicU64::new(0),
-                    fired: AtomicU64::new(0),
-                    rng: Mutex::new(Rng::seed_from_u64(
-                        self.seed
-                            .wrapping_add(i as u64)
-                            .wrapping_mul(0x9e3779b97f4a7c15),
-                    )),
-                },
-            );
+        for (i, (name, key, trigger, action)) in self.points.into_iter().enumerate() {
+            let entry = Entry {
+                key,
+                trigger,
+                action,
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+                rng: Mutex::new(Rng::seed_from_u64(
+                    self.seed
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0x9e3779b97f4a7c15),
+                )),
+            };
+            let entries = reg.entries.entry(name).or_default();
+            match entries.iter_mut().find(|e| e.key == key) {
+                Some(existing) => *existing = entry,
+                None => entries.push(entry),
+            }
         }
         drop(reg);
         ChaosGuard { _serial: serial }
@@ -365,6 +458,75 @@ mod tests {
         assert_eq!(fire("t.sleep"), Outcome::Pass);
         assert!(t.elapsed() >= std::time::Duration::from_millis(20));
         assert_eq!(injections("t.sleep"), 1);
+    }
+
+    #[test]
+    fn range_trigger_fires_inside_window_only() {
+        let _guard = ChaosScript::new()
+            .inject("t.range", Trigger::Range { from: 2, to: 4 })
+            .install();
+        let fired: Vec<bool> = (0..6).map(|_| fire("t.range") == Outcome::Inject).collect();
+        assert_eq!(fired, vec![false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn network_actions_report_their_outcomes() {
+        let _guard = ChaosScript::new()
+            .on("t.drop", Trigger::Always, Action::Drop)
+            .on("t.dup", Trigger::Always, Action::Duplicate)
+            .on("t.kill", Trigger::Always, Action::Kill)
+            .on("t.delay", Trigger::Always, Action::Delay { millis: 15 })
+            .install();
+        assert_eq!(fire("t.drop"), Outcome::Drop);
+        assert_eq!(fire("t.dup"), Outcome::Duplicate);
+        assert_eq!(fire("t.kill"), Outcome::Kill);
+        let t = std::time::Instant::now();
+        assert_eq!(fire("t.delay"), Outcome::Pass);
+        assert!(t.elapsed() >= std::time::Duration::from_millis(15));
+        assert_eq!(injections("t.delay"), 1);
+    }
+
+    #[test]
+    fn keyed_entry_matches_only_its_key() {
+        let _guard = ChaosScript::new()
+            .on_keyed("t.keyed", 7, Trigger::Always, Action::Drop)
+            .install();
+        assert_eq!(fire_keyed("t.keyed", 7), Outcome::Drop);
+        assert_eq!(fire_keyed("t.keyed", 8), Outcome::Pass);
+        assert_eq!(fire("t.keyed"), Outcome::Pass);
+        assert_eq!(injections_keyed("t.keyed", 7), 1);
+        assert_eq!(injections_keyed("t.keyed", 8), 0);
+        // Only the matched keyed hit counts; unmatched keys fall through to
+        // the unscripted counter, which scripted names shadow.
+        assert_eq!(hits("t.keyed"), 1);
+    }
+
+    #[test]
+    fn keyed_entry_beats_wildcard_and_wildcard_catches_rest() {
+        let _guard = ChaosScript::new()
+            .on("t.mixed", Trigger::Always, Action::Duplicate)
+            .on_keyed("t.mixed", 3, Trigger::Always, Action::Kill)
+            .install();
+        assert_eq!(fire_keyed("t.mixed", 3), Outcome::Kill);
+        assert_eq!(fire_keyed("t.mixed", 4), Outcome::Duplicate);
+        assert_eq!(fire("t.mixed"), Outcome::Duplicate);
+        assert_eq!(injections_keyed("t.mixed", 3), 1);
+        assert_eq!(injections("t.mixed"), 3);
+    }
+
+    #[test]
+    fn keyed_entries_count_hits_independently() {
+        let _guard = ChaosScript::new()
+            .on_keyed("t.counters", 1, Trigger::Nth(2), Action::Drop)
+            .on_keyed("t.counters", 2, Trigger::Nth(2), Action::Drop)
+            .install();
+        // Node 1 hits twice (second fires); node 2 hits once (stays quiet).
+        assert_eq!(fire_keyed("t.counters", 1), Outcome::Pass);
+        assert_eq!(fire_keyed("t.counters", 1), Outcome::Drop);
+        assert_eq!(fire_keyed("t.counters", 2), Outcome::Pass);
+        assert_eq!(injections_keyed("t.counters", 1), 1);
+        assert_eq!(injections_keyed("t.counters", 2), 0);
+        assert_eq!(hits("t.counters"), 3);
     }
 
     #[test]
