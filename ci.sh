@@ -94,6 +94,19 @@ else
     echo "==> storage bench guard: skipped (set TDFS_BENCH_GUARD=1 to run)"
 fi
 
+echo "==> crashsim job (simulated power loss, intent journal, tdfsck)"
+# Crash-consistency acceptance: the exhaustive crash-point sweep (every
+# recorded I/O op x every crash style recovers to exactly the pre- or
+# post-operation catalog, resumes checkpoints exactly, and audits clean
+# under tdfsck), the seeded random-crash property, the golden corrupt-
+# fixture suite (torn manifest, orphan container, stale/corrupt intent
+# journal, missing sidecar — each classified and repaired), and the
+# chaos cut killing a cluster node mid-adoption to rejoin through its
+# journal.
+cargo test -p tdfs-service --test crashsim -q
+cargo test -p tdfs-service --test fsck -q
+cargo test -p tdfs-cluster --features chaos --test chaos_cluster -q node_killed_mid_adoption
+
 echo "==> cluster job (replicated shards, snapshot failover, network chaos)"
 # Focused re-run of the multi-node tier: the fault-free protocol suite
 # (ship/adopt/grant/ack over loopback TCP, exactness vs the in-process

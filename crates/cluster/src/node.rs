@@ -4,8 +4,11 @@
 //! The node is deliberately stateless across restarts: everything it
 //! knows — graphs, queries, leases — arrives over the wire, so a
 //! replacement node booted after a `kill -9` converges to a working
-//! replica by simply polling. Shipped `TDFSGRPH` containers are written
-//! to the node's state dir and served *mapped*, with the parallel
+//! replica by simply polling. Shipped `TDFSGRPH` containers are
+//! installed into the node's state dir through the same journaled
+//! atomic-write path the service catalog uses ([`DiskCatalog`] — a
+//! crash mid-adoption recovers to pre- or post-adoption state at the
+//! next boot, never a torn container) and served *mapped*, with the parallel
 //! open-time verification pass ([`MapOptions::verify_threads`]) running
 //! `Verify::Full` before a single query touches the bytes — a corrupted
 //! ship is a typed refusal, never a wrong count. Shipped `TDFSSNAP`
@@ -47,7 +50,8 @@ use tdfs_graph::{DeltaCsr, GraphBase, MapOptions, MmapGraph, Verify};
 use tdfs_query::Pattern;
 use tdfs_service::snapshot;
 use tdfs_service::{
-    PlanCacheKey, QueryHandle, QueryOutcome, QueryRequest, Service, ServiceConfig, Shard,
+    DiskCatalog, PlanCacheKey, QueryHandle, QueryOutcome, QueryRequest, Service, ServiceConfig,
+    Shard, StorageError,
 };
 
 use crate::transport::{net_fault, Client, NetFault};
@@ -204,6 +208,24 @@ struct InFlight {
 
 fn run(cfg: NodeConfig, stop: Arc<AtomicBool>, stats: Arc<NodeStats>) {
     let service = Service::new(cfg.service.clone());
+    // The node's slice of the state dir is a real catalog: opening it
+    // recovers any intent journaled by a mid-adoption crash (roll
+    // forward or roll back), so a chaos-killed node rejoins from a
+    // consistent directory. Nodes namespace by id — a shared state_dir
+    // must never mean a shared journal or staging area. If strict open
+    // refuses (corrupt state), salvage it: a node is a replica, and
+    // everything quarantined here gets re-shipped.
+    let root = cfg.state_dir.join(format!("node{}", cfg.node_id));
+    let catalog = match DiskCatalog::open(&root) {
+        Ok(c) => c,
+        Err(_) => {
+            let repaired = tdfs_service::fsck::fsck(&root, true);
+            match repaired.and_then(|_| DiskCatalog::open(&root)) {
+                Ok(c) => c,
+                Err(_) => return, // unusable disk; die visibly, don't serve
+            }
+        }
+    };
     let chaos = cfg!(feature = "chaos");
     let mut client = Client::new(
         cfg.addr.clone(),
@@ -293,7 +315,7 @@ fn run(cfg: NodeConfig, stop: Arc<AtomicBool>, stats: Arc<NodeStats>) {
                 // On failure (corrupt ship, disk error): report nothing;
                 // the next poll shows the graph still missing and the
                 // coordinator ships it again.
-                let received = receive_graph(&cfg, &service, &name, version, &container);
+                let received = receive_graph(&cfg, &catalog, &service, &name, version, &container);
                 if received.is_ok() {
                     stats.graphs_received.fetch_add(1, Ordering::Relaxed);
                     graphs.insert(name, version);
@@ -341,29 +363,31 @@ fn run(cfg: NodeConfig, stop: Arc<AtomicBool>, stats: Arc<NodeStats>) {
     }
 }
 
-/// Writes a shipped container to the state dir and registers it mapped,
-/// after the full (parallel) open-time verification pass.
+/// Adopts a shipped container: installed into the node's state-dir
+/// catalog through the journaled atomic-write path (staging + fsync +
+/// rename + directory fsync, intent journal bracketing the transition —
+/// a crash mid-adoption leaves the catalog at exactly the pre- or
+/// post-adoption state), then registered mapped after the full
+/// (parallel) open-time verification pass.
 fn receive_graph(
     cfg: &NodeConfig,
+    catalog: &DiskCatalog,
     service: &Service,
     name: &str,
     version: u64,
     container: &[u8],
-) -> std::io::Result<()> {
-    std::fs::create_dir_all(&cfg.state_dir)?;
-    let path = cfg
-        .state_dir
-        .join(format!("node{}-{name}.v{version}.tdfsgrph", cfg.node_id));
-    std::fs::write(&path, container)?;
+) -> Result<(), StorageError> {
+    let local = format!("node{}-{name}.v{version}", cfg.node_id);
+    catalog.install_graph(&local, version, |w| Ok(w.write_all(container)?))?;
     let mapped = MmapGraph::open_with(
-        &path,
+        catalog.graph_path(&local),
         &MapOptions {
             verify: Verify::Full,
             verify_threads: cfg.verify_threads,
             ..MapOptions::default()
         },
     )
-    .map_err(|e| std::io::Error::other(e.to_string()))?;
+    .map_err(StorageError::from)?;
     let view = DeltaCsr::at_version(GraphBase::Mapped(Arc::new(mapped)), version);
     service.catalog().register(name, Arc::new(view));
     Ok(())

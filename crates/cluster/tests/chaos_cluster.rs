@@ -315,6 +315,66 @@ fn node_killed_between_polls_is_survivable() {
     assert_eq!(handle.wait(WAIT).unwrap(), want);
 }
 
+/// Crash-consistency satellite: a node killed *mid-adoption* — inside
+/// the journaled container install, after the rename commit point but
+/// before the sidecar and manifest land — leaves a stale intent on its
+/// slice of the state directory. `tdfsck` classifies it; rebooting the
+/// same node id over the same directory rolls the committed install
+/// forward through the journal, the node rejoins cleanly, the query
+/// completes on the exact count, and a final `tdfsck` pass is clean.
+#[test]
+fn node_killed_mid_adoption_rejoins_cleanly_from_its_journal() {
+    // `Action::Panic`, not `Kill`: the storage chaos points fire-and-
+    // forget, and the unwind kills the node thread mid-transition with
+    // no cleanup — the journal and the renamed container stay behind.
+    let _chaos = ChaosScript::new()
+        .on(
+            "catalog.install.postrename",
+            Trigger::Nth(1),
+            Action::Panic("mid-adoption power cut"),
+        )
+        .install();
+    let dir = tempdir("adopt");
+    let coord = Coordinator::bind("127.0.0.1:0", chaos_config()).unwrap();
+    let g = Arc::new(barabasi_albert(250, 4, 25));
+    coord.register_graph("ba", 0, g.clone()).unwrap();
+    // The node adopts the registered graph at its first poll; the kill
+    // fires between the container's rename commit and its sidecar.
+    let mut doomed = NodeHandle::spawn(node_config(&coord, 1, &dir));
+    wait_for_death(&doomed);
+    doomed.join();
+
+    let root = dir.join("node1");
+    let report = tdfs_service::fsck::fsck(&root, false).unwrap();
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.kind == tdfs_service::FindingKind::StaleIntent),
+        "mid-adoption kill must leave a stale intent journal:\n{report}"
+    );
+
+    let pattern = Pattern::clique(3);
+    let cfg = MatcherConfig::tdfs().with_warps(2);
+    let want = reference_count(&g, &QueryPlan::build_with(&pattern, cfg.plan));
+    let reborn = NodeHandle::spawn(node_config(&coord, 1, &dir));
+    let handle = coord.start_query("ba", pattern, cfg).unwrap();
+    assert_eq!(
+        handle.wait(WAIT).unwrap(),
+        want,
+        "post-rejoin count diverged"
+    );
+    assert!(reborn.is_alive(), "the rejoined node must still serve");
+    drop(reborn);
+
+    let after = tdfs_service::fsck::fsck(&root, false).unwrap();
+    assert_eq!(
+        after.errors(),
+        0,
+        "rejoined node's state dir must audit clean:\n{after}"
+    );
+}
+
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("tdfs-cluster-chaos-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -47,6 +47,7 @@ pub mod mapped;
 pub mod rng;
 pub mod stats;
 pub mod transform;
+pub mod vfs;
 pub mod view;
 
 pub use builder::GraphBuilder;
@@ -59,4 +60,5 @@ pub use datasets::{Dataset, DatasetId};
 pub use delta::{AppliedBatch, DeltaCsr, EdgeBatch, GraphBase, GraphVersion};
 pub use mapped::{CacheCharge, CacheStats, MapOptions, MmapGraph, PinScope, Verify};
 pub use stats::GraphStats;
+pub use vfs::{RealFs, Vfs, VfsFile, WriteSeek};
 pub use view::GraphView;

@@ -1,0 +1,183 @@
+//! The filesystem seam every persisted byte flows through.
+//!
+//! Crash consistency cannot be tested against the real OS: power loss
+//! happens between syscalls, and `std::fs` gives no way to stop the
+//! world there. So the storage layer never calls `std::fs` for
+//! *mutations* directly; it calls a [`Vfs`] — either [`RealFs`]
+//! (production: thin delegation to the OS, including the
+//! parent-directory fsync POSIX requires for a rename to be durable) or
+//! the simulated filesystem in `tdfs-testkit` (`SimFs`), which mirrors
+//! every op to a backing directory, numbers it as a crash point, and
+//! can materialize the disk image "as of power loss at op N".
+//!
+//! Only mutations are virtualized. Reads (and `mmap`) go straight to
+//! the OS: the live process always sees the *applied* state — exactly
+//! what the page cache would show — while durability questions are
+//! answered by replaying the recorded mutation log, not by intercepting
+//! reads.
+//!
+//! The trait is deliberately tiny: create-for-write, rename, remove,
+//! directory fsync, `read_dir`, `create_dir_all`. That is the complete
+//! mutation vocabulary of the storage tier (tmp + rename atomic writes,
+//! journal updates, staging cleanup); anything richer would just grow
+//! the surface the simulator has to model.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// `Write + Seek` as one object-safe bound, so streaming writers (the
+/// `TDFSGRPH` container encoder seeks back to patch its header) can be
+/// handed a `&mut dyn WriteSeek` across crate boundaries.
+pub trait WriteSeek: Write + Seek {}
+
+impl<T: Write + Seek + ?Sized> WriteSeek for T {}
+
+/// An open file handle for writing, produced by [`Vfs::create`].
+///
+/// `sync_all` is the durability point: data written before it may be
+/// lost on power loss, data synced by it may not (the *name* still
+/// needs [`Vfs::sync_dir`] on the parent if the file is new or
+/// renamed).
+pub trait VfsFile: Write + Seek + Send {
+    /// Flushes file data (and metadata) to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The injectable filesystem mutation seam (see module docs).
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Creates (or truncates) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    /// Durable only after [`Vfs::sync_dir`] on the parent directory.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file. `Ok` if it was already absent (idempotent —
+    /// recovery code replays removals). Durable only after
+    /// [`Vfs::sync_dir`] on the parent.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs a directory, making the entries (creations, renames,
+    /// removals) inside it durable. On POSIX a rename without this is
+    /// allowed to vanish on power loss.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Creates a directory and all parents (idempotent).
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// The file names (not full paths) inside `dir`.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The production [`Vfs`]: straight delegation to the OS.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl RealFs {
+    /// A shared handle to the real filesystem.
+    pub fn arc() -> Arc<dyn Vfs> {
+        Arc::new(RealFs)
+    }
+}
+
+/// A real [`File`] speaking [`VfsFile`].
+struct RealFile(File);
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Seek for RealFile {
+    fn seek(&mut self, pos: io::SeekFrom) -> io::Result<u64> {
+        self.0.seek(pos)
+    }
+}
+
+impl VfsFile for RealFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the POSIX
+        // idiom for making its entries durable. Non-unix targets may
+        // refuse the open; rename durability is then the platform's
+        // problem (NTFS journals metadata on its own).
+        match OpenOptions::new().read(true).open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) if !cfg!(unix) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(PathBuf::from(entry?.file_name()));
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realfs_roundtrip_rename_remove_and_dir_sync() {
+        let base = std::env::temp_dir().join(format!("tdfs-vfs-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let fs_ = RealFs;
+        fs_.create_dir_all(&base.join("sub")).unwrap();
+        let a = base.join("sub").join("a");
+        let b = base.join("sub").join("b");
+        {
+            let mut f = fs_.create(&a).unwrap();
+            f.write_all(b"hello").unwrap();
+            f.seek(io::SeekFrom::Start(0)).unwrap();
+            f.write_all(b"H").unwrap();
+            f.sync_all().unwrap();
+        }
+        fs_.rename(&a, &b).unwrap();
+        fs_.sync_dir(&base.join("sub")).unwrap();
+        assert_eq!(fs::read(&b).unwrap(), b"Hello");
+        assert_eq!(
+            fs_.read_dir(&base.join("sub")).unwrap(),
+            vec![PathBuf::from("b")]
+        );
+        fs_.remove_file(&b).unwrap();
+        fs_.remove_file(&b).unwrap(); // idempotent
+        assert!(fs_.read_dir(&base.join("sub")).unwrap().is_empty());
+        fs::remove_dir_all(&base).unwrap();
+    }
+}

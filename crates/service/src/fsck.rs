@@ -1,0 +1,641 @@
+//! `tdfsck` — the state-directory verifier and repairer.
+//!
+//! [`fsck`] audits a service state directory (the layout
+//! `crates/service/src/disk.rs` maintains) without trusting any of it:
+//! the intent journal, the manifest, every container (full segment
+//! verification), every delta sidecar (CRC + does-the-overlay-fit-the-
+//! base), every snapshot (TDFSSNAP decode + does-it-reference-a-known-
+//! graph-at-its-version), staging leftovers, and files nothing
+//! references. Every discrepancy becomes a typed [`Finding`]; nothing
+//! panics, nothing is silently "fixed".
+//!
+//! In **repair** mode the same pass applies the safe remediation for
+//! each finding: journal recovery is applied (roll forward / roll
+//! back), a corrupt journal or sidecar or container is moved to
+//! `quarantine/` (never deleted — salvage must not destroy evidence),
+//! the manifest is rebuilt from the containers that actually verify,
+//! and staging garbage is cleared. Repairs only ever *narrow* the
+//! catalog to its provably consistent subset; a graph whose container
+//! verifies is never touched.
+//!
+//! [`Service::open_salvage`](crate::Service::open_salvage) runs repair
+//! and then a normal open, returning the report alongside the service —
+//! the "get me back up and tell me what was lost" entry point. The
+//! `tdfsck` binary wraps the same function for offline use.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tdfs_graph::vfs::{RealFs, Vfs};
+use tdfs_graph::{DeltaCsr, GraphBase, MapOptions, MmapGraph};
+
+use crate::disk::{DiskCatalog, PersistedDelta, Recovery, StorageError};
+use crate::snapshot;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Observation only; the directory is fully usable.
+    Info,
+    /// Suspicious but recoverable without losing committed state
+    /// (staging garbage, stale intent, orphan file).
+    Warning,
+    /// State is missing or fails validation; opening strictly would
+    /// fail or silently drop data without repair.
+    Error,
+}
+
+/// What kind of discrepancy a [`Finding`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The state directory itself does not exist.
+    MissingStateDir,
+    /// A layout subdirectory (`graphs/`, `snapshots/`, `tmp/`) is gone.
+    MissingLayout,
+    /// A leftover staging file under `tmp/`.
+    StagingLeftover,
+    /// A decodable intent journal from an interrupted transition.
+    StaleIntent,
+    /// The intent journal fails magic/CRC validation.
+    CorruptJournal,
+    /// `MANIFEST` is absent.
+    MissingManifest,
+    /// `MANIFEST` fails magic/CRC/structure validation.
+    CorruptManifest,
+    /// A manifest entry whose container file is gone.
+    MissingContainer,
+    /// A container that fails full TDFSGRPH verification.
+    CorruptContainer,
+    /// A registered graph with no sidecar (loads at version 0).
+    MissingSidecar,
+    /// A sidecar that fails magic/CRC/structure validation.
+    CorruptSidecar,
+    /// A sidecar whose overlay does not fit its container base.
+    OverlayMismatch,
+    /// A snapshot that fails TDFSSNAP decoding.
+    CorruptSnapshot,
+    /// A decodable snapshot that cannot resume against the current
+    /// catalog (unknown graph or version moved on).
+    UnresumableSnapshot,
+    /// A file nothing references (unknown name in `graphs/` or
+    /// `snapshots/`, or a verifying container absent from the manifest).
+    OrphanFile,
+    /// Contents of `quarantine/` from this or earlier repairs.
+    Quarantined,
+}
+
+/// One audited discrepancy.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub severity: Severity,
+    pub kind: FindingKind,
+    /// The path (relative to the state directory) or graph/snapshot
+    /// identifier the finding is about.
+    pub subject: String,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// What repair mode did about it (`None` in check-only mode or when
+    /// no action applies).
+    pub repair: Option<String>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warn",
+            Severity::Error => "ERROR",
+        };
+        write!(
+            f,
+            "{sev:5} {:?} {}: {}",
+            self.kind, self.subject, self.detail
+        )?;
+        if let Some(r) = &self.repair {
+            write!(f, " [repaired: {r}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one [`fsck`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    pub findings: Vec<Finding>,
+    /// Whether this pass ran in repair mode.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Number of [`Severity::Error`] findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of [`Severity::Warning`] findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == s).count()
+    }
+
+    /// No errors and no warnings (info findings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0 && self.warnings() == 0
+    }
+
+    fn push(
+        &mut self,
+        severity: Severity,
+        kind: FindingKind,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> &mut Finding {
+        self.findings.push(Finding {
+            severity,
+            kind,
+            subject: subject.into(),
+            detail: detail.into(),
+            repair: None,
+        });
+        self.findings.last_mut().unwrap()
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "tdfsck: {} error(s), {} warning(s), {} finding(s) total",
+            self.errors(),
+            self.warnings(),
+            self.findings.len()
+        )
+    }
+}
+
+/// Audits (and with `repair`, remediates) the state directory at `dir`
+/// on the real filesystem. See the module docs for the check list.
+/// Check-only mode never mutates the directory.
+pub fn fsck(dir: impl AsRef<Path>, repair: bool) -> Result<FsckReport, StorageError> {
+    fsck_with(dir, RealFs::arc(), repair)
+}
+
+/// [`fsck`] through an injected [`Vfs`] seam (all repair mutations flow
+/// through it; reads go straight to the OS like the rest of the stack).
+pub fn fsck_with(
+    dir: impl AsRef<Path>,
+    vfs: Arc<dyn Vfs>,
+    repair: bool,
+) -> Result<FsckReport, StorageError> {
+    Auditor {
+        cat: DiskCatalog::probe(dir.as_ref(), vfs),
+        root: dir.as_ref().to_path_buf(),
+        repair,
+        quarantine_seq: 0,
+    }
+    .run()
+}
+
+struct Auditor {
+    cat: DiskCatalog,
+    root: PathBuf,
+    repair: bool,
+    quarantine_seq: u64,
+}
+
+impl Auditor {
+    fn run(mut self) -> Result<FsckReport, StorageError> {
+        let mut report = FsckReport {
+            repaired: self.repair,
+            ..FsckReport::default()
+        };
+        if !self.root.is_dir() {
+            report.push(
+                Severity::Error,
+                FindingKind::MissingStateDir,
+                self.root.display().to_string(),
+                "state directory does not exist",
+            );
+            return Ok(report);
+        }
+        self.check_layout(&mut report)?;
+        self.check_staging(&mut report)?;
+        self.check_journal(&mut report)?;
+        let names = self.check_manifest(&mut report)?;
+        let healthy = self.check_graphs(&mut report, &names)?;
+        self.check_graph_orphans(&mut report, &names)?;
+        self.check_snapshots(&mut report, &healthy)?;
+        self.report_quarantine(&mut report);
+        Ok(report)
+    }
+
+    /// Moves `path` into `quarantine/` (creating it), never clobbering
+    /// an earlier inmate. Returns the repair note.
+    fn quarantine(&mut self, path: &Path) -> Result<String, StorageError> {
+        let qdir = self.root.join("quarantine");
+        self.cat.vfs().create_dir_all(&qdir)?;
+        let base = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".to_owned());
+        let mut dest = qdir.join(&base);
+        while dest.exists() {
+            self.quarantine_seq += 1;
+            dest = qdir.join(format!("{base}.{}", self.quarantine_seq));
+        }
+        self.cat.vfs().rename(path, &dest)?;
+        self.cat.vfs().sync_dir(&qdir)?;
+        if let Some(parent) = path.parent() {
+            self.cat.vfs().sync_dir(parent)?;
+        }
+        Ok(format!(
+            "moved to quarantine/{}",
+            dest.file_name().unwrap().to_string_lossy()
+        ))
+    }
+
+    fn check_layout(&mut self, report: &mut FsckReport) -> Result<(), StorageError> {
+        for sub in ["graphs", "snapshots", "tmp"] {
+            if !self.root.join(sub).is_dir() {
+                let f = report.push(
+                    Severity::Warning,
+                    FindingKind::MissingLayout,
+                    format!("{sub}/"),
+                    "layout directory missing",
+                );
+                if self.repair {
+                    self.cat.vfs().create_dir_all(&self.root.join(sub))?;
+                    f.repair = Some("created".to_owned());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_staging(&mut self, report: &mut FsckReport) -> Result<(), StorageError> {
+        let tmp = self.root.join("tmp");
+        if !tmp.is_dir() {
+            return Ok(());
+        }
+        for name in self.cat.vfs().read_dir(&tmp)? {
+            let f = report.push(
+                Severity::Warning,
+                FindingKind::StagingLeftover,
+                format!("tmp/{}", name.display()),
+                "staging file from an interrupted write",
+            );
+            if self.repair {
+                self.cat.vfs().remove_file(&tmp.join(&name))?;
+                f.repair = Some("removed".to_owned());
+            }
+        }
+        Ok(())
+    }
+
+    fn check_journal(&mut self, report: &mut FsckReport) -> Result<(), StorageError> {
+        match self.cat.read_journal() {
+            Ok(None) => {}
+            Ok(Some(intent)) => {
+                let f = report.push(
+                    Severity::Warning,
+                    FindingKind::StaleIntent,
+                    "JOURNAL",
+                    format!("interrupted transition: {intent:?}"),
+                );
+                if self.repair {
+                    let recovery = self.cat.recover_journal()?;
+                    f.repair = Some(match recovery {
+                        Recovery::RolledForward(_) => "rolled forward".to_owned(),
+                        Recovery::RolledBack(_) => "rolled back".to_owned(),
+                        Recovery::Clean => "already clean".to_owned(),
+                    });
+                }
+            }
+            Err(StorageError::Journal(reason)) => {
+                let f = report.push(
+                    Severity::Error,
+                    FindingKind::CorruptJournal,
+                    "JOURNAL",
+                    format!("undecodable intent journal: {reason}"),
+                );
+                if self.repair {
+                    let note = self.quarantine(&self.cat.journal_path())?;
+                    f.repair = Some(note);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    /// Returns the manifest names to audit (possibly a rebuilt set).
+    fn check_manifest(&mut self, report: &mut FsckReport) -> Result<Vec<String>, StorageError> {
+        let (kind, detail) = match self.cat.read_manifest() {
+            Ok(names) => return Ok(names),
+            Err(StorageError::Manifest("missing")) => {
+                (FindingKind::MissingManifest, "MANIFEST absent".to_owned())
+            }
+            Err(StorageError::Manifest(reason)) => (
+                FindingKind::CorruptManifest,
+                format!("MANIFEST invalid: {reason}"),
+            ),
+            Err(e) => return Err(e),
+        };
+        let corrupt = kind == FindingKind::CorruptManifest;
+        let f = report.push(Severity::Error, kind, "MANIFEST", detail);
+        if !self.repair {
+            // Check-only: audit whatever containers exist so the report
+            // still covers them.
+            return Ok(self.verifying_container_names());
+        }
+        let mut notes = Vec::new();
+        if corrupt {
+            notes.push(self.quarantine(&self.root.join("MANIFEST"))?);
+        }
+        let names = self.verifying_container_names();
+        self.cat.write_manifest(&names)?;
+        notes.push(format!(
+            "rebuilt from {} verifying container(s)",
+            names.len()
+        ));
+        f.repair = Some(notes.join("; "));
+        Ok(names)
+    }
+
+    /// Graph names under `graphs/` whose containers pass full
+    /// verification — the trustworthy basis for a manifest rebuild.
+    fn verifying_container_names(&self) -> Vec<String> {
+        let Ok(entries) = self.cat.vfs().read_dir(&self.root.join("graphs")) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .iter()
+            .filter_map(|n| n.to_str())
+            .filter_map(|n| n.strip_suffix(".tdfsgrph"))
+            .filter(|name| {
+                crate::disk::validate_name(name).is_ok()
+                    && MmapGraph::open_with(self.cat.graph_path(name), &MapOptions::default())
+                        .is_ok()
+            })
+            .map(str::to_owned)
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Audits each manifest entry; returns the healthy `(name, version)`
+    /// set for the snapshot cross-check.
+    fn check_graphs(
+        &mut self,
+        report: &mut FsckReport,
+        names: &[String],
+    ) -> Result<Vec<(String, u64)>, StorageError> {
+        let mut healthy = Vec::new();
+        for name in names {
+            let container = self.cat.graph_path(name);
+            if !container.exists() {
+                let f = report.push(
+                    Severity::Error,
+                    FindingKind::MissingContainer,
+                    name.clone(),
+                    "manifest entry has no container file",
+                );
+                if self.repair {
+                    let mut notes = vec![self.drop_from_manifest(name)?];
+                    if self.cat.delta_path(name).exists() {
+                        let p = self.cat.delta_path(name);
+                        notes.push(self.quarantine(&p)?);
+                    }
+                    f.repair = Some(notes.join("; "));
+                }
+                continue;
+            }
+            // Full verification: header, directory, per-segment CRCs and
+            // a complete decode — after this the container cannot fail
+            // at query time.
+            let mapped = match MmapGraph::open_with(&container, &MapOptions::default()) {
+                Ok(m) => m,
+                Err(e) => {
+                    let f = report.push(
+                        Severity::Error,
+                        FindingKind::CorruptContainer,
+                        name.clone(),
+                        format!("container fails verification: {e}"),
+                    );
+                    if self.repair {
+                        let mut notes = vec![self.quarantine(&container)?];
+                        if self.cat.delta_path(name).exists() {
+                            let p = self.cat.delta_path(name);
+                            notes.push(self.quarantine(&p)?);
+                        }
+                        notes.push(self.drop_from_manifest(name)?);
+                        f.repair = Some(notes.join("; "));
+                    }
+                    continue;
+                }
+            };
+            match self.cat.read_delta(name) {
+                Ok(None) => {
+                    let f = report.push(
+                        Severity::Warning,
+                        FindingKind::MissingSidecar,
+                        name.clone(),
+                        "no delta sidecar; graph will load at version 0",
+                    );
+                    if self.repair {
+                        self.cat.write_delta_raw(name, &PersistedDelta::default())?;
+                        f.repair = Some("wrote empty sidecar at version 0".to_owned());
+                    }
+                    healthy.push((name.clone(), 0));
+                }
+                Ok(Some(delta)) => {
+                    let fits = delta.inserts.is_empty() && delta.deletes.is_empty()
+                        || DeltaCsr::with_overlay(
+                            GraphBase::Mapped(Arc::new(mapped)),
+                            delta.version,
+                            &delta.inserts,
+                            &delta.deletes,
+                        )
+                        .is_ok();
+                    if fits {
+                        healthy.push((name.clone(), delta.version));
+                    } else {
+                        let f = report.push(
+                            Severity::Error,
+                            FindingKind::OverlayMismatch,
+                            name.clone(),
+                            format!(
+                                "sidecar overlay (version {}) does not fit the container base",
+                                delta.version
+                            ),
+                        );
+                        if self.repair {
+                            let p = self.cat.delta_path(name);
+                            let mut notes = vec![self.quarantine(&p)?];
+                            self.cat.write_delta_raw(name, &PersistedDelta::default())?;
+                            notes.push(
+                                "reset to empty sidecar at version 0 (overlay edges lost)"
+                                    .to_owned(),
+                            );
+                            f.repair = Some(notes.join("; "));
+                            healthy.push((name.clone(), 0));
+                        }
+                    }
+                }
+                Err(StorageError::Delta { reason, .. }) => {
+                    let f = report.push(
+                        Severity::Error,
+                        FindingKind::CorruptSidecar,
+                        name.clone(),
+                        format!("sidecar invalid: {reason}"),
+                    );
+                    if self.repair {
+                        let p = self.cat.delta_path(name);
+                        let mut notes = vec![self.quarantine(&p)?];
+                        self.cat.write_delta_raw(name, &PersistedDelta::default())?;
+                        notes.push(
+                            "reset to empty sidecar at version 0 (overlay edges lost)".to_owned(),
+                        );
+                        f.repair = Some(notes.join("; "));
+                        healthy.push((name.clone(), 0));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(healthy)
+    }
+
+    fn drop_from_manifest(&self, name: &str) -> Result<String, StorageError> {
+        let mut names = match self.cat.read_manifest() {
+            Ok(n) => n,
+            // A manifest that is itself broken was already handled.
+            Err(_) => return Ok("manifest unreadable; entry not dropped".to_owned()),
+        };
+        names.retain(|n| n != name);
+        self.cat.write_manifest(&names)?;
+        Ok("dropped from manifest".to_owned())
+    }
+
+    fn check_graph_orphans(
+        &mut self,
+        report: &mut FsckReport,
+        names: &[String],
+    ) -> Result<(), StorageError> {
+        let gdir = self.root.join("graphs");
+        if !gdir.is_dir() {
+            return Ok(());
+        }
+        for entry in self.cat.vfs().read_dir(&gdir)? {
+            let fname = entry.to_string_lossy().into_owned();
+            let known = fname
+                .strip_suffix(".tdfsgrph")
+                .or_else(|| fname.strip_suffix(".delta"))
+                .is_some_and(|stem| names.iter().any(|n| n == stem));
+            if known {
+                continue;
+            }
+            let f = report.push(
+                Severity::Warning,
+                FindingKind::OrphanFile,
+                format!("graphs/{fname}"),
+                "not referenced by the manifest",
+            );
+            if self.repair {
+                let p = gdir.join(&entry);
+                let note = self.quarantine(&p)?;
+                f.repair = Some(note);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_snapshots(
+        &mut self,
+        report: &mut FsckReport,
+        healthy: &[(String, u64)],
+    ) -> Result<(), StorageError> {
+        let sdir = self.root.join("snapshots");
+        if !sdir.is_dir() {
+            return Ok(());
+        }
+        for entry in self.cat.vfs().read_dir(&sdir)? {
+            let fname = entry.to_string_lossy().into_owned();
+            let id = fname
+                .strip_suffix(".tdfssnap")
+                .and_then(|n| n.parse::<u64>().ok());
+            let Some(id) = id else {
+                let f = report.push(
+                    Severity::Warning,
+                    FindingKind::OrphanFile,
+                    format!("snapshots/{fname}"),
+                    "not a <id>.tdfssnap checkpoint",
+                );
+                if self.repair {
+                    let p = sdir.join(&entry);
+                    let note = self.quarantine(&p)?;
+                    f.repair = Some(note);
+                }
+                continue;
+            };
+            let bytes = std::fs::read(sdir.join(&entry))?;
+            match snapshot::decode(&bytes) {
+                Err(e) => {
+                    let f = report.push(
+                        Severity::Error,
+                        FindingKind::CorruptSnapshot,
+                        format!("snapshots/{fname}"),
+                        format!("snapshot {id} fails decoding: {e}"),
+                    );
+                    if self.repair {
+                        let p = sdir.join(&entry);
+                        let note = self.quarantine(&p)?;
+                        f.repair = Some(note);
+                    }
+                }
+                Ok(snap) => {
+                    // Cross-check against the audited catalog: a
+                    // snapshot for an unknown graph or a moved-on
+                    // version will fail resume with a typed error at
+                    // open; surface it here too, but leave the file for
+                    // inspection (resume failures are not corruption).
+                    let matches = healthy
+                        .iter()
+                        .any(|(n, v)| *n == snap.graph && *v == snap.graph_version);
+                    if !matches {
+                        report.push(
+                            Severity::Info,
+                            FindingKind::UnresumableSnapshot,
+                            format!("snapshots/{fname}"),
+                            format!(
+                                "references graph {:?} at version {}, not in the current catalog",
+                                snap.graph, snap.graph_version
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn report_quarantine(&mut self, report: &mut FsckReport) {
+        let qdir = self.root.join("quarantine");
+        if let Ok(entries) = self.cat.vfs().read_dir(&qdir) {
+            if !entries.is_empty() {
+                report.push(
+                    Severity::Info,
+                    FindingKind::Quarantined,
+                    "quarantine/",
+                    format!("{} quarantined file(s) held for inspection", entries.len()),
+                );
+            }
+        }
+    }
+}

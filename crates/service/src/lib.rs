@@ -85,6 +85,7 @@ pub mod canon;
 pub mod catalog;
 pub mod disk;
 pub mod durable;
+pub mod fsck;
 pub mod governor;
 pub mod service;
 pub mod snapshot;
@@ -93,8 +94,9 @@ pub mod standing;
 pub use cache::{PlanCache, PlanCacheKey, PlanCacheStats};
 pub use canon::PatternKey;
 pub use catalog::GraphCatalog;
-pub use disk::{DiskCatalog, PersistedDelta, StorageError};
+pub use disk::{DiskCatalog, Intent, PersistedDelta, Recovery, StorageError};
 pub use durable::{shard_cuts, DurableConfig, QueryProgress, Shard};
+pub use fsck::{fsck, fsck_with, Finding, FindingKind, FsckReport, Severity};
 pub use governor::{
     estimate_cost, BreakerConfig, BreakerState, GovernorConfig, Priority, ShedPolicy,
 };

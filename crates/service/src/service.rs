@@ -44,7 +44,7 @@ use tdfs_query::Pattern;
 
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::catalog::GraphCatalog;
-use crate::disk::{self, DiskCatalog, PersistedDelta, StorageError};
+use crate::disk::{self, DiskCatalog, PersistedDelta, Recovery, StorageError};
 use crate::durable::{self, DurableConfig, DurableJob, DurableState, QueryProgress};
 use crate::governor::{estimate_cost, Breaker, BreakerState, GovernorConfig, Priority, ShedPolicy};
 use crate::snapshot::{self, DecodeError, QuerySnapshot};
@@ -950,6 +950,11 @@ pub struct OpenedService {
     /// queue full, torn file), keyed by persisted query id. Their files
     /// are kept on disk for inspection or a later [`Service::resume`].
     pub failed: Vec<(u64, ResumeError)>,
+    /// What the intent-journal recovery found at open: `Clean` when the
+    /// previous process finished its last catalog transition, otherwise
+    /// the interrupted intent and whether it was rolled forward (past
+    /// its commit point) or rolled back.
+    pub recovery: Recovery,
 }
 
 impl Service {
@@ -1038,7 +1043,45 @@ impl Service {
         dir: impl Into<std::path::PathBuf>,
         config: ServiceConfig,
     ) -> Result<OpenedService, StorageError> {
-        let catalog = DiskCatalog::open(dir)?;
+        Self::open_with_vfs(dir, config, tdfs_graph::vfs::RealFs::arc())
+    }
+
+    /// [`Service::open`] in salvage mode: runs `tdfsck` repair on the
+    /// state directory first — quarantining whatever fails validation,
+    /// rebuilding the manifest from the containers that verify — then
+    /// opens normally and returns the repair report alongside the
+    /// service. The "get me back up and tell me what was lost" entry
+    /// point for directories a strict [`Service::open`] refuses.
+    pub fn open_salvage(
+        dir: impl Into<std::path::PathBuf>,
+        config: ServiceConfig,
+    ) -> Result<(OpenedService, crate::fsck::FsckReport), StorageError> {
+        Self::open_salvage_with_vfs(dir, config, tdfs_graph::vfs::RealFs::arc())
+    }
+
+    /// [`Service::open_salvage`] with an injected filesystem seam.
+    pub fn open_salvage_with_vfs(
+        dir: impl Into<std::path::PathBuf>,
+        config: ServiceConfig,
+        vfs: Arc<dyn tdfs_graph::vfs::Vfs>,
+    ) -> Result<(OpenedService, crate::fsck::FsckReport), StorageError> {
+        let dir = dir.into();
+        let report = crate::fsck::fsck_with(&dir, vfs.clone(), true)?;
+        let opened = Self::open_with_vfs(dir, config, vfs)?;
+        Ok((opened, report))
+    }
+
+    /// [`Service::open`] with an injected filesystem seam: every byte
+    /// the service persists flows through `vfs`, so the crash-point
+    /// harness can run the full workload under the testkit's
+    /// simulated-power-loss filesystem.
+    pub fn open_with_vfs(
+        dir: impl Into<std::path::PathBuf>,
+        config: ServiceConfig,
+        vfs: Arc<dyn tdfs_graph::vfs::Vfs>,
+    ) -> Result<OpenedService, StorageError> {
+        let catalog = DiskCatalog::open_with(dir, vfs)?;
+        let recovery = catalog.recovery().clone();
         let names = catalog.read_manifest()?;
         let service = Self::with_disk(
             config,
@@ -1067,6 +1110,7 @@ impl Service {
             service,
             resumed,
             failed,
+            recovery,
         })
     }
 
@@ -1138,14 +1182,16 @@ impl Service {
         // Under the apply lock: the container, sidecar and manifest must
         // not interleave with a concurrent apply/compact on this name.
         let _guard = lock_apply(&self.inner);
-        let mut cur = std::io::Cursor::new(Vec::new());
-        write_container(&*graph, &mut cur, &ContainerOptions::default())?;
+        // One journaled transition: container + sidecar + manifest land
+        // together or (after crash recovery) not at all.
+        disk.catalog.install_graph(&name, 0, |mut w| {
+            write_container(&*graph, &mut w, &ContainerOptions::default())
+                .map(drop)
+                .map_err(StorageError::from)
+        })?;
         let path = disk.catalog.graph_path(&name);
-        disk.catalog.write_atomic(&path, &cur.into_inner())?;
         let mapped = MmapGraph::open_with(&path, &self.mapped_options())?;
         let view = DeltaCsr::from_mapped(Arc::new(mapped));
-        disk.catalog
-            .write_delta(&name, &PersistedDelta::default())?;
         {
             let mut names = disk
                 .names
@@ -1154,7 +1200,6 @@ impl Service {
             if !names.contains(&name) {
                 names.push(name.clone());
                 names.sort_unstable();
-                disk.catalog.write_manifest(&names)?;
             }
         }
         self.inner.catalog.register(name, Arc::new(view));
@@ -1627,22 +1672,19 @@ impl Service {
                 // `GraphView` rows, so the merged base+overlay adjacency
                 // goes to disk without ever materializing a heap CSR —
                 // then serve the *new* container, mapped, with an empty
-                // sidecar that still records the version.
+                // sidecar that still records the version. The journaled
+                // install makes container-swap + sidecar-reset atomic: a
+                // crash between them can never leave the new container
+                // shadowed by the stale pre-compaction overlay.
                 let _scope = pre.pin_scope();
-                let mut cur = std::io::Cursor::new(Vec::new());
-                write_container(&*pre, &mut cur, &ContainerOptions::default())
-                    .map_err(StorageError::from)?;
-                let path = disk.catalog.graph_path(name);
-                disk.catalog.write_atomic(&path, &cur.into_inner())?;
-                let mapped = MmapGraph::open_with(&path, &self.mapped_options())
-                    .map_err(StorageError::from)?;
-                disk.catalog.write_delta(
-                    name,
-                    &PersistedDelta {
-                        version: pre.version(),
-                        ..Default::default()
-                    },
-                )?;
+                disk.catalog.install_graph(name, pre.version(), |mut w| {
+                    write_container(&*pre, &mut w, &ContainerOptions::default())
+                        .map(drop)
+                        .map_err(StorageError::from)
+                })?;
+                let mapped =
+                    MmapGraph::open_with(disk.catalog.graph_path(name), &self.mapped_options())
+                        .map_err(StorageError::from)?;
                 Arc::new(DeltaCsr::at_version(
                     GraphBase::Mapped(Arc::new(mapped)),
                     pre.version(),

@@ -16,6 +16,10 @@
 //!   sweeps over all schedule prefixes of a bounded length.
 //! * [`model`] — shadow models (reference implementations) for property
 //!   tests, currently the page-arena allocation model.
+//! * [`simfs`] — a simulated-power-loss filesystem behind the
+//!   `tdfs_graph::vfs::Vfs` seam: records every storage mutation as a
+//!   numbered crash point and materializes the disk image "as of power
+//!   loss at op N", including torn writes and dropped directory entries.
 //! * [`tmp`] — a hand-rolled [`TempDir`] (the workspace has no external
 //!   `tempfile` crate) so on-disk storage tests stay hermetic.
 //!
@@ -26,8 +30,10 @@
 pub mod fault;
 pub mod model;
 pub mod sched;
+pub mod simfs;
 pub mod tmp;
 
 pub use fault::{Action, ChaosGuard, ChaosScript, Outcome, Trigger};
 pub use sched::{run_schedule, sweep_schedules, RunOutcome, Step, System};
+pub use simfs::{CrashStyle, Image, SimFs, CRASH_STYLES};
 pub use tmp::TempDir;

@@ -1,0 +1,556 @@
+//! Simulated power loss: a recording [`Vfs`] and crash-image builder.
+//!
+//! [`SimFs`] wraps a real directory (the *mirror*). Every mutation the
+//! storage layer issues through the [`Vfs`] seam is (a) applied to the
+//! mirror immediately — so the live process, including `mmap` readers,
+//! sees exactly what the OS page cache would show — and (b) appended to
+//! an in-memory op log. Each log index is a numbered **crash point**:
+//! [`SimFs::image`] replays the prefix of the log before that op into a
+//! model filesystem and produces the disk state "as of power loss
+//! there", under a chosen [`CrashStyle`].
+//!
+//! The model tracks, per inode, *applied* bytes (issued writes) and
+//! *durable* bytes (as of the last `sync_all`), and two namespaces:
+//! the applied one (what `readdir` shows the live process) and the
+//! durable one (entries made persistent by a parent-directory fsync).
+//! `rename`/`remove`/`create` update the applied namespace at once and
+//! the durable namespace only when the parent directory is synced —
+//! which is how a missing-dir-fsync bug becomes an observable dropped
+//! directory entry. Directories themselves are durable on creation
+//! (the catalog creates its layout once at open; modeling dir-entry
+//! loss for subdirectories would never fire in this workload).
+//!
+//! Power loss can leave any un-synced subset of writes on disk; the
+//! sweep covers the corners of that space rather than its exponential
+//! interior:
+//!
+//! * [`CrashStyle::DurableOnly`] — the adversarial floor: only fsynced
+//!   data and fsynced directory entries survive.
+//! * [`CrashStyle::AllApplied`] — the lucky ceiling: the cache flushed
+//!   everything issued so far.
+//! * [`CrashStyle::NamesAppliedDataDurable`] — names as applied, data
+//!   as synced: the classic ext4 zero-length-file / stale-content
+//!   hazard after an unsynced create or rename.
+//! * [`CrashStyle::Torn`] — `AllApplied` plus a half-length prefix of
+//!   the write in flight at the crash point (torn/short write).
+//!
+//! Every durable state a correctly-ordered implementation can produce
+//! is one of these; an implementation that skips an fsync produces
+//! states `DurableOnly`/`NamesAppliedDataDurable` expose.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs::{self, File};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use tdfs_graph::vfs::{Vfs, VfsFile};
+
+/// One recorded filesystem mutation. Paths are relative to the SimFs
+/// root, so crash images are relocatable; file data ops reference the
+/// inode id assigned at `create` (handles survive renames).
+#[derive(Debug, Clone)]
+enum Op {
+    MkDirs(PathBuf),
+    Create { id: u64, path: PathBuf },
+    Write { id: u64, off: u64, data: Vec<u8> },
+    SyncFile { id: u64 },
+    Rename { from: PathBuf, to: PathBuf },
+    Remove(PathBuf),
+    SyncDir(PathBuf),
+    Marker(String),
+}
+
+/// How generously the (simulated) hardware treated un-synced state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// Only fsynced data and fsynced directory entries survive.
+    DurableOnly,
+    /// Every issued op survives (write-back cache fully flushed).
+    AllApplied,
+    /// Directory entries as applied, file contents as synced — yields
+    /// zero-length or stale files behind fresh names.
+    NamesAppliedDataDurable,
+    /// `AllApplied`, plus a torn half-prefix of the write in flight at
+    /// the crash point (if that op is a write).
+    Torn,
+}
+
+/// All styles, in sweep order.
+pub const CRASH_STYLES: [CrashStyle; 4] = [
+    CrashStyle::DurableOnly,
+    CrashStyle::AllApplied,
+    CrashStyle::NamesAppliedDataDurable,
+    CrashStyle::Torn,
+];
+
+#[derive(Debug, Default)]
+struct Log {
+    ops: Vec<Op>,
+    next_inode: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    root: PathBuf,
+    log: Mutex<Log>,
+}
+
+/// The recording, mirror-backed simulated filesystem (see module docs).
+#[derive(Debug, Clone)]
+pub struct SimFs {
+    shared: Arc<Shared>,
+}
+
+impl SimFs {
+    /// Wraps `root` (created if absent). All paths handed to the [`Vfs`]
+    /// methods must live under it.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<SimFs> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(SimFs {
+            shared: Arc::new(Shared {
+                root,
+                log: Mutex::new(Log::default()),
+            }),
+        })
+    }
+
+    /// The mirror directory the live process reads from.
+    pub fn root(&self) -> &Path {
+        &self.shared.root
+    }
+
+    /// Number of recorded ops; crash points are `0..=op_count()`.
+    pub fn op_count(&self) -> usize {
+        self.lock().ops.len()
+    }
+
+    /// Records a named no-op delimiting workload steps; returns its
+    /// crash-point index.
+    pub fn marker(&self, label: &str) -> usize {
+        let mut log = self.lock();
+        log.ops.push(Op::Marker(label.to_string()));
+        log.ops.len() - 1
+    }
+
+    /// Human description of op `n` (for sweep diagnostics).
+    pub fn describe(&self, n: usize) -> String {
+        match self.lock().ops.get(n) {
+            None => "end-of-log".to_string(),
+            Some(Op::Marker(label)) => format!("marker:{label}"),
+            Some(op) => format!("{op:?}"),
+        }
+    }
+
+    /// The disk state if power is lost just before op `n` takes effect
+    /// (for [`CrashStyle::Torn`], mid-way through op `n`).
+    pub fn image(&self, n: usize, style: CrashStyle) -> Image {
+        let log = self.lock();
+        let mut dirs: BTreeSet<PathBuf> = BTreeSet::new();
+        let mut files: HashMap<u64, Inode> = HashMap::new();
+        let mut applied_ns: BTreeMap<PathBuf, u64> = BTreeMap::new();
+        let mut durable_ns: BTreeMap<PathBuf, u64> = BTreeMap::new();
+        dirs.insert(PathBuf::new());
+        for op in log.ops.iter().take(n) {
+            match op {
+                Op::MkDirs(d) => {
+                    let mut cur = d.as_path();
+                    loop {
+                        dirs.insert(cur.to_path_buf());
+                        match cur.parent() {
+                            Some(p) => cur = p,
+                            None => break,
+                        }
+                    }
+                }
+                Op::Create { id, path } => {
+                    files.insert(*id, Inode::default());
+                    applied_ns.insert(path.clone(), *id);
+                }
+                Op::Write { id, off, data } => {
+                    if let Some(f) = files.get_mut(id) {
+                        f.write_applied(*off, data);
+                    }
+                }
+                Op::SyncFile { id } => {
+                    if let Some(f) = files.get_mut(id) {
+                        f.durable = f.applied.clone();
+                    }
+                }
+                Op::Rename { from, to } => {
+                    if let Some(id) = applied_ns.remove(from) {
+                        applied_ns.insert(to.clone(), id);
+                    }
+                }
+                Op::Remove(p) => {
+                    applied_ns.remove(p);
+                }
+                Op::SyncDir(d) => {
+                    // Reconcile the durable namespace with the applied
+                    // one for entries directly inside `d`.
+                    let in_dir = |p: &Path| p.parent() == Some(d.as_path());
+                    durable_ns.retain(|p, _| !in_dir(p) || applied_ns.contains_key(p));
+                    for (p, id) in applied_ns.iter() {
+                        if in_dir(p) {
+                            durable_ns.insert(p.clone(), *id);
+                        }
+                    }
+                }
+                Op::Marker(_) => {}
+            }
+        }
+        if style == CrashStyle::Torn {
+            if let Some(Op::Write { id, off, data }) = log.ops.get(n) {
+                if let Some(f) = files.get_mut(id) {
+                    f.write_applied(*off, &data[..data.len() / 2]);
+                }
+            }
+        }
+        let ns = match style {
+            CrashStyle::DurableOnly => &durable_ns,
+            _ => &applied_ns,
+        };
+        let mut out = BTreeMap::new();
+        for (p, id) in ns {
+            let f = &files[id];
+            let bytes = match style {
+                CrashStyle::DurableOnly | CrashStyle::NamesAppliedDataDurable => &f.durable,
+                CrashStyle::AllApplied | CrashStyle::Torn => &f.applied,
+            };
+            out.insert(p.clone(), bytes.clone());
+        }
+        Image {
+            dirs: dirs.into_iter().collect(),
+            files: out,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Log> {
+        self.shared
+            .log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn rel(&self, path: &Path) -> io::Result<PathBuf> {
+        path.strip_prefix(&self.shared.root)
+            .map(Path::to_path_buf)
+            .map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    format!("SimFs: path escapes root: {}", path.display()),
+                )
+            })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inode {
+    applied: Vec<u8>,
+    durable: Vec<u8>,
+}
+
+impl Inode {
+    fn write_applied(&mut self, off: u64, data: &[u8]) {
+        let off = off as usize;
+        let end = off + data.len();
+        if self.applied.len() < end {
+            self.applied.resize(end, 0);
+        }
+        self.applied[off..end].copy_from_slice(data);
+    }
+}
+
+/// A materialized post-crash disk state: relative dirs + file contents.
+#[derive(Debug, Clone)]
+pub struct Image {
+    pub dirs: Vec<PathBuf>,
+    pub files: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+impl Image {
+    /// Content digest (FNV-1a over paths and bytes) for deduplicating
+    /// identical crash images across adjacent crash points.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for d in &self.dirs {
+            eat(d.as_os_str().as_encoded_bytes());
+            eat(&[0xfe]);
+        }
+        for (p, bytes) in &self.files {
+            eat(p.as_os_str().as_encoded_bytes());
+            eat(&[0xff]);
+            eat(&(bytes.len() as u64).to_le_bytes());
+            eat(bytes);
+        }
+        h
+    }
+
+    /// Writes the image under `out` (created; must be empty or absent).
+    pub fn write_to(&self, out: &Path) -> io::Result<()> {
+        fs::create_dir_all(out)?;
+        for d in &self.dirs {
+            fs::create_dir_all(out.join(d))?;
+        }
+        for (p, bytes) in &self.files {
+            let full = out.join(p);
+            if let Some(parent) = full.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            fs::write(full, bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// A write-through recorded file handle.
+struct SimFile {
+    shared: Arc<Shared>,
+    id: u64,
+    real: File,
+    pos: u64,
+}
+
+impl Write for SimFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.real.write(buf)?;
+        let mut log = self
+            .shared
+            .log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        log.ops.push(Op::Write {
+            id: self.id,
+            off: self.pos,
+            data: buf[..n].to_vec(),
+        });
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // A userspace flush has no durability effect; nothing to record.
+        self.real.flush()
+    }
+}
+
+impl Seek for SimFile {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.pos = self.real.seek(pos)?;
+        Ok(self.pos)
+    }
+}
+
+impl VfsFile for SimFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        // The mirror needs no real fsync (tests don't survive host
+        // power loss); only the model transition matters.
+        let mut log = self
+            .shared
+            .log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        log.ops.push(Op::SyncFile { id: self.id });
+        Ok(())
+    }
+}
+
+impl Vfs for SimFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let rel = self.rel(path)?;
+        let real = File::create(path)?;
+        let mut log = self.lock();
+        let id = log.next_inode;
+        log.next_inode += 1;
+        log.ops.push(Op::Create { id, path: rel });
+        drop(log);
+        Ok(Box::new(SimFile {
+            shared: Arc::clone(&self.shared),
+            id,
+            real,
+            pos: 0,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let (rf, rt) = (self.rel(from)?, self.rel(to)?);
+        fs::rename(from, to)?;
+        self.lock().ops.push(Op::Rename { from: rf, to: rt });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let rel = self.rel(path)?;
+        match fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        self.lock().ops.push(Op::Remove(rel));
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let rel = self.rel(dir)?;
+        self.lock().ops.push(Op::SyncDir(rel));
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let rel = self.rel(dir)?;
+        fs::create_dir_all(dir)?;
+        self.lock().ops.push(Op::MkDirs(rel));
+        Ok(())
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.rel(dir)?;
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(PathBuf::from(entry?.file_name()));
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmp::TempDir;
+
+    fn setup() -> (TempDir, SimFs) {
+        let dir = TempDir::new("tdfs-simfs").unwrap();
+        let fs_ = SimFs::new(dir.path()).unwrap();
+        (dir, fs_)
+    }
+
+    /// The canonical atomic-write protocol, step by step.
+    fn atomic_write(fs_: &SimFs, root: &Path, name: &str, data: &[u8]) {
+        fs_.create_dir_all(&root.join("tmp")).unwrap();
+        let stage = root.join("tmp").join(format!("{name}.0"));
+        let mut f = fs_.create(&stage).unwrap();
+        f.write_all(data).unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        fs_.rename(&stage, &root.join(name)).unwrap();
+        fs_.sync_dir(root).unwrap();
+    }
+
+    #[test]
+    fn mirror_sees_applied_state_immediately() {
+        let (dir, fs_) = setup();
+        atomic_write(&fs_, dir.path(), "FILE", b"payload");
+        assert_eq!(fs::read(dir.join("FILE")).unwrap(), b"payload");
+        assert!(fs_
+            .read_dir(dir.path())
+            .unwrap()
+            .contains(&PathBuf::from("FILE")));
+    }
+
+    #[test]
+    fn durable_only_honors_sync_boundaries() {
+        let (dir, fs_) = setup();
+        atomic_write(&fs_, dir.path(), "FILE", b"payload");
+        let end = fs_.op_count();
+
+        // Crash after everything: file fully present.
+        let img = fs_.image(end, CrashStyle::DurableOnly);
+        assert_eq!(img.files.get(Path::new("FILE")).unwrap(), b"payload");
+
+        // Crash before the final sync_dir: the rename is not durable —
+        // FILE is missing, the synced staging file survives under tmp/.
+        let img = fs_.image(end - 1, CrashStyle::DurableOnly);
+        assert!(!img.files.contains_key(Path::new("FILE")));
+        // (staging entry itself also needs a tmp/ dir sync to be
+        // durable; none was issued, so DurableOnly drops it too)
+        assert!(img.files.is_empty());
+
+        // Same point, ext4-style: name present, data synced → intact.
+        let img = fs_.image(end - 1, CrashStyle::NamesAppliedDataDurable);
+        assert_eq!(img.files.get(Path::new("FILE")).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn unsynced_data_is_lost_and_torn_writes_tear() {
+        let (dir, fs_) = setup();
+        fs_.create_dir_all(&dir.join("tmp")).unwrap();
+        let stage = dir.join("tmp").join("f.0");
+        let mut f = fs_.create(&stage).unwrap();
+        let before_write = fs_.op_count();
+        f.write_all(b"0123456789").unwrap();
+        drop(f);
+        fs_.rename(&stage, &dir.join("f")).unwrap();
+        fs_.sync_dir(dir.path()).unwrap();
+        let end = fs_.op_count();
+
+        // Name durable (dir synced) but data never synced → zero-length.
+        let img = fs_.image(end, CrashStyle::DurableOnly);
+        assert_eq!(img.files.get(Path::new("f")).unwrap(), b"");
+
+        // Torn at the write: half the bytes landed.
+        let img = fs_.image(before_write, CrashStyle::Torn);
+        assert_eq!(img.files.get(Path::new("tmp/f.0")).unwrap(), b"01234");
+    }
+
+    #[test]
+    fn rename_replaces_and_remove_needs_dir_sync() {
+        let (dir, fs_) = setup();
+        atomic_write(&fs_, dir.path(), "FILE", b"v1");
+        atomic_write(&fs_, dir.path(), "FILE", b"v2");
+        let end = fs_.op_count();
+        // Fully synced: v2 everywhere.
+        assert_eq!(
+            fs_.image(end, CrashStyle::DurableOnly)
+                .files
+                .get(Path::new("FILE"))
+                .unwrap(),
+            b"v2"
+        );
+        // Before the second dir sync, the durable name still maps to v1
+        // even though v2's data is synced: old-or-new, never hybrid.
+        assert_eq!(
+            fs_.image(end - 1, CrashStyle::DurableOnly)
+                .files
+                .get(Path::new("FILE"))
+                .unwrap(),
+            b"v1"
+        );
+
+        fs_.remove_file(&dir.join("FILE")).unwrap();
+        let after_rm = fs_.op_count();
+        // Removal applied but the dir not synced: durable view keeps it.
+        assert!(fs_
+            .image(after_rm, CrashStyle::DurableOnly)
+            .files
+            .contains_key(Path::new("FILE")));
+        fs_.sync_dir(dir.path()).unwrap();
+        assert!(!fs_
+            .image(fs_.op_count(), CrashStyle::DurableOnly)
+            .files
+            .contains_key(Path::new("FILE")));
+    }
+
+    #[test]
+    fn images_roundtrip_to_disk_and_digest_dedups() {
+        let (dir, fs_) = setup();
+        atomic_write(&fs_, dir.path(), "FILE", b"payload");
+        let end = fs_.op_count();
+        let img = fs_.image(end, CrashStyle::DurableOnly);
+        let also = fs_.image(end, CrashStyle::AllApplied);
+        assert_eq!(img.digest(), also.digest(), "synced state: styles agree");
+        let m = fs_.marker("step");
+        assert_eq!(m, end);
+        let out = TempDir::new("tdfs-simfs-out").unwrap();
+        img.write_to(out.path()).unwrap();
+        assert_eq!(fs::read(out.join("FILE")).unwrap(), b"payload");
+        assert!(out.join("tmp").is_dir(), "dirs are recreated");
+    }
+}

@@ -1,0 +1,83 @@
+//! `tdfsck` — verify (and optionally repair) a T-DFS state directory.
+//!
+//! ```text
+//! tdfsck <state-dir>            # check only, mutate nothing
+//! tdfsck --repair <state-dir>   # apply safe remediations
+//! ```
+//!
+//! Checks the intent journal, `MANIFEST`, every `TDFSGRPH` container
+//! (full segment verification), every delta sidecar (CRC + overlay
+//! fit), every `TDFSSNAP` checkpoint, staging leftovers and orphan
+//! files. With `--repair`, journal recovery is applied, corrupt files
+//! move to `quarantine/` (nothing is deleted), and the manifest is
+//! rebuilt from the containers that verify.
+//!
+//! Exit codes: `0` clean (info findings allowed), `1` warnings only,
+//! `2` errors found (or left unrepaired).
+
+use std::process::ExitCode;
+
+use tdfs::service::fsck::fsck;
+
+fn main() -> ExitCode {
+    let mut repair = false;
+    let mut dir: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => {
+                eprintln!("usage: tdfsck [--repair] <state-dir>");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("tdfsck: unknown option {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+            other => {
+                if dir.replace(other.to_owned()).is_some() {
+                    eprintln!("tdfsck: exactly one state directory expected");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: tdfsck [--repair] <state-dir>");
+        return ExitCode::from(2);
+    };
+    let report = match fsck(&dir, repair) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tdfsck: {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{report}");
+    if repair {
+        // Repairs applied; what matters is the state we leave behind.
+        match fsck(&dir, false) {
+            Ok(after) if after.errors() == 0 => {
+                println!("tdfsck: directory is consistent after repair");
+                if after.warnings() > 0 {
+                    return ExitCode::from(1);
+                }
+                return ExitCode::SUCCESS;
+            }
+            Ok(after) => {
+                eprintln!("tdfsck: {} error(s) remain after repair", after.errors());
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("tdfsck: re-check failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if report.errors() > 0 {
+        ExitCode::from(2)
+    } else if report.warnings() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
